@@ -1,0 +1,65 @@
+// §4.2 ablation: accuracy of the sampled techniques as a function of
+// the number of sampling points P.  The paper states that SGDP's
+// run-time can be reduced with smaller P at the cost of accuracy; this
+// bench quantifies that trade-off on Configuration I.
+//
+// WAVELETIC_FAST=1 reduces the case count for a smoke run.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "experiments/accuracy.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace ex = waveletic::experiments;
+namespace no = waveletic::noise;
+namespace wu = waveletic::util;
+
+int main() {
+  const bool fast = [] {
+    const char* f = std::getenv("WAVELETIC_FAST");
+    return f && f[0] == '1';
+  }();
+  const int cases = fast ? 9 : 40;
+
+  std::cout << "== P sweep: accuracy vs sampling points (Cfg I, " << cases
+            << " cases) ==\n";
+
+  wu::Table table({"P", "SGDP Max (ps)", "SGDP Avg (ps)", "LSF3 Avg (ps)",
+                   "WLS5 Avg (ps)"});
+  wu::CsvWriter csv;
+  std::vector<double> ps, sgdp_avg, sgdp_max;
+
+  for (int samples : {5, 9, 15, 25, 35, 55, 95}) {
+    ex::AccuracyOptions opt;
+    opt.bench = no::TestbenchSpec::config1();
+    opt.bench.victim_t50 = 1.5e-9;
+    opt.cases = cases;
+    opt.samples = samples;
+    opt.runner.dt = 2e-12;
+    opt.methods = {"LSF3", "WLS5", "SGDP"};
+    const auto result = ex::run_accuracy(opt);
+    const auto& sgdp = result.stat("SGDP");
+    table.add_row({std::to_string(samples),
+                   wu::format_ps(sgdp.max_error),
+                   wu::format_ps(sgdp.avg_error),
+                   wu::format_ps(result.stat("LSF3").avg_error),
+                   wu::format_ps(result.stat("WLS5").avg_error)});
+    ps.push_back(samples);
+    sgdp_avg.push_back(sgdp.avg_error);
+    sgdp_max.push_back(sgdp.max_error);
+  }
+  table.print(std::cout);
+
+  csv.add_column("P", ps);
+  csv.add_column("sgdp_avg_s", sgdp_avg);
+  csv.add_column("sgdp_max_s", sgdp_max);
+  csv.write_file("p_sweep.csv");
+
+  std::cout << "\nexpected shape: small P degrades SGDP accuracy "
+               "(paper: \"small P tends to result in lower timing "
+               "analysis accuracy\"); written to p_sweep.csv\n";
+  return 0;
+}

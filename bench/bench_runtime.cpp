@@ -1,0 +1,92 @@
+// §4.2 run-time comparison: per-gate cost of computing Γeff for each
+// technique on a representative noisy waveform (P = 35), plus the
+// P-dependence of SGDP.  The paper reports ~40 us for P1/P2/LSF3/E4 and
+// ~65 us for WLS5/SGDP on a Sun Blade 1000; on modern hardware the
+// absolute numbers shrink by orders of magnitude but the *ratios*
+// (sensitivity-based methods cost more, roughly linearly in P) are the
+// reproducible shape.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/method.hpp"
+#include "core/sgdp.hpp"
+#include "noise/scenario.hpp"
+
+namespace co = waveletic::core;
+namespace no = waveletic::noise;
+
+namespace {
+
+/// One representative noise case, simulated once and shared by all
+/// benchmarks (the fits are what we time, not the golden simulator).
+struct Fixture {
+  waveletic::charlib::Pdk pdk;
+  std::unique_ptr<no::NoiseRunner> runner;
+  no::CaseWaveforms cw;
+
+  Fixture() {
+    auto spec = no::TestbenchSpec::config1();
+    spec.victim_t50 = 1.5e-9;
+    no::RunnerOptions opt;
+    opt.dt = 2e-12;
+    runner = std::make_unique<no::NoiseRunner>(pdk, spec, opt);
+    cw = runner->run_case(40e-12);
+  }
+
+  [[nodiscard]] co::MethodInput input(int samples) const {
+    co::MethodInput mi;
+    mi.noisy_in = &cw.noisy_in;
+    mi.noiseless_in = &runner->noiseless_in();
+    mi.noiseless_out = &runner->noiseless_out();
+    mi.in_polarity = cw.in_polarity;
+    mi.out_polarity = cw.out_polarity;
+    mi.vdd = pdk.vdd;
+    mi.samples = samples;
+    return mi;
+  }
+};
+
+const Fixture& fixture() {
+  static const Fixture f;
+  return f;
+}
+
+void run_method(benchmark::State& state, const char* name) {
+  const auto method = co::make_method(name);
+  const auto mi = fixture().input(35);
+  for (auto _ : state) {
+    auto fit = method->fit(mi);
+    benchmark::DoNotOptimize(fit);
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(run_method, P1, "P1")->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(run_method, P2, "P2")->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(run_method, LSF3, "LSF3")->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(run_method, E4, "E4")->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(run_method, WLS5, "WLS5")->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(run_method, SGDP, "SGDP")->Unit(benchmark::kMicrosecond);
+
+/// SGDP cost scaling with the number of sampling points P (§4.2: "the
+/// SGDP run-time can be reduced by using smaller P values").
+static void sgdp_p_scaling(benchmark::State& state) {
+  const co::SgdpMethod method;
+  const auto mi = fixture().input(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto fit = method.fit(mi);
+    benchmark::DoNotOptimize(fit);
+  }
+}
+BENCHMARK(sgdp_p_scaling)
+    ->Arg(5)
+    ->Arg(15)
+    ->Arg(35)
+    ->Arg(75)
+    ->Arg(155)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Characterizes the VCL013 virtual cell library through the built-in
+// transient simulator and writes it as a Liberty file — the same flow a
+// foundry characterization team runs, at toy scale.
+//
+//   $ ./characterize_lib [output.lib]   (env WAVELETIC_FAST=1 for the
+//                                        reduced grid)
+
+#include <cstdlib>
+#include <iostream>
+
+#include "charlib/characterize.hpp"
+#include "liberty/parser.hpp"
+#include "liberty/writer.hpp"
+#include "util/units.hpp"
+
+namespace cl = waveletic::charlib;
+namespace lb = waveletic::liberty;
+namespace wu = waveletic::util;
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "vcl013.lib";
+  const bool fast = [] {
+    const char* f = std::getenv("WAVELETIC_FAST");
+    return f && f[0] == '1';
+  }();
+
+  std::cout << "characterizing VCL013 (" << (fast ? "fast" : "full")
+            << " grid) through the transient simulator...\n";
+  const lb::Library lib =
+      fast ? cl::build_vcl013_library_fast() : cl::build_vcl013_library();
+
+  lb::write_liberty_file(path, lib);
+  std::cout << "wrote " << path << " with " << lib.cells.size()
+            << " cells\n\n";
+
+  // Round-trip sanity + a taste of the data.
+  const auto reparsed = lb::parse_liberty_file(path);
+  std::cout << "cell            in-cap(fF)   delay(ps) @ 150ps/10fF\n";
+  for (const auto& cell : reparsed.cells) {
+    const auto inputs = cell.input_pins();
+    if (inputs.empty()) continue;
+    const auto& arc = cell.output_pin().arcs[0];
+    const auto lookup = arc.rise(150e-12, 10e-15);
+    std::cout << "  " << cell.name;
+    for (size_t i = cell.name.size(); i < 14; ++i) std::cout << ' ';
+    std::cout << wu::format_ps(inputs[0]->capacitance * 1e3) << "        "
+              << wu::format_ps(lookup.delay) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Crosstalk alignment sweep on the paper's Configuration I testbench:
+// for each aggressor offset, report the golden victim arrival push-out
+// and the error of SGDP vs WLS5.  Demonstrates the full golden-
+// simulation + fitting pipeline on a workload small enough to eyeball.
+//
+//   $ ./crosstalk_sweep          (env WAVELETIC_FAST=1 for fewer cases)
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/method.hpp"
+#include "noise/receiver_eval.hpp"
+#include "noise/scenario.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "wave/metrics.hpp"
+
+namespace co = waveletic::core;
+namespace no = waveletic::noise;
+namespace wu = waveletic::util;
+namespace wv = waveletic::wave;
+
+int main() {
+  const bool fast = [] {
+    const char* f = std::getenv("WAVELETIC_FAST");
+    return f && f[0] == '1';
+  }();
+
+  const waveletic::charlib::Pdk pdk;
+  auto spec = no::TestbenchSpec::config1();
+  spec.victim_t50 = 1.5e-9;
+  no::RunnerOptions ropt;
+  ropt.dt = fast ? 2e-12 : 1e-12;
+  no::NoiseRunner runner(pdk, spec, ropt);
+  no::ReceiverEval::Options eopt;
+  eopt.dt = ropt.dt;
+  no::ReceiverEval eval(pdk, eopt);
+
+  const auto wls5 = co::make_method("WLS5");
+  const auto sgdp = co::make_method("SGDP");
+
+  const double clean_arr = *wv::arrival_50(
+      runner.noiseless_in(), runner.in_polarity(), pdk.vdd);
+
+  wu::Table table({"offset (ps)", "pushout (ps)", "golden out (ps)",
+                   "WLS5 err (ps)", "SGDP err (ps)"});
+  table.set_title("Configuration I aggressor-alignment sweep");
+
+  for (double offset : no::NoiseRunner::offsets(fast ? 7 : 21, 1e-9)) {
+    const auto cw = runner.run_case(offset);
+    co::MethodInput mi;
+    mi.noisy_in = &cw.noisy_in;
+    mi.noiseless_in = &runner.noiseless_in();
+    mi.noiseless_out = &runner.noiseless_out();
+    mi.in_polarity = cw.in_polarity;
+    mi.out_polarity = cw.out_polarity;
+    mi.vdd = pdk.vdd;
+
+    const double pushout =
+        *wv::arrival_50(cw.noisy_in, cw.in_polarity, pdk.vdd) - clean_arr;
+    const double w_err =
+        eval.ramp_arrival(wls5->fit(mi).ramp, cw.in_polarity) -
+        cw.golden_output_arrival;
+    const double s_err =
+        eval.ramp_arrival(sgdp->fit(mi).ramp, cw.in_polarity) -
+        cw.golden_output_arrival;
+    table.add_row({wu::format_ps(offset, 0), wu::format_ps(pushout),
+                   wu::format_ps(cw.golden_output_arrival),
+                   wu::format_ps(w_err), wu::format_ps(s_err)});
+  }
+  table.print(std::cout);
+  std::cout << "\npushout peaks when the aggressor transition overlaps the\n"
+               "victim's switching window — the crosstalk delay-noise\n"
+               "mechanism the paper's techniques model.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: fit an equivalent waveform (Γeff) to a noisy transition
+// with every technique from the paper and print the resulting STA
+// quantities (arrival, slew).  Pure-waveform demo — no circuit
+// simulation involved, runs instantly.
+//
+//   $ ./quickstart
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/method.hpp"
+#include "wave/ramp.hpp"
+#include "wave/waveform.hpp"
+
+namespace co = waveletic::core;
+namespace wv = waveletic::wave;
+
+int main() {
+  const double vdd = 1.2;
+
+  // A clean 150 ps rising transition crossing 50% at t = 1 ns...
+  const wv::Waveform clean_in =
+      wv::Ramp::from_arrival_slew(1e-9, 150e-12, vdd).sampled(512);
+  // ...the receiving gate's noiseless response (overlapping, sharper)...
+  const wv::Waveform clean_out =
+      wv::Ramp::from_arrival_slew(1.03e-9, 120e-12, vdd).sampled(512);
+
+  // ...and the same input distorted by a crosstalk dip that re-crosses
+  // the 50% level (the delay-noise scenario of the paper).
+  std::vector<double> t(clean_in.times().begin(), clean_in.times().end());
+  std::vector<double> v(clean_in.values().begin(), clean_in.values().end());
+  for (size_t i = 0; i < t.size(); ++i) {
+    v[i] -= 0.75 * std::exp(-std::pow((t[i] - 1.12e-9) / 35e-12, 2.0));
+  }
+  const wv::Waveform noisy_in(std::move(t), std::move(v));
+
+  std::printf("noisy input: %zu crossings of 0.5*Vdd, latest at %.1f ps\n",
+              noisy_in.crossings(0.5 * vdd).size(),
+              *noisy_in.last_crossing(0.5 * vdd) * 1e12);
+  std::printf("%-6s %12s %12s %s\n", "method", "arrival(ps)", "slew(ps)",
+              "fallback");
+
+  co::MethodInput input;
+  input.noisy_in = &noisy_in;
+  input.noiseless_in = &clean_in;
+  input.noiseless_out = &clean_out;
+  input.in_polarity = wv::Polarity::kRising;
+  input.out_polarity = wv::Polarity::kRising;
+  input.vdd = vdd;
+  input.samples = 35;  // the paper's P
+
+  for (const auto& method : co::all_methods()) {
+    const auto fit = method->fit(input);
+    std::printf("%-6s %12.1f %12.1f %s\n",
+                std::string(method->name()).c_str(), fit.ramp.t50() * 1e12,
+                fit.ramp.slew() * 1e12,
+                fit.degenerate_fallback ? "yes" : "");
+  }
+  std::printf("\nSGDP weighs samples by the gate's sensitivity at the\n"
+              "*noisy* voltage (Step 2), so the dip that re-crosses 50%%\n"
+              "moves its arrival while staying slew-accurate.\n");
+  return 0;
+}

@@ -1,0 +1,183 @@
+#include "charlib/characterize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spice/engine.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "wave/metrics.hpp"
+
+namespace waveletic::charlib {
+namespace {
+
+using spice::Circuit;
+using wave::Polarity;
+
+struct ArcPoint {
+  double delay = 0.0;
+  double out_slew = 0.0;
+};
+
+/// One characterization run: drive `active_pin` with a ramp of the given
+/// 10-90 slew (direction `in_rising`), other inputs at non-controlling
+/// levels, load CL on the output; measure 50-50 delay and 10-90 output
+/// slew.
+ArcPoint simulate_point(const Pdk& pdk, const CellSpec& spec,
+                        const std::string& active_pin, bool in_rising,
+                        double slew_10_90, double load, double dt) {
+  Circuit ckt;
+  add_supply(ckt, pdk);
+
+  std::map<std::string, std::string> conns;
+  conns[active_pin] = "in";
+  conns["Y"] = "out";
+  // Non-controlling side inputs: logic 1 for NAND, logic 0 for NOR.
+  for (const auto& pin : spec.input_pins()) {
+    if (pin == active_pin) continue;
+    const bool tie_high = (spec.kind == CellKind::kNand2);
+    conns[pin] = tie_high ? "vdd" : "0";
+  }
+  instantiate_cell(ckt, pdk, spec, "dut", conns, "vdd");
+  ckt.emplace<spice::Capacitor>("cl", ckt.node("out"), spice::kGround,
+                                std::max(load, 1e-18));
+
+  const double t_mid = 0.4e-9 + slew_10_90;
+  const double full_transition = slew_10_90 / 0.8;  // 10-90 -> 0-100
+  ckt.emplace<spice::VoltageSource>(
+      "vin", ckt.node("in"), spice::kGround,
+      std::make_unique<spice::RampStimulus>(t_mid, full_transition, 0.0,
+                                            pdk.vdd, in_rising));
+
+  spice::TransientSpec tspec;
+  tspec.dt = dt;
+  // Enough time for the slowest arcs: transition + RC tail.
+  tspec.t_stop = t_mid + 2.0 * slew_10_90 + 2.5e-9;
+  tspec.probes = {"in", "out"};
+  const auto res = spice::transient(ckt, tspec);
+
+  const Polarity in_pol = in_rising ? Polarity::kRising : Polarity::kFalling;
+  const Polarity out_pol = spec.inverting() ? flip(in_pol) : in_pol;
+
+  const auto& win = res.waveform("in");
+  const auto& wout = res.waveform("out");
+  const auto delay =
+      wave::gate_delay_50(win, in_pol, wout, out_pol, pdk.vdd);
+  const auto oslew = wave::slew_clean(wout, out_pol, pdk.vdd);
+  util::require(delay.has_value() && oslew.has_value(),
+                "characterization: incomplete transition for ", spec.name,
+                " pin ", active_pin, " slew ", slew_10_90, " load ", load);
+  return {*delay, *oslew};
+}
+
+}  // namespace
+
+liberty::Cell characterize_cell(const Pdk& pdk, const CellSpec& spec,
+                                const CharGrid& grid) {
+  util::require(!grid.slews.empty() && !grid.loads_x1.empty(),
+                "characterization grid is empty");
+  liberty::Cell cell;
+  cell.name = spec.name;
+  cell.area = spec.drive;
+
+  // Load axis scales with drive so every cell is characterized in its
+  // useful fanout range.
+  std::vector<double> loads = grid.loads_x1;
+  for (auto& c : loads) c *= spec.drive;
+
+  for (const auto& pin_name : spec.input_pins()) {
+    liberty::Pin pin;
+    pin.name = pin_name;
+    pin.direction = liberty::PinDirection::kInput;
+    pin.capacitance = input_pin_capacitance(pdk, spec, pin_name);
+    cell.pins.push_back(std::move(pin));
+  }
+
+  liberty::Pin out;
+  out.name = spec.output_pin();
+  out.direction = liberty::PinDirection::kOutput;
+  out.max_capacitance = loads.back();
+  switch (spec.kind) {
+    case CellKind::kInverter:
+      out.function = "!A";
+      break;
+    case CellKind::kBuffer:
+      out.function = "A";
+      break;
+    case CellKind::kNand2:
+      out.function = "!(A&B)";
+      break;
+    case CellKind::kNor2:
+      out.function = "!(A|B)";
+      break;
+  }
+
+  const size_t rows = grid.slews.size();
+  const size_t cols = loads.size();
+  for (const auto& pin_name : spec.input_pins()) {
+    liberty::TimingArc arc;
+    arc.related_pin = pin_name;
+    arc.sense = spec.inverting() ? liberty::TimingSense::kNegativeUnate
+                                 : liberty::TimingSense::kPositiveUnate;
+
+    std::vector<double> cr(rows * cols), cf(rows * cols), rt(rows * cols),
+        ft(rows * cols);
+    for (size_t i = 0; i < rows; ++i) {
+      for (size_t j = 0; j < cols; ++j) {
+        // Output rise is caused by input fall for inverting cells.
+        const bool rise_in = !spec.inverting();
+        const auto up = simulate_point(pdk, spec, pin_name, rise_in,
+                                       grid.slews[i], loads[j], grid.dt);
+        const auto dn = simulate_point(pdk, spec, pin_name, !rise_in,
+                                       grid.slews[i], loads[j], grid.dt);
+        cr[i * cols + j] = up.delay;
+        rt[i * cols + j] = up.out_slew;
+        cf[i * cols + j] = dn.delay;
+        ft[i * cols + j] = dn.out_slew;
+      }
+    }
+    arc.cell_rise = liberty::NldmTable(grid.slews, loads, std::move(cr));
+    arc.rise_transition = liberty::NldmTable(grid.slews, loads, std::move(rt));
+    arc.cell_fall = liberty::NldmTable(grid.slews, loads, std::move(cf));
+    arc.fall_transition = liberty::NldmTable(grid.slews, loads, std::move(ft));
+    out.arcs.push_back(std::move(arc));
+  }
+  cell.pins.push_back(std::move(out));
+  return cell;
+}
+
+liberty::Library characterize_library(const Pdk& pdk,
+                                      const std::vector<CellSpec>& cells,
+                                      const CharGrid& grid) {
+  liberty::Library lib;
+  lib.name = "vcl013";
+  lib.nom_voltage = pdk.vdd;
+
+  liberty::TableTemplate tmpl;
+  tmpl.name = "delay_template";
+  tmpl.index_1 = grid.slews;
+  tmpl.index_2 = grid.loads_x1;
+  lib.add_template(tmpl);
+
+  for (const auto& spec : cells) {
+    util::log_info("characterizing ", spec.name);
+    lib.add_cell(characterize_cell(pdk, spec, grid));
+  }
+  return lib;
+}
+
+liberty::Library build_vcl013_library() {
+  return characterize_library(Pdk{}, vcl013_cells(), CharGrid{});
+}
+
+liberty::Library build_vcl013_library_fast() {
+  CharGrid grid;
+  grid.slews = {50e-12, 150e-12, 400e-12};
+  grid.loads_x1 = {2e-15, 10e-15, 40e-15};
+  grid.dt = 2e-12;
+  std::vector<CellSpec> cells{vcl013_cell("INVX1"), vcl013_cell("INVX4"),
+                              vcl013_cell("NAND2X1")};
+  return characterize_library(Pdk{}, cells, grid);
+}
+
+}  // namespace waveletic::charlib

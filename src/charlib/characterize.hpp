@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file characterize.hpp
+/// NLDM characterization flow: runs transistor-level simulations of
+/// every cell arc over an input-slew × output-load grid and assembles a
+/// liberty::Library.  This mirrors how foundry libraries are produced,
+/// which is exactly the "current level of gate characterization" the
+/// paper's compatibility claim refers to.
+
+#include <vector>
+
+#include "charlib/vcl013.hpp"
+#include "liberty/library.hpp"
+
+namespace waveletic::charlib {
+
+struct CharGrid {
+  /// Input 10–90% transition times [s].
+  std::vector<double> slews{20e-12, 60e-12, 150e-12, 300e-12, 600e-12};
+  /// Output loads [F], scaled per cell by its drive strength.
+  std::vector<double> loads_x1{1e-15, 4e-15, 10e-15, 25e-15, 60e-15};
+  double dt = 1e-12;  ///< transient step for the characterization runs
+};
+
+/// Characterizes one cell into a liberty::Cell (pins + NLDM arcs).
+[[nodiscard]] liberty::Cell characterize_cell(const Pdk& pdk,
+                                              const CellSpec& spec,
+                                              const CharGrid& grid);
+
+/// Characterizes a list of cells into a complete library.
+[[nodiscard]] liberty::Library characterize_library(
+    const Pdk& pdk, const std::vector<CellSpec>& cells,
+    const CharGrid& grid = {});
+
+/// The full VCL013 library with the default grid.  Expensive (hundreds
+/// of transient runs, a few seconds); callers should reuse the result.
+[[nodiscard]] liberty::Library build_vcl013_library();
+
+/// A reduced library (fewer cells, coarser grid) for fast unit tests.
+[[nodiscard]] liberty::Library build_vcl013_library_fast();
+
+}  // namespace waveletic::charlib

@@ -1,0 +1,193 @@
+#include "charlib/vcl013.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace waveletic::charlib {
+
+using spice::Capacitor;
+using spice::Circuit;
+using spice::Mosfet;
+using spice::NodeId;
+
+Pdk::Pdk() {
+  nmos.name = "vcl013_nmos";
+  nmos.pmos = false;
+  nmos.vth = 0.35;
+  nmos.alpha = 1.3;
+  // ≈0.58 mA Idsat for the 0.52 µm X1 device (≈1.1 mA/µm effective,
+  // calibrated against typical 0.13 µm foundry INVX1 drive).
+  nmos.kc = 1.1e3;
+  nmos.kv = 0.9;
+  nmos.lambda = 0.05;
+  nmos.cgs_per_w = 0.7e-9;
+  nmos.cgd_per_w = 0.25e-9;
+  nmos.cdb_per_w = 0.5e-9;
+
+  pmos = nmos;
+  pmos.name = "vcl013_pmos";
+  pmos.pmos = true;
+  pmos.vth = 0.32;
+  // Skewed pull-up: puts the inverter switching threshold at ≈0.55·Vdd
+  // (industrial libraries are rarely balanced at exactly Vdd/2), which
+  // makes 50%-referenced delays sensitive to the input slew — the
+  // effect the point-based techniques misjudge.
+  pmos.kc = 8.6e2;
+}
+
+const char* to_string(CellKind k) noexcept {
+  switch (k) {
+    case CellKind::kInverter:
+      return "inverter";
+    case CellKind::kBuffer:
+      return "buffer";
+    case CellKind::kNand2:
+      return "nand2";
+    case CellKind::kNor2:
+      return "nor2";
+  }
+  return "?";
+}
+
+std::vector<std::string> CellSpec::input_pins() const {
+  switch (kind) {
+    case CellKind::kInverter:
+    case CellKind::kBuffer:
+      return {"A"};
+    case CellKind::kNand2:
+    case CellKind::kNor2:
+      return {"A", "B"};
+  }
+  return {};
+}
+
+std::vector<CellSpec> vcl013_cells() {
+  std::vector<CellSpec> cells;
+  for (double drive : {1.0, 2.0, 4.0, 8.0, 16.0, 64.0}) {
+    CellSpec spec;
+    spec.kind = CellKind::kInverter;
+    spec.drive = drive;
+    spec.name = "INVX" + std::to_string(static_cast<int>(drive));
+    cells.push_back(spec);
+  }
+  cells.push_back({"BUFX4", CellKind::kBuffer, 4.0});
+  cells.push_back({"NAND2X1", CellKind::kNand2, 1.0});
+  cells.push_back({"NOR2X1", CellKind::kNor2, 1.0});
+  return cells;
+}
+
+CellSpec vcl013_cell(const std::string& name) {
+  for (const auto& spec : vcl013_cells()) {
+    if (util::iequals(spec.name, name)) return spec;
+  }
+  throw util::Error::fmt("VCL013: unknown cell '", name, "'");
+}
+
+namespace {
+
+/// Adds one MOSFET with its lumped capacitances.
+///   gate cap to the conducting rail (cgs·w), Miller cap gate->drain
+///   (cgd·w), junction cap drain->rail (cdb·w).
+void add_transistor(Circuit& ckt, const std::string& name,
+                    const spice::MosfetModel& model, double w, NodeId d,
+                    NodeId g, NodeId s, NodeId rail) {
+  ckt.emplace<Mosfet>(name, d, g, s, rail, model, w);
+  ckt.emplace<Capacitor>(name + ".cgs", g, rail, model.cgs_per_w * w);
+  ckt.emplace<Capacitor>(name + ".cgd", g, d, model.cgd_per_w * w);
+  ckt.emplace<Capacitor>(name + ".cdb", d, rail, model.cdb_per_w * w);
+}
+
+void build_inverter(Circuit& ckt, const Pdk& pdk, const std::string& inst,
+                    NodeId in, NodeId out, NodeId vdd, double drive) {
+  add_transistor(ckt, inst + ".mn", pdk.nmos, pdk.wn_unit * drive, out, in,
+                 spice::kGround, spice::kGround);
+  add_transistor(ckt, inst + ".mp", pdk.pmos, pdk.wp_unit * drive, out, in,
+                 vdd, vdd);
+}
+
+}  // namespace
+
+void instantiate_cell(spice::Circuit& ckt, const Pdk& pdk,
+                      const CellSpec& spec, const std::string& inst,
+                      const std::map<std::string, std::string>& conns,
+                      const std::string& vdd_node) {
+  const auto pin = [&](const std::string& name) {
+    const auto it = conns.find(name);
+    util::require(it != conns.end(), "cell ", spec.name, " instance ", inst,
+                  ": missing connection for pin ", name);
+    return ckt.node(it->second);
+  };
+  const NodeId vdd = ckt.node(vdd_node);
+  const NodeId gnd = spice::kGround;
+
+  switch (spec.kind) {
+    case CellKind::kInverter: {
+      build_inverter(ckt, pdk, inst, pin("A"), pin("Y"), vdd, spec.drive);
+      return;
+    }
+    case CellKind::kBuffer: {
+      // First stage at quarter drive, second at full drive.
+      const NodeId mid = ckt.node(inst + ".mid");
+      build_inverter(ckt, pdk, inst + ".s1", pin("A"), mid, vdd,
+                     spec.drive / 4.0);
+      build_inverter(ckt, pdk, inst + ".s2", mid, pin("Y"), vdd, spec.drive);
+      return;
+    }
+    case CellKind::kNand2: {
+      // Series NMOS (B bottom), parallel PMOS.
+      const NodeId a = pin("A");
+      const NodeId b = pin("B");
+      const NodeId y = pin("Y");
+      const NodeId mid = ckt.node(inst + ".nmid");
+      const double wn = pdk.wn_unit * spec.drive * 2.0;  // stack upsizing
+      const double wp = pdk.wp_unit * spec.drive;
+      add_transistor(ckt, inst + ".mna", pdk.nmos, wn, y, a, mid, gnd);
+      add_transistor(ckt, inst + ".mnb", pdk.nmos, wn, mid, b, gnd, gnd);
+      add_transistor(ckt, inst + ".mpa", pdk.pmos, wp, y, a, vdd, vdd);
+      add_transistor(ckt, inst + ".mpb", pdk.pmos, wp, y, b, vdd, vdd);
+      return;
+    }
+    case CellKind::kNor2: {
+      // Parallel NMOS, series PMOS (B top).
+      const NodeId a = pin("A");
+      const NodeId b = pin("B");
+      const NodeId y = pin("Y");
+      const NodeId mid = ckt.node(inst + ".pmid");
+      const double wn = pdk.wn_unit * spec.drive;
+      const double wp = pdk.wp_unit * spec.drive * 2.0;
+      add_transistor(ckt, inst + ".mna", pdk.nmos, wn, y, a, gnd, gnd);
+      add_transistor(ckt, inst + ".mnb", pdk.nmos, wn, y, b, gnd, gnd);
+      add_transistor(ckt, inst + ".mpb", pdk.pmos, wp, mid, b, vdd, vdd);
+      add_transistor(ckt, inst + ".mpa", pdk.pmos, wp, y, a, mid, vdd);
+      return;
+    }
+  }
+  throw util::Error::fmt("unhandled cell kind for ", spec.name);
+}
+
+double input_pin_capacitance(const Pdk& pdk, const CellSpec& spec,
+                             const std::string& pin) {
+  const double cg_n = pdk.nmos.cgs_per_w + pdk.nmos.cgd_per_w;
+  const double cg_p = pdk.pmos.cgs_per_w + pdk.pmos.cgd_per_w;
+  switch (spec.kind) {
+    case CellKind::kInverter:
+      return (cg_n * pdk.wn_unit + cg_p * pdk.wp_unit) * spec.drive;
+    case CellKind::kBuffer:
+      // Only the first stage (quarter drive) loads the input.
+      return (cg_n * pdk.wn_unit + cg_p * pdk.wp_unit) * spec.drive / 4.0;
+    case CellKind::kNand2:
+      return (cg_n * pdk.wn_unit * 2.0 + cg_p * pdk.wp_unit) * spec.drive;
+    case CellKind::kNor2:
+      return (cg_n * pdk.wn_unit + cg_p * pdk.wp_unit * 2.0) * spec.drive;
+  }
+  throw util::Error::fmt("unhandled cell kind for ", spec.name, " pin ", pin);
+}
+
+void add_supply(spice::Circuit& ckt, const Pdk& pdk,
+                const std::string& vdd_node) {
+  ckt.emplace<spice::VoltageSource>(
+      "v" + vdd_node, ckt.node(vdd_node), spice::kGround,
+      std::make_unique<spice::DcStimulus>(pdk.vdd));
+}
+
+}  // namespace waveletic::charlib

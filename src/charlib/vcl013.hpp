@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file vcl013.hpp
+/// VCL013 — the "virtual cell library", a self-contained stand-in for
+/// the industrial TSMC 0.13 µm library used in the paper.  It defines
+/// α-power-law device cards (1.2 V, Vth ≈ 0.35/0.32 V) and
+/// transistor-level topologies for inverters at the paper's drive
+/// strengths (X1/X4/X16/X64) plus BUF/NAND2/NOR2 used by the STA demos.
+///
+/// Cells instantiate into a spice::Circuit; the characterization flow
+/// (characterize.hpp) turns them into an NLDM Liberty library.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "spice/devices.hpp"
+
+namespace waveletic::charlib {
+
+/// Process-level constants of the virtual PDK.
+struct Pdk {
+  double vdd = 1.2;            ///< supply [V]
+  double wn_unit = 0.52e-6;    ///< X1 NMOS width [m]
+  double wp_unit = 1.04e-6;    ///< X1 PMOS width [m]
+  spice::MosfetModel nmos;
+  spice::MosfetModel pmos;
+
+  /// Default-constructed PDK carries the calibrated VCL013 cards.
+  Pdk();
+};
+
+enum class CellKind { kInverter, kBuffer, kNand2, kNor2 };
+
+[[nodiscard]] const char* to_string(CellKind k) noexcept;
+
+/// A cell type: topology + drive strength.
+struct CellSpec {
+  std::string name;   ///< e.g. "INVX4"
+  CellKind kind = CellKind::kInverter;
+  double drive = 1.0; ///< width multiplier relative to X1
+
+  [[nodiscard]] std::vector<std::string> input_pins() const;
+  [[nodiscard]] std::string output_pin() const { return "Y"; }
+  /// Liberty timing_sense of the arc from each input.
+  [[nodiscard]] bool inverting() const noexcept {
+    return kind != CellKind::kBuffer;
+  }
+};
+
+/// The standard VCL013 cell list: INVX1/2/4/8/16/64, BUFX4, NAND2X1,
+/// NOR2X1.  (The paper's Figure 1 uses INVX1, INVX4, INVX16, INVX64.)
+[[nodiscard]] std::vector<CellSpec> vcl013_cells();
+
+/// Finds a spec by name (throws on unknown cell).
+[[nodiscard]] CellSpec vcl013_cell(const std::string& name);
+
+/// Instantiates a transistor-level cell into `ckt`.
+///
+/// \param inst   hierarchical instance name prefix (e.g. "u1")
+/// \param conns  pin name -> circuit node name ("A"/"B"/"Y")
+/// \param vdd_node  supply node name (a VoltageSource must drive it)
+/// Adds MOSFETs plus lumped gate/drain capacitances.
+void instantiate_cell(spice::Circuit& ckt, const Pdk& pdk,
+                      const CellSpec& spec, const std::string& inst,
+                      const std::map<std::string, std::string>& conns,
+                      const std::string& vdd_node);
+
+/// Analytic input-pin capacitance of a cell pin [F] (sum of gate caps
+/// attached to that pin); what the Liberty `capacitance` attribute
+/// reports.
+[[nodiscard]] double input_pin_capacitance(const Pdk& pdk,
+                                           const CellSpec& spec,
+                                           const std::string& pin);
+
+/// Convenience: adds the supply source and returns the node name.
+void add_supply(spice::Circuit& ckt, const Pdk& pdk,
+                const std::string& vdd_node = "vdd");
+
+}  // namespace waveletic::charlib

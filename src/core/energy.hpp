@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file energy.hpp
+/// E4 (§2.3), the Elmore-inspired equal-area technique: Γeff passes
+/// through the latest 50% crossing of the noisy waveform; its slope is
+/// chosen so the area enclosed between the line and the levels
+/// v1 = 0.5·Vdd and v2 = Vdd equals the corresponding area under the
+/// noisy waveform.  The more often the waveform re-crosses 50%, the
+/// later the pinned point and the more pessimistic the estimate — the
+/// behaviour the paper calls out.
+
+#include "core/method.hpp"
+
+namespace waveletic::core {
+
+class E4Method final : public EquivalentWaveformMethod {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "E4";
+  }
+  [[nodiscard]] Fit fit(const MethodInput& input) const override;
+};
+
+}  // namespace waveletic::core

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file lsf.hpp
+/// LSF3 (§2.2): plain least-squares fit of the line a·t + b to P samples
+/// of the noisy waveform across its critical region — a purely
+/// mathematical match with no knowledge of the receiving gate.
+
+#include "core/method.hpp"
+
+namespace waveletic::core {
+
+class Lsf3Method final : public EquivalentWaveformMethod {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "LSF3";
+  }
+  [[nodiscard]] Fit fit(const MethodInput& input) const override;
+};
+
+/// Shared helper: unweighted LSQ ramp over the noisy critical region;
+/// used directly by LSF3 and as the degenerate fallback of WLS5/SGDP.
+[[nodiscard]] Fit lsf3_fit(const wave::Waveform& noisy_rising, double vdd,
+                           int samples);
+
+}  // namespace waveletic::core

@@ -1,0 +1,73 @@
+#include "core/method.hpp"
+
+#include "core/energy.hpp"
+#include "core/lsf.hpp"
+#include "core/point_based.hpp"
+#include "core/sgdp.hpp"
+#include "core/wls.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace waveletic::core {
+
+wave::Waveform MethodInput::noisy_rising() const {
+  require_noisy();
+  return noisy_in->normalized_rising(in_polarity, vdd);
+}
+
+wave::Waveform MethodInput::noiseless_in_rising() const {
+  util::require(noiseless_in != nullptr, "missing noiseless input waveform");
+  return noiseless_in->normalized_rising(in_polarity, vdd);
+}
+
+wave::Waveform MethodInput::noiseless_out_rising() const {
+  util::require(noiseless_out != nullptr,
+                "missing noiseless output waveform");
+  return noiseless_out->normalized_rising(out_polarity, vdd);
+}
+
+void MethodInput::require_noisy() const {
+  util::require(noisy_in != nullptr, "missing noisy input waveform");
+  util::require(vdd > 0.0, "non-positive vdd");
+  util::require(samples >= 4, "need at least 4 sampling points, got ",
+                samples);
+}
+
+void MethodInput::require_noiseless_pair(std::string_view method) const {
+  util::require(noiseless_in != nullptr && noiseless_out != nullptr, method,
+                " requires the noiseless input/output waveform pair");
+}
+
+std::vector<double> sample_times(double t0, double t1, int samples) {
+  util::require(samples >= 2, "sample_times: need >= 2 samples");
+  util::require(t1 > t0, "sample_times: empty interval");
+  std::vector<double> t(static_cast<size_t>(samples));
+  const double dt = (t1 - t0) / static_cast<double>(samples - 1);
+  for (int k = 0; k < samples; ++k) {
+    t[static_cast<size_t>(k)] = t0 + dt * k;
+  }
+  return t;
+}
+
+std::vector<std::unique_ptr<EquivalentWaveformMethod>> all_methods() {
+  std::vector<std::unique_ptr<EquivalentWaveformMethod>> out;
+  out.push_back(std::make_unique<P1Method>());
+  out.push_back(std::make_unique<P2Method>());
+  out.push_back(std::make_unique<Lsf3Method>());
+  out.push_back(std::make_unique<E4Method>());
+  out.push_back(std::make_unique<Wls5Method>());
+  out.push_back(std::make_unique<SgdpMethod>());
+  return out;
+}
+
+std::unique_ptr<EquivalentWaveformMethod> make_method(std::string_view name) {
+  if (util::iequals(name, "P1")) return std::make_unique<P1Method>();
+  if (util::iequals(name, "P2")) return std::make_unique<P2Method>();
+  if (util::iequals(name, "LSF3")) return std::make_unique<Lsf3Method>();
+  if (util::iequals(name, "E4")) return std::make_unique<E4Method>();
+  if (util::iequals(name, "WLS5")) return std::make_unique<Wls5Method>();
+  if (util::iequals(name, "SGDP")) return std::make_unique<SgdpMethod>();
+  throw util::Error::fmt("unknown equivalent-waveform method: ", name);
+}
+
+}  // namespace waveletic::core

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file method.hpp
+/// The equivalent-waveform abstraction: every technique from the paper
+/// (P1, P2, LSF3, E4, WLS5, SGDP) maps a noisy input waveform to the
+/// equivalent linear ramp Γeff that STA then treats as the gate input.
+///
+/// All waveforms handed to a method must describe the same transition;
+/// methods internally rising-normalize using the supplied polarities and
+/// always return a rising-normalized Ramp (callers keep polarity).
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/sensitivity.hpp"
+#include "wave/ramp.hpp"
+#include "wave/waveform.hpp"
+
+namespace waveletic::core {
+
+/// Inputs available to a technique.  `noisy_in` is mandatory; the
+/// noiseless pair is required by P1 (slew), WLS5 and SGDP (sensitivity).
+struct MethodInput {
+  const wave::Waveform* noisy_in = nullptr;
+  const wave::Waveform* noiseless_in = nullptr;
+  const wave::Waveform* noiseless_out = nullptr;
+  wave::Polarity in_polarity = wave::Polarity::kRising;
+  /// Polarity of the gate *output* transition (inverting gates flip);
+  /// used to normalize noiseless_out for the sensitivity computation.
+  wave::Polarity out_polarity = wave::Polarity::kFalling;
+  double vdd = 1.2;
+  /// P — the number of sampling points (the paper's run-time section
+  /// uses P = 35).
+  int samples = 35;
+
+  /// Rising-normalized views.
+  [[nodiscard]] wave::Waveform noisy_rising() const;
+  [[nodiscard]] wave::Waveform noiseless_in_rising() const;
+  [[nodiscard]] wave::Waveform noiseless_out_rising() const;
+
+  /// Validates presence of the required waveforms.
+  void require_noisy() const;
+  void require_noiseless_pair(std::string_view method) const;
+};
+
+/// Result of a fit: the ramp plus diagnostics.
+struct Fit {
+  wave::Ramp ramp;
+  /// True when the technique's own formulation degenerated (e.g. all
+  /// WLS5 weights zero because the noise fell outside the noiseless
+  /// critical region) and the method fell back to an unweighted fit.
+  bool degenerate_fallback = false;
+};
+
+/// Interface shared by all techniques.
+class EquivalentWaveformMethod {
+ public:
+  virtual ~EquivalentWaveformMethod() = default;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual Fit fit(const MethodInput& input) const = 0;
+  /// Whether the method needs the noiseless input/output pair.
+  [[nodiscard]] virtual bool needs_noiseless() const noexcept { return false; }
+};
+
+/// P uniform sample times across [t0, t1].
+[[nodiscard]] std::vector<double> sample_times(double t0, double t1,
+                                               int samples);
+
+/// All six techniques in paper order: P1, P2, LSF3, E4, WLS5, SGDP.
+[[nodiscard]] std::vector<std::unique_ptr<EquivalentWaveformMethod>>
+all_methods();
+
+/// Builds one technique by paper name (case-insensitive); throws on
+/// unknown names.
+[[nodiscard]] std::unique_ptr<EquivalentWaveformMethod> make_method(
+    std::string_view name);
+
+}  // namespace waveletic::core

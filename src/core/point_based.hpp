@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file point_based.hpp
+/// The point-based techniques of §2.1:
+///
+/// P1 — slew taken from the *noiseless* waveform's 10–90 transition (as
+///      if the noise never happened); arrival at the latest 50% crossing
+///      of the noisy waveform.
+/// P2 — slew spanning the earliest 10% to the latest 90% crossing of the
+///      *noisy* waveform; arrival at the latest 50% crossing.
+
+#include "core/method.hpp"
+
+namespace waveletic::core {
+
+class P1Method final : public EquivalentWaveformMethod {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "P1";
+  }
+  [[nodiscard]] bool needs_noiseless() const noexcept override {
+    return true;  // noiseless slew
+  }
+  [[nodiscard]] Fit fit(const MethodInput& input) const override;
+};
+
+class P2Method final : public EquivalentWaveformMethod {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "P2";
+  }
+  [[nodiscard]] Fit fit(const MethodInput& input) const override;
+};
+
+}  // namespace waveletic::core

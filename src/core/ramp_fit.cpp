@@ -1,0 +1,72 @@
+#include "core/ramp_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/gauss_newton.hpp"
+#include "util/error.hpp"
+
+namespace waveletic::core {
+
+wave::Ramp fit_clamped_ramp(const ClampedRampFit& spec) {
+  const size_t n = spec.t.size();
+  util::require(n >= 4 && spec.v.size() == n,
+                "fit_clamped_ramp: need >= 4 samples");
+  util::require(spec.rho.empty() || spec.rho.size() == n,
+                "fit_clamped_ramp: rho length mismatch");
+  util::require(spec.drho.empty() || spec.drho.size() == n,
+                "fit_clamped_ramp: drho length mismatch");
+
+  // Scale time by the sample span so both unknowns are O(1).
+  const double t_ref = spec.pin_time.value_or(
+      0.5 * (spec.t.front() + spec.t.back()));
+  const double tau = std::max(spec.t.back() - spec.t.front(), 1e-15);
+  const double vdd = spec.vdd;
+  const bool pinned = spec.pin_time.has_value();
+
+  // Unknowns: [slope·τ, value at t_ref]; when pinned, the value at the
+  // pin is fixed to vdd/2 and only the slope remains.
+  const auto residual = [&](std::span<const double> x, la::Vector& r,
+                            la::Matrix& jac) {
+    const double s = x[0];
+    const double c = pinned ? 0.5 * vdd : x[1];
+    for (size_t k = 0; k < n; ++k) {
+      const double u = (spec.t[k] - t_ref) / tau;
+      const double line = s * u + c;
+      const bool active = line > 0.0 && line < vdd;
+      const double clamped = std::clamp(line, 0.0, vdd);
+      const double delta = spec.v[k] - clamped;
+      const double rho = spec.rho.empty() ? 1.0 : spec.rho[k];
+      const double drho = spec.drho.empty() ? 0.0 : spec.drho[k];
+      r[k] = rho * delta + 0.5 * drho * delta * delta;
+      // dr/dΔ · dΔ/d{s,c}; saturated samples have zero sensitivity.
+      const double gain = active ? (rho + drho * delta) : 0.0;
+      jac(k, 0) = -u * gain;
+      if (!pinned) jac(k, 1) = -gain;
+    }
+  };
+
+  la::Vector x0;
+  if (pinned) {
+    x0 = {spec.init.a() * tau};
+  } else {
+    x0 = {spec.init.a() * tau, spec.init.a() * t_ref + spec.init.b()};
+  }
+  la::GaussNewtonOptions gn;
+  gn.max_iterations = spec.iterations;
+  const auto res = la::gauss_newton(residual, x0, n, gn);
+
+  const double slope = res.x[0] / tau;
+  const double intercept =
+      (pinned ? 0.5 * vdd : res.x[1]) - slope * t_ref;
+  const auto sane = [&](double a, double b) {
+    if (!(a > 0.0) || !std::isfinite(a) || !std::isfinite(b)) return false;
+    const double t50 = (0.5 * vdd - b) / a;
+    const double span = spec.t.back() - spec.t.front();
+    return t50 > spec.t.front() - span && t50 < spec.t.back() + span;
+  };
+  if (!sane(slope, intercept)) return spec.init;
+  return wave::Ramp(slope, intercept, vdd);
+}
+
+}  // namespace waveletic::core

@@ -1,0 +1,144 @@
+#include "core/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace waveletic::core {
+
+SensitivityCurve::SensitivityCurve(wave::Waveform rho_time,
+                                   wave::Waveform rho_voltage,
+                                   wave::CriticalRegion region, double v_lo,
+                                   double v_hi, double delta, bool aligned)
+    : rho_time_(std::move(rho_time)),
+      rho_voltage_(std::move(rho_voltage)),
+      drho_voltage_(rho_voltage_.derivative()),
+      region_(region),
+      v_lo_(v_lo),
+      v_hi_(v_hi),
+      delta_(delta),
+      aligned_(aligned) {}
+
+SensitivityCurve SensitivityCurve::build(const wave::Waveform& in_rising,
+                                         const wave::Waveform& out_rising,
+                                         double vdd,
+                                         bool align_non_overlapping,
+                                         const Options& opt) {
+  const auto in_region = wave::noiseless_critical_region(
+      in_rising, wave::Polarity::kRising, vdd, opt.thresholds);
+  const auto out_region = wave::noiseless_critical_region(
+      out_rising, wave::Polarity::kRising, vdd, opt.thresholds);
+  util::require(in_region.has_value(),
+                "sensitivity: noiseless input never completes a transition");
+  util::require(out_region.has_value(),
+                "sensitivity: noiseless output never completes a transition");
+
+  const auto t50_in = in_rising.first_crossing(0.5 * vdd);
+  const auto t50_out = out_rising.first_crossing(0.5 * vdd);
+  util::require(t50_in && t50_out, "sensitivity: missing 50% crossings");
+  const double delta = *t50_out - *t50_in;
+
+  // SGDP additional step: when the transitions do not overlap, shift the
+  // output back so the 50% points coincide and the derivative ratio is
+  // meaningful again.
+  const bool disjoint = out_region->t_first > in_region->t_last ||
+                        out_region->t_last < in_region->t_first;
+  const bool aligned = align_non_overlapping && disjoint;
+  const wave::Waveform out_used =
+      aligned ? out_rising.shifted(-delta) : out_rising;
+
+  const wave::Waveform din = in_rising.derivative();
+  const wave::Waveform dout = out_used.derivative();
+
+  // Sample ρ across the input critical region.
+  const size_t n = std::max<size_t>(opt.resolution, 16);
+  const double t0 = in_region->t_first;
+  const double t1 = in_region->t_last;
+  std::vector<double> times(n), rho(n);
+  const double dt = (t1 - t0) / static_cast<double>(n - 1);
+  // Slope floor: a fraction of the mean transition slope, guarding the
+  // ratio where the input flattens near the thresholds.
+  const double mean_slope =
+      (opt.thresholds.high - opt.thresholds.low) * vdd / (t1 - t0);
+  const double slope_floor = 1e-3 * mean_slope;
+  for (size_t i = 0; i < n; ++i) {
+    const double t = t0 + dt * static_cast<double>(i);
+    times[i] = t;
+    const double vi = std::max(din.at(t), slope_floor);
+    const double r = dout.at(t) / vi;
+    rho[i] = std::clamp(r, -opt.rho_clamp, opt.rho_clamp);
+  }
+  wave::Waveform rho_time(times, rho);
+  rho_time = rho_time.smoothed(opt.smooth);
+
+  // Voltage re-indexing (SGDP Step 2): walk the input voltage through
+  // the region and pair it with ρ at the same instant.  The noiseless
+  // input is monotone in its critical region; enforce strict increase
+  // to build a valid abscissa.
+  std::vector<double> volts, rho_v;
+  volts.reserve(n);
+  rho_v.reserve(n);
+  double last_v = -1e300;
+  for (size_t i = 0; i < n; ++i) {
+    const double v = in_rising.at(times[i]);
+    if (v <= last_v + 1e-9) continue;  // skip non-monotone wiggles
+    volts.push_back(v);
+    rho_v.push_back(rho_time.value(i));
+    last_v = v;
+  }
+  util::require(volts.size() >= 4,
+                "sensitivity: noiseless input not monotone enough to index "
+                "rho by voltage");
+  wave::Waveform rho_voltage(std::move(volts), std::move(rho_v));
+
+  return SensitivityCurve(std::move(rho_time), std::move(rho_voltage),
+                          *in_region, opt.thresholds.low * vdd,
+                          opt.thresholds.high * vdd, delta, aligned);
+}
+
+double SensitivityCurve::peak_voltage() const noexcept {
+  double best_v = rho_voltage_.time(0);
+  double best = 0.0;
+  for (size_t i = 0; i < rho_voltage_.size(); ++i) {
+    const double mag = std::fabs(rho_voltage_.value(i));
+    if (mag > best) {
+      best = mag;
+      best_v = rho_voltage_.time(i);
+    }
+  }
+  return best_v;
+}
+
+double SensitivityCurve::band_low_edge(double frac) const noexcept {
+  const double peak_v = peak_voltage();
+  double peak_mag = 0.0;
+  for (size_t i = 0; i < rho_voltage_.size(); ++i) {
+    peak_mag = std::max(peak_mag, std::fabs(rho_voltage_.value(i)));
+  }
+  const double threshold = frac * peak_mag;
+  double edge = rho_voltage_.time(0);  // abscissa carries voltage
+  for (size_t i = 0; i < rho_voltage_.size(); ++i) {
+    const double v = rho_voltage_.time(i);
+    if (v >= peak_v) break;
+    if (std::fabs(rho_voltage_.value(i)) <= threshold) edge = v;
+  }
+  return edge;
+}
+
+double SensitivityCurve::rho_at_time(double t) const noexcept {
+  if (t < region_.t_first || t > region_.t_last) return 0.0;
+  return rho_time_.at(t);
+}
+
+double SensitivityCurve::rho_at_voltage(double v) const noexcept {
+  if (v < v_lo_ || v > v_hi_) return 0.0;
+  return rho_voltage_.at(v);
+}
+
+double SensitivityCurve::drho_dv(double v) const noexcept {
+  if (v < v_lo_ || v > v_hi_) return 0.0;
+  return drho_voltage_.at(v);
+}
+
+}  // namespace waveletic::core

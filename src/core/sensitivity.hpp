@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file sensitivity.hpp
+/// The output-to-input sensitivity ρ of a logic stage (Eq. 1 of the
+/// paper):
+///
+///   ρ_noiseless(t) = (∂v_out/∂t) / (∂v_in/∂t)   on the noiseless pair,
+///
+/// nonzero only inside the noiseless critical region (input 10%→90%).
+/// WLS5 consumes ρ as a function of *time*; SGDP re-indexes it by
+/// *input voltage* (its Step 2), which is what lets it track noise that
+/// falls outside the noiseless window.  Both views live here.
+
+#include "wave/metrics.hpp"
+#include "wave/waveform.hpp"
+
+namespace waveletic::core {
+
+/// Sensitivity of one gate/stage computed from its noiseless input and
+/// output waveforms.  Inputs must be rising-normalized (callers flip
+/// falling transitions with Waveform::normalized_rising).
+class SensitivityCurve {
+ public:
+  struct Options {
+    wave::Thresholds thresholds{};
+    /// |ρ| clamp guarding the derivative ratio where v̇_in → 0.
+    double rho_clamp = 25.0;
+    /// Samples across the critical region for the internal curves.
+    size_t resolution = 129;
+    /// Smoothing half-width (samples) applied to the raw derivative
+    /// ratio before storing.
+    size_t smooth = 2;
+  };
+
+  /// Builds ρ from the noiseless pair.  When `align_non_overlapping` is
+  /// true and the input/output critical regions are disjoint (large
+  /// intrinsic delay — the WLS5 failure mode), the output is first
+  /// shifted back by δ = t50(out) − t50(in) (SGDP's additional step).
+  /// Throws util::Error when either waveform never completes its
+  /// transition.
+  [[nodiscard]] static SensitivityCurve build(const wave::Waveform& in_rising,
+                                              const wave::Waveform& out_rising,
+                                              double vdd,
+                                              bool align_non_overlapping,
+                                              const Options& opt);
+  [[nodiscard]] static SensitivityCurve build(const wave::Waveform& in_rising,
+                                              const wave::Waveform& out_rising,
+                                              double vdd,
+                                              bool align_non_overlapping) {
+    return build(in_rising, out_rising, vdd, align_non_overlapping,
+                 Options{});
+  }
+
+  /// ρ as a function of time on the noiseless input's timebase; exactly
+  /// zero outside the noiseless critical region (the WLS5 filter).
+  [[nodiscard]] double rho_at_time(double t) const noexcept;
+
+  /// ρ re-indexed by input voltage (SGDP Step 2); zero outside the
+  /// voltage band the critical region spans.
+  [[nodiscard]] double rho_at_voltage(double v) const noexcept;
+
+  /// dρ/dv at input voltage v (for the second-order Taylor term of
+  /// SGDP Step 3); zero outside the band.
+  [[nodiscard]] double drho_dv(double v) const noexcept;
+
+  /// 50%-to-50% shift between noiseless output and input (the δ of the
+  /// paper's non-overlap handling).
+  [[nodiscard]] double delta() const noexcept { return delta_; }
+
+  /// Input voltage of maximum |ρ| — the receiving stage's effective
+  /// switching center.
+  [[nodiscard]] double peak_voltage() const noexcept;
+
+  /// Lower edge of the switching band: the highest voltage below the ρ
+  /// peak where |ρ| has fallen to `frac` of its peak (default: the
+  /// quarter-peak edge).  A noise dip that stays above this level never
+  /// re-enters the band deeply enough to re-switch the gate (SGDP's
+  /// marginal-re-cross rejection).
+  [[nodiscard]] double band_low_edge(double frac = 0.25) const noexcept;
+
+  /// Whether the non-overlap alignment was actually applied.
+  [[nodiscard]] bool aligned() const noexcept { return aligned_; }
+
+  /// Noiseless critical region of the input (time frame).
+  [[nodiscard]] const wave::CriticalRegion& region() const noexcept {
+    return region_;
+  }
+
+  /// Sampled ρ(t) (for the Figure 2a reproduction).
+  [[nodiscard]] const wave::Waveform& rho_time() const noexcept {
+    return rho_time_;
+  }
+  /// Sampled ρ(v): time axis carries voltage (for Figure 2b dumps).
+  [[nodiscard]] const wave::Waveform& rho_voltage() const noexcept {
+    return rho_voltage_;
+  }
+
+ private:
+  SensitivityCurve(wave::Waveform rho_time, wave::Waveform rho_voltage,
+                   wave::CriticalRegion region, double v_lo, double v_hi,
+                   double delta, bool aligned);
+
+  wave::Waveform rho_time_;     // ρ vs t
+  wave::Waveform rho_voltage_;  // ρ vs v (abscissa = voltage)
+  wave::Waveform drho_voltage_; // dρ/dv vs v
+  wave::CriticalRegion region_{};
+  double v_lo_ = 0.0;
+  double v_hi_ = 0.0;
+  double delta_ = 0.0;
+  bool aligned_ = false;
+};
+
+}  // namespace waveletic::core

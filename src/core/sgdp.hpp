@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file sgdp.hpp
+/// SGDP — Sensitivity-based Gate Delay Propagation (§3, the paper's
+/// contribution).
+///
+/// Step 1: build ρ_noiseless from the noiseless input/output pair
+///         (identical to WLS5).
+/// Step 2: remap the sensitivity onto the noisy waveform by voltage-
+///         level matching: ρ_eff(t_i) = ρ_noiseless(t_j) where
+///         v_noisy(t_i) = v_noiseless(t_j).  Implemented by indexing ρ
+///         by input voltage, so the weighting follows the noise into
+///         regions WLS5 cannot see.
+/// Step 3: choose Γeff = (a, b) minimizing the predicted output error,
+///         approximated by the first two Taylor terms (Eq. 3):
+///
+///   Δout ≈ Σ_k [ ρ_eff(t_k)·Δ_k + ½·(dρ_eff/dv)(t_k)·Δ_k² ]²,
+///   Δ_k = v_noisy(t_k) − (a·t_k + b),
+///
+/// sampled at P points across the *noisy* critical region
+/// [t_first_noisy, t_last_noisy].  The first-order truncation is a
+/// weighted LSQ (the initialization); Gauss–Newton refines with the
+/// quadratic term.
+///
+/// Additional step for non-overlapping input/output transitions: the
+/// noiseless output is shifted back by δ (50%-to-50% gate delay) before
+/// Step 1 so the derivative ratio is well-defined; Γeff is fitted in
+/// the input time frame.  The printed paper then says to shift the
+/// equivalent line forward by δ; re-attaching δ to the *input* ramp
+/// double-counts the intrinsic delay once a real gate model is applied
+/// downstream, so the default keeps Γeff in the input frame.  The
+/// literal behaviour is available via Options::shift_gamma_by_delta and
+/// compared in bench_ablation (see DESIGN.md §2).
+
+#include "core/method.hpp"
+
+namespace waveletic::core {
+
+class SgdpMethod final : public EquivalentWaveformMethod {
+ public:
+  struct Options {
+    /// Gauss-Newton refinement iterations on the Eq. 3 objective.
+    int gauss_newton_iterations = 6;
+    /// Include the ½·dρ/dv·Δ² term.  Off = pure remapped-weight WLS,
+    /// which isolates the Step 2 contribution (ablation).
+    bool second_order = true;
+    /// Apply the non-overlap alignment automatically when the noiseless
+    /// transitions are disjoint.
+    bool align_non_overlapping = true;
+    /// Literal final shift of Γeff by +δ after an alignment (see file
+    /// comment); default off.
+    bool shift_gamma_by_delta = false;
+    /// Re-anchor the fit through the latest 50% crossing when the free
+    /// fit's own 50% crossing escapes the noisy waveform's crossing
+    /// span (robustness against long shallow-noise tails).
+    bool anchor_guard = true;
+  };
+
+  SgdpMethod() = default;
+  explicit SgdpMethod(Options opt) : opt_(opt) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "SGDP";
+  }
+  [[nodiscard]] bool needs_noiseless() const noexcept override {
+    return true;
+  }
+  [[nodiscard]] Fit fit(const MethodInput& input) const override;
+
+  [[nodiscard]] const Options& options() const noexcept { return opt_; }
+
+  /// Exposes ρ_eff sampled on the noisy critical region for the
+  /// Figure 2b reproduction: returns (t_k, ρ_eff(t_k)).
+  [[nodiscard]] wave::Waveform effective_sensitivity(
+      const MethodInput& input) const;
+
+ private:
+  Options opt_;
+};
+
+}  // namespace waveletic::core

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file wls.hpp
+/// WLS5 (§2.4, Hashimoto et al. TCAD'04): weighted least squares where
+/// each squared sample difference is weighted by the sensitivity
+/// ρ_noiseless(t_k) of the receiving gate, Eq. 2:
+///
+///   min_{a,b}  Σ_k [ ρ_noiseless(t_k) · (v_noisy(t_k) − a·t_k − b) ]²
+///
+/// ρ is zero outside the *noiseless* critical region, so noise that
+/// falls outside that window is invisible to the fit — the shortcoming
+/// SGDP fixes.  When every weight vanishes (noise pushed the transition
+/// entirely outside the window, or the transitions never overlapped) the
+/// method degenerates and falls back to LSF3, with the fact recorded in
+/// Fit::degenerate_fallback.
+
+#include "core/method.hpp"
+
+namespace waveletic::core {
+
+class Wls5Method final : public EquivalentWaveformMethod {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "WLS5";
+  }
+  [[nodiscard]] bool needs_noiseless() const noexcept override {
+    return true;
+  }
+  [[nodiscard]] Fit fit(const MethodInput& input) const override;
+};
+
+}  // namespace waveletic::core

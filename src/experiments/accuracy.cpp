@@ -1,0 +1,144 @@
+#include "experiments/accuracy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "core/method.hpp"
+#include "noise/receiver_eval.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace waveletic::experiments {
+
+const MethodStats& AccuracyResult::stat(const std::string& method) const {
+  for (const auto& s : stats) {
+    if (s.method == method) return s;
+  }
+  throw util::Error::fmt("no stats for method ", method);
+}
+
+AccuracyResult run_accuracy(const AccuracyOptions& opt) {
+  util::require(opt.cases >= 1, "accuracy: need at least one case");
+  const charlib::Pdk pdk;
+
+  noise::NoiseRunner runner(pdk, opt.bench, opt.runner);
+  noise::ReceiverEval::Options eval_opt;
+  eval_opt.dt = opt.runner.dt;
+  noise::ReceiverEval eval(pdk, eval_opt);
+
+  std::vector<std::unique_ptr<core::EquivalentWaveformMethod>> methods;
+  if (opt.methods.empty()) {
+    methods = core::all_methods();
+  } else {
+    for (const auto& name : opt.methods) {
+      methods.push_back(core::make_method(name));
+    }
+  }
+
+  AccuracyResult result;
+  for (const auto& m : methods) result.methods.emplace_back(m->name());
+  result.stats.resize(methods.size());
+  for (size_t i = 0; i < methods.size(); ++i) {
+    result.stats[i].method = result.methods[i];
+  }
+
+  const auto tuples = noise::NoiseRunner::offset_tuples(
+      opt.cases, opt.offset_range, opt.bench.aggressors);
+  for (const auto& tuple : tuples) {
+    auto cw = runner.run_case(tuple);
+
+    core::MethodInput mi;
+    mi.noisy_in = &cw.noisy_in;
+    mi.noiseless_in = &runner.noiseless_in();
+    mi.noiseless_out = &runner.noiseless_out();
+    mi.in_polarity = cw.in_polarity;
+    mi.out_polarity = cw.out_polarity;
+    mi.vdd = pdk.vdd;
+    mi.samples = opt.samples;
+
+    CaseRecord record;
+    record.offset = tuple[0];
+    record.golden_arrival = cw.golden_output_arrival;
+    record.golden_delay = cw.golden_gate_delay;
+    for (size_t i = 0; i < methods.size(); ++i) {
+      const auto fit = methods[i]->fit(mi);
+      const double est_arrival = eval.ramp_arrival(fit.ramp, cw.in_polarity);
+      // Primary (paper) metric: both delays share the noisy input's
+      // latest 50% crossing, so the delay error reduces to the
+      // output-arrival error.
+      const double arrival_err = est_arrival - cw.golden_output_arrival;
+      // Secondary: delay referenced to Γeff's own crossing.
+      const double slew_err =
+          (est_arrival - fit.ramp.t50()) - cw.golden_gate_delay;
+      record.arrival_errors.push_back(arrival_err);
+      record.slew_metric_errors.push_back(slew_err);
+      auto& st = result.stats[i];
+      st.max_error = std::max(st.max_error, std::fabs(arrival_err));
+      st.avg_error += std::fabs(arrival_err);
+      st.max_slew_metric_error =
+          std::max(st.max_slew_metric_error, std::fabs(slew_err));
+      st.avg_slew_metric_error += std::fabs(slew_err);
+      st.fallbacks += fit.degenerate_fallback ? 1 : 0;
+    }
+    result.cases.push_back(std::move(record));
+    util::log_debug("accuracy: offset ", record.offset, " done");
+  }
+  for (auto& st : result.stats) {
+    st.avg_error /= static_cast<double>(result.cases.size());
+    st.avg_slew_metric_error /= static_cast<double>(result.cases.size());
+  }
+  return result;
+}
+
+void print_accuracy_table(std::ostream& os,
+                          const std::vector<std::string>& config_names,
+                          const std::vector<const AccuracyResult*>& results) {
+  util::require(!results.empty() && config_names.size() == results.size(),
+                "print_accuracy_table: result/name mismatch");
+  std::vector<std::string> headers{"Method"};
+  for (const auto& name : config_names) {
+    headers.push_back(name + " Max");
+    headers.push_back(name + " Avg");
+  }
+  util::Table table(headers);
+  table.set_title(
+      "Delay error vs golden transient simulation (ps) — Table 1 "
+      "reproduction");
+  for (const auto& method : results[0]->methods) {
+    std::vector<std::string> row{method};
+    for (const auto* result : results) {
+      const auto& st = result->stat(method);
+      row.push_back(util::format_ps(st.max_error));
+      row.push_back(util::format_ps(st.avg_error));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(os);
+}
+
+void write_cases_csv(const std::string& path, const AccuracyResult& result) {
+  util::CsvWriter csv;
+  std::vector<double> offsets, golden;
+  for (const auto& c : result.cases) {
+    offsets.push_back(c.offset);
+    golden.push_back(c.golden_arrival);
+  }
+  csv.add_column("offset_s", offsets);
+  csv.add_column("golden_arrival_s", golden);
+  for (size_t m = 0; m < result.methods.size(); ++m) {
+    std::vector<double> aerr, serr;
+    for (const auto& c : result.cases) {
+      aerr.push_back(c.arrival_errors[m]);
+      serr.push_back(c.slew_metric_errors[m]);
+    }
+    csv.add_column("err_" + result.methods[m] + "_s", aerr);
+    csv.add_column("slew_err_" + result.methods[m] + "_s", serr);
+  }
+  csv.write_file(path);
+}
+
+}  // namespace waveletic::experiments

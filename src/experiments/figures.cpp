@@ -1,0 +1,83 @@
+#include "experiments/figures.hpp"
+
+#include "core/sensitivity.hpp"
+#include "core/sgdp.hpp"
+#include "noise/receiver_eval.hpp"
+#include "util/csv.hpp"
+
+namespace waveletic::experiments {
+
+Figure2Data figure2_data(const Figure2Options& opt) {
+  const charlib::Pdk pdk;
+  noise::NoiseRunner runner(pdk, opt.bench, opt.runner);
+  auto cw = runner.run_case(opt.aggressor_offset);
+
+  Figure2Data data;
+  const double vdd = pdk.vdd;
+  data.noiseless_in =
+      runner.noiseless_in().normalized_rising(runner.in_polarity(), vdd);
+  data.noiseless_out =
+      runner.noiseless_out().normalized_rising(runner.out_polarity(), vdd);
+  data.noisy_in = cw.noisy_in.normalized_rising(cw.in_polarity, vdd);
+  data.noisy_out = cw.noisy_out.normalized_rising(cw.out_polarity, vdd);
+
+  const auto rho = core::SensitivityCurve::build(
+      data.noiseless_in, data.noiseless_out, vdd, true);
+  data.rho_noiseless = rho.rho_time();
+
+  core::MethodInput mi;
+  mi.noisy_in = &cw.noisy_in;
+  mi.noiseless_in = &runner.noiseless_in();
+  mi.noiseless_out = &runner.noiseless_out();
+  mi.in_polarity = cw.in_polarity;
+  mi.out_polarity = cw.out_polarity;
+  mi.vdd = vdd;
+  mi.samples = opt.samples;
+
+  core::SgdpMethod sgdp;
+  data.rho_eff = sgdp.effective_sensitivity(mi);
+  const auto fit = sgdp.fit(mi);
+  data.gamma_eff = fit.ramp.sampled(256);
+
+  noise::ReceiverEval::Options eval_opt;
+  eval_opt.dt = opt.runner.dt;
+  noise::ReceiverEval eval(pdk, eval_opt);
+  const auto out_eff =
+      eval.output_waveform(fit.ramp.denormalized(cw.in_polarity, 256));
+  data.v_out_eff = out_eff.normalized_rising(cw.out_polarity, vdd);
+  return data;
+}
+
+namespace {
+
+void append_wave(util::CsvWriter& csv, const std::string& prefix,
+                 const wave::Waveform& w, double scale = 1.0) {
+  std::vector<double> t(w.times().begin(), w.times().end());
+  std::vector<double> v(w.values().begin(), w.values().end());
+  for (auto& x : v) x *= scale;
+  csv.add_column(prefix + "_t", std::move(t));
+  csv.add_column(prefix + "_v", std::move(v));
+}
+
+}  // namespace
+
+void write_figure2_csv(const std::string& dir, const Figure2Data& data) {
+  {
+    util::CsvWriter csv;
+    append_wave(csv, "v_in_noiseless", data.noiseless_in);
+    append_wave(csv, "v_out_noiseless", data.noiseless_out);
+    append_wave(csv, "rho_noiseless_x0.2", data.rho_noiseless, 0.2);
+    csv.write_file(dir + "/fig2a.csv");
+  }
+  {
+    util::CsvWriter csv;
+    append_wave(csv, "v_in_noisy", data.noisy_in);
+    append_wave(csv, "v_out_noisy", data.noisy_out);
+    append_wave(csv, "gamma_eff", data.gamma_eff);
+    append_wave(csv, "v_out_eff", data.v_out_eff);
+    append_wave(csv, "rho_eff_x0.2", data.rho_eff, 0.2);
+    csv.write_file(dir + "/fig2b.csv");
+  }
+}
+
+}  // namespace waveletic::experiments

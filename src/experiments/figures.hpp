@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file figures.hpp
+/// Data generators for the paper's figures.
+///
+/// Figure 2a: the noiseless input/output pair and 0.2·ρ_noiseless.
+/// Figure 2b: the noisy input, golden noisy output, Γeff (SGDP),
+///            0.2·ρ_eff, and v_out^eff (the receiver simulated with
+///            Γeff as its input).
+///
+/// All curves are emitted rising-normalized so they overlay the way the
+/// paper draws them (0 → Vdd transitions).
+
+#include <string>
+
+#include "noise/scenario.hpp"
+#include "wave/waveform.hpp"
+
+namespace waveletic::experiments {
+
+struct Figure2Options {
+  noise::TestbenchSpec bench = noise::TestbenchSpec::config1();
+  double aggressor_offset = 40e-12;  ///< a representative delay-noise case
+  int samples = 35;                  ///< P
+  noise::RunnerOptions runner{};
+};
+
+struct Figure2Data {
+  // 2a — noiseless characterization.
+  wave::Waveform noiseless_in;   ///< rising-normalized victim at in_u
+  wave::Waveform noiseless_out;  ///< rising-normalized receiver output
+  wave::Waveform rho_noiseless;  ///< ρ(t)
+  // 2b — noisy case.
+  wave::Waveform noisy_in;       ///< rising-normalized noisy victim
+  wave::Waveform noisy_out;      ///< golden receiver output (normalized)
+  wave::Waveform rho_eff;        ///< ρ_eff(t_k) on the noisy region
+  wave::Waveform gamma_eff;      ///< Γeff sampled (normalized)
+  wave::Waveform v_out_eff;      ///< receiver response to Γeff (normalized)
+};
+
+/// Runs one golden case plus the SGDP fit and receiver evaluation.
+[[nodiscard]] Figure2Data figure2_data(const Figure2Options& opt);
+
+/// Writes the 2a/2b curves to `<dir>/fig2a.csv` and `<dir>/fig2b.csv`
+/// with the paper's 0.2 scaling applied to the ρ columns.
+void write_figure2_csv(const std::string& dir, const Figure2Data& data);
+
+}  // namespace waveletic::experiments

@@ -1,0 +1,67 @@
+#include "interconnect/coupled.hpp"
+
+#include "spice/devices.hpp"
+#include "util/error.hpp"
+
+namespace waveletic::interconnect {
+
+BusNodes build_coupled_bus(spice::Circuit& ckt, const CoupledBusSpec& spec,
+                           const std::string& prefix) {
+  util::require(!spec.lines.empty(), "coupled bus: no lines");
+  const int segments = spec.lines.front().segments;
+  for (const auto& line : spec.lines) {
+    util::require(line.segments == segments,
+                  "coupled bus: all lines need equal segment counts");
+    util::require(line.segments >= 1, "coupled bus: need >= 1 segment");
+  }
+
+  BusNodes nodes;
+  for (const auto& line : spec.lines) {
+    const double r_seg = line.r_total / line.segments;
+    const double c_seg = line.c_total / line.segments;
+    std::vector<std::string> line_nodes;
+    for (int k = 0; k <= segments; ++k) {
+      const std::string name =
+          prefix + line.name + "_" + std::to_string(k);
+      line_nodes.push_back(name);
+      const auto node = ckt.node(name);
+      // π weighting: half capacitance at the two ends.
+      const double cap =
+          c_seg * ((k == 0 || k == segments) ? 0.5 : 1.0);
+      if (cap > 0.0) {
+        ckt.emplace<spice::Capacitor>(name + ".c", node, spice::kGround,
+                                      cap);
+      }
+      if (k > 0) {
+        ckt.emplace<spice::Resistor>(
+            name + ".r", ckt.node(line_nodes[static_cast<size_t>(k - 1)]),
+            node, r_seg);
+      }
+    }
+    nodes.per_line.push_back(std::move(line_nodes));
+  }
+
+  for (const auto& coupling : spec.couplings) {
+    util::require(coupling.line_a < spec.lines.size() &&
+                      coupling.line_b < spec.lines.size() &&
+                      coupling.line_a != coupling.line_b,
+                  "coupled bus: bad coupling line indices");
+    const double cm_seg = coupling.cm_total / segments;
+    for (int k = 0; k <= segments; ++k) {
+      const double cap =
+          cm_seg * ((k == 0 || k == segments) ? 0.5 : 1.0);
+      if (cap <= 0.0) continue;
+      const auto a =
+          ckt.node(nodes.per_line[coupling.line_a][static_cast<size_t>(k)]);
+      const auto b =
+          ckt.node(nodes.per_line[coupling.line_b][static_cast<size_t>(k)]);
+      ckt.emplace<spice::Capacitor>(
+          prefix + "cm_" + spec.lines[coupling.line_a].name + "_" +
+              spec.lines[coupling.line_b].name + "_" + std::to_string(k),
+          a, b, cap);
+    }
+  }
+  return nodes;
+}
+
+}  // namespace waveletic::interconnect

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file coupled.hpp
+/// Capacitively coupled parallel lines — the interconnect structure of
+/// the paper's Figure 1.  Each line is a uniform RC ladder; coupling
+/// capacitance between selected line pairs is distributed along the
+/// junctions with π weighting (half at the ends).
+
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+
+namespace waveletic::interconnect {
+
+/// One line of the bus.
+struct LineSpec {
+  std::string name;    ///< e.g. "x" (aggressor), "y" (victim)
+  int segments = 6;    ///< RC π-sections
+  double r_total = 51.0;   ///< [Ω]  (Figure 1: 8.5 Ω per ~167 µm segment)
+  double c_total = 28.8e-15;  ///< [F] (Figure 1: 4.8 fF per segment)
+};
+
+/// Coupling between two lines (indices into CoupledBusSpec::lines).
+struct CouplingSpec {
+  size_t line_a = 0;
+  size_t line_b = 1;
+  double cm_total = 100e-15;  ///< total coupling capacitance [F]
+};
+
+struct CoupledBusSpec {
+  std::vector<LineSpec> lines;
+  std::vector<CouplingSpec> couplings;
+};
+
+/// Node names created for each line: near end (driver) first, far end
+/// (receiver) last.
+struct BusNodes {
+  std::vector<std::vector<std::string>> per_line;
+
+  [[nodiscard]] const std::string& near_end(size_t line) const {
+    return per_line[line].front();
+  }
+  [[nodiscard]] const std::string& far_end(size_t line) const {
+    return per_line[line].back();
+  }
+};
+
+/// Emits the coupled bus into `ckt`.  Line nodes are named
+/// "<prefix><line>_<k>" for k = 0..segments.  All lines must share the
+/// same segment count (coupling caps join equal-index junctions).
+[[nodiscard]] BusNodes build_coupled_bus(spice::Circuit& ckt,
+                                         const CoupledBusSpec& spec,
+                                         const std::string& prefix = "");
+
+}  // namespace waveletic::interconnect

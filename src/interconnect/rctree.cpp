@@ -1,0 +1,116 @@
+#include "interconnect/rctree.hpp"
+
+#include "spice/devices.hpp"
+#include "util/error.hpp"
+
+namespace waveletic::interconnect {
+
+int RcTree::add_root(std::string node_name, double node_cap) {
+  util::require(nodes_.empty(), "RcTree: root already present");
+  Node n;
+  n.name = std::move(node_name);
+  n.cap = node_cap;
+  nodes_.push_back(std::move(n));
+  return 0;
+}
+
+int RcTree::add_node(std::string node_name, double node_cap, int parent,
+                     double ohms) {
+  util::require(!nodes_.empty(), "RcTree: add_root first");
+  util::require(parent >= 0 && parent < static_cast<int>(nodes_.size()),
+                "RcTree: bad parent ", parent);
+  util::require(ohms > 0.0, "RcTree: edge resistance must be positive");
+  Node n;
+  n.name = std::move(node_name);
+  n.cap = node_cap;
+  n.parent = parent;
+  n.r_up = ohms;
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::move(n));
+  nodes_[static_cast<size_t>(parent)].children.push_back(id);
+  return id;
+}
+
+const std::string& RcTree::name(int id) const {
+  util::require(id >= 0 && id < static_cast<int>(nodes_.size()),
+                "RcTree: bad node id ", id);
+  return nodes_[static_cast<size_t>(id)].name;
+}
+
+double RcTree::cap(int id) const {
+  util::require(id >= 0 && id < static_cast<int>(nodes_.size()),
+                "RcTree: bad node id ", id);
+  return nodes_[static_cast<size_t>(id)].cap;
+}
+
+int RcTree::find(const std::string& node_name) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == node_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+double RcTree::total_cap() const noexcept {
+  double acc = 0.0;
+  for (const auto& n : nodes_) acc += n.cap;
+  return acc;
+}
+
+double RcTree::downstream_cap(int id) const {
+  util::require(id >= 0 && id < static_cast<int>(nodes_.size()),
+                "RcTree: bad node id ", id);
+  double acc = nodes_[static_cast<size_t>(id)].cap;
+  for (int child : nodes_[static_cast<size_t>(id)].children) {
+    acc += downstream_cap(child);
+  }
+  return acc;
+}
+
+double RcTree::elmore_delay(int id) const {
+  util::require(id >= 0 && id < static_cast<int>(nodes_.size()),
+                "RcTree: bad node id ", id);
+  double acc = 0.0;
+  for (int n = id; nodes_[static_cast<size_t>(n)].parent >= 0;
+       n = nodes_[static_cast<size_t>(n)].parent) {
+    acc += nodes_[static_cast<size_t>(n)].r_up * downstream_cap(n);
+  }
+  return acc;
+}
+
+std::vector<std::string> RcTree::build_into(spice::Circuit& ckt,
+                                            const std::string& prefix) const {
+  util::require(!nodes_.empty(), "RcTree: empty tree");
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const auto& n = nodes_[i];
+    const std::string cname = prefix + n.name;
+    names.push_back(cname);
+    const auto node = ckt.node(cname);
+    if (n.cap > 0.0) {
+      ckt.emplace<spice::Capacitor>(cname + ".c", node, spice::kGround,
+                                    n.cap);
+    }
+    if (n.parent >= 0) {
+      const auto pnode = ckt.node(names[static_cast<size_t>(n.parent)]);
+      ckt.emplace<spice::Resistor>(cname + ".r", pnode, node, n.r_up);
+    }
+  }
+  return names;
+}
+
+RcTree RcTree::ladder(int segments, double r_total, double c_total) {
+  util::require(segments >= 1, "RcTree::ladder: need >= 1 segment");
+  RcTree tree;
+  const double r_seg = r_total / segments;
+  const double c_seg = c_total / segments;
+  // π-ladder: half cap at each line end, full cap at internal junctions.
+  int prev = tree.add_root("0", 0.5 * c_seg);
+  for (int s = 1; s <= segments; ++s) {
+    const double cap = (s == segments) ? 0.5 * c_seg : c_seg;
+    prev = tree.add_node(std::to_string(s), cap, prev, r_seg);
+  }
+  return tree;
+}
+
+}  // namespace waveletic::interconnect

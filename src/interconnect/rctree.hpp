@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file rctree.hpp
+/// RC interconnect trees: Elmore analysis (the paper cites Elmore's 1948
+/// formulation as the inspiration for technique E4) and emission into
+/// the transient simulator.  The mini-STA engine uses Elmore delays for
+/// net arcs on uncoupled nets.
+
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+
+namespace waveletic::spice {
+class Circuit;
+}
+
+namespace waveletic::interconnect {
+
+/// A grounded-capacitance RC tree rooted at the driver node.
+class RcTree {
+ public:
+  /// Adds the root (driver) node; must be called first, exactly once.
+  int add_root(std::string name, double cap);
+
+  /// Adds a node connected to `parent` through resistance `ohms`.
+  int add_node(std::string name, double cap, int parent, double ohms);
+
+  [[nodiscard]] size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const std::string& name(int id) const;
+  [[nodiscard]] double cap(int id) const;
+  [[nodiscard]] int find(const std::string& name) const;  ///< -1 if absent
+
+  /// Total tree capacitance [F].
+  [[nodiscard]] double total_cap() const noexcept;
+
+  /// Capacitance in the subtree rooted at `id` (including id).
+  [[nodiscard]] double downstream_cap(int id) const;
+
+  /// Elmore delay from the root to `id`:
+  ///   Σ over edges (p→c) on the path: R_edge · C_downstream(c).
+  [[nodiscard]] double elmore_delay(int id) const;
+
+  /// Emits resistors/capacitors into a transient circuit.  Node `id`
+  /// becomes circuit node `prefix + name(id)`; zero-cap nodes skip the
+  /// capacitor.  Returns the circuit node names in tree order.
+  std::vector<std::string> build_into(spice::Circuit& ckt,
+                                      const std::string& prefix) const;
+
+  /// Builds a uniform RC ladder (the distributed-line approximation):
+  /// `segments` π-sections with r_total/c_total split evenly.  Node
+  /// names are "0" (driver) .. "<segments>" (far end).
+  [[nodiscard]] static RcTree ladder(int segments, double r_total,
+                                     double c_total);
+
+ private:
+  struct Node {
+    std::string name;
+    double cap = 0.0;
+    int parent = -1;
+    double r_up = 0.0;  // resistance to parent
+    std::vector<int> children;
+  };
+  std::vector<Node> nodes_;
+};
+
+}  // namespace waveletic::interconnect

@@ -1,0 +1,95 @@
+#include "la/gauss_newton.hpp"
+
+#include <cmath>
+
+#include "la/lu.hpp"
+#include "util/error.hpp"
+
+namespace waveletic::la {
+namespace {
+
+double objective_of(const Vector& r) noexcept {
+  double acc = 0.0;
+  for (double v : r) acc += v * v;
+  return acc;
+}
+
+}  // namespace
+
+GaussNewtonResult gauss_newton(const ResidualFn& fn, Vector x0,
+                               size_t residuals,
+                               const GaussNewtonOptions& opt) {
+  const size_t m = x0.size();
+  util::require(m > 0, "gauss_newton: empty parameter vector");
+  util::require(residuals >= m, "gauss_newton: fewer residuals (", residuals,
+                ") than parameters (", m, ")");
+
+  GaussNewtonResult result;
+  result.x = std::move(x0);
+
+  Vector r(residuals, 0.0);
+  Matrix jac(residuals, m);
+  fn(result.x, r, jac);
+  result.objective = objective_of(r);
+
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    result.iterations = it + 1;
+
+    // Normal equations Jᵀ J dx = -Jᵀ r with Levenberg damping.
+    Matrix normal(m, m);
+    Vector rhs(m, 0.0);
+    for (size_t k = 0; k < residuals; ++k) {
+      const auto row = jac.row(k);
+      for (size_t i = 0; i < m; ++i) {
+        rhs[i] -= row[i] * r[k];
+        for (size_t j = i; j < m; ++j) normal(i, j) += row[i] * row[j];
+      }
+    }
+    double trace = 0.0;
+    for (size_t i = 0; i < m; ++i) trace += normal(i, i);
+    const double damp = opt.damping * (trace > 0 ? trace / double(m) : 1.0);
+    for (size_t i = 0; i < m; ++i) {
+      normal(i, i) += damp;
+      for (size_t j = 0; j < i; ++j) normal(i, j) = normal(j, i);
+    }
+
+    Vector dx;
+    try {
+      dx = lu_solve(normal, rhs);
+    } catch (const util::Error&) {
+      break;  // singular normal matrix: keep best iterate found so far
+    }
+
+    // Backtracking line search: accept first step that does not worsen
+    // the objective.
+    double step = 1.0;
+    bool accepted = false;
+    Vector trial(m, 0.0);
+    Vector r_trial(residuals, 0.0);
+    Matrix jac_trial(residuals, m);
+    for (int attempt = 0; attempt < 6; ++attempt, step *= 0.5) {
+      for (size_t i = 0; i < m; ++i) trial[i] = result.x[i] + step * dx[i];
+      fn(trial, r_trial, jac_trial);
+      const double obj = objective_of(r_trial);
+      if (obj <= result.objective) {
+        result.x = trial;
+        result.objective = obj;
+        r = r_trial;
+        jac = jac_trial;
+        accepted = true;
+        break;
+      }
+    }
+    if (!accepted) break;
+
+    double scale = norm_inf(result.x);
+    if (scale == 0.0) scale = 1.0;
+    if (norm_inf(dx) * step <= opt.step_tolerance * scale) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace waveletic::la

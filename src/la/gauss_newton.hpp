@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file gauss_newton.hpp
+/// Small dense Gauss–Newton driver for nonlinear least squares
+/// min Σ r_k(x)².  SGDP's second-order objective (Eq. 3 of the paper) is
+/// nonlinear in the ramp coefficients, so its fit runs through here.
+
+#include <functional>
+#include <span>
+
+#include "la/matrix.hpp"
+
+namespace waveletic::la {
+
+struct GaussNewtonOptions {
+  int max_iterations = 8;
+  /// Stop when the step's infinity norm, scaled by parameter magnitude,
+  /// falls below this.
+  double step_tolerance = 1e-10;
+  /// Levenberg damping added to the normal matrix diagonal (relative to
+  /// its trace); keeps near-degenerate fits stable.
+  double damping = 1e-9;
+};
+
+struct GaussNewtonResult {
+  Vector x;
+  double objective = 0.0;  ///< Σ r² at the final iterate.
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Residual callback: fills r (size n) and optionally the Jacobian
+/// J (n×m, row k = ∂r_k/∂x) for the current x.
+using ResidualFn =
+    std::function<void(std::span<const double> x, Vector& r, Matrix& jac)>;
+
+/// Minimizes Σ r_k(x)² starting from x0.  Accepts a step only when it
+/// does not increase the objective (backtracking halving, 6 attempts).
+[[nodiscard]] GaussNewtonResult gauss_newton(const ResidualFn& fn, Vector x0,
+                                             size_t residuals,
+                                             const GaussNewtonOptions& opt = {});
+
+}  // namespace waveletic::la

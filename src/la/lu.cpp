@@ -1,0 +1,86 @@
+#include "la/lu.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace waveletic::la {
+
+void LuFactorization::factor(const Matrix& a, double pivot_tol) {
+  util::require(a.rows() == a.cols(), "LU needs a square matrix, got ",
+                a.rows(), "x", a.cols());
+  n_ = a.rows();
+  lu_ = a;
+  perm_.resize(n_);
+  for (size_t i = 0; i < n_; ++i) perm_[i] = i;
+
+  for (size_t k = 0; k < n_; ++k) {
+    // Partial pivot: largest magnitude in column k at/below the diagonal.
+    size_t pivot_row = k;
+    double pivot_mag = std::fabs(lu_(k, k));
+    for (size_t r = k + 1; r < n_; ++r) {
+      const double mag = std::fabs(lu_(r, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    util::require(pivot_mag > pivot_tol,
+                  "LU: singular matrix (pivot ", pivot_mag, " at column ", k,
+                  ")");
+    if (pivot_row != k) {
+      std::swap(perm_[k], perm_[pivot_row]);
+      for (size_t c = 0; c < n_; ++c) {
+        std::swap(lu_(k, c), lu_(pivot_row, c));
+      }
+    }
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (size_t r = k + 1; r < n_; ++r) {
+      const double factor = lu_(r, k) * inv_pivot;
+      lu_(r, k) = factor;  // store L below the diagonal
+      if (factor == 0.0) continue;
+      for (size_t c = k + 1; c < n_; ++c) {
+        lu_(r, c) -= factor * lu_(k, c);
+      }
+    }
+  }
+}
+
+void LuFactorization::solve(std::span<const double> b,
+                            std::span<double> x) const {
+  util::require(factored(), "LU: solve before factor");
+  util::require(b.size() == n_ && x.size() == n_,
+                "LU: rhs size mismatch (n=", n_, ")");
+  // Forward substitution with the permutation applied on the fly.
+  for (size_t i = 0; i < n_; ++i) {
+    double acc = b[perm_[i]];
+    for (size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Back substitution.
+  for (size_t i = n_; i-- > 0;) {
+    double acc = x[i];
+    for (size_t j = i + 1; j < n_; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc / lu_(i, i);
+  }
+}
+
+Vector LuFactorization::solve(std::span<const double> b) const {
+  Vector x(n_, 0.0);
+  solve(b, x);
+  return x;
+}
+
+double LuFactorization::abs_determinant() const noexcept {
+  double det = 1.0;
+  for (size_t i = 0; i < n_; ++i) det *= lu_(i, i);
+  return std::fabs(det);
+}
+
+Vector lu_solve(const Matrix& a, std::span<const double> b) {
+  LuFactorization lu;
+  lu.factor(a);
+  return lu.solve(b);
+}
+
+}  // namespace waveletic::la

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file lu.hpp
+/// LU factorization with partial pivoting.  This is the linear kernel of
+/// the MNA transient engine: the Jacobian is refactored every Newton
+/// iteration, so the factorization supports in-place reuse of its
+/// storage across solves.
+
+#include <span>
+
+#include "la/matrix.hpp"
+
+namespace waveletic::la {
+
+/// PA = LU factorization with row partial pivoting.
+class LuFactorization {
+ public:
+  LuFactorization() = default;
+
+  /// Factors `a` (consumed by copy).  Throws util::Error when the matrix
+  /// is not square or is numerically singular (pivot below `pivot_tol`).
+  void factor(const Matrix& a, double pivot_tol = 1e-14);
+
+  /// Solves A x = b into `x` (b untouched).  factor() must have run.
+  void solve(std::span<const double> b, std::span<double> x) const;
+
+  /// Convenience allocating overload.
+  [[nodiscard]] Vector solve(std::span<const double> b) const;
+
+  [[nodiscard]] bool factored() const noexcept { return n_ > 0; }
+  [[nodiscard]] size_t size() const noexcept { return n_; }
+
+  /// |det A|, available after factor().  Used by tests.
+  [[nodiscard]] double abs_determinant() const noexcept;
+
+ private:
+  Matrix lu_;
+  std::vector<size_t> perm_;
+  size_t n_ = 0;
+};
+
+/// One-shot convenience: solve A x = b.
+[[nodiscard]] Vector lu_solve(const Matrix& a, std::span<const double> b);
+
+}  // namespace waveletic::la

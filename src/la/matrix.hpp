@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file matrix.hpp
+/// Dense row-major matrix and vector types sized for circuit simulation
+/// (MNA systems of a few dozen unknowns) and small least-squares fits.
+/// No external dependencies; everything the simulator and the fitting
+/// code need lives here.
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace waveletic::la {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from a nested initializer list; rows must be equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  [[nodiscard]] size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] double& operator()(size_t r, size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(size_t r, size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Contiguous view of one row.
+  [[nodiscard]] std::span<double> row(size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Zeroes all entries without reallocating (hot path: MNA restamping).
+  void set_zero() noexcept;
+
+  /// Resizes and zeroes.
+  void resize(size_t rows, size_t cols);
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// y = A * x.  Throws util::Error on dimension mismatch.
+  [[nodiscard]] Vector mul(std::span<const double> x) const;
+
+  /// C = A * B.
+  [[nodiscard]] Matrix mul(const Matrix& other) const;
+
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius_norm() const noexcept;
+
+  [[nodiscard]] static Matrix identity(size_t n);
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean norm of a vector.
+[[nodiscard]] double norm2(std::span<const double> v) noexcept;
+
+/// Infinity norm.
+[[nodiscard]] double norm_inf(std::span<const double> v) noexcept;
+
+/// Dot product.
+[[nodiscard]] double dot(std::span<const double> a,
+                         std::span<const double> b) noexcept;
+
+}  // namespace waveletic::la

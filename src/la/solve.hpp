@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file solve.hpp
+/// Linear and weighted linear least squares.  The equivalent-waveform
+/// techniques (LSF3, WLS5, the SGDP initialization) are all 2-parameter
+/// fits v ≈ a·t + b; the general m-parameter path is exercised by tests
+/// and by the interconnect moment fitting.
+
+#include <span>
+
+#include "la/matrix.hpp"
+
+namespace waveletic::la {
+
+/// Solves min ||A x − b||₂ via the normal equations (A is tall, full
+/// column rank; m is tiny here so the squared condition number is fine).
+/// Throws util::Error if the normal matrix is singular.
+[[nodiscard]] Vector least_squares(const Matrix& a, std::span<const double> b);
+
+/// Weighted variant: min Σ w_k (A_k·x − b_k)², weights w_k ≥ 0.
+[[nodiscard]] Vector weighted_least_squares(const Matrix& a,
+                                            std::span<const double> b,
+                                            std::span<const double> w);
+
+/// Fits a line v = a·t + b to samples; returns {a, b}.
+/// Weighted with w (pass empty for uniform).  At least two distinct
+/// abscissae with nonzero weight are required.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+};
+[[nodiscard]] LineFit fit_line(std::span<const double> t,
+                               std::span<const double> v,
+                               std::span<const double> w = {});
+
+}  // namespace waveletic::la

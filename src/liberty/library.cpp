@@ -1,0 +1,127 @@
+#include "liberty/library.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace waveletic::liberty {
+
+const char* to_string(PinDirection d) noexcept {
+  switch (d) {
+    case PinDirection::kInput:
+      return "input";
+    case PinDirection::kOutput:
+      return "output";
+    case PinDirection::kInternal:
+      return "internal";
+  }
+  return "?";
+}
+
+const char* to_string(TimingSense s) noexcept {
+  switch (s) {
+    case TimingSense::kPositiveUnate:
+      return "positive_unate";
+    case TimingSense::kNegativeUnate:
+      return "negative_unate";
+    case TimingSense::kNonUnate:
+      return "non_unate";
+  }
+  return "?";
+}
+
+TimingSense timing_sense_from(const std::string& s) {
+  if (util::iequals(s, "positive_unate")) return TimingSense::kPositiveUnate;
+  if (util::iequals(s, "negative_unate")) return TimingSense::kNegativeUnate;
+  if (util::iequals(s, "non_unate")) return TimingSense::kNonUnate;
+  throw util::Error::fmt("unknown timing_sense: ", s);
+}
+
+TimingArc::Lookup TimingArc::rise(double in_slew, double load_cap) const {
+  util::require(!cell_rise.empty(), "arc from ", related_pin,
+                " has no cell_rise table");
+  Lookup out;
+  out.delay = cell_rise.lookup(in_slew, load_cap);
+  out.out_slew = rise_transition.lookup(in_slew, load_cap);
+  return out;
+}
+
+TimingArc::Lookup TimingArc::fall(double in_slew, double load_cap) const {
+  util::require(!cell_fall.empty(), "arc from ", related_pin,
+                " has no cell_fall table");
+  Lookup out;
+  out.delay = cell_fall.lookup(in_slew, load_cap);
+  out.out_slew = fall_transition.lookup(in_slew, load_cap);
+  return out;
+}
+
+const TimingArc* Pin::find_arc(const std::string& related) const noexcept {
+  for (const auto& arc : arcs) {
+    if (util::iequals(arc.related_pin, related)) return &arc;
+  }
+  return nullptr;
+}
+
+const Pin* Cell::find_pin(const std::string& pin_name) const noexcept {
+  for (const auto& pin : pins) {
+    if (util::iequals(pin.name, pin_name)) return &pin;
+  }
+  return nullptr;
+}
+
+Pin* Cell::find_pin(const std::string& pin_name) noexcept {
+  for (auto& pin : pins) {
+    if (util::iequals(pin.name, pin_name)) return &pin;
+  }
+  return nullptr;
+}
+
+const Pin& Cell::output_pin() const {
+  for (const auto& pin : pins) {
+    if (pin.direction == PinDirection::kOutput) return pin;
+  }
+  throw util::Error::fmt("cell ", name, " has no output pin");
+}
+
+std::vector<const Pin*> Cell::input_pins() const {
+  std::vector<const Pin*> out;
+  for (const auto& pin : pins) {
+    if (pin.direction == PinDirection::kInput) out.push_back(&pin);
+  }
+  return out;
+}
+
+const Cell& Library::cell(const std::string& cell_name) const {
+  const Cell* c = find_cell(cell_name);
+  util::require(c != nullptr, "library ", name, ": unknown cell '",
+                cell_name, "'");
+  return *c;
+}
+
+const Cell* Library::find_cell(const std::string& cell_name) const noexcept {
+  for (const auto& c : cells) {
+    if (util::iequals(c.name, cell_name)) return &c;
+  }
+  return nullptr;
+}
+
+const TableTemplate* Library::find_template(
+    const std::string& tmpl_name) const noexcept {
+  for (const auto& t : templates) {
+    if (util::iequals(t.name, tmpl_name)) return &t;
+  }
+  return nullptr;
+}
+
+void Library::add_cell(Cell cell) {
+  util::require(find_cell(cell.name) == nullptr, "duplicate cell ",
+                cell.name);
+  cells.push_back(std::move(cell));
+}
+
+void Library::add_template(TableTemplate tmpl) {
+  util::require(find_template(tmpl.name) == nullptr, "duplicate template ",
+                tmpl.name);
+  templates.push_back(std::move(tmpl));
+}
+
+}  // namespace waveletic::liberty

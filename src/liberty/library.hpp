@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file library.hpp
+/// Liberty object model: library → cells → pins → timing arcs with NLDM
+/// tables.  Internal units are strictly SI; the parser/writer apply the
+/// library's declared units at the boundary.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "liberty/nldm.hpp"
+
+namespace waveletic::liberty {
+
+enum class PinDirection { kInput, kOutput, kInternal };
+enum class TimingSense { kPositiveUnate, kNegativeUnate, kNonUnate };
+
+[[nodiscard]] const char* to_string(PinDirection d) noexcept;
+[[nodiscard]] const char* to_string(TimingSense s) noexcept;
+[[nodiscard]] TimingSense timing_sense_from(const std::string& s);
+
+/// One timing arc related_pin → (enclosing output pin).
+struct TimingArc {
+  std::string related_pin;
+  TimingSense sense = TimingSense::kNegativeUnate;
+  /// Indexed by output transition: tables may be empty when a cell only
+  /// characterizes one direction.
+  NldmTable cell_rise;        ///< delay to output rise [s]
+  NldmTable cell_fall;        ///< delay to output fall [s]
+  NldmTable rise_transition;  ///< output rise slew [s]
+  NldmTable fall_transition;  ///< output fall slew [s]
+
+  struct Lookup {
+    double delay = 0.0;
+    double out_slew = 0.0;
+  };
+  /// Delay + output slew for an output rise (or fall) given input slew
+  /// and load, both SI.
+  [[nodiscard]] Lookup rise(double in_slew, double load_cap) const;
+  [[nodiscard]] Lookup fall(double in_slew, double load_cap) const;
+};
+
+struct Pin {
+  std::string name;
+  PinDirection direction = PinDirection::kInput;
+  double capacitance = 0.0;  ///< input pin cap [F]
+  double max_capacitance = 0.0;  ///< output drive limit [F]; 0 = none
+  std::string function;  ///< boolean function string for outputs
+  std::vector<TimingArc> arcs;  ///< populated on output pins
+
+  [[nodiscard]] const TimingArc* find_arc(
+      const std::string& related) const noexcept;
+};
+
+struct Cell {
+  std::string name;
+  double area = 0.0;
+  std::vector<Pin> pins;
+
+  [[nodiscard]] const Pin* find_pin(const std::string& name) const noexcept;
+  [[nodiscard]] Pin* find_pin(const std::string& name) noexcept;
+  /// First output pin; throws if the cell has none.
+  [[nodiscard]] const Pin& output_pin() const;
+  [[nodiscard]] std::vector<const Pin*> input_pins() const;
+};
+
+class Library {
+ public:
+  std::string name = "waveletic";
+  double nom_voltage = 1.2;  ///< [V]
+  /// Measurement thresholds (fractions) — the paper's 10/50/90 points.
+  double slew_lower = 0.1;
+  double slew_upper = 0.9;
+  double delay_threshold = 0.5;
+  /// Units applied by the writer (and recorded by the parser).
+  double time_unit = 1e-9;        ///< "1ns"
+  double capacitance_unit = 1e-12;  ///< pF
+
+  std::vector<TableTemplate> templates;
+  std::vector<Cell> cells;
+
+  [[nodiscard]] const Cell& cell(const std::string& name) const;
+  [[nodiscard]] const Cell* find_cell(const std::string& name) const noexcept;
+  [[nodiscard]] const TableTemplate* find_template(
+      const std::string& name) const noexcept;
+
+  void add_cell(Cell cell);
+  void add_template(TableTemplate tmpl);
+};
+
+}  // namespace waveletic::liberty

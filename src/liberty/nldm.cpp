@@ -1,0 +1,98 @@
+#include "liberty/nldm.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace waveletic::liberty {
+
+const char* to_string(TableVariable v) noexcept {
+  switch (v) {
+    case TableVariable::kInputNetTransition:
+      return "input_net_transition";
+    case TableVariable::kTotalOutputNetCapacitance:
+      return "total_output_net_capacitance";
+  }
+  return "?";
+}
+
+TableVariable table_variable_from(const std::string& s) {
+  if (util::iequals(s, "input_net_transition")) {
+    return TableVariable::kInputNetTransition;
+  }
+  if (util::iequals(s, "total_output_net_capacitance")) {
+    return TableVariable::kTotalOutputNetCapacitance;
+  }
+  throw util::Error::fmt("unsupported table variable: ", s);
+}
+
+NldmTable::NldmTable(std::vector<double> index_1, std::vector<double> index_2,
+                     std::vector<double> values)
+    : index_1_(std::move(index_1)),
+      index_2_(std::move(index_2)),
+      values_(std::move(values)) {
+  util::require(!index_1_.empty(), "NLDM table: empty index_1");
+  const size_t cols = index_2_.empty() ? 1 : index_2_.size();
+  util::require(values_.size() == index_1_.size() * cols,
+                "NLDM table: expected ", index_1_.size() * cols,
+                " values, got ", values_.size());
+  for (size_t i = 1; i < index_1_.size(); ++i) {
+    util::require(index_1_[i] > index_1_[i - 1],
+                  "NLDM table: index_1 not increasing");
+  }
+  for (size_t j = 1; j < index_2_.size(); ++j) {
+    util::require(index_2_[j] > index_2_[j - 1],
+                  "NLDM table: index_2 not increasing");
+  }
+}
+
+AxisSegment locate(const std::vector<double>& axis, double x) {
+  AxisSegment seg;
+  if (axis.size() == 1) {
+    seg.lo = 0;
+    seg.frac = 0.0;
+    return seg;
+  }
+  // Segment [lo, lo+1]: clamp so extrapolation uses the edge segment.
+  const auto it = std::upper_bound(axis.begin(), axis.end(), x);
+  size_t hi = static_cast<size_t>(it - axis.begin());
+  hi = std::clamp<size_t>(hi, 1, axis.size() - 1);
+  seg.lo = hi - 1;
+  seg.frac = (x - axis[seg.lo]) / (axis[hi] - axis[seg.lo]);
+  return seg;
+}
+
+double NldmTable::lookup(double x1, double x2) const {
+  util::require(!empty(), "lookup on empty NLDM table");
+  const AxisSegment s1 = locate(index_1_, x1);
+
+  if (index_2_.empty()) {
+    if (index_1_.size() == 1) return values_[0];
+    const double v0 = values_[s1.lo];
+    const double v1 = values_[s1.lo + 1];
+    return v0 + s1.frac * (v1 - v0);
+  }
+
+  const AxisSegment s2 = locate(index_2_, x2);
+  const size_t cols = index_2_.size();
+  const auto v = [&](size_t i, size_t j) { return values_[i * cols + j]; };
+
+  if (index_1_.size() == 1 && cols == 1) return v(0, 0);
+  if (index_1_.size() == 1) {
+    return v(0, s2.lo) + s2.frac * (v(0, s2.lo + 1) - v(0, s2.lo));
+  }
+  if (cols == 1) {
+    return v(s1.lo, 0) + s1.frac * (v(s1.lo + 1, 0) - v(s1.lo, 0));
+  }
+
+  const double v00 = v(s1.lo, s2.lo);
+  const double v01 = v(s1.lo, s2.lo + 1);
+  const double v10 = v(s1.lo + 1, s2.lo);
+  const double v11 = v(s1.lo + 1, s2.lo + 1);
+  const double a = v00 + s2.frac * (v01 - v00);
+  const double b = v10 + s2.frac * (v11 - v10);
+  return a + s1.frac * (b - a);
+}
+
+}  // namespace waveletic::liberty

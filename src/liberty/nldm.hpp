@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file nldm.hpp
+/// Non-Linear Delay Model tables: the industry-standard (Liberty)
+/// delay/slew lookup characterized over input transition × output load.
+/// The paper's compatibility claim — "SGDP is compatible with the
+/// current level of gate characterization in conventional ASIC cell
+/// libraries" — rests on exactly this representation, so the mini-STA
+/// engine consumes Γeff through these tables.
+
+#include <string>
+#include <vector>
+
+namespace waveletic::liberty {
+
+/// Axis variables supported by the subset.
+enum class TableVariable {
+  kInputNetTransition,
+  kTotalOutputNetCapacitance,
+};
+
+[[nodiscard]] const char* to_string(TableVariable v) noexcept;
+[[nodiscard]] TableVariable table_variable_from(const std::string& s);
+
+/// lu_table_template: named axis layout shared by tables.
+struct TableTemplate {
+  std::string name;
+  TableVariable variable_1 = TableVariable::kInputNetTransition;
+  TableVariable variable_2 = TableVariable::kTotalOutputNetCapacitance;
+  std::vector<double> index_1;  ///< SI units (seconds / farads)
+  std::vector<double> index_2;  ///< empty for 1-D templates
+};
+
+/// A 2-D (or 1-D when index_2 is empty) lookup table with bilinear
+/// interpolation and linear edge extrapolation.  All values SI.
+class NldmTable {
+ public:
+  NldmTable() = default;
+
+  /// `values` is row-major: values[i * index_2.size() + j] corresponds
+  /// to index_1[i], index_2[j].  For 1-D tables pass empty index_2 and
+  /// one value per index_1 entry.
+  NldmTable(std::vector<double> index_1, std::vector<double> index_2,
+            std::vector<double> values);
+
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] const std::vector<double>& index_1() const noexcept {
+    return index_1_;
+  }
+  [[nodiscard]] const std::vector<double>& index_2() const noexcept {
+    return index_2_;
+  }
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+
+  /// Bilinear interpolation at (x1, x2); linear extrapolation outside
+  /// the grid (standard Liberty semantics).  For 1-D tables x2 is
+  /// ignored.
+  [[nodiscard]] double lookup(double x1, double x2 = 0.0) const;
+
+  [[nodiscard]] double value_at(size_t i, size_t j) const noexcept {
+    return values_[i * (index_2_.empty() ? 1 : index_2_.size()) + j];
+  }
+
+ private:
+  std::vector<double> index_1_;
+  std::vector<double> index_2_;
+  std::vector<double> values_;
+};
+
+/// Finds the bracketing segment for x on a sorted axis; returns the
+/// lower index (clamped so [i, i+1] is always valid) plus the
+/// interpolation fraction (can be <0 or >1 when extrapolating).
+struct AxisSegment {
+  size_t lo = 0;
+  double frac = 0.0;
+};
+[[nodiscard]] AxisSegment locate(const std::vector<double>& axis, double x);
+
+}  // namespace waveletic::liberty

@@ -1,0 +1,456 @@
+#include "liberty/parser.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace waveletic::liberty {
+namespace {
+
+using util::Error;
+using util::require;
+
+enum class TokKind { kAtom, kString, kPunct, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Token next() {
+    skip_space_and_comments();
+    Token tok;
+    tok.line = line_;
+    if (pos_ >= src_.size()) {
+      tok.kind = TokKind::kEnd;
+      return tok;
+    }
+    const char c = src_[pos_];
+    if (c == '"') {
+      ++pos_;
+      tok.kind = TokKind::kString;
+      while (pos_ < src_.size() && src_[pos_] != '"') {
+        if (src_[pos_] == '\\' && pos_ + 1 < src_.size() &&
+            src_[pos_ + 1] == '\n') {
+          pos_ += 2;  // line continuation inside a string
+          ++line_;
+          continue;
+        }
+        if (src_[pos_] == '\n') ++line_;
+        tok.text += src_[pos_++];
+      }
+      require(pos_ < src_.size(), "liberty line ", tok.line,
+              ": unterminated string");
+      ++pos_;  // closing quote
+      return tok;
+    }
+    if (is_punct(c)) {
+      ++pos_;
+      tok.kind = TokKind::kPunct;
+      tok.text = std::string(1, c);
+      return tok;
+    }
+    tok.kind = TokKind::kAtom;
+    while (pos_ < src_.size() && !is_punct(src_[pos_]) &&
+           !std::isspace(static_cast<unsigned char>(src_[pos_])) &&
+           src_[pos_] != '"') {
+      tok.text += src_[pos_++];
+    }
+    return tok;
+  }
+
+ private:
+  static bool is_punct(char c) noexcept {
+    return c == '(' || c == ')' || c == '{' || c == '}' || c == ':' ||
+           c == ';' || c == ',';
+  }
+
+  void skip_space_and_comments() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '\\' && pos_ + 1 < src_.size() &&
+                 src_[pos_ + 1] == '\n') {
+        pos_ += 2;
+        ++line_;
+      } else if (c == '/' && pos_ + 1 < src_.size() &&
+                 src_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < src_.size() &&
+               !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+          if (src_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        require(pos_ + 1 < src_.size(), "unterminated /* comment");
+        pos_ += 2;
+      } else if (c == '/' && pos_ + 1 < src_.size() &&
+                 src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class TreeParser {
+ public:
+  explicit TreeParser(std::string_view src) : lexer_(src) { advance(); }
+
+  LibertyGroup parse_top() {
+    LibertyGroup top = parse_group();
+    require(cur_.kind == TokKind::kEnd, "liberty line ", cur_.line,
+            ": trailing content after top-level group");
+    return top;
+  }
+
+ private:
+  void advance() { cur_ = lexer_.next(); }
+
+  void expect_punct(const char* p) {
+    require(cur_.kind == TokKind::kPunct && cur_.text == p, "liberty line ",
+            cur_.line, ": expected '", p, "', got '", cur_.text, "'");
+    advance();
+  }
+
+  /// Parses `name ( args ) { body }` with cur_ at `name`.
+  LibertyGroup parse_group() {
+    require(cur_.kind == TokKind::kAtom, "liberty line ", cur_.line,
+            ": expected group name");
+    LibertyGroup group;
+    group.type = cur_.text;
+    advance();
+    expect_punct("(");
+    while (!(cur_.kind == TokKind::kPunct && cur_.text == ")")) {
+      require(cur_.kind != TokKind::kEnd, "liberty: unexpected EOF in args");
+      if (cur_.kind == TokKind::kPunct && cur_.text == ",") {
+        advance();
+        continue;
+      }
+      group.args.push_back(cur_.text);
+      advance();
+    }
+    advance();  // ')'
+    expect_punct("{");
+    parse_body(group);
+    expect_punct("}");
+    return group;
+  }
+
+  void parse_body(LibertyGroup& group) {
+    while (!(cur_.kind == TokKind::kPunct && cur_.text == "}")) {
+      require(cur_.kind != TokKind::kEnd, "liberty: unexpected EOF in group ",
+              group.type);
+      require(cur_.kind == TokKind::kAtom, "liberty line ", cur_.line,
+              ": expected attribute or group, got '", cur_.text, "'");
+      const std::string name = cur_.text;
+      const int line = cur_.line;
+      advance();
+
+      if (cur_.kind == TokKind::kPunct && cur_.text == ":") {
+        // Simple attribute: name : value ;
+        advance();
+        require(cur_.kind == TokKind::kAtom || cur_.kind == TokKind::kString,
+                "liberty line ", line, ": expected value for ", name);
+        std::string value = cur_.text;
+        advance();
+        // Tolerate multi-atom values like `1 ns` (rare, but cheap).
+        while (cur_.kind == TokKind::kAtom) {
+          value += ' ';
+          value += cur_.text;
+          advance();
+        }
+        expect_punct(";");
+        group.attributes.push_back({name, std::move(value)});
+        continue;
+      }
+
+      require(cur_.kind == TokKind::kPunct && cur_.text == "(",
+              "liberty line ", line, ": expected ':' or '(' after ", name);
+      // Lookahead: complex attribute `name(v, v);` or group `name(...){}`.
+      advance();
+      std::vector<std::string> values;
+      while (!(cur_.kind == TokKind::kPunct && cur_.text == ")")) {
+        require(cur_.kind != TokKind::kEnd, "liberty: unexpected EOF in ",
+                name);
+        if (cur_.kind == TokKind::kPunct && cur_.text == ",") {
+          advance();
+          continue;
+        }
+        values.push_back(cur_.text);
+        advance();
+      }
+      advance();  // ')'
+      if (cur_.kind == TokKind::kPunct && cur_.text == "{") {
+        advance();
+        LibertyGroup child;
+        child.type = name;
+        child.args = std::move(values);
+        parse_body(child);
+        expect_punct("}");
+        group.children.push_back(std::move(child));
+      } else {
+        if (cur_.kind == TokKind::kPunct && cur_.text == ";") advance();
+        group.complex_attributes.push_back({name, std::move(values)});
+      }
+    }
+  }
+
+  Lexer lexer_;
+  Token cur_;
+};
+
+/// Joins all string arguments of a complex attribute and parses the
+/// numbers (Liberty tables quote rows separately).
+std::vector<double> numbers_of(const LibertyGroup::ComplexAttribute& attr) {
+  std::vector<double> out;
+  for (const auto& chunk : attr.values) {
+    const auto nums = parse_number_list(chunk);
+    out.insert(out.end(), nums.begin(), nums.end());
+  }
+  return out;
+}
+
+/// Semantic mapping of the generic tree onto the object model.
+class SemanticPass {
+ public:
+  Library run(const LibertyGroup& top) {
+    require(util::iequals(top.type, "library"),
+            "expected top-level library group, got ", top.type);
+    Library lib;
+    if (!top.args.empty()) lib.name = top.args[0];
+    read_units(top, lib);
+    read_thresholds(top, lib);
+    for (const auto* tmpl : top.children_of_type("lu_table_template")) {
+      lib.add_template(read_template(*tmpl, lib));
+    }
+    for (const auto* cell : top.children_of_type("cell")) {
+      lib.add_cell(read_cell(*cell, lib));
+    }
+    return lib;
+  }
+
+ private:
+  static double attr_double(const LibertyGroup& g, std::string_view name,
+                            double fallback) {
+    const auto* attr = g.find_attribute(name);
+    if (attr == nullptr) return fallback;
+    return util::parse_eng(attr->value);
+  }
+
+  void read_units(const LibertyGroup& top, Library& lib) {
+    if (const auto* tu = top.find_attribute("time_unit")) {
+      lib.time_unit = util::parse_eng(tu->value);  // "1ns"
+    }
+    if (const auto* cu = top.find_complex("capacitive_load_unit")) {
+      require(cu->values.size() == 2, "capacitive_load_unit needs 2 args");
+      const double scale = util::parse_eng(cu->values[0]);
+      const std::string unit = util::to_lower(cu->values[1]);
+      double base = 1e-12;
+      if (unit == "ff") {
+        base = 1e-15;
+      } else if (unit == "pf") {
+        base = 1e-12;
+      } else {
+        throw Error::fmt("unsupported capacitive_load_unit: ", unit);
+      }
+      lib.capacitance_unit = scale * base;
+    }
+    lib.nom_voltage = attr_double(top, "nom_voltage", lib.nom_voltage);
+  }
+
+  void read_thresholds(const LibertyGroup& top, Library& lib) {
+    // Liberty thresholds are percentages.
+    lib.slew_lower =
+        attr_double(top, "slew_lower_threshold_pct_rise", 10.0) / 100.0;
+    lib.slew_upper =
+        attr_double(top, "slew_upper_threshold_pct_rise", 90.0) / 100.0;
+    lib.delay_threshold =
+        attr_double(top, "input_threshold_pct_rise", 50.0) / 100.0;
+  }
+
+  TableTemplate read_template(const LibertyGroup& g, const Library& lib) {
+    TableTemplate tmpl;
+    require(!g.args.empty(), "lu_table_template without a name");
+    tmpl.name = g.args[0];
+    if (const auto* v1 = g.find_attribute("variable_1")) {
+      tmpl.variable_1 = table_variable_from(v1->value);
+    }
+    if (const auto* v2 = g.find_attribute("variable_2")) {
+      tmpl.variable_2 = table_variable_from(v2->value);
+    }
+    if (const auto* i1 = g.find_complex("index_1")) {
+      tmpl.index_1 = scale_axis(numbers_of(*i1), tmpl.variable_1, lib);
+    }
+    if (const auto* i2 = g.find_complex("index_2")) {
+      tmpl.index_2 = scale_axis(numbers_of(*i2), tmpl.variable_2, lib);
+    }
+    return tmpl;
+  }
+
+  static std::vector<double> scale_axis(std::vector<double> values,
+                                        TableVariable var,
+                                        const Library& lib) {
+    const double scale = (var == TableVariable::kInputNetTransition)
+                             ? lib.time_unit
+                             : lib.capacitance_unit;
+    for (auto& v : values) v *= scale;
+    return values;
+  }
+
+  Cell read_cell(const LibertyGroup& g, const Library& lib) {
+    Cell cell;
+    require(!g.args.empty(), "cell without a name");
+    cell.name = g.args[0];
+    cell.area = attr_double(g, "area", 0.0);
+    for (const auto* pin_group : g.children_of_type("pin")) {
+      cell.pins.push_back(read_pin(*pin_group, lib));
+    }
+    return cell;
+  }
+
+  Pin read_pin(const LibertyGroup& g, const Library& lib) {
+    Pin pin;
+    require(!g.args.empty(), "pin without a name");
+    pin.name = g.args[0];
+    if (const auto* dir = g.find_attribute("direction")) {
+      if (util::iequals(dir->value, "input")) {
+        pin.direction = PinDirection::kInput;
+      } else if (util::iequals(dir->value, "output")) {
+        pin.direction = PinDirection::kOutput;
+      } else {
+        pin.direction = PinDirection::kInternal;
+      }
+    }
+    pin.capacitance =
+        attr_double(g, "capacitance", 0.0) * lib.capacitance_unit;
+    pin.max_capacitance =
+        attr_double(g, "max_capacitance", 0.0) * lib.capacitance_unit;
+    if (const auto* fn = g.find_attribute("function")) {
+      pin.function = fn->value;
+    }
+    for (const auto* arc_group : g.children_of_type("timing")) {
+      pin.arcs.push_back(read_arc(*arc_group, lib));
+    }
+    return pin;
+  }
+
+  TimingArc read_arc(const LibertyGroup& g, const Library& lib) {
+    TimingArc arc;
+    if (const auto* rp = g.find_attribute("related_pin")) {
+      arc.related_pin = rp->value;
+    }
+    if (const auto* ts = g.find_attribute("timing_sense")) {
+      arc.sense = timing_sense_from(ts->value);
+    }
+    const auto read_table = [&](const char* name, NldmTable& slot) {
+      for (const auto* tg : g.children_of_type(name)) {
+        slot = read_nldm(*tg, lib);
+      }
+    };
+    read_table("cell_rise", arc.cell_rise);
+    read_table("cell_fall", arc.cell_fall);
+    read_table("rise_transition", arc.rise_transition);
+    read_table("fall_transition", arc.fall_transition);
+    return arc;
+  }
+
+  NldmTable read_nldm(const LibertyGroup& g, const Library& lib) {
+    // Table axes: explicit index_1/index_2 override the template.
+    std::vector<double> i1, i2;
+    TableVariable v1 = TableVariable::kInputNetTransition;
+    TableVariable v2 = TableVariable::kTotalOutputNetCapacitance;
+    if (!g.args.empty()) {
+      if (const auto* tmpl = lib.find_template(g.args[0])) {
+        i1 = tmpl->index_1;
+        i2 = tmpl->index_2;
+        v1 = tmpl->variable_1;
+        v2 = tmpl->variable_2;
+      }
+    }
+    if (const auto* gi1 = g.find_complex("index_1")) {
+      i1 = scale_axis(numbers_of(*gi1), v1, lib);
+    }
+    if (const auto* gi2 = g.find_complex("index_2")) {
+      i2 = scale_axis(numbers_of(*gi2), v2, lib);
+    }
+    const auto* vals = g.find_complex("values");
+    require(vals != nullptr, "NLDM table without values");
+    std::vector<double> values = numbers_of(*vals);
+    for (auto& v : values) v *= lib.time_unit;  // delays/slews are times
+    require(!i1.empty(), "NLDM table without index_1");
+    return NldmTable(std::move(i1), std::move(i2), std::move(values));
+  }
+};
+
+}  // namespace
+
+const LibertyGroup::Attribute* LibertyGroup::find_attribute(
+    std::string_view attr_name) const noexcept {
+  for (const auto& a : attributes) {
+    if (util::iequals(a.name, attr_name)) return &a;
+  }
+  return nullptr;
+}
+
+const LibertyGroup::ComplexAttribute* LibertyGroup::find_complex(
+    std::string_view attr_name) const noexcept {
+  for (const auto& a : complex_attributes) {
+    if (util::iequals(a.name, attr_name)) return &a;
+  }
+  return nullptr;
+}
+
+std::vector<const LibertyGroup*> LibertyGroup::children_of_type(
+    std::string_view child_type) const {
+  std::vector<const LibertyGroup*> out;
+  for (const auto& c : children) {
+    if (util::iequals(c.type, child_type)) out.push_back(&c);
+  }
+  return out;
+}
+
+std::vector<double> parse_number_list(std::string_view text) {
+  std::vector<double> out;
+  for (const auto tok : util::split(text, ", \t\n")) {
+    out.push_back(util::parse_eng(tok));
+  }
+  return out;
+}
+
+LibertyGroup parse_liberty_tree(std::string_view text) {
+  TreeParser parser(text);
+  return parser.parse_top();
+}
+
+Library parse_liberty(std::string_view text) {
+  SemanticPass pass;
+  return pass.run(parse_liberty_tree(text));
+}
+
+Library parse_liberty_file(const std::string& path) {
+  std::ifstream file(path);
+  require(file.good(), "cannot open liberty file: ", path);
+  std::stringstream ss;
+  ss << file.rdbuf();
+  return parse_liberty(ss.str());
+}
+
+}  // namespace waveletic::liberty

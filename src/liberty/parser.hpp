@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file parser.hpp
+/// Liberty (.lib) parser.  Two layers:
+///   1. a generic lexer + group-tree parser covering the Liberty
+///      syntax (groups, simple attributes, complex attributes, quoted
+///      strings, comments, backslash continuations);
+///   2. a semantic pass mapping the tree onto the Library object model
+///      (templates, cells, pins, NLDM timing arcs) with unit scaling
+///      into SI.
+/// The generic tree is public so tests and future extensions (ccs,
+/// power groups) can reuse the front end.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "liberty/library.hpp"
+
+namespace waveletic::liberty {
+
+/// Generic Liberty group node.
+struct LibertyGroup {
+  std::string type;               ///< e.g. "library", "cell", "timing"
+  std::vector<std::string> args;  ///< group arguments: cell (INVX1) {...}
+  struct Attribute {
+    std::string name;
+    std::string value;  ///< unquoted text
+  };
+  struct ComplexAttribute {
+    std::string name;
+    std::vector<std::string> values;  ///< one entry per argument
+  };
+  std::vector<Attribute> attributes;
+  std::vector<ComplexAttribute> complex_attributes;
+  std::vector<LibertyGroup> children;
+
+  [[nodiscard]] const Attribute* find_attribute(
+      std::string_view name) const noexcept;
+  [[nodiscard]] const ComplexAttribute* find_complex(
+      std::string_view name) const noexcept;
+  [[nodiscard]] std::vector<const LibertyGroup*> children_of_type(
+      std::string_view type) const;
+};
+
+/// Parses source text into the generic tree (must contain exactly one
+/// top-level group).  Throws util::Error with line info on bad syntax.
+[[nodiscard]] LibertyGroup parse_liberty_tree(std::string_view text);
+
+/// Full semantic parse into the object model.
+[[nodiscard]] Library parse_liberty(std::string_view text);
+
+/// Reads and parses a .lib file.
+[[nodiscard]] Library parse_liberty_file(const std::string& path);
+
+/// Splits a Liberty number list ("0.1, 0.2, 0.3") into doubles.
+[[nodiscard]] std::vector<double> parse_number_list(std::string_view text);
+
+}  // namespace waveletic::liberty

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file writer.hpp
+/// Liberty writer: emits a Library back to .lib text in the library's
+/// declared units.  parse(write(lib)) == lib up to floating-point
+/// formatting, which the round-trip tests verify.
+
+#include <ostream>
+#include <string>
+
+#include "liberty/library.hpp"
+
+namespace waveletic::liberty {
+
+/// Streams the library as Liberty text.
+std::ostream& write_liberty(std::ostream& os, const Library& lib);
+
+/// Returns the Liberty text.
+[[nodiscard]] std::string to_liberty_string(const Library& lib);
+
+/// Writes to a file, throwing util::Error when it cannot be opened.
+void write_liberty_file(const std::string& path, const Library& lib);
+
+}  // namespace waveletic::liberty

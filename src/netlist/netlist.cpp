@@ -1,0 +1,73 @@
+#include "netlist/netlist.hpp"
+
+#include "util/error.hpp"
+
+namespace waveletic::netlist {
+
+void Netlist::add_port(std::string port_name, PortDirection direction) {
+  util::require(find_port(port_name) == nullptr, "duplicate port ",
+                port_name);
+  add_net(port_name);
+  ports_.push_back({std::move(port_name), direction});
+}
+
+void Netlist::add_net(std::string net_name) {
+  if (has_net(net_name)) return;
+  net_index_.emplace(net_name, nets_.size());
+  nets_.push_back(std::move(net_name));
+}
+
+void Netlist::add_instance(Instance inst) {
+  util::require(find_instance(inst.name) == nullptr, "duplicate instance ",
+                inst.name);
+  for (const auto& [pin, net] : inst.pins) {
+    add_net(net);
+  }
+  instances_.push_back(std::move(inst));
+}
+
+bool Netlist::has_net(const std::string& net_name) const noexcept {
+  return net_index_.count(net_name) > 0;
+}
+
+const Port* Netlist::find_port(const std::string& port_name) const noexcept {
+  for (const auto& p : ports_) {
+    if (p.name == port_name) return &p;
+  }
+  return nullptr;
+}
+
+const Instance* Netlist::find_instance(
+    const std::string& inst_name) const noexcept {
+  for (const auto& inst : instances_) {
+    if (inst.name == inst_name) return &inst;
+  }
+  return nullptr;
+}
+
+std::vector<Netlist::PinRef> Netlist::pins_on_net(
+    const std::string& net_name) const {
+  std::vector<PinRef> out;
+  for (const auto& inst : instances_) {
+    for (const auto& [pin, net] : inst.pins) {
+      if (net == net_name) out.push_back({&inst, pin});
+    }
+  }
+  return out;
+}
+
+void Netlist::validate() const {
+  for (const auto& inst : instances_) {
+    util::require(!inst.pins.empty(), "instance ", inst.name,
+                  " has no connections");
+    for (const auto& [pin, net] : inst.pins) {
+      util::require(has_net(net), "instance ", inst.name, " pin ", pin,
+                    " references unknown net ", net);
+    }
+  }
+  for (const auto& port : ports_) {
+    util::require(has_net(port.name), "port ", port.name, " has no net");
+  }
+}
+
+}  // namespace waveletic::netlist

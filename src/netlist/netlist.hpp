@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file netlist.hpp
+/// Gate-level netlist: cell instances wired by nets, with primary
+/// input/output ports.  This is the structure the mini-STA engine
+/// levelizes; it is deliberately library-agnostic (cells are referenced
+/// by name and resolved against a liberty::Library at analysis time).
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace waveletic::netlist {
+
+struct Instance {
+  std::string name;
+  std::string cell;                         ///< library cell name
+  std::map<std::string, std::string> pins;  ///< pin name -> net name
+};
+
+enum class PortDirection { kInput, kOutput };
+
+struct Port {
+  std::string name;  ///< also the net it connects to
+  PortDirection direction = PortDirection::kInput;
+};
+
+class Netlist {
+ public:
+  std::string name = "top";
+
+  void add_port(std::string port_name, PortDirection direction);
+  void add_net(std::string net_name);
+  /// Adds an instance; creates referenced nets that don't exist yet.
+  void add_instance(Instance inst);
+
+  [[nodiscard]] const std::vector<Port>& ports() const noexcept {
+    return ports_;
+  }
+  [[nodiscard]] const std::vector<std::string>& nets() const noexcept {
+    return nets_;
+  }
+  [[nodiscard]] const std::vector<Instance>& instances() const noexcept {
+    return instances_;
+  }
+
+  [[nodiscard]] bool has_net(const std::string& net_name) const noexcept;
+  [[nodiscard]] const Port* find_port(
+      const std::string& port_name) const noexcept;
+  [[nodiscard]] const Instance* find_instance(
+      const std::string& inst_name) const noexcept;
+
+  /// Instances whose given pin connects to `net_name`.
+  struct PinRef {
+    const Instance* instance;
+    std::string pin;
+  };
+  [[nodiscard]] std::vector<PinRef> pins_on_net(
+      const std::string& net_name) const;
+
+  /// Structural checks used before timing analysis:
+  ///  - every instance pin connects to a declared net,
+  ///  - port names are unique and map to nets.
+  /// Throws util::Error on violations.
+  void validate() const;
+
+ private:
+  std::vector<Port> ports_;
+  std::vector<std::string> nets_;
+  std::vector<Instance> instances_;
+  std::map<std::string, size_t> net_index_;
+};
+
+}  // namespace waveletic::netlist

@@ -1,0 +1,221 @@
+#include "netlist/verilog.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace waveletic::netlist {
+namespace {
+
+using util::Error;
+using util::require;
+
+struct Token {
+  enum class Kind { kIdent, kPunct, kEnd } kind = Kind::kEnd;
+  std::string text;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Token next() {
+    skip();
+    Token tok;
+    tok.line = line_;
+    if (pos_ >= src_.size()) return tok;
+    const char c = src_[pos_];
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+        c == '\\' || c == '$') {
+      tok.kind = Token::Kind::kIdent;
+      // Verilog escaped identifiers (\name ) run to whitespace.
+      const bool escaped = (c == '\\');
+      if (escaped) ++pos_;
+      while (pos_ < src_.size()) {
+        const char d = src_[pos_];
+        const bool ident_char = std::isalnum(static_cast<unsigned char>(d)) ||
+                                d == '_' || d == '$' || d == '.';
+        if (escaped ? std::isspace(static_cast<unsigned char>(d)) == 0
+                    : ident_char) {
+          tok.text += d;
+          ++pos_;
+        } else {
+          break;
+        }
+      }
+      return tok;
+    }
+    tok.kind = Token::Kind::kPunct;
+    tok.text = std::string(1, c);
+    ++pos_;
+    return tok;
+  }
+
+ private:
+  void skip() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < src_.size() &&
+                 src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < src_.size() &&
+                 src_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < src_.size() &&
+               !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+          if (src_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        require(pos_ + 1 < src_.size(), "verilog: unterminated comment");
+        pos_ += 2;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : lexer_(src) { advance(); }
+
+  Netlist run() {
+    expect_ident("module");
+    Netlist nl;
+    nl.name = expect_any_ident("module name");
+    // Header port list (names only) — recorded, directions come later.
+    std::vector<std::string> header_ports;
+    if (cur_.text == "(") {
+      advance();
+      while (cur_.text != ")") {
+        require(cur_.kind == Token::Kind::kIdent, "line ", cur_.line,
+                ": expected port name");
+        header_ports.push_back(cur_.text);
+        advance();
+        if (cur_.text == ",") advance();
+      }
+      advance();  // ')'
+    }
+    expect_punct(";");
+
+    while (cur_.kind == Token::Kind::kIdent && cur_.text != "endmodule") {
+      if (cur_.text == "input" || cur_.text == "output") {
+        const auto dir = cur_.text == "input" ? PortDirection::kInput
+                                              : PortDirection::kOutput;
+        advance();
+        for (const auto& name : ident_list()) {
+          nl.add_port(name, dir);
+        }
+      } else if (cur_.text == "wire") {
+        advance();
+        for (const auto& name : ident_list()) {
+          nl.add_net(name);
+        }
+      } else if (cur_.text == "assign" || cur_.text == "inout") {
+        throw Error::fmt("line ", cur_.line, ": unsupported construct '",
+                         cur_.text, "'");
+      } else {
+        parse_instance(nl);
+      }
+    }
+    expect_ident("endmodule");
+
+    // Every header port must have received a direction.
+    for (const auto& p : header_ports) {
+      require(nl.find_port(p) != nullptr, "port ", p,
+              " missing input/output declaration");
+    }
+    nl.validate();
+    return nl;
+  }
+
+ private:
+  void advance() { cur_ = lexer_.next(); }
+
+  void expect_punct(const char* p) {
+    require(cur_.kind == Token::Kind::kPunct && cur_.text == p, "line ",
+            cur_.line, ": expected '", p, "', got '", cur_.text, "'");
+    advance();
+  }
+
+  void expect_ident(const char* word) {
+    require(cur_.kind == Token::Kind::kIdent && cur_.text == word, "line ",
+            cur_.line, ": expected '", word, "', got '", cur_.text, "'");
+    advance();
+  }
+
+  std::string expect_any_ident(const char* what) {
+    require(cur_.kind == Token::Kind::kIdent, "line ", cur_.line,
+            ": expected ", what);
+    std::string text = cur_.text;
+    advance();
+    return text;
+  }
+
+  /// name (, name)* ;
+  std::vector<std::string> ident_list() {
+    std::vector<std::string> names;
+    names.push_back(expect_any_ident("identifier"));
+    while (cur_.text == ",") {
+      advance();
+      names.push_back(expect_any_ident("identifier"));
+    }
+    expect_punct(";");
+    return names;
+  }
+
+  /// CELL instname ( .PIN(net), ... ) ;
+  void parse_instance(Netlist& nl) {
+    Instance inst;
+    inst.cell = expect_any_ident("cell name");
+    inst.name = expect_any_ident("instance name");
+    expect_punct("(");
+    while (cur_.text != ")") {
+      require(cur_.text == ".", "line ", cur_.line,
+              ": only named connections (.PIN(net)) are supported");
+      advance();
+      const std::string pin = expect_any_ident("pin name");
+      expect_punct("(");
+      const std::string net = expect_any_ident("net name");
+      expect_punct(")");
+      require(inst.pins.emplace(pin, net).second, "line ", cur_.line,
+              ": duplicate connection for pin ", pin);
+      if (cur_.text == ",") advance();
+    }
+    advance();  // ')'
+    expect_punct(";");
+    nl.add_instance(std::move(inst));
+  }
+
+  Lexer lexer_;
+  Token cur_;
+};
+
+}  // namespace
+
+Netlist parse_verilog(std::string_view text) {
+  Parser parser(text);
+  return parser.run();
+}
+
+Netlist parse_verilog_file(const std::string& path) {
+  std::ifstream file(path);
+  require(file.good(), "cannot open verilog file: ", path);
+  std::stringstream ss;
+  ss << file.rdbuf();
+  return parse_verilog(ss.str());
+}
+
+}  // namespace waveletic::netlist

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file verilog.hpp
+/// Structural-Verilog subset parser — the netlist format the STA
+/// examples consume:
+///
+///   module top (a, b, y);
+///     input a, b;
+///     output y;
+///     wire n1;
+///     INVX1 u1 (.A(a), .Y(n1));
+///     NAND2X1 u2 (.A(n1), .B(b), .Y(y));
+///   endmodule
+///
+/// Supported: one module per file, named port connections, input/
+/// output/wire declarations (comma lists), // and /* */ comments.
+/// Unsupported (throws): positional connections, buses, assign,
+/// hierarchy.
+
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace waveletic::netlist {
+
+/// Parses source text; throws util::Error with line info on bad syntax.
+[[nodiscard]] Netlist parse_verilog(std::string_view text);
+
+/// Reads and parses a file.
+[[nodiscard]] Netlist parse_verilog_file(const std::string& path);
+
+}  // namespace waveletic::netlist

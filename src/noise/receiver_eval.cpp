@@ -1,0 +1,47 @@
+#include "noise/receiver_eval.hpp"
+
+#include "spice/engine.hpp"
+#include "util/error.hpp"
+#include "wave/metrics.hpp"
+
+namespace waveletic::noise {
+
+ReceiverEval::ReceiverEval(const charlib::Pdk& pdk, const Options& opt)
+    : pdk_(pdk), opt_(opt) {
+  charlib::add_supply(circuit_, pdk_);
+  charlib::instantiate_cell(circuit_, pdk_, charlib::vcl013_cell("INVX4"),
+                            "rcv", {{"A", "in_u"}, {"Y", "out_u"}}, "vdd");
+  charlib::instantiate_cell(circuit_, pdk_, charlib::vcl013_cell("INVX16"),
+                            "f16", {{"A", "out_u"}, {"Y", "w16"}}, "vdd");
+  charlib::instantiate_cell(circuit_, pdk_, charlib::vcl013_cell("INVX64"),
+                            "f64", {{"A", "w16"}, {"Y", "w64"}}, "vdd");
+  source_ = &circuit_.emplace<spice::VoltageSource>(
+      "v_in", circuit_.node("in_u"), spice::kGround,
+      std::make_unique<spice::DcStimulus>(0.0));
+}
+
+wave::Waveform ReceiverEval::output_waveform(const wave::Waveform& input) {
+  source_->set_stimulus(std::make_unique<spice::WaveformStimulus>(input));
+  spice::TransientSpec tspec;
+  tspec.dt = opt_.dt;
+  tspec.t_stop = input.t_end() + opt_.tail;
+  tspec.probes = {"out_u"};
+  const auto res = spice::transient(circuit_, tspec);
+  return res.waveform("out_u");
+}
+
+double ReceiverEval::output_arrival(const wave::Waveform& input,
+                                    wave::Polarity in_polarity) {
+  const auto out = output_waveform(input);
+  const auto arr = wave::arrival_50(out, flip(in_polarity), pdk_.vdd);
+  util::require(arr.has_value(),
+                "receiver evaluation: output never crosses 50%");
+  return *arr;
+}
+
+double ReceiverEval::ramp_arrival(const wave::Ramp& gamma,
+                                  wave::Polarity in_polarity) {
+  return output_arrival(gamma.denormalized(in_polarity, 256), in_polarity);
+}
+
+}  // namespace waveletic::noise

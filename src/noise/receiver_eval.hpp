@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file receiver_eval.hpp
+/// Golden-quality evaluation of a gate's response to an arbitrary input
+/// waveform.  Used to score every technique: the fitted Γeff drives a
+/// transistor-level replica of the victim receiver (4INV with its
+/// 16INV/64INV fanout chain), and the resulting output arrival is
+/// compared against the golden noisy simulation.  This isolates the
+/// waveform-modeling error — exactly what the paper's Table 1 measures
+/// (techniques differ only in the input they present to the same gate).
+
+#include "charlib/vcl013.hpp"
+#include "spice/circuit.hpp"
+#include "spice/devices.hpp"
+#include "wave/ramp.hpp"
+#include "wave/waveform.hpp"
+
+namespace waveletic::noise {
+
+class ReceiverEval {
+ public:
+  struct Options {
+    double dt = 1e-12;
+    double tail = 1.5e-9;  ///< simulated time past the input window
+  };
+
+  /// Builds the receiver replica (4INV -> 16INV -> 64INV).
+  ReceiverEval(const charlib::Pdk& pdk, const Options& opt);
+  explicit ReceiverEval(const charlib::Pdk& pdk)
+      : ReceiverEval(pdk, Options{}) {}
+
+  /// Simulates the receiver driven by `input` (a real voltage waveform,
+  /// already in its physical polarity) and returns the full output
+  /// waveform at out_u.
+  [[nodiscard]] wave::Waveform output_waveform(const wave::Waveform& input);
+
+  /// Latest 50% crossing of the receiver output for the given input;
+  /// `in_polarity` tells which way the output transitions (inverted).
+  [[nodiscard]] double output_arrival(const wave::Waveform& input,
+                                      wave::Polarity in_polarity);
+
+  /// Convenience: evaluates a fitted ramp (rising-normalized Γeff) that
+  /// represents a transition of polarity `in_polarity`.
+  [[nodiscard]] double ramp_arrival(const wave::Ramp& gamma,
+                                    wave::Polarity in_polarity);
+
+ private:
+  charlib::Pdk pdk_;
+  Options opt_;
+  spice::Circuit circuit_;
+  spice::VoltageSource* source_ = nullptr;
+};
+
+}  // namespace waveletic::noise

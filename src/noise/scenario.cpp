@@ -1,0 +1,116 @@
+#include "noise/scenario.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "wave/metrics.hpp"
+
+namespace waveletic::noise {
+
+NoiseRunner::NoiseRunner(const charlib::Pdk& pdk, const TestbenchSpec& spec,
+                         const RunnerOptions& opt)
+    : pdk_(pdk), opt_(opt), bench_(build_testbench(pdk, spec)) {
+  if (opt_.t_stop <= 0.0) {
+    opt_.t_stop = spec.victim_t50 + 3e-9;
+  }
+  simulate_noiseless();
+}
+
+void NoiseRunner::simulate_noiseless() {
+  for (auto* src : bench_.aggressor_sources) {
+    src->set_stimulus(
+        aggressor_stimulus(pdk_, bench_.spec, 0.0, /*quiet=*/true));
+  }
+  spice::TransientSpec tspec;
+  tspec.dt = opt_.dt;
+  tspec.t_stop = opt_.t_stop;
+  tspec.method = opt_.method;
+  tspec.probes = {bench_.in_u, bench_.out_u};
+  const auto res = spice::transient(bench_.circuit, tspec);
+  noiseless_in_ = res.waveform(bench_.in_u);
+  noiseless_out_ = res.waveform(bench_.out_u);
+
+  // Sanity: the noiseless victim must complete its transition.
+  const auto arr = wave::arrival_50(noiseless_in_, in_polarity(), pdk_.vdd);
+  util::require(arr.has_value(),
+                "noiseless victim never crosses 50% — testbench broken");
+}
+
+CaseWaveforms NoiseRunner::run_case(double offset) {
+  const std::vector<double> offsets(bench_.aggressor_sources.size(), offset);
+  return run_case(offsets);
+}
+
+CaseWaveforms NoiseRunner::run_case(std::span<const double> offsets) {
+  util::require(offsets.size() == bench_.aggressor_sources.size(),
+                "run_case: ", offsets.size(), " offsets for ",
+                bench_.aggressor_sources.size(), " aggressors");
+  for (size_t i = 0; i < offsets.size(); ++i) {
+    bench_.aggressor_sources[i]->set_stimulus(
+        aggressor_stimulus(pdk_, bench_.spec, offsets[i], /*quiet=*/false));
+  }
+  spice::TransientSpec tspec;
+  tspec.dt = opt_.dt;
+  tspec.t_stop = opt_.t_stop;
+  tspec.method = opt_.method;
+  tspec.probes = {bench_.in_u, bench_.out_u};
+  const auto res = spice::transient(bench_.circuit, tspec);
+
+  CaseWaveforms cw;
+  cw.aggressor_offset = offsets.empty() ? 0.0 : offsets[0];
+  cw.noisy_in = res.waveform(bench_.in_u);
+  cw.noisy_out = res.waveform(bench_.out_u);
+  cw.in_polarity = in_polarity();
+  cw.out_polarity = out_polarity();
+
+  const auto out_arr = wave::arrival_50(cw.noisy_out, cw.out_polarity,
+                                        pdk_.vdd);
+  const auto in_arr = wave::arrival_50(cw.noisy_in, cw.in_polarity,
+                                       pdk_.vdd);
+  util::require(out_arr && in_arr,
+                "noise case at offset ", cw.aggressor_offset,
+                ": victim transition incomplete");
+  cw.golden_output_arrival = *out_arr;
+  cw.golden_gate_delay = *out_arr - *in_arr;
+  return cw;
+}
+
+std::vector<std::vector<double>> NoiseRunner::offset_tuples(int cases,
+                                                            double range,
+                                                            int aggressors) {
+  util::require(aggressors >= 1, "offset_tuples: need >= 1 aggressor");
+  const auto base = offsets(cases, range);
+  std::vector<std::vector<double>> out;
+  out.reserve(base.size());
+  // Golden-ratio stride decorrelates the additional aggressors from the
+  // primary sweep while keeping the tuple set deterministic.
+  constexpr double kGolden = 0.6180339887498949;
+  for (size_t i = 0; i < base.size(); ++i) {
+    std::vector<double> tuple(static_cast<size_t>(aggressors));
+    tuple[0] = base[i];
+    for (int a = 1; a < aggressors; ++a) {
+      const double frac = std::fmod(
+          static_cast<double>(i + 1) * kGolden * static_cast<double>(a + 1),
+          1.0);
+      tuple[static_cast<size_t>(a)] = -0.5 * range + frac * range;
+    }
+    out.push_back(std::move(tuple));
+  }
+  return out;
+}
+
+std::vector<double> NoiseRunner::offsets(int cases, double range) {
+  util::require(cases >= 1, "offsets: need at least one case");
+  std::vector<double> out(static_cast<size_t>(cases));
+  if (cases == 1) {
+    out[0] = 0.0;
+    return out;
+  }
+  const double step = range / static_cast<double>(cases - 1);
+  for (int i = 0; i < cases; ++i) {
+    out[static_cast<size_t>(i)] = -0.5 * range + step * i;
+  }
+  return out;
+}
+
+}  // namespace waveletic::noise

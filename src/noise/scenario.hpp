@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file scenario.hpp
+/// Noise-injection scenario runner: simulates the Figure 1 testbench
+/// for a sweep of aggressor timing offsets ("200 noise injection timing
+/// cases in a range of 1 ns") and extracts the waveform set every
+/// equivalent-waveform technique consumes.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "noise/testbench.hpp"
+#include "spice/engine.hpp"
+#include "wave/waveform.hpp"
+
+namespace waveletic::noise {
+
+/// Waveforms of one noise case at the victim receiver.
+struct CaseWaveforms {
+  double aggressor_offset = 0.0;
+  wave::Waveform noisy_in;       ///< at in_u, aggressor switching
+  wave::Waveform noisy_out;      ///< at out_u, aggressor switching
+  wave::Polarity in_polarity = wave::Polarity::kFalling;
+  wave::Polarity out_polarity = wave::Polarity::kRising;
+  /// Golden receiver output arrival: latest 50% crossing at out_u.
+  double golden_output_arrival = 0.0;
+  /// Golden gate delay: latest in_u 50% crossing to out_u crossing.
+  double golden_gate_delay = 0.0;
+};
+
+struct RunnerOptions {
+  double dt = 1e-12;
+  double t_stop = 0.0;  ///< 0 = auto (victim t50 + 3 ns)
+  spice::Integration method = spice::Integration::kTrapezoidal;
+};
+
+/// Owns a testbench and runs noise cases on it.  The noiseless
+/// reference (aggressors quiet) is simulated once and cached.
+class NoiseRunner {
+ public:
+  NoiseRunner(const charlib::Pdk& pdk, const TestbenchSpec& spec,
+              const RunnerOptions& opt = {});
+
+  /// Noiseless victim waveform at in_u (aggressors quiet).
+  [[nodiscard]] const wave::Waveform& noiseless_in() const noexcept {
+    return noiseless_in_;
+  }
+  /// Noiseless receiver output at out_u.
+  [[nodiscard]] const wave::Waveform& noiseless_out() const noexcept {
+    return noiseless_out_;
+  }
+  [[nodiscard]] wave::Polarity in_polarity() const noexcept {
+    return bench_.line_polarity();
+  }
+  [[nodiscard]] wave::Polarity out_polarity() const noexcept {
+    return bench_.output_polarity();
+  }
+  [[nodiscard]] double vdd() const noexcept { return pdk_.vdd; }
+  [[nodiscard]] const Testbench& bench() const noexcept { return bench_; }
+
+  /// Runs one golden simulation with every aggressor switching at
+  /// `offset` relative to the victim t50.
+  [[nodiscard]] CaseWaveforms run_case(double offset);
+
+  /// Per-aggressor offsets (size must match the aggressor count).
+  [[nodiscard]] CaseWaveforms run_case(std::span<const double> offsets);
+
+  /// Uniform offsets covering [-range/2, +range/2] (the paper's 1 ns
+  /// window with 200 cases).
+  [[nodiscard]] static std::vector<double> offsets(int cases, double range);
+
+  /// Per-aggressor offset tuples for multi-aggressor sweeps: aggressor
+  /// 0 sweeps the window uniformly; each further aggressor follows a
+  /// golden-ratio stride so the tuple set covers the offset space
+  /// without lockstep alignment (which would make every case a
+  /// compound worst case).
+  [[nodiscard]] static std::vector<std::vector<double>> offset_tuples(
+      int cases, double range, int aggressors);
+
+ private:
+  void simulate_noiseless();
+
+  charlib::Pdk pdk_;
+  RunnerOptions opt_;
+  Testbench bench_;
+  wave::Waveform noiseless_in_;
+  wave::Waveform noiseless_out_;
+};
+
+}  // namespace waveletic::noise

@@ -1,0 +1,126 @@
+#include "noise/testbench.hpp"
+
+#include "interconnect/coupled.hpp"
+#include "util/error.hpp"
+
+namespace waveletic::noise {
+
+using charlib::CellSpec;
+using charlib::Pdk;
+using spice::Circuit;
+
+TestbenchSpec TestbenchSpec::config1() {
+  TestbenchSpec spec;  // 1000 µm lines: 6 segments at ~167 µm pitch
+  spec.aggressors = 1;
+  spec.segments = 6;
+  spec.cm_per_aggressor = 100e-15;
+  return spec;
+}
+
+TestbenchSpec TestbenchSpec::config2() {
+  TestbenchSpec spec;  // 500 µm lines: 3 segments, two aggressors
+  spec.aggressors = 2;
+  spec.segments = 3;
+  spec.cm_per_aggressor = 100e-15;
+  return spec;
+}
+
+namespace {
+
+/// Adds a driver + receiver fanout chain for one line; returns the
+/// receiver input/output node names through out parameters.
+void add_line_path(Circuit& ckt, const Pdk& pdk, const std::string& tag,
+                   const std::string& near_node,
+                   const std::string& far_node) {
+  // Driver: INVX1 from in_<tag> onto the line near end.
+  charlib::instantiate_cell(ckt, pdk, charlib::vcl013_cell("INVX1"),
+                            "drv_" + tag, {{"A", "in_" + tag},
+                                           {"Y", near_node}},
+                            "vdd");
+  // Receiver chain: 4INV -> 16INV -> 64INV (paper's fanout ladder).
+  charlib::instantiate_cell(ckt, pdk, charlib::vcl013_cell("INVX4"),
+                            "rcv_" + tag, {{"A", far_node},
+                                           {"Y", "out_" + tag}},
+                            "vdd");
+  charlib::instantiate_cell(ckt, pdk, charlib::vcl013_cell("INVX16"),
+                            "f16_" + tag, {{"A", "out_" + tag},
+                                           {"Y", "w16_" + tag}},
+                            "vdd");
+  charlib::instantiate_cell(ckt, pdk, charlib::vcl013_cell("INVX64"),
+                            "f64_" + tag, {{"A", "w16_" + tag},
+                                           {"Y", "w64_" + tag}},
+                            "vdd");
+}
+
+}  // namespace
+
+std::unique_ptr<spice::Stimulus> aggressor_stimulus(const Pdk& pdk,
+                                                    const TestbenchSpec& spec,
+                                                    double offset,
+                                                    bool quiet) {
+  // Both drivers invert, so line directions mirror input directions:
+  // aggressor line opposite to victim line  <=>  aggressor input
+  // opposite to victim input.
+  const bool aggressor_input_rising =
+      spec.opposite_aggressor
+          ? (spec.victim_input == wave::Polarity::kFalling)
+          : (spec.victim_input == wave::Polarity::kRising);
+  const double quiet_level = aggressor_input_rising ? 0.0 : pdk.vdd;
+  if (quiet) {
+    return std::make_unique<spice::DcStimulus>(quiet_level);
+  }
+  return std::make_unique<spice::RampStimulus>(
+      spec.victim_t50 + offset, spec.input_slew / 0.8, 0.0, pdk.vdd,
+      aggressor_input_rising);
+}
+
+Testbench build_testbench(const Pdk& pdk, const TestbenchSpec& spec) {
+  util::require(spec.aggressors >= 1 && spec.aggressors <= 4,
+                "testbench: 1..4 aggressors supported");
+  Testbench tb;
+  tb.spec = spec;
+  Circuit& ckt = tb.circuit;
+  charlib::add_supply(ckt, pdk);
+
+  // Coupled bus: victim line "y" plus aggressors "x1..xn", every
+  // aggressor coupled to the victim.
+  interconnect::CoupledBusSpec bus;
+  interconnect::LineSpec line;
+  line.segments = spec.segments;
+  line.r_total = spec.r_per_segment * spec.segments;
+  line.c_total = spec.c_per_segment * spec.segments;
+  line.name = "y";
+  bus.lines.push_back(line);
+  for (int i = 1; i <= spec.aggressors; ++i) {
+    line.name = "x" + std::to_string(i);
+    bus.lines.push_back(line);
+    bus.couplings.push_back({static_cast<size_t>(i), 0,
+                             spec.cm_per_aggressor});
+  }
+  const auto nodes = interconnect::build_coupled_bus(ckt, bus);
+
+  // Victim path.
+  add_line_path(ckt, pdk, "y", nodes.near_end(0), nodes.far_end(0));
+  tb.in_y = "in_y";
+  tb.in_u = nodes.far_end(0);
+  tb.out_u = "out_y";
+  tb.victim_source = &ckt.emplace<spice::VoltageSource>(
+      "v_in_y", ckt.node("in_y"), spice::kGround,
+      std::make_unique<spice::RampStimulus>(
+          spec.victim_t50, spec.input_slew / 0.8, 0.0, pdk.vdd,
+          spec.victim_input == wave::Polarity::kRising));
+
+  // Aggressor paths (same structure, keeps the loading symmetric).
+  for (int i = 1; i <= spec.aggressors; ++i) {
+    const std::string tag = "x" + std::to_string(i);
+    add_line_path(ckt, pdk, tag, nodes.near_end(static_cast<size_t>(i)),
+                  nodes.far_end(static_cast<size_t>(i)));
+    auto& src = ckt.emplace<spice::VoltageSource>(
+        "v_in_" + tag, ckt.node("in_" + tag), spice::kGround,
+        aggressor_stimulus(pdk, spec, 0.0, /*quiet=*/true));
+    tb.aggressor_sources.push_back(&src);
+  }
+  return tb;
+}
+
+}  // namespace waveletic::noise

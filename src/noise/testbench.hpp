@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file testbench.hpp
+/// The paper's experimental setup (Figure 1): capacitively coupled
+/// aggressor/victim lines, each driven by an INVX1 and received by a
+/// 4INV whose fanout chain continues through 16INV and 64INV.
+///
+///   in_y ─INVX1─ y_0 ══line══ y_S(=in_u) ─4INV─ out_u ─16INV─ ─64INV─
+///   in_x ─INVX1─ x_0 ══line══ x_S        ─4INV─ ...     (per aggressor)
+///                     ║ Cm (distributed)
+///
+/// Config I  : one aggressor, 1000 µm lines (6 segments), ΣCm = 100 fF.
+/// Config II : two aggressors x1/x2, 500 µm lines (3 segments),
+///             ΣCm = 100 fF per aggressor.
+
+#include <string>
+#include <vector>
+
+#include "charlib/vcl013.hpp"
+#include "spice/circuit.hpp"
+#include "spice/devices.hpp"
+#include "wave/waveform.hpp"
+
+namespace waveletic::noise {
+
+struct TestbenchSpec {
+  int aggressors = 1;            ///< 1 = Config I, 2 = Config II
+  int segments = 6;              ///< RC π-sections per line
+  double r_per_segment = 8.5;    ///< [Ω]   (Figure 1)
+  double c_per_segment = 4.8e-15;  ///< [F] (Figure 1)
+  double cm_per_aggressor = 100e-15;  ///< ΣCm to the victim [F]
+  double input_slew = 150e-12;   ///< 10-90 slew at in_x / in_y [s]
+  double victim_t50 = 2e-9;      ///< victim input mid-crossing [s]
+  /// Victim *input* transition direction (the line transition is the
+  /// inverse because the driver inverts).
+  wave::Polarity victim_input = wave::Polarity::kRising;
+  /// Aggressor switches so its line transition opposes the victim's
+  /// (worst-case delay noise).  False = same direction (speed-up).
+  bool opposite_aggressor = true;
+
+  /// Paper configurations.
+  [[nodiscard]] static TestbenchSpec config1();
+  [[nodiscard]] static TestbenchSpec config2();
+};
+
+/// A built testbench: the circuit plus the handles the runner needs.
+struct Testbench {
+  spice::Circuit circuit;
+  TestbenchSpec spec;
+  std::string in_y;    ///< victim driver input node
+  std::string in_u;    ///< victim line far end = receiver input
+  std::string out_u;   ///< victim receiver output
+  /// Aggressor stimulus sources (retimed per noise case).
+  std::vector<spice::VoltageSource*> aggressor_sources;
+  spice::VoltageSource* victim_source = nullptr;
+
+  /// Line transition direction at in_u (inverse of victim_input).
+  [[nodiscard]] wave::Polarity line_polarity() const {
+    return flip(spec.victim_input);
+  }
+  /// Receiver output direction at out_u.
+  [[nodiscard]] wave::Polarity output_polarity() const {
+    return spec.victim_input;
+  }
+};
+
+/// Builds the full transistor-level testbench.
+[[nodiscard]] Testbench build_testbench(const charlib::Pdk& pdk,
+                                        const TestbenchSpec& spec);
+
+/// Aggressor input stimulus for a given timing offset (relative to the
+/// victim's t50).  `quiet` freezes it at the pre-transition level (the
+/// noiseless reference run).
+[[nodiscard]] std::unique_ptr<spice::Stimulus> aggressor_stimulus(
+    const charlib::Pdk& pdk, const TestbenchSpec& spec, double offset,
+    bool quiet);
+
+}  // namespace waveletic::noise

@@ -1,0 +1,233 @@
+#include "spice/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/lu.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace waveletic::spice {
+namespace {
+
+/// Unknown-vector layout manager: assigns branch indices and remembers
+/// the split between node and branch unknowns.
+struct SystemLayout {
+  size_t n_nodes = 0;     // including ground
+  size_t n_node_vars = 0; // n_nodes - 1
+  size_t n_branches = 0;
+  size_t unknowns = 0;
+
+  explicit SystemLayout(Circuit& circuit) {
+    n_nodes = circuit.node_count();
+    n_node_vars = n_nodes - 1;
+    int next = static_cast<int>(n_node_vars);
+    for (const auto& dev : circuit.devices()) {
+      const int count = dev->branch_count();
+      if (count > 0) {
+        dev->assign_branches(next);
+        next += count;
+      }
+    }
+    n_branches = static_cast<size_t>(next) - n_node_vars;
+    unknowns = n_node_vars + n_branches;
+  }
+};
+
+/// Assembles A·x = z for the given iterate and context.
+void assemble(Circuit& circuit, const StampContext& ctx, la::Matrix& a,
+              la::Vector& z, size_t n_nodes) {
+  a.set_zero();
+  std::fill(z.begin(), z.end(), 0.0);
+  Stamper st(a, z, n_nodes);
+  // gmin to ground on every node keeps floating subnets solvable.
+  for (NodeId n = 1; n < static_cast<NodeId>(n_nodes); ++n) {
+    st.conductance(n, kGround, ctx.gmin);
+  }
+  for (const auto& dev : circuit.devices()) {
+    dev->stamp(st, ctx);
+  }
+}
+
+struct NewtonOutcome {
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Newton-Raphson on the linearized companion system.  `x` holds the
+/// initial guess and receives the solution.
+NewtonOutcome newton_solve(Circuit& circuit, StampContext ctx,
+                           const NewtonOptions& opt, const SystemLayout& lay,
+                           la::Vector& x) {
+  la::Matrix a(lay.unknowns, lay.unknowns);
+  la::Vector z(lay.unknowns, 0.0);
+  la::Vector x_new(lay.unknowns, 0.0);
+  la::LuFactorization lu;
+
+  NewtonOutcome out;
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    out.iterations = it + 1;
+    ctx.x = x;
+    assemble(circuit, ctx, a, z, lay.n_nodes);
+    lu.factor(a);
+    lu.solve(z, x_new);
+
+    // Damped update with per-node clamp.
+    double max_dv = 0.0;
+    double max_di = 0.0;
+    for (size_t i = 0; i < lay.unknowns; ++i) {
+      double delta = x_new[i] - x[i];
+      if (i < lay.n_node_vars) {
+        delta = std::clamp(delta, -opt.max_update, opt.max_update);
+        max_dv = std::max(max_dv, std::fabs(delta));
+      } else {
+        max_di = std::max(max_di, std::fabs(delta));
+      }
+      x[i] += delta;
+    }
+    if (max_dv < opt.vtol && max_di < opt.itol) {
+      out.converged = true;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TransientResult::TransientResult(std::vector<std::string> names,
+                                 std::vector<double> time,
+                                 std::vector<std::vector<double>> samples) {
+  util::require(names.size() == samples.size(),
+                "TransientResult: probe count mismatch");
+  for (size_t i = 0; i < names.size(); ++i) {
+    waves_.emplace(names[i], wave::Waveform(time, std::move(samples[i])));
+  }
+  time_ = std::move(time);
+}
+
+const wave::Waveform& TransientResult::waveform(
+    const std::string& node) const {
+  const auto it = waves_.find(node);
+  util::require(it != waves_.end(), "no probe recorded for node '", node,
+                "'");
+  return it->second;
+}
+
+bool TransientResult::has(const std::string& node) const noexcept {
+  return waves_.count(node) > 0;
+}
+
+std::vector<std::string> TransientResult::probe_names() const {
+  std::vector<std::string> out;
+  out.reserve(waves_.size());
+  for (const auto& [name, wave] : waves_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+la::Vector dc_operating_point(Circuit& circuit, const NewtonOptions& opt) {
+  const SystemLayout lay(circuit);
+  la::Vector x(lay.unknowns, 0.0);
+
+  StampContext ctx;
+  ctx.dc = true;
+  ctx.time = 0.0;
+  ctx.dt = 0.0;
+  ctx.gmin = opt.gmin;
+
+  // Plain Newton from the zero vector first.
+  {
+    la::Vector trial = x;
+    ctx.source_scale = 1.0;
+    const auto outcome = newton_solve(circuit, ctx, opt, lay, trial);
+    if (outcome.converged) return trial;
+    util::log_debug("dcop: plain newton failed, falling back to stepping");
+  }
+
+  // Source stepping homotopy: ramp all independent sources.
+  la::Vector trial(lay.unknowns, 0.0);
+  for (int step = 1; step <= 10; ++step) {
+    ctx.source_scale = 0.1 * step;
+    const auto outcome = newton_solve(circuit, ctx, opt, lay, trial);
+    util::require(outcome.converged,
+                  "DC operating point: source stepping diverged at scale ",
+                  ctx.source_scale);
+  }
+  return trial;
+}
+
+TransientResult transient(Circuit& circuit, const TransientSpec& spec) {
+  util::require(spec.dt > 0.0, "transient: non-positive dt");
+  util::require(spec.t_stop > spec.dt, "transient: t_stop <= dt");
+
+  const SystemLayout lay(circuit);
+
+  // Fresh device state, then DC operating point as the initial condition.
+  for (const auto& dev : circuit.devices()) dev->reset_state();
+  la::Vector x = dc_operating_point(circuit, spec.newton);
+  for (const auto& dev : circuit.devices()) {
+    dev->commit(x, 0.0, spec.method);
+  }
+
+  // Probe set: indices of the recorded nodes.
+  std::vector<std::string> names;
+  std::vector<NodeId> ids;
+  if (spec.probes.empty()) {
+    for (NodeId n = 1; n < static_cast<NodeId>(lay.n_nodes); ++n) {
+      names.push_back(circuit.node_name(n));
+      ids.push_back(n);
+    }
+  } else {
+    for (const auto& p : spec.probes) {
+      ids.push_back(circuit.find_node(p));
+      names.push_back(p);
+    }
+  }
+
+  const size_t steps = static_cast<size_t>(std::ceil(spec.t_stop / spec.dt));
+  std::vector<double> time;
+  time.reserve(steps + 1);
+  std::vector<std::vector<double>> samples(ids.size());
+  for (auto& s : samples) s.reserve(steps + 1);
+
+  const auto record = [&](double t) {
+    time.push_back(t);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const NodeId n = ids[i];
+      samples[i].push_back(n == kGround ? 0.0
+                                        : x[static_cast<size_t>(n - 1)]);
+    }
+  };
+  record(0.0);
+
+  StampContext ctx;
+  ctx.dc = false;
+  ctx.method = spec.method;
+  ctx.gmin = spec.newton.gmin;
+  ctx.source_scale = 1.0;
+
+  la::Vector x_prev = x;
+  for (size_t k = 1; k <= steps; ++k) {
+    const double t = std::min(spec.t_stop, static_cast<double>(k) * spec.dt);
+    ctx.time = t;
+    ctx.dt = t - time.back();
+    if (ctx.dt <= 0.0) break;
+    ctx.x_prev = x_prev;
+
+    const auto outcome = newton_solve(circuit, ctx, spec.newton, lay, x);
+    util::require(outcome.converged, "transient: Newton diverged at t = ", t,
+                  " (", outcome.iterations, " iterations)");
+
+    for (const auto& dev : circuit.devices()) {
+      dev->commit(x, ctx.dt, spec.method);
+    }
+    x_prev = x;
+    record(t);
+  }
+
+  return TransientResult(std::move(names), std::move(time),
+                         std::move(samples));
+}
+
+}  // namespace waveletic::spice

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file engine.hpp
+/// DC operating point and fixed-step transient analysis on a Circuit.
+///
+/// The engine is the golden reference of the whole reproduction: it
+/// plays the role Hspice plays in the paper.  Accuracy knobs (step size,
+/// integration method) are explicit so the ablation benches can study
+/// their effect.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "wave/waveform.hpp"
+
+namespace waveletic::spice {
+
+struct NewtonOptions {
+  int max_iterations = 60;
+  /// Convergence: max |Δv| below vtol AND max |Δi_branch| below itol.
+  double vtol = 1e-6;
+  double itol = 1e-9;
+  /// Per-iteration clamp on node-voltage updates [V]; damps overshoot.
+  double max_update = 0.4;
+  /// Conductance to ground added at every node.
+  double gmin = 1e-12;
+};
+
+struct TransientSpec {
+  double t_stop = 1e-9;
+  double dt = 1e-12;
+  Integration method = Integration::kTrapezoidal;
+  NewtonOptions newton;
+  /// Record every node when empty, otherwise only the named ones.
+  std::vector<std::string> probes;
+};
+
+/// Result of a transient run: per-probe sampled waveforms.
+class TransientResult {
+ public:
+  TransientResult(std::vector<std::string> names,
+                  std::vector<double> time,
+                  std::vector<std::vector<double>> samples);
+
+  [[nodiscard]] const wave::Waveform& waveform(const std::string& node) const;
+  [[nodiscard]] bool has(const std::string& node) const noexcept;
+  [[nodiscard]] std::vector<std::string> probe_names() const;
+  [[nodiscard]] size_t steps() const noexcept { return time_.size(); }
+
+ private:
+  std::vector<double> time_;
+  std::unordered_map<std::string, wave::Waveform> waves_;
+};
+
+/// Solves the DC operating point; returns the full unknown vector
+/// (layout: node voltages 1..n-1, then branch currents).  Uses plain
+/// Newton first and falls back to source stepping.  Throws util::Error
+/// on non-convergence.
+[[nodiscard]] la::Vector dc_operating_point(Circuit& circuit,
+                                            const NewtonOptions& opt = {});
+
+/// Fixed-step transient from the DC operating point at t = 0.
+[[nodiscard]] TransientResult transient(Circuit& circuit,
+                                        const TransientSpec& spec);
+
+}  // namespace waveletic::spice

@@ -1,0 +1,358 @@
+#include "spice/parser.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "spice/devices.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace waveletic::spice {
+namespace {
+
+using util::Error;
+using util::iequals;
+using util::parse_eng;
+using util::require;
+using util::to_lower;
+
+/// One logical (continuation-merged) deck line.
+struct Line {
+  int number = 0;  // 1-based source line of the first physical line
+  std::vector<std::string> tokens;
+};
+
+/// A stored subcircuit definition.
+struct Subckt {
+  std::vector<std::string> ports;
+  std::vector<Line> body;
+};
+
+/// Splits deck text into logical lines with lowered tokens.
+std::vector<Line> tokenize(std::string_view text) {
+  std::vector<Line> lines;
+  int lineno = 0;
+  std::string pending;
+  int pending_no = 0;
+
+  const auto flush = [&]() {
+    if (pending.empty()) return;
+    // Parentheses and commas are cosmetic in the supported subset.
+    std::string clean;
+    clean.reserve(pending.size());
+    for (char c : pending) {
+      clean += (c == '(' || c == ')' || c == ',') ? ' ' : c;
+    }
+    Line line;
+    line.number = pending_no;
+    for (const auto tok : util::split(clean, " \t")) {
+      line.tokens.push_back(to_lower(tok));
+    }
+    if (!line.tokens.empty()) lines.push_back(std::move(line));
+    pending.clear();
+  };
+
+  std::string_view rest = text;
+  while (!rest.empty()) {
+    ++lineno;
+    const size_t nl = rest.find('\n');
+    std::string_view raw =
+        (nl == std::string_view::npos) ? rest : rest.substr(0, nl);
+    rest = (nl == std::string_view::npos) ? std::string_view{}
+                                          : rest.substr(nl + 1);
+
+    // Strip trailing comment introduced by ';' or '$'.
+    const size_t semi = raw.find_first_of(";$");
+    if (semi != std::string_view::npos) raw = raw.substr(0, semi);
+    const std::string_view trimmed = util::trim(raw);
+    if (trimmed.empty() || trimmed.front() == '*') continue;
+
+    if (trimmed.front() == '+') {
+      require(!pending.empty(), "line ", lineno,
+              ": continuation without a previous card");
+      pending += ' ';
+      pending += trimmed.substr(1);
+      continue;
+    }
+    flush();
+    pending = std::string(trimmed);
+    pending_no = lineno;
+  }
+  flush();
+  return lines;
+}
+
+/// Parses "key=value" tokens into a map; returns leftover plain tokens.
+std::vector<std::string> extract_params(
+    const std::vector<std::string>& tokens, size_t start,
+    std::unordered_map<std::string, double>& params) {
+  std::vector<std::string> plain;
+  for (size_t i = start; i < tokens.size(); ++i) {
+    const auto& tok = tokens[i];
+    const size_t eq = tok.find('=');
+    if (eq == std::string::npos) {
+      plain.push_back(tok);
+      continue;
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string value = tok.substr(eq + 1);
+    require(!key.empty() && !value.empty(), "malformed parameter '", tok,
+            "'");
+    params[key] = parse_eng(value);
+  }
+  return plain;
+}
+
+/// Builds a stimulus from source-card tokens starting at `i`.
+std::unique_ptr<Stimulus> parse_stimulus(const Line& line, size_t i) {
+  const auto& t = line.tokens;
+  require(i < t.size(), "line ", line.number, ": source needs a value");
+  if (iequals(t[i], "dc")) {
+    require(i + 1 < t.size(), "line ", line.number, ": dc needs a value");
+    return std::make_unique<DcStimulus>(parse_eng(t[i + 1]));
+  }
+  if (iequals(t[i], "pwl")) {
+    std::vector<PwlStimulus::Point> pts;
+    for (size_t k = i + 1; k + 1 < t.size(); k += 2) {
+      pts.push_back({parse_eng(t[k]), parse_eng(t[k + 1])});
+    }
+    require(!pts.empty() && (t.size() - i - 1) % 2 == 0, "line ", line.number,
+            ": pwl needs an even number of values");
+    return std::make_unique<PwlStimulus>(std::move(pts));
+  }
+  if (iequals(t[i], "pulse")) {
+    require(t.size() - i - 1 >= 7, "line ", line.number,
+            ": pulse needs 7 values");
+    return std::make_unique<PulseStimulus>(
+        parse_eng(t[i + 1]), parse_eng(t[i + 2]), parse_eng(t[i + 3]),
+        parse_eng(t[i + 4]), parse_eng(t[i + 5]), parse_eng(t[i + 6]),
+        parse_eng(t[i + 7]));
+  }
+  // Bare numeric value = DC.
+  return std::make_unique<DcStimulus>(parse_eng(t[i]));
+}
+
+class DeckBuilder {
+ public:
+  explicit DeckBuilder(ParsedDeck& deck) : deck_(deck) {}
+
+  void run(const std::vector<Line>& lines) {
+    // Pass 1: collect .model and .subckt definitions.
+    for (size_t i = 0; i < lines.size(); ++i) {
+      const auto& t = lines[i].tokens;
+      if (t[0] == ".model") {
+        parse_model(lines[i]);
+      } else if (t[0] == ".subckt") {
+        i = parse_subckt(lines, i);
+      }
+    }
+    // Pass 2: instantiate the top level.
+    bool in_subckt = false;
+    for (const auto& line : lines) {
+      const auto& t = line.tokens;
+      if (t[0] == ".subckt") {
+        in_subckt = true;
+        continue;
+      }
+      if (t[0] == ".ends") {
+        in_subckt = false;
+        continue;
+      }
+      if (in_subckt) continue;
+      dispatch(line, /*prefix=*/"", /*port_map=*/{}, /*depth=*/0);
+    }
+  }
+
+ private:
+  using PortMap = std::unordered_map<std::string, std::string>;
+
+  void parse_model(const Line& line) {
+    const auto& t = line.tokens;
+    require(t.size() >= 3, "line ", line.number, ": .model needs name+type");
+    MosfetModel model;
+    model.name = t[1];
+    if (t[2] == "pmos") {
+      model.pmos = true;
+    } else {
+      require(t[2] == "nmos", "line ", line.number,
+              ": unsupported model type '", t[2], "'");
+    }
+    std::unordered_map<std::string, double> params;
+    extract_params(t, 3, params);
+    const auto take = [&](const char* key, double& slot) {
+      const auto it = params.find(key);
+      if (it != params.end()) {
+        slot = it->second;
+        params.erase(it);
+      }
+    };
+    take("vth", model.vth);
+    take("alpha", model.alpha);
+    take("kc", model.kc);
+    take("kv", model.kv);
+    take("lambda", model.lambda);
+    take("cgs", model.cgs_per_w);
+    take("cgd", model.cgd_per_w);
+    take("cdb", model.cdb_per_w);
+    require(params.empty(), "line ", line.number,
+            ": unknown .model parameter");
+    models_[model.name] = model;
+  }
+
+  size_t parse_subckt(const std::vector<Line>& lines, size_t start) {
+    const auto& header = lines[start].tokens;
+    require(header.size() >= 2, "line ", lines[start].number,
+            ": .subckt needs a name");
+    Subckt sub;
+    sub.ports.assign(header.begin() + 2, header.end());
+    size_t i = start + 1;
+    for (; i < lines.size(); ++i) {
+      if (lines[i].tokens[0] == ".ends") break;
+      require(lines[i].tokens[0] != ".subckt", "line ", lines[i].number,
+              ": nested .subckt definitions are not supported");
+      sub.body.push_back(lines[i]);
+    }
+    require(i < lines.size(), ".subckt '", header[1], "' without .ends");
+    subckts_[header[1]] = std::move(sub);
+    return i;
+  }
+
+  /// Maps a node token through the instance port map / prefix.
+  std::string map_node(const std::string& token, const std::string& prefix,
+                       const PortMap& ports) const {
+    if (token == "0" || token == "gnd") return "0";
+    const auto it = ports.find(token);
+    if (it != ports.end()) return it->second;
+    return prefix.empty() ? token : prefix + token;
+  }
+
+  void dispatch(const Line& line, const std::string& prefix,
+                const PortMap& ports, int depth) {
+    require(depth < 16, "line ", line.number,
+            ": subcircuit nesting deeper than 16 (recursion?)");
+    const auto& t = line.tokens;
+    const char kind = t[0][0];
+    const std::string name = prefix + t[0];
+    auto& ckt = deck_.circuit;
+
+    const auto node = [&](size_t i) {
+      require(i < t.size(), "line ", line.number, ": missing node");
+      return ckt.node(map_node(t[i], prefix, ports));
+    };
+
+    switch (kind) {
+      case 'r': {
+        require(t.size() >= 4, "line ", line.number, ": R card too short");
+        ckt.emplace<Resistor>(name, node(1), node(2), parse_eng(t[3]));
+        return;
+      }
+      case 'c': {
+        require(t.size() >= 4, "line ", line.number, ": C card too short");
+        ckt.emplace<Capacitor>(name, node(1), node(2), parse_eng(t[3]));
+        return;
+      }
+      case 'v': {
+        require(t.size() >= 4, "line ", line.number, ": V card too short");
+        ckt.emplace<VoltageSource>(name, node(1), node(2),
+                                   parse_stimulus(line, 3));
+        return;
+      }
+      case 'i': {
+        require(t.size() >= 4, "line ", line.number, ": I card too short");
+        ckt.emplace<CurrentSource>(name, node(1), node(2),
+                                   parse_stimulus(line, 3));
+        return;
+      }
+      case 'm': {
+        require(t.size() >= 6, "line ", line.number, ": M card too short");
+        const auto model_it = models_.find(t[5]);
+        require(model_it != models_.end(), "line ", line.number,
+                ": unknown model '", t[5], "'");
+        std::unordered_map<std::string, double> params;
+        extract_params(t, 6, params);
+        const auto w_it = params.find("w");
+        require(w_it != params.end(), "line ", line.number,
+                ": M card needs w=<width>");
+        ckt.emplace<Mosfet>(name, node(1), node(2), node(3), node(4),
+                            model_it->second, w_it->second);
+        return;
+      }
+      case 'x': {
+        require(t.size() >= 3, "line ", line.number, ": X card too short");
+        const std::string& sub_name = t.back();
+        const auto sub_it = subckts_.find(sub_name);
+        require(sub_it != subckts_.end(), "line ", line.number,
+                ": unknown subcircuit '", sub_name, "'");
+        const Subckt& sub = sub_it->second;
+        const size_t n_conn = t.size() - 2;
+        require(n_conn == sub.ports.size(), "line ", line.number,
+                ": subcircuit '", sub_name, "' has ", sub.ports.size(),
+                " ports, got ", n_conn);
+        PortMap inner_ports;
+        for (size_t i = 0; i < n_conn; ++i) {
+          inner_ports[sub.ports[i]] = map_node(t[1 + i], prefix, ports);
+        }
+        const std::string inner_prefix = prefix + t[0] + ".";
+        for (const auto& body_line : sub.body) {
+          dispatch(body_line, inner_prefix, inner_ports, depth + 1);
+        }
+        return;
+      }
+      case '.': {
+        if (t[0] == ".tran") {
+          require(t.size() >= 3, "line ", line.number,
+                  ": .tran needs dt and tstop");
+          TransientSpec spec;
+          spec.dt = parse_eng(t[1]);
+          spec.t_stop = parse_eng(t[2]);
+          for (size_t i = 3; i < t.size(); ++i) {
+            if (t[i] == "method=be") {
+              spec.method = Integration::kBackwardEuler;
+            } else if (t[i] == "method=trap") {
+              spec.method = Integration::kTrapezoidal;
+            } else {
+              throw Error::fmt("line ", line.number,
+                               ": unknown .tran option '", t[i], "'");
+            }
+          }
+          deck_.tran = spec;
+          return;
+        }
+        if (t[0] == ".model" || t[0] == ".end" || t[0] == ".probe") {
+          return;  // handled in pass 1 / ignored
+        }
+        throw Error::fmt("line ", line.number, ": unsupported card '", t[0],
+                         "'");
+      }
+      default:
+        throw Error::fmt("line ", line.number, ": unsupported element '",
+                         t[0], "'");
+    }
+  }
+
+  ParsedDeck& deck_;
+  std::unordered_map<std::string, MosfetModel> models_;
+  std::unordered_map<std::string, Subckt> subckts_;
+};
+
+}  // namespace
+
+ParsedDeck parse_deck(std::string_view text) {
+  ParsedDeck deck;
+  const auto lines = tokenize(text);
+  DeckBuilder builder(deck);
+  builder.run(lines);
+  return deck;
+}
+
+ParsedDeck parse_deck_file(const std::string& path) {
+  std::ifstream file(path);
+  require(file.good(), "cannot open SPICE deck: ", path);
+  std::stringstream ss;
+  ss << file.rdbuf();
+  return parse_deck(ss.str());
+}
+
+}  // namespace waveletic::spice

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file parser.hpp
+/// SPICE-deck parser covering the subset the reproduction needs:
+///
+///   R/C/V/I/M element cards, X subcircuit instances,
+///   .model (nmos/pmos, α-power parameters), .subckt/.ends,
+///   .tran, .probe, .end, '*'/';' comments, '+' continuations.
+///
+/// Numbers accept engineering suffixes ("4.8f", "150ps", "2meg").
+/// Subcircuits are flattened at parse time with hierarchical node names
+/// ("x1.mid").  Parsing is case-insensitive.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "spice/engine.hpp"
+
+namespace waveletic::spice {
+
+struct ParsedDeck {
+  Circuit circuit;
+  /// Present when the deck contains a .tran card.
+  std::optional<TransientSpec> tran;
+};
+
+/// Parses a deck from text.  Throws util::Error with a line number on
+/// malformed input.
+[[nodiscard]] ParsedDeck parse_deck(std::string_view text);
+
+/// Parses a deck from a file.
+[[nodiscard]] ParsedDeck parse_deck_file(const std::string& path);
+
+}  // namespace waveletic::spice

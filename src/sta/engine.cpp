@@ -1,0 +1,531 @@
+#include "sta/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/sgdp.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+#include "wave/ramp.hpp"
+
+namespace waveletic::sta {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+wave::Polarity to_polarity(RiseFall rf) noexcept {
+  return rf == RiseFall::kRise ? wave::Polarity::kRising
+                               : wave::Polarity::kFalling;
+}
+
+}  // namespace
+
+const char* to_string(RiseFall rf) noexcept {
+  return rf == RiseFall::kRise ? "rise" : "fall";
+}
+
+StaEngine::StaEngine(const netlist::Netlist& nl, const liberty::Library& lib)
+    : netlist_(&nl), library_(&lib) {
+  nl.validate();
+  noise_method_ = std::make_unique<core::SgdpMethod>();
+  build_graph();
+}
+
+int StaEngine::vertex(const std::string& name) {
+  const auto it = vertex_index_.find(name);
+  if (it != vertex_index_.end()) return it->second;
+  const int id = static_cast<int>(vertices_.size());
+  Vertex v;
+  v.name = name;
+  vertices_.push_back(std::move(v));
+  vertex_index_.emplace(name, id);
+  return id;
+}
+
+int StaEngine::find_vertex(const std::string& name) const {
+  const auto it = vertex_index_.find(name);
+  util::require(it != vertex_index_.end(), "unknown pin/port: ", name);
+  return it->second;
+}
+
+void StaEngine::build_graph() {
+  // Vertices for ports.
+  for (const auto& port : netlist_->ports()) {
+    vertex(port.name);
+  }
+  // Vertices + cell arc edges for instances.
+  for (const auto& inst : netlist_->instances()) {
+    const liberty::Cell* cell = library_->find_cell(inst.cell);
+    util::require(cell != nullptr, "instance ", inst.name,
+                  " references unknown cell ", inst.cell);
+    for (const auto& [pin_name, net] : inst.pins) {
+      const liberty::Pin* pin = cell->find_pin(pin_name);
+      util::require(pin != nullptr, "instance ", inst.name,
+                    ": cell ", inst.cell, " has no pin ", pin_name);
+      vertex(inst.name + "/" + pin_name);
+    }
+    // One edge per (input pin -> output pin) timing arc.
+    for (const auto& pin : cell->pins) {
+      if (pin.direction != liberty::PinDirection::kOutput) continue;
+      const auto out_it = inst.pins.find(pin.name);
+      if (out_it == inst.pins.end()) continue;
+      for (const auto& arc : pin.arcs) {
+        const auto in_it = inst.pins.find(arc.related_pin);
+        if (in_it == inst.pins.end()) continue;
+        CellArcEdge e;
+        e.from = vertex(inst.name + "/" + arc.related_pin);
+        e.to = vertex(inst.name + "/" + pin.name);
+        e.arc = &arc;
+        cell_edges_.push_back(e);
+      }
+    }
+  }
+  // Net edges: driver -> every sink.
+  for (const auto& net : netlist_->nets()) {
+    // Driver: an input port with this net name, or an instance output.
+    std::vector<int> drivers;
+    if (const auto* port = netlist_->find_port(net)) {
+      if (port->direction == netlist::PortDirection::kInput) {
+        drivers.push_back(find_vertex(net));
+      }
+    }
+    struct Sink {
+      int v;
+      const liberty::Pin* pin;
+      const liberty::Cell* cell;
+    };
+    std::vector<Sink> sinks;
+    for (const auto& ref : netlist_->pins_on_net(net)) {
+      const liberty::Cell* cell = library_->find_cell(ref.instance->cell);
+      const liberty::Pin* pin = cell->find_pin(ref.pin);
+      const int v = find_vertex(ref.instance->name + "/" + ref.pin);
+      if (pin->direction == liberty::PinDirection::kOutput) {
+        drivers.push_back(v);
+      } else {
+        sinks.push_back({v, pin, cell});
+      }
+    }
+    if (const auto* port = netlist_->find_port(net)) {
+      if (port->direction == netlist::PortDirection::kOutput) {
+        sinks.push_back({find_vertex(net), nullptr, nullptr});
+      }
+    }
+    util::require(drivers.size() <= 1, "net ", net, " has ", drivers.size(),
+                  " drivers");
+    if (drivers.empty()) continue;  // undriven net: stays unconstrained
+    for (const auto& sink : sinks) {
+      NetEdge e;
+      e.from = drivers[0];
+      e.to = sink.v;
+      e.net = net;
+      e.sink_pin = sink.pin;
+      e.sink_cell = sink.cell;
+      net_edges_.push_back(e);
+    }
+  }
+  levelize();
+}
+
+void StaEngine::compute_loads() {
+  // Load on each net = sink pin caps + annotated wire cap + port load.
+  std::map<std::string, double> net_load;
+  for (const auto& net : netlist_->nets()) {
+    double load = 0.0;
+    for (const auto& ref : netlist_->pins_on_net(net)) {
+      const liberty::Cell* cell = library_->find_cell(ref.instance->cell);
+      const liberty::Pin* pin = cell->find_pin(ref.pin);
+      if (pin->direction == liberty::PinDirection::kInput) {
+        load += pin->capacitance;
+      }
+    }
+    if (const auto para = net_parasitics_.find(net);
+        para != net_parasitics_.end()) {
+      load += para->second.first;
+    }
+    if (const auto* port = netlist_->find_port(net)) {
+      if (port->direction == netlist::PortDirection::kOutput) {
+        if (const auto it = output_loads_.find(net);
+            it != output_loads_.end()) {
+          load += it->second;
+        }
+      }
+    }
+    net_load[net] = load;
+  }
+  // Attach to cell arcs (load seen by the arc's output pin).
+  for (auto& e : cell_edges_) {
+    const auto& out_name = vertices_[static_cast<size_t>(e.to)].name;
+    const auto slash = out_name.find('/');
+    const std::string inst_name = out_name.substr(0, slash);
+    const std::string pin_name = out_name.substr(slash + 1);
+    const auto* inst = netlist_->find_instance(inst_name);
+    e.load = net_load[inst->pins.at(pin_name)];
+  }
+  // Attach each sink gate's own output load to net edges (needed to
+  // synthesize the noiseless output response at noisy sinks).
+  for (auto& e : net_edges_) {
+    if (e.sink_cell == nullptr) continue;
+    const auto& sink_name = vertices_[static_cast<size_t>(e.to)].name;
+    const auto slash = sink_name.find('/');
+    const auto* inst = netlist_->find_instance(sink_name.substr(0, slash));
+    const auto& out_pin = e.sink_cell->output_pin();
+    const auto out_net = inst->pins.find(out_pin.name);
+    e.sink_load =
+        out_net == inst->pins.end() ? 0.0 : net_load[out_net->second];
+  }
+}
+
+void StaEngine::levelize() {
+  // Kahn topological sort over vertices; edges scheduled by source order.
+  const size_t n = vertices_.size();
+  std::vector<std::vector<std::pair<bool, size_t>>> out_edges(n);
+  std::vector<int> indegree(n, 0);
+  for (size_t i = 0; i < cell_edges_.size(); ++i) {
+    out_edges[static_cast<size_t>(cell_edges_[i].from)].push_back({true, i});
+    ++indegree[static_cast<size_t>(cell_edges_[i].to)];
+  }
+  for (size_t i = 0; i < net_edges_.size(); ++i) {
+    out_edges[static_cast<size_t>(net_edges_[i].from)].push_back({false, i});
+    ++indegree[static_cast<size_t>(net_edges_[i].to)];
+  }
+  std::vector<int> ready;
+  for (size_t v = 0; v < n; ++v) {
+    if (indegree[v] == 0) ready.push_back(static_cast<int>(v));
+  }
+  schedule_.clear();
+  size_t visited = 0;
+  while (!ready.empty()) {
+    const int v = ready.back();
+    ready.pop_back();
+    ++visited;
+    for (const auto& [is_cell, idx] : out_edges[static_cast<size_t>(v)]) {
+      schedule_.push_back({is_cell, idx});
+      const int to = is_cell ? cell_edges_[idx].to : net_edges_[idx].to;
+      if (--indegree[static_cast<size_t>(to)] == 0) ready.push_back(to);
+    }
+  }
+  util::require(visited == n,
+                "timing graph has a combinational cycle (", n - visited,
+                " vertices unresolved)");
+}
+
+void StaEngine::set_input(const std::string& port, double arrival,
+                          double slew) {
+  set_input(port, RiseFall::kRise, arrival, slew);
+  set_input(port, RiseFall::kFall, arrival, slew);
+}
+
+void StaEngine::set_input(const std::string& port, RiseFall rf,
+                          double arrival, double slew) {
+  const auto* p = netlist_->find_port(port);
+  util::require(p != nullptr && p->direction == netlist::PortDirection::kInput,
+                "set_input: ", port, " is not an input port");
+  util::require(slew > 0.0, "set_input: non-positive slew");
+  auto& t = vertices_[static_cast<size_t>(find_vertex(port))]
+                .timing[static_cast<int>(rf)];
+  t.arrival = arrival;
+  t.slew = slew;
+  t.valid = true;
+  analyzed_ = false;
+}
+
+void StaEngine::set_output_load(const std::string& port, double cap) {
+  const auto* p = netlist_->find_port(port);
+  util::require(
+      p != nullptr && p->direction == netlist::PortDirection::kOutput,
+      "set_output_load: ", port, " is not an output port");
+  output_loads_[port] = cap;
+  analyzed_ = false;
+}
+
+void StaEngine::set_required(const std::string& port, double time) {
+  const auto* p = netlist_->find_port(port);
+  util::require(
+      p != nullptr && p->direction == netlist::PortDirection::kOutput,
+      "set_required: ", port, " is not an output port");
+  auto& v = vertices_[static_cast<size_t>(find_vertex(port))];
+  v.timing[0].required = time;
+  v.timing[1].required = time;
+  analyzed_ = false;
+}
+
+void StaEngine::set_net_parasitics(const std::string& net, double cap,
+                                   double delay) {
+  util::require(netlist_->has_net(net), "set_net_parasitics: unknown net ",
+                net);
+  net_parasitics_[net] = {cap, delay};
+  analyzed_ = false;
+}
+
+void StaEngine::set_noise_method(
+    std::unique_ptr<core::EquivalentWaveformMethod> m) {
+  util::require(m != nullptr, "null noise method");
+  noise_method_ = std::move(m);
+  analyzed_ = false;
+}
+
+void StaEngine::annotate_noisy_net(const std::string& net,
+                                   wave::Waveform waveform,
+                                   wave::Polarity polarity) {
+  util::require(netlist_->has_net(net), "annotate_noisy_net: unknown net ",
+                net);
+  noisy_nets_.insert_or_assign(net, NoisyNet{std::move(waveform), polarity});
+  analyzed_ = false;
+}
+
+void StaEngine::relax(int to, RiseFall to_rf, double arrival, double slew,
+                      int from, RiseFall from_rf) {
+  auto& t = vertices_[static_cast<size_t>(to)].timing[static_cast<int>(to_rf)];
+  if (!t.valid || arrival > t.arrival) {
+    t.arrival = arrival;
+    t.slew = slew;
+    t.valid = true;
+    vertices_[static_cast<size_t>(to)].critical_pred[static_cast<int>(to_rf)] =
+        from;
+    vertices_[static_cast<size_t>(to)]
+        .critical_pred_rf[static_cast<int>(to_rf)] = from_rf;
+  }
+}
+
+void StaEngine::propagate_cell_arc(const CellArcEdge& e) {
+  const auto& from = vertices_[static_cast<size_t>(e.from)];
+  for (int rf_i = 0; rf_i < 2; ++rf_i) {
+    const auto& in = from.timing[rf_i];
+    if (!in.valid) continue;
+    const auto in_rf = static_cast<RiseFall>(rf_i);
+
+    std::vector<RiseFall> out_rfs;
+    switch (e.arc->sense) {
+      case liberty::TimingSense::kPositiveUnate:
+        out_rfs = {in_rf};
+        break;
+      case liberty::TimingSense::kNegativeUnate:
+        out_rfs = {flip(in_rf)};
+        break;
+      case liberty::TimingSense::kNonUnate:
+        out_rfs = {RiseFall::kRise, RiseFall::kFall};
+        break;
+    }
+    for (const auto out_rf : out_rfs) {
+      const auto lookup = (out_rf == RiseFall::kRise)
+                              ? e.arc->rise(in.slew, e.load)
+                              : e.arc->fall(in.slew, e.load);
+      relax(e.to, out_rf, in.arrival + lookup.delay, lookup.out_slew, e.from,
+            in_rf);
+    }
+  }
+}
+
+void StaEngine::propagate_net_edge(const NetEdge& e) {
+  const auto& from = vertices_[static_cast<size_t>(e.from)];
+  double wire_delay = 0.0;
+  if (const auto it = net_parasitics_.find(e.net);
+      it != net_parasitics_.end()) {
+    wire_delay = it->second.second;
+  }
+  const auto noisy = noisy_nets_.find(e.net);
+
+  for (int rf_i = 0; rf_i < 2; ++rf_i) {
+    const auto& drv = from.timing[rf_i];
+    if (!drv.valid) continue;
+    const auto rf = static_cast<RiseFall>(rf_i);
+    double arrival = drv.arrival + wire_delay;
+    double slew = drv.slew;
+
+    const bool apply_noise = noisy != noisy_nets_.end() &&
+                             e.sink_pin != nullptr &&
+                             to_polarity(rf) == noisy->second.polarity;
+    if (apply_noise) {
+      // The equivalent-waveform flow of the paper: replace the ramp at
+      // this gate input by Γeff fitted against the annotated noisy
+      // waveform, using a noiseless response synthesized from NLDM.
+      const auto pol = noisy->second.polarity;
+      const double vdd = library_->nom_voltage;
+      const auto clean_ramp =
+          wave::Ramp::from_arrival_slew(arrival, slew, vdd);
+      const wave::Waveform clean_in = clean_ramp.denormalized(pol, 192);
+
+      const auto* arc = e.sink_cell->output_pin().find_arc(e.sink_pin->name);
+      if (arc != nullptr) {
+        const auto out_pol =
+            arc->sense == liberty::TimingSense::kNegativeUnate ? flip(pol)
+                                                               : pol;
+        const auto lk = (out_pol == wave::Polarity::kRising)
+                            ? arc->rise(slew, e.sink_load)
+                            : arc->fall(slew, e.sink_load);
+        const auto out_ramp = wave::Ramp::from_arrival_slew(
+            arrival + lk.delay, lk.out_slew, vdd);
+        const wave::Waveform clean_out = out_ramp.denormalized(out_pol, 192);
+
+        core::MethodInput mi;
+        mi.noisy_in = &noisy->second.waveform;
+        mi.noiseless_in = &clean_in;
+        mi.noiseless_out = &clean_out;
+        mi.in_polarity = pol;
+        mi.out_polarity = out_pol;
+        mi.vdd = vdd;
+        const auto fit = noise_method_->fit(mi);
+        arrival = fit.ramp.t50();
+        slew = fit.ramp.slew();
+      }
+    }
+    relax(e.to, rf, arrival, slew, e.from, rf);
+  }
+}
+
+void StaEngine::run() {
+  // Reset all derived state, keep constraints.
+  for (auto& v : vertices_) {
+    const bool is_input_port =
+        netlist_->find_port(v.name) != nullptr &&
+        netlist_->find_port(v.name)->direction ==
+            netlist::PortDirection::kInput;
+    for (int rf = 0; rf < 2; ++rf) {
+      if (!is_input_port) {
+        v.timing[rf].arrival = kNegInf;
+        v.timing[rf].slew = 0.0;
+        v.timing[rf].valid = false;
+      }
+      v.critical_pred[rf] = -1;
+    }
+  }
+  compute_loads();
+  for (const auto& [is_cell, idx] : schedule_) {
+    if (is_cell) {
+      propagate_cell_arc(cell_edges_[idx]);
+    } else {
+      propagate_net_edge(net_edges_[idx]);
+    }
+  }
+  backward_pass();
+  analyzed_ = true;
+}
+
+void StaEngine::backward_pass() {
+  // Reset required times except at constrained output ports.
+  for (auto& v : vertices_) {
+    const auto* port = netlist_->find_port(v.name);
+    const bool keep = port != nullptr &&
+                      port->direction == netlist::PortDirection::kOutput;
+    if (!keep) {
+      v.timing[0].required = std::numeric_limits<double>::infinity();
+      v.timing[1].required = std::numeric_limits<double>::infinity();
+    }
+  }
+  // Walk edges in reverse schedule order; the edge delay actually used
+  // by the forward pass is recovered from the endpoint arrivals of the
+  // transitions it connected.
+  for (auto it = schedule_.rbegin(); it != schedule_.rend(); ++it) {
+    const auto& [is_cell, idx] = *it;
+    const int from = is_cell ? cell_edges_[idx].from : net_edges_[idx].from;
+    const int to = is_cell ? cell_edges_[idx].to : net_edges_[idx].to;
+    auto& vf = vertices_[static_cast<size_t>(from)];
+    const auto& vt = vertices_[static_cast<size_t>(to)];
+    for (int to_rf = 0; to_rf < 2; ++to_rf) {
+      const auto& tt = vt.timing[to_rf];
+      if (!tt.valid || !std::isfinite(tt.required)) continue;
+      // Which source transition fed this sink transition?
+      if (vt.critical_pred[to_rf] != from) continue;
+      const int from_rf = static_cast<int>(vt.critical_pred_rf[to_rf]);
+      auto& ft = vf.timing[from_rf];
+      if (!ft.valid) continue;
+      const double edge_delay = tt.arrival - ft.arrival;
+      ft.required = std::min(ft.required, tt.required - edge_delay);
+    }
+  }
+}
+
+const PinTiming& StaEngine::timing(const std::string& pin,
+                                   RiseFall rf) const {
+  util::require(analyzed_, "run() the analysis first");
+  return vertices_[static_cast<size_t>(find_vertex(pin))]
+      .timing[static_cast<int>(rf)];
+}
+
+double StaEngine::worst_slack() const {
+  util::require(analyzed_, "run() the analysis first");
+  double worst = std::numeric_limits<double>::infinity();
+  for (const auto& port : netlist_->ports()) {
+    if (port.direction != netlist::PortDirection::kOutput) continue;
+    const auto& v = vertices_[static_cast<size_t>(find_vertex(port.name))];
+    for (int rf = 0; rf < 2; ++rf) {
+      if (v.timing[rf].valid && std::isfinite(v.timing[rf].required)) {
+        worst = std::min(worst, v.timing[rf].slack());
+      }
+    }
+  }
+  return worst;
+}
+
+std::vector<PathStep> StaEngine::worst_path() const {
+  util::require(analyzed_, "run() the analysis first");
+  // Endpoint: worst slack when constrained, else latest arrival.
+  int best_v = -1;
+  int best_rf = 0;
+  double best_metric = std::numeric_limits<double>::infinity();
+  bool use_slack = false;
+  for (const auto& port : netlist_->ports()) {
+    if (port.direction != netlist::PortDirection::kOutput) continue;
+    const auto& v = vertices_[static_cast<size_t>(find_vertex(port.name))];
+    for (int rf = 0; rf < 2; ++rf) {
+      const auto& t = v.timing[rf];
+      if (!t.valid) continue;
+      const bool constrained = std::isfinite(t.required);
+      const double metric = constrained ? t.slack() : -t.arrival;
+      if (constrained && !use_slack) {
+        use_slack = true;
+        best_metric = std::numeric_limits<double>::infinity();
+      }
+      if (constrained == use_slack && metric < best_metric) {
+        best_metric = metric;
+        best_v = find_vertex(port.name);
+        best_rf = rf;
+      }
+    }
+  }
+  std::vector<PathStep> path;
+  int v = best_v;
+  int rf = best_rf;
+  while (v >= 0) {
+    const auto& vert = vertices_[static_cast<size_t>(v)];
+    path.push_back({vert.name, static_cast<RiseFall>(rf),
+                    vert.timing[rf].arrival});
+    const int pred = vert.critical_pred[rf];
+    rf = static_cast<int>(vert.critical_pred_rf[rf]);
+    v = pred;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::string StaEngine::report() const {
+  util::require(analyzed_, "run() the analysis first");
+  std::ostringstream os;
+  os << "STA report for " << netlist_->name << " ("
+     << netlist_->instances().size() << " instances, "
+     << vertices_.size() << " pins)\n";
+  for (const auto& port : netlist_->ports()) {
+    if (port.direction != netlist::PortDirection::kOutput) continue;
+    const auto& v = vertices_[static_cast<size_t>(find_vertex(port.name))];
+    for (int rf = 0; rf < 2; ++rf) {
+      const auto& t = v.timing[rf];
+      if (!t.valid) continue;
+      os << "  " << port.name << " (" << to_string(static_cast<RiseFall>(rf))
+         << "): arrival " << util::format_ps(t.arrival) << " ps, slew "
+         << util::format_ps(t.slew) << " ps";
+      if (std::isfinite(t.required)) {
+        os << ", slack " << util::format_ps(t.slack()) << " ps";
+      }
+      os << '\n';
+    }
+  }
+  os << "critical path:";
+  for (const auto& step : worst_path()) {
+    os << ' ' << step.pin << '(' << to_string(step.rf) << ')';
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace waveletic::sta

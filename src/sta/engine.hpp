@@ -1,0 +1,163 @@
+#pragma once
+
+/// \file engine.hpp
+/// Mini static-timing-analysis engine.
+///
+/// Vertices are pins ("u1/A", "u1/Y") and top-level ports ("a");
+/// edges are cell timing arcs (NLDM delay/slew lookup, rise/fall aware,
+/// unateness respected) and net arcs (driver → sinks, optional lumped
+/// parasitic delay).  Forward propagation computes worst arrival and
+/// slew per (vertex, transition); backward propagation computes
+/// required times and slack; the critical path is recovered from
+/// predecessor links.
+///
+/// Crosstalk integration (the paper's use case): a net may be annotated
+/// with a *noisy waveform*.  At each gate input on that net the engine
+/// replaces the propagated ramp with Γeff computed by a pluggable
+/// equivalent-waveform technique (default SGDP), exactly the flow the
+/// paper proposes for commercial STA.  The noiseless input ramp is the
+/// propagated (arrival, slew); the noiseless output is synthesized from
+/// the receiving gate's NLDM response, so no extra library
+/// characterization is needed — the paper's compatibility claim.
+
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/method.hpp"
+#include "liberty/library.hpp"
+#include "netlist/netlist.hpp"
+#include "wave/waveform.hpp"
+
+namespace waveletic::sta {
+
+enum class RiseFall { kRise = 0, kFall = 1 };
+
+[[nodiscard]] constexpr RiseFall flip(RiseFall rf) noexcept {
+  return rf == RiseFall::kRise ? RiseFall::kFall : RiseFall::kRise;
+}
+[[nodiscard]] const char* to_string(RiseFall rf) noexcept;
+
+/// Timing state of one (vertex, transition).
+struct PinTiming {
+  double arrival = -std::numeric_limits<double>::infinity();
+  double slew = 0.0;
+  double required = std::numeric_limits<double>::infinity();
+  bool valid = false;  ///< reachable from a constrained input
+
+  [[nodiscard]] double slack() const noexcept { return required - arrival; }
+};
+
+struct PathStep {
+  std::string pin;
+  RiseFall rf = RiseFall::kRise;
+  double arrival = 0.0;
+};
+
+class StaEngine {
+ public:
+  /// Both netlist and library must outlive the engine.
+  StaEngine(const netlist::Netlist& nl, const liberty::Library& lib);
+
+  // -- constraints -------------------------------------------------------
+  /// Arrival + slew applied to both transitions of an input port.
+  void set_input(const std::string& port, double arrival, double slew);
+  void set_input(const std::string& port, RiseFall rf, double arrival,
+                 double slew);
+  /// Extra load on an output port [F].
+  void set_output_load(const std::string& port, double cap);
+  /// Required (latest allowed) arrival at an output port.
+  void set_required(const std::string& port, double time);
+  /// Lumped net parasitics: extra capacitive load on the driver and a
+  /// wire delay added to every sink arrival (e.g. the Elmore delay from
+  /// interconnect::RcTree).
+  void set_net_parasitics(const std::string& net, double cap, double delay);
+
+  // -- crosstalk hooks ----------------------------------------------------
+  /// Technique used at noisy nets (defaults to SGDP).
+  void set_noise_method(std::unique_ptr<core::EquivalentWaveformMethod> m);
+  /// Annotates a net with the noisy waveform observed at its sinks for
+  /// the transition of the given polarity.
+  void annotate_noisy_net(const std::string& net, wave::Waveform waveform,
+                          wave::Polarity polarity);
+
+  // -- analysis ------------------------------------------------------------
+  /// Runs forward (arrival) and backward (required) propagation.
+  void run();
+
+  /// Timing of a pin ("u1/Y") or port ("y").  Throws for unknown names.
+  [[nodiscard]] const PinTiming& timing(const std::string& pin,
+                                        RiseFall rf) const;
+  /// Worst slack over output ports (the analysis must have run).
+  [[nodiscard]] double worst_slack() const;
+  /// Critical path: backtracked predecessor chain of the worst-slack
+  /// endpoint, source first.
+  [[nodiscard]] std::vector<PathStep> worst_path() const;
+  /// Multi-line human-readable summary.
+  [[nodiscard]] std::string report() const;
+
+  /// Number of graph vertices (pins + ports); for tests.
+  [[nodiscard]] size_t vertex_count() const noexcept {
+    return vertices_.size();
+  }
+
+ private:
+  struct Vertex {
+    std::string name;
+    PinTiming timing[2];          // indexed by RiseFall
+    int critical_pred[2] = {-1, -1};
+    RiseFall critical_pred_rf[2] = {RiseFall::kRise, RiseFall::kRise};
+  };
+
+  struct CellArcEdge {
+    int from = -1;  // instance input pin vertex
+    int to = -1;    // instance output pin vertex
+    const liberty::TimingArc* arc = nullptr;
+    double load = 0.0;  // computed before propagation
+  };
+
+  struct NetEdge {
+    int from = -1;
+    int to = -1;
+    std::string net;
+    const liberty::Pin* sink_pin = nullptr;   // liberty pin at the sink
+    const liberty::Cell* sink_cell = nullptr;
+    double sink_load = 0.0;  // load seen by the sink gate's output
+  };
+
+  struct NoisyNet {
+    wave::Waveform waveform;
+    wave::Polarity polarity;
+  };
+
+  int vertex(const std::string& name);
+  [[nodiscard]] int find_vertex(const std::string& name) const;
+  void build_graph();
+  void compute_loads();
+  void levelize();
+  void propagate_cell_arc(const CellArcEdge& e);
+  void propagate_net_edge(const NetEdge& e);
+  void relax(int to, RiseFall to_rf, double arrival, double slew, int from,
+             RiseFall from_rf);
+  void backward_pass();
+
+  const netlist::Netlist* netlist_;
+  const liberty::Library* library_;
+  std::vector<Vertex> vertices_;
+  std::map<std::string, int> vertex_index_;
+  std::vector<CellArcEdge> cell_edges_;
+  std::vector<NetEdge> net_edges_;
+  /// Edge execution order produced by levelization: pairs of
+  /// (is_cell_edge, index).
+  std::vector<std::pair<bool, size_t>> schedule_;
+  std::map<std::string, double> output_loads_;
+  std::map<std::string, std::pair<double, double>> net_parasitics_;
+  std::map<std::string, NoisyNet> noisy_nets_;
+  std::unique_ptr<core::EquivalentWaveformMethod> noise_method_;
+  bool analyzed_ = false;
+};
+
+}  // namespace waveletic::sta

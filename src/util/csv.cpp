@@ -1,0 +1,59 @@
+#include "util/csv.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace waveletic::util {
+
+void CsvWriter::add_column(std::string header, std::vector<double> values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream os;
+    os.precision(9);
+    os << v;
+    cells.push_back(os.str());
+  }
+  headers_.push_back(std::move(header));
+  cells_.push_back(std::move(cells));
+}
+
+void CsvWriter::add_text_column(std::string header,
+                                std::vector<std::string> values) {
+  headers_.push_back(std::move(header));
+  cells_.push_back(std::move(values));
+}
+
+size_t CsvWriter::rows() const noexcept {
+  size_t n = 0;
+  for (const auto& col : cells_) n = std::max(n, col.size());
+  return n;
+}
+
+std::ostream& CsvWriter::write(std::ostream& os) const {
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) os << ',';
+    os << headers_[c];
+  }
+  os << '\n';
+  const size_t n = rows();
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < cells_.size(); ++c) {
+      if (c > 0) os << ',';
+      if (r < cells_[c].size()) os << cells_[c][r];
+    }
+    os << '\n';
+  }
+  return os;
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream file(path);
+  require(file.good(), "cannot open CSV output file: ", path);
+  write(file);
+}
+
+}  // namespace waveletic::util

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file csv.hpp
+/// Tiny CSV writer used to dump waveforms and experiment sweeps for the
+/// figure-regeneration benches (plot with any external tool).
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace waveletic::util {
+
+/// Column-oriented CSV writer.  All columns must have equal length when
+/// write() is called; shorter columns are padded with empty cells.
+class CsvWriter {
+ public:
+  /// Adds a column of doubles under `header`.
+  void add_column(std::string header, std::vector<double> values);
+
+  /// Adds a column of preformatted strings under `header`.
+  void add_text_column(std::string header, std::vector<std::string> values);
+
+  /// Streams the table; returns the stream for chaining.
+  std::ostream& write(std::ostream& os) const;
+
+  /// Writes to a file, throwing util::Error if the file cannot be opened.
+  void write_file(const std::string& path) const;
+
+  [[nodiscard]] size_t columns() const noexcept { return headers_.size(); }
+  [[nodiscard]] size_t rows() const noexcept;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+}  // namespace waveletic::util

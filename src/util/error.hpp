@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file error.hpp
+/// Error type used across the library.  All recoverable failures (parse
+/// errors, numerical non-convergence, bad lookups) are reported by
+/// throwing util::Error with a human-readable context string.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace waveletic::util {
+
+/// Library-wide exception type.  Carries a message assembled from the
+/// variadic constructor arguments via operator<<.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string msg) : std::runtime_error(std::move(msg)) {}
+
+  /// Builds the message by streaming every argument, e.g.
+  ///   throw Error::fmt("node ", name, " not found (", n, " nodes)");
+  template <typename... Args>
+  [[nodiscard]] static Error fmt(Args&&... args) {
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return Error(os.str());
+  }
+};
+
+/// Throws util::Error with the given streamed message when `cond` is
+/// false.  Used for precondition checks on public API boundaries.
+template <typename... Args>
+void require(bool cond, Args&&... args) {
+  if (!cond) throw Error::fmt(std::forward<Args>(args)...);
+}
+
+}  // namespace waveletic::util

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file log.hpp
+/// Minimal leveled logger.  Output goes to stderr so benches can pipe
+/// stdout (tables, CSV) cleanly.  The level is a process-wide setting
+/// owned by main(); library code only ever emits.
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace waveletic::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits one line ("[level] message\n") if `level` passes the threshold.
+void log_line(LogLevel level, std::string_view message);
+
+/// Streamed convenience wrappers.
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() > LogLevel::kDebug) return;
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  log_line(LogLevel::kDebug, os.str());
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() > LogLevel::kInfo) return;
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  log_line(LogLevel::kInfo, os.str());
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() > LogLevel::kWarn) return;
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  log_line(LogLevel::kWarn, os.str());
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() > LogLevel::kError) return;
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  log_line(LogLevel::kError, os.str());
+}
+
+}  // namespace waveletic::util

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic, seedable RNG (xoshiro256**) so tests and experiment
+/// sweeps are reproducible across platforms independent of libstdc++'s
+/// distribution implementations.
+
+#include <cstdint>
+
+namespace waveletic::util {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept {
+    // splitmix64 seeding of the four lanes.
+    uint64_t x = seed;
+    for (auto& lane : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  [[nodiscard]] uint64_t next() noexcept {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).
+  [[nodiscard]] uint64_t below(uint64_t n) noexcept { return next() % n; }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t state_[4];
+};
+
+}  // namespace waveletic::util

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file strings.hpp
+/// Small string helpers shared by the parsers (SPICE decks, Liberty,
+/// structural Verilog) and the report writers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace waveletic::util {
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Splits on any character in `delims`, dropping empty fields.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s,
+                                                  std::string_view delims);
+
+/// Splits on `delims` keeping empty fields (CSV-style).
+[[nodiscard]] std::vector<std::string_view> split_keep_empty(
+    std::string_view s, char delim);
+
+/// ASCII lower-casing (parsers are case-insensitive where the source
+/// format is, e.g. SPICE element cards).
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Case-insensitive equality on ASCII.
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b) noexcept;
+
+[[nodiscard]] bool starts_with(std::string_view s,
+                               std::string_view prefix) noexcept;
+[[nodiscard]] bool ends_with(std::string_view s,
+                             std::string_view suffix) noexcept;
+
+/// Joins strings with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+}  // namespace waveletic::util

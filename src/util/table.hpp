@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file table.hpp
+/// ASCII table renderer used by the benches to print paper-style result
+/// tables (e.g. the Table 1 reproduction).
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace waveletic::util {
+
+/// Row-oriented fixed-grid ASCII table with a header row.
+///
+///   Table t({"Method", "Max", "Avg"});
+///   t.add_row({"SGDP", "38.3", "9.2"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Optional caption printed above the grid.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  std::ostream& print(std::ostream& os) const;
+
+  [[nodiscard]] size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace waveletic::util

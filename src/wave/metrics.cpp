@@ -1,0 +1,125 @@
+#include "wave/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace waveletic::wave {
+
+double level_for(Polarity p, double frac, double vdd) noexcept {
+  return p == Polarity::kRising ? frac * vdd : (1.0 - frac) * vdd;
+}
+
+std::optional<double> arrival_50(const Waveform& w, Polarity p, double vdd) {
+  return w.last_crossing(level_for(p, 0.5, vdd));
+}
+
+std::optional<double> first_arrival_50(const Waveform& w, Polarity p,
+                                       double vdd) {
+  return w.first_crossing(level_for(p, 0.5, vdd));
+}
+
+std::optional<double> slew_noisy(const Waveform& w, Polarity p, double vdd,
+                                 const Thresholds& th) {
+  const auto lo = w.first_crossing(level_for(p, th.low, vdd));
+  const auto hi = w.last_crossing(level_for(p, th.high, vdd));
+  if (!lo || !hi || *hi <= *lo) return std::nullopt;
+  return *hi - *lo;
+}
+
+std::optional<double> slew_clean(const Waveform& w, Polarity p, double vdd,
+                                 const Thresholds& th) {
+  const auto lo = w.first_crossing(level_for(p, th.low, vdd));
+  const auto hi = w.first_crossing(level_for(p, th.high, vdd));
+  if (!lo || !hi || *hi <= *lo) return std::nullopt;
+  return *hi - *lo;
+}
+
+std::optional<double> gate_delay_50(const Waveform& input, Polarity in_pol,
+                                    const Waveform& output, Polarity out_pol,
+                                    double vdd) {
+  const auto t_in = arrival_50(input, in_pol, vdd);
+  const auto t_out = arrival_50(output, out_pol, vdd);
+  if (!t_in || !t_out) return std::nullopt;
+  return *t_out - *t_in;
+}
+
+size_t crossing_count_50(const Waveform& w, double vdd) {
+  return w.crossings(0.5 * vdd).size();
+}
+
+Excursions rail_excursions(const Waveform& w, double vdd) {
+  Excursions e;
+  e.overshoot = std::max(0.0, w.max_value() - vdd);
+  e.undershoot = std::max(0.0, -w.min_value());
+  return e;
+}
+
+double rms_difference(const Waveform& a, const Waveform& b, double t0,
+                      double t1, size_t n) {
+  util::require(t1 > t0 && n >= 2, "rms_difference: bad window");
+  double acc = 0.0;
+  const double dt = (t1 - t0) / static_cast<double>(n - 1);
+  for (size_t i = 0; i < n; ++i) {
+    const double t = t0 + dt * static_cast<double>(i);
+    const double d = a.at(t) - b.at(t);
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(n));
+}
+
+std::optional<CriticalRegion> noisy_critical_region(const Waveform& w,
+                                                    Polarity p, double vdd,
+                                                    const Thresholds& th) {
+  const auto lo = w.first_crossing(level_for(p, th.low, vdd));
+  const auto hi = w.last_crossing(level_for(p, th.high, vdd));
+  if (!lo || !hi || *hi <= *lo) return std::nullopt;
+  return CriticalRegion{*lo, *hi};
+}
+
+std::optional<CriticalRegion> noiseless_critical_region(const Waveform& w,
+                                                        Polarity p, double vdd,
+                                                        const Thresholds& th) {
+  const auto lo = w.first_crossing(level_for(p, th.low, vdd));
+  const auto hi = w.first_crossing(level_for(p, th.high, vdd));
+  if (!lo || !hi || *hi <= *lo) return std::nullopt;
+  return CriticalRegion{*lo, *hi};
+}
+
+std::optional<CriticalRegion> arrival_event_region(const Waveform& w,
+                                                   Polarity p, double vdd,
+                                                   const Thresholds& th,
+                                                   double completion_frac) {
+  const auto mids = w.crossings(level_for(p, 0.5, vdd));
+  if (mids.empty()) return std::nullopt;
+  const double mid = mids.back();
+
+  const auto lows = w.crossings(level_for(p, th.low, vdd));
+  if (lows.empty()) return std::nullopt;
+  double t_lo = lows.front();
+  for (double t : lows) {
+    if (t <= mid) t_lo = t;  // last low crossing before the event
+  }
+  if (t_lo > mid) t_lo = lows.front();
+
+  // Note on re-crossing waveforms: when the record holds several 50%
+  // crossings the window deliberately spans *all* of them (from the low
+  // crossing before the last event back through the earlier events).
+  // Whether the receiving gate actually responds to a marginal re-cross
+  // depends on its switching threshold, which only the sensitivity
+  // weighting knows — so event selection is left to the weighted fit
+  // rather than decided geometrically here.
+
+  double t_hi = w.t_end();
+  for (double t : w.crossings(level_for(p, completion_frac, vdd))) {
+    if (t >= mid) {  // first completion crossing after the event
+      t_hi = t;
+      break;
+    }
+  }
+  if (t_hi <= t_lo) return std::nullopt;
+  return CriticalRegion{t_lo, t_hi};
+}
+
+}  // namespace waveletic::wave

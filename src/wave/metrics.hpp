@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Timing measurements on waveforms: the quantities the paper's Table 1
+/// is built from (50% arrivals, 10/90 slews, gate delays) plus general
+/// waveform diagnostics used by tests.
+
+#include <optional>
+
+#include "wave/waveform.hpp"
+
+namespace waveletic::wave {
+
+/// Threshold set, as fractions of vdd.  The paper uses 10%/50%/90%.
+struct Thresholds {
+  double low = 0.1;
+  double mid = 0.5;
+  double high = 0.9;
+};
+
+/// Level crossed by a transition of polarity `p` when the *logical*
+/// progress fraction is `frac` (e.g. frac=0.1 of a falling edge is the
+/// 0.9·vdd voltage level).
+[[nodiscard]] double level_for(Polarity p, double frac, double vdd) noexcept;
+
+/// Latest crossing of the 50% level — the paper's arrival-time
+/// convention for noisy waveforms.  nullopt if the level is never hit.
+[[nodiscard]] std::optional<double> arrival_50(const Waveform& w, Polarity p,
+                                               double vdd);
+
+/// Earliest 50% crossing (used by tests and the optimism analysis).
+[[nodiscard]] std::optional<double> first_arrival_50(const Waveform& w,
+                                                     Polarity p, double vdd);
+
+/// Transition time between thresholds.low and thresholds.high measured
+/// on the *noisy* waveform: earliest low-crossing to latest
+/// high-crossing (logical fractions, so falling edges measure 0.9→0.1).
+/// This matches the P2 definition in the paper.
+[[nodiscard]] std::optional<double> slew_noisy(const Waveform& w, Polarity p,
+                                               double vdd,
+                                               const Thresholds& th = {});
+
+/// Transition time measured on a clean monotone waveform: first
+/// low-crossing to first high-crossing.
+[[nodiscard]] std::optional<double> slew_clean(const Waveform& w, Polarity p,
+                                               double vdd,
+                                               const Thresholds& th = {});
+
+/// Gate delay between an input and output waveform: latest input 50%
+/// crossing to latest output 50% crossing (paper §4.1).  Polarity of
+/// each side is given separately (inverting gates flip).
+[[nodiscard]] std::optional<double> gate_delay_50(
+    const Waveform& input, Polarity in_pol, const Waveform& output,
+    Polarity out_pol, double vdd);
+
+/// Number of times the waveform crosses the 50% level — the paper links
+/// this count to E4's pessimism.
+[[nodiscard]] size_t crossing_count_50(const Waveform& w, double vdd);
+
+/// Largest excursion above vdd / below 0 (overshoot / undershoot).
+struct Excursions {
+  double overshoot = 0.0;   ///< max(v) − vdd when positive
+  double undershoot = 0.0;  ///< −min(v) when positive
+};
+[[nodiscard]] Excursions rail_excursions(const Waveform& w, double vdd);
+
+/// RMS difference between two waveforms over [t0, t1] with n samples.
+[[nodiscard]] double rms_difference(const Waveform& a, const Waveform& b,
+                                    double t0, double t1, size_t n = 256);
+
+/// The noisy critical region of the paper: time of the first crossing of
+/// the low threshold to the last crossing of the high threshold
+/// (logical fractions).  nullopt when the waveform never completes the
+/// transition.
+struct CriticalRegion {
+  double t_first = 0.0;
+  double t_last = 0.0;
+};
+[[nodiscard]] std::optional<CriticalRegion> noisy_critical_region(
+    const Waveform& w, Polarity p, double vdd, const Thresholds& th = {});
+
+/// The noiseless critical region: first low to first high crossing of a
+/// clean monotone waveform.
+[[nodiscard]] std::optional<CriticalRegion> noiseless_critical_region(
+    const Waveform& w, Polarity p, double vdd, const Thresholds& th = {});
+
+/// The *arrival event* region: the window around the transition that
+/// determines the STA arrival (the latest mid-level crossing).  It runs
+/// from the last low-threshold crossing before the latest 50% crossing
+/// (or the first low crossing overall when the waveform never returns
+/// below the low threshold) to the first crossing of the *completion*
+/// level after it (or the end of the record).  Unlike
+/// noisy_critical_region this excludes post-transition glitch tails
+/// that hover between the mid level and the rail without re-crossing
+/// 50% — those cannot change the arrival, and sampling them would let
+/// the tail dominate a Γeff fit.  The completion level sits below the
+/// 90% threshold (default 80%) because far-end waveforms crawl toward
+/// the rail slowly and may not have reached 90% before a late glitch
+/// begins.
+[[nodiscard]] std::optional<CriticalRegion> arrival_event_region(
+    const Waveform& w, Polarity p, double vdd, const Thresholds& th = {},
+    double completion_frac = 0.8);
+
+}  // namespace waveletic::wave

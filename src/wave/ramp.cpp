@@ -1,0 +1,64 @@
+#include "wave/ramp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace waveletic::wave {
+
+Ramp::Ramp(double a, double b, double vdd) : a_(a), b_(b), vdd_(vdd) {
+  util::require(std::isfinite(a) && a > 0.0,
+                "Ramp: slope must be positive and finite, got ", a);
+  util::require(vdd > 0.0, "Ramp: vdd must be positive");
+}
+
+Ramp Ramp::from_arrival_slew(double t50, double slew, double vdd,
+                             double frac_lo, double frac_hi) {
+  util::require(slew > 0.0, "Ramp: non-positive slew");
+  util::require(frac_hi > frac_lo && frac_lo >= 0.0 && frac_hi <= 1.0,
+                "Ramp: bad slew thresholds ", frac_lo, ", ", frac_hi);
+  const double a = (frac_hi - frac_lo) * vdd / slew;
+  const double b = 0.5 * vdd - a * t50;
+  return {a, b, vdd};
+}
+
+double Ramp::at(double t) const noexcept {
+  return std::clamp(a_ * t + b_, 0.0, vdd_);
+}
+
+double Ramp::time_at(double v) const noexcept { return (v - b_) / a_; }
+
+double Ramp::slew(double frac_lo, double frac_hi) const noexcept {
+  return (frac_hi - frac_lo) * vdd_ / a_;
+}
+
+Waveform Ramp::sampled(size_t n) const {
+  const double span = vdd_ / a_;
+  const double t0 = t_start() - span;
+  const double t1 = t_full() + span;
+  std::vector<double> t(n), v(n);
+  const double dt = (t1 - t0) / static_cast<double>(n - 1);
+  for (size_t i = 0; i < n; ++i) {
+    t[i] = t0 + dt * static_cast<double>(i);
+    v[i] = at(t[i]);
+  }
+  return Waveform(std::move(t), std::move(v));
+}
+
+Waveform Ramp::denormalized(Polarity p, size_t n) const {
+  Waveform w = sampled(n);
+  if (p == Polarity::kFalling) return w.flipped(vdd_);
+  return w;
+}
+
+std::string Ramp::describe() const {
+  std::ostringstream os;
+  os << "ramp(t50=" << util::format_eng(t50(), "s")
+     << ", slew10-90=" << util::format_eng(slew(), "s") << ")";
+  return os.str();
+}
+
+}  // namespace waveletic::wave

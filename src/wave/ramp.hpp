@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file ramp.hpp
+/// Saturated linear ramp — the Γeff of the paper.  A ramp is the line
+/// v(t) = a·t + b clipped to the supply rails [0, vdd].  Every
+/// equivalent-waveform technique returns one of these; STA consumes it
+/// as (arrival time, slew).
+
+#include <string>
+
+#include "wave/waveform.hpp"
+
+namespace waveletic::wave {
+
+/// Γeff: v(t) = clamp(a·t + b, 0, vdd).
+///
+/// Convention: ramps are stored *rising-normalized* (a > 0).  A falling
+/// transition is represented by its flipped twin plus Polarity carried
+/// alongside by callers; `denormalized()` maps back.
+class Ramp {
+ public:
+  Ramp() = default;
+
+  /// Direct coefficient construction; requires a > 0 and vdd > 0.
+  Ramp(double a, double b, double vdd);
+
+  /// Builds from STA quantities: the time of the 50% crossing and the
+  /// low%-to-high% transition time (measured between `frac_lo`·vdd and
+  /// `frac_hi`·vdd, default 10%/90% as in the paper).
+  [[nodiscard]] static Ramp from_arrival_slew(double t50, double slew,
+                                              double vdd,
+                                              double frac_lo = 0.1,
+                                              double frac_hi = 0.9);
+
+  [[nodiscard]] double a() const noexcept { return a_; }
+  [[nodiscard]] double b() const noexcept { return b_; }
+  [[nodiscard]] double vdd() const noexcept { return vdd_; }
+
+  /// Clamped evaluation.
+  [[nodiscard]] double at(double t) const noexcept;
+
+  /// Time at which the unclamped line reaches voltage v.
+  [[nodiscard]] double time_at(double v) const noexcept;
+
+  /// 50% crossing time (the STA arrival).
+  [[nodiscard]] double t50() const noexcept { return time_at(0.5 * vdd_); }
+
+  /// Transition time between frac_lo·vdd and frac_hi·vdd.
+  [[nodiscard]] double slew(double frac_lo = 0.1,
+                            double frac_hi = 0.9) const noexcept;
+
+  /// Time span over which the ramp traverses [0, vdd] fully.
+  [[nodiscard]] double t_start() const noexcept { return time_at(0.0); }
+  [[nodiscard]] double t_full() const noexcept { return time_at(vdd_); }
+
+  /// Samples the clamped ramp as a Waveform with margins, suitable for
+  /// driving the transient simulator.
+  [[nodiscard]] Waveform sampled(size_t n = 128) const;
+
+  /// Time-shifted copy (t50 moves by dt).
+  [[nodiscard]] Ramp shifted(double dt) const { return {a_, b_ - a_ * dt, vdd_}; }
+
+  /// Maps the rising-normalized ramp back to `p`: identity for rising;
+  /// for falling returns the waveform mirror (descends vdd → 0 at the
+  /// same times the normalized ramp ascends).
+  [[nodiscard]] Waveform denormalized(Polarity p, size_t n = 128) const;
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  double a_ = 1.0;   // V/s, > 0
+  double b_ = 0.0;   // V at t = 0 of the unclamped line
+  double vdd_ = 1.0; // V
+};
+
+}  // namespace waveletic::wave

@@ -1,0 +1,228 @@
+// Characterization-flow tests: VCL013 cell construction, analytic pin
+// caps, NLDM table generation through the transient simulator, and
+// physical sanity of the resulting library.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "charlib/characterize.hpp"
+#include "charlib/vcl013.hpp"
+#include "liberty/writer.hpp"
+#include "liberty/parser.hpp"
+#include "spice/devices.hpp"
+#include "spice/engine.hpp"
+#include "util/error.hpp"
+#include "wave/metrics.hpp"
+
+namespace cl = waveletic::charlib;
+namespace lb = waveletic::liberty;
+namespace sp = waveletic::spice;
+namespace wv = waveletic::wave;
+namespace wu = waveletic::util;
+
+namespace {
+
+/// Characterized-fast library shared across tests in this binary.
+const lb::Library& fast_lib() {
+  static const lb::Library lib = cl::build_vcl013_library_fast();
+  return lib;
+}
+
+}  // namespace
+
+TEST(Vcl013, CellListContainsPaperDrives) {
+  const auto cells = cl::vcl013_cells();
+  for (const char* name : {"INVX1", "INVX4", "INVX16", "INVX64"}) {
+    SCOPED_TRACE(name);
+    EXPECT_NO_THROW((void)cl::vcl013_cell(name));
+  }
+  EXPECT_THROW((void)cl::vcl013_cell("INVX3"), wu::Error);
+  EXPECT_GE(cells.size(), 8u);
+}
+
+TEST(Vcl013, PinCapScalesWithDrive) {
+  const cl::Pdk pdk;
+  const double c1 =
+      cl::input_pin_capacitance(pdk, cl::vcl013_cell("INVX1"), "A");
+  const double c4 =
+      cl::input_pin_capacitance(pdk, cl::vcl013_cell("INVX4"), "A");
+  EXPECT_NEAR(c4 / c1, 4.0, 1e-9);
+  EXPECT_GT(c1, 0.5e-15);
+  EXPECT_LT(c1, 5e-15);
+}
+
+TEST(Vcl013, InstantiateInverterAndSimulate) {
+  const cl::Pdk pdk;
+  sp::Circuit ckt;
+  cl::add_supply(ckt, pdk);
+  cl::instantiate_cell(ckt, pdk, cl::vcl013_cell("INVX4"), "u1",
+                       {{"A", "in"}, {"Y", "out"}}, "vdd");
+  ckt.emplace<sp::Capacitor>("cl", ckt.node("out"), sp::kGround, 10e-15);
+  ckt.emplace<sp::VoltageSource>(
+      "vin", ckt.node("in"), sp::kGround,
+      std::make_unique<sp::RampStimulus>(0.5e-9, 150e-12, 0.0, pdk.vdd,
+                                         true));
+  sp::TransientSpec spec;
+  spec.t_stop = 2e-9;
+  spec.dt = 1e-12;
+  const auto res = sp::transient(ckt, spec);
+  EXPECT_NEAR(res.waveform("out").at(2e-9), 0.0, 0.02);
+}
+
+TEST(Vcl013, Nand2TruthTableAtDc) {
+  const cl::Pdk pdk;
+  const auto run = [&](double va, double vb) {
+    sp::Circuit ckt;
+    cl::add_supply(ckt, pdk);
+    cl::instantiate_cell(ckt, pdk, cl::vcl013_cell("NAND2X1"), "u1",
+                         {{"A", "a"}, {"B", "b"}, {"Y", "y"}}, "vdd");
+    ckt.emplace<sp::VoltageSource>("va", ckt.node("a"), sp::kGround,
+                                   std::make_unique<sp::DcStimulus>(va));
+    ckt.emplace<sp::VoltageSource>("vb", ckt.node("b"), sp::kGround,
+                                   std::make_unique<sp::DcStimulus>(vb));
+    const auto x = sp::dc_operating_point(ckt);
+    return x[static_cast<size_t>(ckt.find_node("y") - 1)];
+  };
+  EXPECT_NEAR(run(0.0, 0.0), pdk.vdd, 0.01);
+  EXPECT_NEAR(run(pdk.vdd, 0.0), pdk.vdd, 0.01);
+  EXPECT_NEAR(run(0.0, pdk.vdd), pdk.vdd, 0.01);
+  EXPECT_NEAR(run(pdk.vdd, pdk.vdd), 0.0, 0.01);
+}
+
+TEST(Vcl013, Nor2TruthTableAtDc) {
+  const cl::Pdk pdk;
+  const auto run = [&](double va, double vb) {
+    sp::Circuit ckt;
+    cl::add_supply(ckt, pdk);
+    cl::instantiate_cell(ckt, pdk, cl::vcl013_cell("NOR2X1"), "u1",
+                         {{"A", "a"}, {"B", "b"}, {"Y", "y"}}, "vdd");
+    ckt.emplace<sp::VoltageSource>("va", ckt.node("a"), sp::kGround,
+                                   std::make_unique<sp::DcStimulus>(va));
+    ckt.emplace<sp::VoltageSource>("vb", ckt.node("b"), sp::kGround,
+                                   std::make_unique<sp::DcStimulus>(vb));
+    const auto x = sp::dc_operating_point(ckt);
+    return x[static_cast<size_t>(ckt.find_node("y") - 1)];
+  };
+  EXPECT_NEAR(run(0.0, 0.0), pdk.vdd, 0.01);
+  EXPECT_NEAR(run(pdk.vdd, 0.0), 0.0, 0.01);
+  EXPECT_NEAR(run(0.0, pdk.vdd), 0.0, 0.01);
+  EXPECT_NEAR(run(pdk.vdd, pdk.vdd), 0.0, 0.01);
+}
+
+TEST(Vcl013, MissingConnectionThrows) {
+  const cl::Pdk pdk;
+  sp::Circuit ckt;
+  cl::add_supply(ckt, pdk);
+  EXPECT_THROW(cl::instantiate_cell(ckt, pdk, cl::vcl013_cell("INVX1"), "u",
+                                    {{"A", "in"}}, "vdd"),
+               wu::Error);
+}
+
+TEST(Characterize, FastLibraryHasCompleteArcs) {
+  const auto& lib = fast_lib();
+  ASSERT_NE(lib.find_cell("INVX1"), nullptr);
+  ASSERT_NE(lib.find_cell("INVX4"), nullptr);
+  const auto& y = lib.cell("INVX1").output_pin();
+  ASSERT_EQ(y.arcs.size(), 1u);
+  const auto& arc = y.arcs[0];
+  EXPECT_EQ(arc.sense, lb::TimingSense::kNegativeUnate);
+  EXPECT_FALSE(arc.cell_rise.empty());
+  EXPECT_FALSE(arc.cell_fall.empty());
+  EXPECT_FALSE(arc.rise_transition.empty());
+  EXPECT_FALSE(arc.fall_transition.empty());
+}
+
+TEST(Characterize, DelayMonotoneInLoad) {
+  const auto& arc = fast_lib().cell("INVX1").output_pin().arcs[0];
+  double prev = -1.0;
+  for (double load = 2e-15; load <= 40e-15; load += 2e-15) {
+    const double d = arc.rise(150e-12, load).delay;
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(Characterize, OutputSlewMonotoneInLoad) {
+  const auto& arc = fast_lib().cell("INVX1").output_pin().arcs[0];
+  double prev = -1.0;
+  for (double load = 2e-15; load <= 40e-15; load += 4e-15) {
+    const double s = arc.fall(150e-12, load).out_slew;
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(Characterize, StrongerDriveIsFaster) {
+  const auto& lib = fast_lib();
+  const auto& a1 = lib.cell("INVX1").output_pin().arcs[0];
+  const auto& a4 = lib.cell("INVX4").output_pin().arcs[0];
+  // Same absolute load: X4 must be markedly faster.
+  const double load = 20e-15;
+  EXPECT_LT(a4.rise(150e-12, load).delay, a1.rise(150e-12, load).delay);
+  EXPECT_LT(a4.fall(150e-12, load).out_slew,
+            a1.fall(150e-12, load).out_slew);
+}
+
+TEST(Characterize, TableValuesArePhysical) {
+  const auto& lib = fast_lib();
+  for (const auto& cell : lib.cells) {
+    for (const auto& arc : cell.output_pin().arcs) {
+      for (double v : arc.cell_rise.values()) {
+        // Slightly negative 50%-to-50% delays are legitimate for the
+        // skewed cells (threshold below mid-rail), as in real NLDM
+        // libraries; bound them to a few picoseconds.
+        EXPECT_GT(v, -5e-12);
+        EXPECT_LT(v, 5e-9);
+      }
+      for (double v : arc.rise_transition.values()) {
+        EXPECT_GT(v, 0.0);  // transition times are strictly positive
+        EXPECT_LT(v, 5e-9);
+      }
+    }
+  }
+}
+
+TEST(Characterize, NldmPredictsSimulatedDelayOffGrid) {
+  // The library must predict a fresh transistor-level simulation at an
+  // off-grid (slew, load) point reasonably well: this validates the
+  // whole characterize->interpolate pipeline.
+  const cl::Pdk pdk;
+  const auto& arc = fast_lib().cell("INVX4").output_pin().arcs[0];
+  const double slew = 120e-12;  // off-grid
+  const double load = 18e-15;   // off-grid
+
+  sp::Circuit ckt;
+  cl::add_supply(ckt, pdk);
+  cl::instantiate_cell(ckt, pdk, cl::vcl013_cell("INVX4"), "u1",
+                       {{"A", "in"}, {"Y", "out"}}, "vdd");
+  ckt.emplace<sp::Capacitor>("cl", ckt.node("out"), sp::kGround, load);
+  ckt.emplace<sp::VoltageSource>(
+      "vin", ckt.node("in"), sp::kGround,
+      std::make_unique<sp::RampStimulus>(0.6e-9, slew / 0.8, 0.0, pdk.vdd,
+                                         true));
+  sp::TransientSpec spec;
+  spec.t_stop = 3e-9;
+  spec.dt = 1e-12;
+  const auto res = sp::transient(ckt, spec);
+  const auto sim_delay = wv::gate_delay_50(
+      res.waveform("in"), wv::Polarity::kRising, res.waveform("out"),
+      wv::Polarity::kFalling, pdk.vdd);
+  ASSERT_TRUE(sim_delay.has_value());
+  const double table_delay = arc.fall(slew, load).delay;
+  EXPECT_NEAR(table_delay, *sim_delay,
+              std::max(3e-12, 0.12 * *sim_delay));
+}
+
+TEST(Characterize, LibraryRoundTripsThroughLiberty) {
+  const auto& lib = fast_lib();
+  const auto text = lb::to_liberty_string(lib);
+  const auto lib2 = lb::parse_liberty(text);
+  const auto& a = lib.cell("INVX1").output_pin().arcs[0];
+  const auto& b = lib2.cell("INVX1").output_pin().arcs[0];
+  for (double slew : {60e-12, 200e-12}) {
+    for (double load : {3e-15, 25e-15}) {
+      EXPECT_NEAR(b.rise(slew, load).delay, a.rise(slew, load).delay, 1e-14);
+    }
+  }
+}

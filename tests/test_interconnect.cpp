@@ -1,0 +1,197 @@
+// Interconnect tests: RC-tree Elmore analysis against closed forms and
+// simulation, coupled-bus construction and crosstalk behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "interconnect/coupled.hpp"
+#include "interconnect/rctree.hpp"
+#include "spice/devices.hpp"
+#include "spice/engine.hpp"
+#include "util/error.hpp"
+#include "wave/metrics.hpp"
+
+namespace ic = waveletic::interconnect;
+namespace sp = waveletic::spice;
+namespace wv = waveletic::wave;
+namespace wu = waveletic::util;
+
+TEST(RcTree, SingleLumpElmoreIsRc) {
+  ic::RcTree tree;
+  const int root = tree.add_root("drv", 0.0);
+  const int leaf = tree.add_node("load", 1e-12, root, 1000.0);
+  EXPECT_DOUBLE_EQ(tree.elmore_delay(leaf), 1e-9);
+  EXPECT_DOUBLE_EQ(tree.elmore_delay(root), 0.0);
+  EXPECT_DOUBLE_EQ(tree.total_cap(), 1e-12);
+}
+
+TEST(RcTree, BranchedTreeElmoreHandComputed) {
+  //        r1=100        r2=200
+  //  drv ---------- n1 ---------- n2 (1pF)
+  //                  \ r3=300
+  //                   n3 (2pF);  n1 itself 0.5pF
+  ic::RcTree tree;
+  const int root = tree.add_root("drv", 0.0);
+  const int n1 = tree.add_node("n1", 0.5e-12, root, 100.0);
+  const int n2 = tree.add_node("n2", 1e-12, n1, 200.0);
+  const int n3 = tree.add_node("n3", 2e-12, n1, 300.0);
+  // downstream(n1) = 3.5p; elmore(n2) = 100*3.5p + 200*1p = 550ps
+  EXPECT_NEAR(tree.elmore_delay(n2), 550e-12, 1e-18);
+  // elmore(n3) = 100*3.5p + 300*2p = 950ps
+  EXPECT_NEAR(tree.elmore_delay(n3), 950e-12, 1e-18);
+  EXPECT_NEAR(tree.downstream_cap(n1), 3.5e-12, 1e-18);
+}
+
+TEST(RcTree, LadderElmoreIsExactlyHalfRcForAnySegmentCount) {
+  // The π-ladder discretization is Elmore-exact: the far-end Elmore
+  // delay equals the distributed-line value RC/2 for every N (the half
+  // end-caps cancel the lumping error in the first moment).
+  const double r = 1000.0, c = 1e-12;
+  for (int n : {1, 2, 5, 20, 50}) {
+    const auto tree = ic::RcTree::ladder(n, r, c);
+    const double d = tree.elmore_delay(tree.find(std::to_string(n)));
+    EXPECT_NEAR(d, 0.5 * r * c, 1e-9 * r * c) << "segments=" << n;
+    EXPECT_NEAR(tree.total_cap(), c, 1e-20);
+  }
+}
+
+TEST(RcTree, ElmoreBoundsSimulated50PercentDelay) {
+  // Elmore is an upper bound for the 50% step delay of an RC ladder
+  // (monotone response); it should also be within ~2x.
+  const double r = 2000.0, c = 0.8e-12;
+  const auto tree = ic::RcTree::ladder(8, r, c);
+  sp::Circuit ckt;
+  const auto names = tree.build_into(ckt, "w.");
+  ckt.emplace<sp::VoltageSource>(
+      "vin", ckt.find_node(names.front()), sp::kGround,
+      std::make_unique<sp::PwlStimulus>(std::vector<sp::PwlStimulus::Point>{
+          {0.0, 0.0}, {1e-12, 1.0}}));
+  sp::TransientSpec spec;
+  spec.t_stop = 10e-9;
+  spec.dt = 1e-12;
+  const auto res = sp::transient(ckt, spec);
+  const auto t50 = res.waveform(names.back()).first_crossing(0.5);
+  ASSERT_TRUE(t50.has_value());
+  const double elmore =
+      tree.elmore_delay(tree.find(std::to_string(8)));
+  EXPECT_LT(*t50, elmore);          // Elmore over-estimates 50% delay
+  EXPECT_GT(*t50, 0.4 * elmore);    // but not absurdly
+}
+
+TEST(RcTree, ValidatesStructure) {
+  ic::RcTree tree;
+  EXPECT_THROW((void)tree.elmore_delay(0), wu::Error);
+  tree.add_root("drv", 0.0);
+  EXPECT_THROW((void)tree.add_root("again", 0.0), wu::Error);
+  EXPECT_THROW((void)tree.add_node("x", 0.0, 5, 100.0), wu::Error);
+  EXPECT_THROW((void)tree.add_node("x", 0.0, 0, -1.0), wu::Error);
+  EXPECT_EQ(tree.find("nope"), -1);
+}
+
+TEST(CoupledBus, TotalCapacitanceConserved) {
+  sp::Circuit ckt;
+  ic::CoupledBusSpec spec;
+  spec.lines.push_back({"x", 6, 51.0, 28.8e-15});
+  spec.lines.push_back({"y", 6, 51.0, 28.8e-15});
+  spec.couplings.push_back({0, 1, 100e-15});
+  const auto nodes = ic::build_coupled_bus(ckt, spec);
+
+  double ground_cap = 0.0, coupling_cap = 0.0, resistance = 0.0;
+  for (const auto& dev : ckt.devices()) {
+    if (const auto* c = dynamic_cast<const sp::Capacitor*>(dev.get())) {
+      if (dev->name().find("cm_") != std::string::npos) {
+        coupling_cap += c->capacitance();
+      } else {
+        ground_cap += c->capacitance();
+      }
+    } else if (const auto* r = dynamic_cast<const sp::Resistor*>(dev.get())) {
+      resistance += r->resistance();
+    }
+  }
+  EXPECT_NEAR(ground_cap, 2 * 28.8e-15, 1e-20);
+  EXPECT_NEAR(coupling_cap, 100e-15, 1e-20);
+  EXPECT_NEAR(resistance, 2 * 51.0, 1e-9);
+  EXPECT_EQ(nodes.per_line.size(), 2u);
+  EXPECT_EQ(nodes.near_end(0), "x_0");
+  EXPECT_EQ(nodes.far_end(1), "y_6");
+}
+
+TEST(CoupledBus, AggressorInjectsBumpOnDrivenVictim) {
+  // Victim held low through a driver resistance; aggressor rises: the
+  // victim far end must bounce up and settle back.
+  sp::Circuit ckt;
+  ic::CoupledBusSpec spec;
+  spec.lines.push_back({"x", 6, 51.0, 28.8e-15});
+  spec.lines.push_back({"y", 6, 51.0, 28.8e-15});
+  spec.couplings.push_back({0, 1, 100e-15});
+  const auto nodes = ic::build_coupled_bus(ckt, spec);
+
+  ckt.emplace<sp::VoltageSource>(
+      "vx", ckt.find_node(nodes.near_end(0)), sp::kGround,
+      std::make_unique<sp::RampStimulus>(1e-9, 150e-12, 0.0, 1.2, true));
+  // Weak holding driver on the victim (mimics an inverter holding low).
+  const auto vy_drv = ckt.node("y_drv");
+  ckt.emplace<sp::VoltageSource>("vy", vy_drv, sp::kGround,
+                                 std::make_unique<sp::DcStimulus>(0.0));
+  ckt.emplace<sp::Resistor>("ry", vy_drv, ckt.find_node(nodes.near_end(1)),
+                            2000.0);
+
+  sp::TransientSpec tspec;
+  tspec.t_stop = 5e-9;
+  tspec.dt = 1e-12;
+  const auto res = sp::transient(ckt, tspec);
+  const auto& victim = res.waveform(nodes.far_end(1));
+  EXPECT_GT(victim.max_value(), 0.15);          // sizeable bump
+  EXPECT_LT(std::fabs(victim.at(5e-9)), 0.03);  // settles back
+}
+
+TEST(CoupledBus, CouplingStrengthScalesBump) {
+  const auto bump_with = [&](double cm) {
+    sp::Circuit ckt;
+    ic::CoupledBusSpec spec;
+    spec.lines.push_back({"x", 4, 40.0, 20e-15});
+    spec.lines.push_back({"y", 4, 40.0, 20e-15});
+    spec.couplings.push_back({0, 1, cm});
+    const auto nodes = ic::build_coupled_bus(ckt, spec);
+    ckt.emplace<sp::VoltageSource>(
+        "vx", ckt.find_node(nodes.near_end(0)), sp::kGround,
+        std::make_unique<sp::RampStimulus>(0.5e-9, 150e-12, 0.0, 1.2,
+                                           true));
+    const auto vy = ckt.node("ydrv");
+    ckt.emplace<sp::VoltageSource>("vy", vy, sp::kGround,
+                                   std::make_unique<sp::DcStimulus>(0.0));
+    ckt.emplace<sp::Resistor>("ry", vy, ckt.find_node(nodes.near_end(1)),
+                              1000.0);
+    sp::TransientSpec tspec;
+    tspec.t_stop = 3e-9;
+    tspec.dt = 1e-12;
+    const auto res = sp::transient(ckt, tspec);
+    return res.waveform(nodes.far_end(1)).max_value();
+  };
+  EXPECT_GT(bump_with(100e-15), 1.8 * bump_with(25e-15));
+}
+
+TEST(CoupledBus, ThreeLineConfigurationBuilds) {
+  // Config II shape: two aggressors flanking one victim.
+  sp::Circuit ckt;
+  ic::CoupledBusSpec spec;
+  spec.lines.push_back({"x1", 3, 25.5, 14.4e-15});
+  spec.lines.push_back({"y", 3, 25.5, 14.4e-15});
+  spec.lines.push_back({"x2", 3, 25.5, 14.4e-15});
+  spec.couplings.push_back({0, 1, 100e-15});
+  spec.couplings.push_back({2, 1, 100e-15});
+  const auto nodes = ic::build_coupled_bus(ckt, spec);
+  EXPECT_EQ(nodes.per_line.size(), 3u);
+  EXPECT_TRUE(ckt.has_node("y_3"));
+  EXPECT_GT(ckt.node_count(), 12u);
+}
+
+TEST(CoupledBus, RejectsMismatchedSegments) {
+  sp::Circuit ckt;
+  ic::CoupledBusSpec spec;
+  spec.lines.push_back({"x", 4, 40.0, 20e-15});
+  spec.lines.push_back({"y", 6, 40.0, 20e-15});
+  EXPECT_THROW((void)ic::build_coupled_bus(ckt, spec), wu::Error);
+}

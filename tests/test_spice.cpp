@@ -1,0 +1,493 @@
+// Physics and engine tests for the transient simulator: closed-form RC
+// responses, integrator convergence order, MOSFET model properties,
+// CMOS inverter behaviour, capacitive coupling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/devices.hpp"
+#include "spice/engine.hpp"
+#include "util/error.hpp"
+#include "wave/metrics.hpp"
+
+namespace sp = waveletic::spice;
+namespace wv = waveletic::wave;
+namespace wu = waveletic::util;
+
+namespace {
+
+constexpr double kVdd = 1.2;
+
+sp::MosfetModel nmos_model() {
+  sp::MosfetModel m;
+  m.name = "nmos";
+  m.pmos = false;
+  m.vth = 0.35;
+  m.alpha = 1.3;
+  m.kc = 6.0e2;
+  m.kv = 0.9;
+  m.lambda = 0.05;
+  return m;
+}
+
+sp::MosfetModel pmos_model() {
+  sp::MosfetModel m = nmos_model();
+  m.name = "pmos";
+  m.pmos = true;
+  m.vth = 0.32;
+  m.kc = 2.7e2;
+  return m;
+}
+
+/// Adds a transistor-level inverter between in/out with explicit gate
+/// and junction capacitances; returns nothing (devices live in ckt).
+void add_inverter(sp::Circuit& ckt, const std::string& name,
+                  const std::string& in, const std::string& out,
+                  const std::string& vdd_node, double wn, double wp) {
+  const auto n_in = ckt.node(in);
+  const auto n_out = ckt.node(out);
+  const auto n_vdd = ckt.node(vdd_node);
+  const auto gnd = sp::kGround;
+  const auto nm = nmos_model();
+  const auto pm = pmos_model();
+  ckt.emplace<sp::Mosfet>(name + ".mn", n_out, n_in, gnd, gnd, nm, wn);
+  ckt.emplace<sp::Mosfet>(name + ".mp", n_out, n_in, n_vdd, n_vdd, pm, wp);
+  // Lumped device capacitances.
+  ckt.emplace<sp::Capacitor>(name + ".cgs", n_in, gnd,
+                             nm.cgs_per_w * wn + pm.cgs_per_w * wp);
+  ckt.emplace<sp::Capacitor>(name + ".cgd", n_in, n_out,
+                             nm.cgd_per_w * wn + pm.cgd_per_w * wp);
+  ckt.emplace<sp::Capacitor>(name + ".cdb", n_out, gnd,
+                             nm.cdb_per_w * wn + pm.cdb_per_w * wp);
+}
+
+void add_vdd(sp::Circuit& ckt, const std::string& node) {
+  ckt.emplace<sp::VoltageSource>("vdd_src", ckt.node(node), sp::kGround,
+                                 std::make_unique<sp::DcStimulus>(kVdd));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Linear circuits against closed forms
+// ---------------------------------------------------------------------------
+
+TEST(SpiceDc, ResistorDividerHitsExactRatio) {
+  sp::Circuit ckt;
+  const auto top = ckt.node("top");
+  const auto mid = ckt.node("mid");
+  ckt.emplace<sp::VoltageSource>("v1", top, sp::kGround,
+                                 std::make_unique<sp::DcStimulus>(1.0));
+  ckt.emplace<sp::Resistor>("r1", top, mid, 1000.0);
+  ckt.emplace<sp::Resistor>("r2", mid, sp::kGround, 3000.0);
+  const auto x = sp::dc_operating_point(ckt);
+  EXPECT_NEAR(x[static_cast<size_t>(mid - 1)], 0.75, 1e-9);
+}
+
+TEST(SpiceTransient, RcChargeMatchesExponential) {
+  // 1kΩ, 1pF, step at t=0 from the DC value 0 to 1V: v(t)=1-exp(-t/τ).
+  sp::Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  ckt.emplace<sp::VoltageSource>(
+      "vin", in, sp::kGround,
+      std::make_unique<sp::PwlStimulus>(std::vector<sp::PwlStimulus::Point>{
+          {0.0, 0.0}, {1e-12, 1.0}}));
+  ckt.emplace<sp::Resistor>("r", in, out, 1000.0);
+  ckt.emplace<sp::Capacitor>("c", out, sp::kGround, 1e-12);
+
+  sp::TransientSpec spec;
+  spec.t_stop = 6e-9;
+  spec.dt = 1e-12;
+  const auto res = sp::transient(ckt, spec);
+  const auto& w = res.waveform("out");
+  const double tau = 1e-9;
+  for (double t : {0.5e-9, 1e-9, 2e-9, 4e-9}) {
+    const double expected = 1.0 - std::exp(-(t - 1e-12) / tau);
+    EXPECT_NEAR(w.at(t), expected, 4e-3) << "t=" << t;
+  }
+}
+
+TEST(SpiceTransient, RcDelayAt50PercentIsLn2Tau) {
+  sp::Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  ckt.emplace<sp::VoltageSource>(
+      "vin", in, sp::kGround,
+      std::make_unique<sp::PwlStimulus>(std::vector<sp::PwlStimulus::Point>{
+          {0.0, 0.0}, {1e-12, 1.0}}));
+  ckt.emplace<sp::Resistor>("r", in, out, 2000.0);
+  ckt.emplace<sp::Capacitor>("c", out, sp::kGround, 0.5e-12);
+  sp::TransientSpec spec;
+  spec.t_stop = 8e-9;
+  spec.dt = 0.5e-12;
+  const auto res = sp::transient(ckt, spec);
+  const auto cross = res.waveform("out").first_crossing(0.5);
+  ASSERT_TRUE(cross.has_value());
+  EXPECT_NEAR(*cross, std::log(2.0) * 1e-9, 5e-12);
+}
+
+TEST(SpiceTransient, TrapezoidalIsSecondOrder) {
+  // Global error of the RC response at fixed t should drop ~4x when dt
+  // halves for trapezoidal, ~2x for backward Euler.
+  const auto run_error = [&](sp::Integration method, double dt) {
+    sp::Circuit ckt;
+    const auto in = ckt.node("in");
+    const auto out = ckt.node("out");
+    ckt.emplace<sp::VoltageSource>(
+        "vin", in, sp::kGround,
+        std::make_unique<sp::RampStimulus>(0.5e-9, 0.2e-9, 0.0, 1.0, true));
+    ckt.emplace<sp::Resistor>("r", in, out, 1000.0);
+    ckt.emplace<sp::Capacitor>("c", out, sp::kGround, 1e-12);
+    sp::TransientSpec spec;
+    spec.t_stop = 3e-9;
+    spec.dt = dt;
+    spec.method = method;
+    const auto res = sp::transient(ckt, spec);
+    // Reference: very fine trapezoidal run.
+    sp::Circuit ref_ckt;
+    const auto rin = ref_ckt.node("in");
+    const auto rout = ref_ckt.node("out");
+    ref_ckt.emplace<sp::VoltageSource>(
+        "vin", rin, sp::kGround,
+        std::make_unique<sp::RampStimulus>(0.5e-9, 0.2e-9, 0.0, 1.0, true));
+    ref_ckt.emplace<sp::Resistor>("r", rin, rout, 1000.0);
+    ref_ckt.emplace<sp::Capacitor>("c", rout, sp::kGround, 1e-12);
+    sp::TransientSpec ref_spec = spec;
+    ref_spec.dt = 0.125e-12;
+    ref_spec.method = sp::Integration::kTrapezoidal;
+    const auto ref = sp::transient(ref_ckt, ref_spec);
+    double err = 0.0;
+    for (double t : {0.8e-9, 1.2e-9, 1.6e-9, 2.4e-9}) {
+      err = std::max(err, std::fabs(res.waveform("out").at(t) -
+                                    ref.waveform("out").at(t)));
+    }
+    return err;
+  };
+
+  const double trap_8 = run_error(sp::Integration::kTrapezoidal, 8e-12);
+  const double trap_4 = run_error(sp::Integration::kTrapezoidal, 4e-12);
+  const double be_8 = run_error(sp::Integration::kBackwardEuler, 8e-12);
+  const double be_4 = run_error(sp::Integration::kBackwardEuler, 4e-12);
+  EXPECT_LT(trap_4, trap_8 / 2.5);  // ~4x expected
+  EXPECT_LT(be_4, be_8 / 1.6);      // ~2x expected
+  EXPECT_LT(trap_8, be_8);          // trap strictly more accurate here
+}
+
+TEST(SpiceTransient, CouplingCapInjectsNoiseOnQuietNet) {
+  // Quiet victim held by a resistor to ground; aggressor steps through a
+  // coupling cap: the victim must bump and then recover.
+  sp::Circuit ckt;
+  const auto agg = ckt.node("agg");
+  const auto vic = ckt.node("vic");
+  ckt.emplace<sp::VoltageSource>(
+      "vagg", agg, sp::kGround,
+      std::make_unique<sp::RampStimulus>(1e-9, 0.15e-9, 0.0, kVdd, true));
+  ckt.emplace<sp::Capacitor>("cm", agg, vic, 50e-15);
+  ckt.emplace<sp::Resistor>("rv", vic, sp::kGround, 1000.0);
+  ckt.emplace<sp::Capacitor>("cv", vic, sp::kGround, 20e-15);
+
+  sp::TransientSpec spec;
+  spec.t_stop = 4e-9;
+  spec.dt = 1e-12;
+  const auto res = sp::transient(ckt, spec);
+  const auto& v = res.waveform("vic");
+  EXPECT_GT(v.max_value(), 0.1);            // visible bump
+  EXPECT_LT(std::fabs(v.at(4e-9)), 0.02);   // recovers to quiet level
+  EXPECT_LT(std::fabs(v.at(0.5e-9)), 1e-3); // quiet before the aggressor
+}
+
+TEST(SpiceTransient, ChargeConservationAcrossFloatingCapPair) {
+  // Two series caps from a stepped source: the middle node settles at
+  // the capacitive divider value.
+  sp::Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto mid = ckt.node("mid");
+  ckt.emplace<sp::VoltageSource>(
+      "vin", in, sp::kGround,
+      std::make_unique<sp::RampStimulus>(0.2e-9, 0.1e-9, 0.0, 1.0, true));
+  ckt.emplace<sp::Capacitor>("c1", in, mid, 3e-15);
+  ckt.emplace<sp::Capacitor>("c2", mid, sp::kGround, 1e-15);
+  sp::TransientSpec spec;
+  spec.t_stop = 1e-9;
+  spec.dt = 0.5e-12;
+  const auto res = sp::transient(ckt, spec);
+  EXPECT_NEAR(res.waveform("mid").at(1e-9), 0.75, 5e-3);
+}
+
+// ---------------------------------------------------------------------------
+// MOSFET model properties
+// ---------------------------------------------------------------------------
+
+TEST(Mosfet, CutoffBelowThreshold) {
+  sp::Circuit ckt;
+  sp::Mosfet m("m1", ckt.node("d"), ckt.node("g"), sp::kGround, sp::kGround,
+               nmos_model(), 1e-6);
+  const auto op = m.evaluate(1.2, 0.2, 0.0);
+  EXPECT_DOUBLE_EQ(op.id, 0.0);
+  EXPECT_DOUBLE_EQ(op.gm, 0.0);
+}
+
+TEST(Mosfet, ContinuousAcrossSaturationBoundary) {
+  sp::Circuit ckt;
+  sp::Mosfet m("m1", ckt.node("d"), ckt.node("g"), sp::kGround, sp::kGround,
+               nmos_model(), 1e-6);
+  const double vgs = 1.0;
+  const double vdsat = nmos_model().vdsat(vgs - nmos_model().vth);
+  const double below = m.evaluate(vdsat - 1e-9, vgs, 0.0).id;
+  const double above = m.evaluate(vdsat + 1e-9, vgs, 0.0).id;
+  EXPECT_NEAR(below, above, std::fabs(above) * 1e-6);
+  // gds is continuous too (linear-region derivative -> lambda term).
+  const double g_below = m.evaluate(vdsat - 1e-9, vgs, 0.0).gds;
+  const double g_above = m.evaluate(vdsat + 1e-9, vgs, 0.0).gds;
+  EXPECT_NEAR(g_below, g_above, std::max(1e-9, g_above) * 0.05 + 1e-7);
+}
+
+TEST(Mosfet, CurrentMonotoneInVgs) {
+  sp::Circuit ckt;
+  sp::Mosfet m("m1", ckt.node("d"), ckt.node("g"), sp::kGround, sp::kGround,
+               nmos_model(), 1e-6);
+  double prev = -1.0;
+  for (double vgs = 0.0; vgs <= 1.2001; vgs += 0.05) {
+    const double id = m.evaluate(1.2, vgs, 0.0).id;
+    EXPECT_GE(id, prev - 1e-15);
+    prev = id;
+  }
+}
+
+TEST(Mosfet, SymmetricConductionFlipsSign) {
+  sp::Circuit ckt;
+  sp::Mosfet m("m1", ckt.node("d"), ckt.node("g"), sp::kGround, sp::kGround,
+               nmos_model(), 1e-6);
+  // Same |vds| with roles swapped must give equal magnitude currents
+  // when the gate overdrive is referenced to the conducting source.
+  const double fwd = m.evaluate(0.1, 1.2, 0.0).id;
+  const double rev = m.evaluate(-0.1, 1.2 - 0.1, 0.0).id;
+  EXPECT_GT(fwd, 0.0);
+  EXPECT_LT(rev, 0.0);
+  EXPECT_NEAR(fwd, -rev, fwd * 1e-9);
+}
+
+TEST(Mosfet, PmosMirrorsNmos) {
+  sp::Circuit ckt;
+  auto nm = nmos_model();
+  auto pm = nm;
+  pm.pmos = true;
+  sp::Mosfet n("mn", ckt.node("d"), ckt.node("g"), sp::kGround, sp::kGround,
+               nm, 1e-6);
+  sp::Mosfet p("mp", ckt.node("d2"), ckt.node("g2"), sp::kGround,
+               sp::kGround, pm, 1e-6);
+  const auto no = n.evaluate(0.6, 1.0, 0.0);
+  const auto po = p.evaluate(-0.6, -1.0, 0.0);
+  EXPECT_NEAR(no.id, -po.id, std::fabs(no.id) * 1e-12);
+  EXPECT_NEAR(no.gm, po.gm, std::fabs(no.gm) * 1e-12);
+  EXPECT_NEAR(no.gds, po.gds, std::fabs(no.gds) * 1e-12);
+}
+
+TEST(Mosfet, GmMatchesFiniteDifference) {
+  sp::Circuit ckt;
+  sp::Mosfet m("m1", ckt.node("d"), ckt.node("g"), sp::kGround, sp::kGround,
+               nmos_model(), 1e-6);
+  for (double vds : {0.05, 0.3, 0.8, 1.2}) {
+    for (double vgs : {0.5, 0.8, 1.2}) {
+      const double h = 1e-7;
+      const double base = m.evaluate(vds, vgs, 0.0).id;
+      const double bump = m.evaluate(vds, vgs + h, 0.0).id;
+      const double gm_fd = (bump - base) / h;
+      const double gm = m.evaluate(vds, vgs, 0.0).gm;
+      EXPECT_NEAR(gm, gm_fd, std::max(1e-9, gm_fd) * 1e-3)
+          << "vds=" << vds << " vgs=" << vgs;
+    }
+  }
+}
+
+TEST(Mosfet, GdsMatchesFiniteDifference) {
+  sp::Circuit ckt;
+  sp::Mosfet m("m1", ckt.node("d"), ckt.node("g"), sp::kGround, sp::kGround,
+               nmos_model(), 1e-6);
+  for (double vds : {0.05, 0.3, 0.8, 1.2}) {
+    const double vgs = 1.0;
+    const double h = 1e-7;
+    const double base = m.evaluate(vds, vgs, 0.0).id;
+    const double bump = m.evaluate(vds + h, vgs, 0.0).id;
+    const double gds_fd = (bump - base) / h;
+    const double gds = m.evaluate(vds, vgs, 0.0).gds;
+    EXPECT_NEAR(gds, gds_fd, std::max(1e-9, gds_fd) * 1e-3) << "vds=" << vds;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CMOS inverter behaviour
+// ---------------------------------------------------------------------------
+
+TEST(Inverter, DcTransferEndpoints) {
+  sp::Circuit ckt;
+  add_vdd(ckt, "vdd");
+  add_inverter(ckt, "inv", "in", "out", "vdd", 0.52e-6, 1.04e-6);
+  auto& vin = ckt.emplace<sp::VoltageSource>(
+      "vin", ckt.find_node("in"), sp::kGround,
+      std::make_unique<sp::DcStimulus>(0.0));
+
+  const auto out_idx = static_cast<size_t>(ckt.find_node("out") - 1);
+  auto x_low = sp::dc_operating_point(ckt);
+  EXPECT_NEAR(x_low[out_idx], kVdd, 1e-3);
+
+  vin.set_stimulus(std::make_unique<sp::DcStimulus>(kVdd));
+  auto x_high = sp::dc_operating_point(ckt);
+  EXPECT_NEAR(x_high[out_idx], 0.0, 1e-3);
+}
+
+TEST(Inverter, TransientInvertsAndDelays) {
+  sp::Circuit ckt;
+  add_vdd(ckt, "vdd");
+  add_inverter(ckt, "inv", "in", "out", "vdd", 0.52e-6, 1.04e-6);
+  ckt.emplace<sp::Capacitor>("cl", ckt.find_node("out"), sp::kGround,
+                             10e-15);
+  ckt.emplace<sp::VoltageSource>(
+      "vin", ckt.find_node("in"), sp::kGround,
+      std::make_unique<sp::RampStimulus>(1e-9, 150e-12, 0.0, kVdd, true));
+
+  sp::TransientSpec spec;
+  spec.t_stop = 3e-9;
+  spec.dt = 1e-12;
+  const auto res = sp::transient(ckt, spec);
+  const auto& out = res.waveform("out");
+  EXPECT_NEAR(out.at(0.2e-9), kVdd, 0.02);  // starts high
+  EXPECT_NEAR(out.at(3e-9), 0.0, 0.02);     // ends low
+  const auto d = wv::gate_delay_50(res.waveform("in"), wv::Polarity::kRising,
+                                   out, wv::Polarity::kFalling, kVdd);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_GT(*d, 0.0);
+  EXPECT_LT(*d, 300e-12);
+}
+
+TEST(Inverter, DelayGrowsWithLoad) {
+  const auto delay_with_load = [&](double cl) {
+    sp::Circuit ckt;
+    add_vdd(ckt, "vdd");
+    add_inverter(ckt, "inv", "in", "out", "vdd", 0.52e-6, 1.04e-6);
+    ckt.emplace<sp::Capacitor>("cl", ckt.find_node("out"), sp::kGround, cl);
+    ckt.emplace<sp::VoltageSource>(
+        "vin", ckt.find_node("in"), sp::kGround,
+        std::make_unique<sp::RampStimulus>(1e-9, 150e-12, 0.0, kVdd, true));
+    sp::TransientSpec spec;
+    spec.t_stop = 6e-9;
+    spec.dt = 1e-12;
+    const auto res = sp::transient(ckt, spec);
+    const auto d =
+        wv::gate_delay_50(res.waveform("in"), wv::Polarity::kRising,
+                          res.waveform("out"), wv::Polarity::kFalling, kVdd);
+    return d.value();
+  };
+  const double d_small = delay_with_load(5e-15);
+  const double d_big = delay_with_load(50e-15);
+  EXPECT_GT(d_big, 1.5 * d_small);
+}
+
+TEST(Inverter, ChainPropagatesBothPolarities) {
+  // Two cascaded inverters: final output follows the input direction.
+  sp::Circuit ckt;
+  add_vdd(ckt, "vdd");
+  add_inverter(ckt, "i1", "in", "n1", "vdd", 0.52e-6, 1.04e-6);
+  add_inverter(ckt, "i2", "n1", "n2", "vdd", 2.08e-6, 4.16e-6);
+  ckt.emplace<sp::Capacitor>("cl", ckt.find_node("n2"), sp::kGround, 20e-15);
+  ckt.emplace<sp::VoltageSource>(
+      "vin", ckt.find_node("in"), sp::kGround,
+      std::make_unique<sp::RampStimulus>(1e-9, 150e-12, 0.0, kVdd, true));
+  sp::TransientSpec spec;
+  spec.t_stop = 5e-9;
+  spec.dt = 1e-12;
+  const auto res = sp::transient(ckt, spec);
+  EXPECT_NEAR(res.waveform("n2").at(0.2e-9), 0.0, 0.05);
+  EXPECT_NEAR(res.waveform("n2").at(5e-9), kVdd, 0.05);
+  const auto d =
+      wv::gate_delay_50(res.waveform("in"), wv::Polarity::kRising,
+                        res.waveform("n2"), wv::Polarity::kRising, kVdd);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_GT(*d, 0.0);
+}
+
+TEST(Engine, ThrowsOnBadSpec) {
+  sp::Circuit ckt;
+  ckt.emplace<sp::Resistor>("r", ckt.node("a"), sp::kGround, 1.0);
+  sp::TransientSpec spec;
+  spec.dt = 0.0;
+  EXPECT_THROW((void)sp::transient(ckt, spec), wu::Error);
+}
+
+TEST(Engine, ProbeSubsetOnlyRecordsRequested) {
+  sp::Circuit ckt;
+  const auto a = ckt.node("a");
+  ckt.emplace<sp::VoltageSource>("v", a, sp::kGround,
+                                 std::make_unique<sp::DcStimulus>(1.0));
+  ckt.emplace<sp::Resistor>("r", a, ckt.node("b"), 1.0);
+  ckt.emplace<sp::Resistor>("r2", ckt.node("b"), sp::kGround, 1.0);
+  sp::TransientSpec spec;
+  spec.t_stop = 1e-10;
+  spec.dt = 1e-12;
+  spec.probes = {"b"};
+  const auto res = sp::transient(ckt, spec);
+  EXPECT_TRUE(res.has("b"));
+  EXPECT_FALSE(res.has("a"));
+  EXPECT_THROW((void)res.waveform("a"), wu::Error);
+}
+
+TEST(Circuit, NodeRegistryAliasesGround) {
+  sp::Circuit ckt;
+  EXPECT_EQ(ckt.node("0"), sp::kGround);
+  EXPECT_EQ(ckt.node("gnd"), sp::kGround);
+  EXPECT_EQ(ckt.node("GND"), sp::kGround);
+  const auto a = ckt.node("N1");
+  EXPECT_EQ(ckt.node("n1"), a);  // case-insensitive
+  EXPECT_THROW((void)ckt.find_node("missing"), wu::Error);
+  EXPECT_TRUE(ckt.has_node("n1"));
+}
+
+TEST(Circuit, DeviceLookupAndDescribe) {
+  sp::Circuit ckt;
+  ckt.emplace<sp::Resistor>("r1", ckt.node("a"), sp::kGround, 5.0);
+  EXPECT_NE(ckt.find_device("R1"), nullptr);
+  EXPECT_EQ(ckt.find_device("nope"), nullptr);
+  EXPECT_NE(ckt.describe().find("r1"), std::string::npos);
+}
+
+TEST(Devices, RejectNonPhysicalValues) {
+  sp::Circuit ckt;
+  EXPECT_THROW(ckt.emplace<sp::Resistor>("r", ckt.node("a"), sp::kGround,
+                                         -5.0),
+               wu::Error);
+  EXPECT_THROW(ckt.emplace<sp::Capacitor>("c", ckt.node("a"), sp::kGround,
+                                          0.0),
+               wu::Error);
+}
+
+// Parameterized: inverter delay is finite and positive across drive
+// strengths (sanity sweep ahead of library characterization).
+class DriveSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DriveSweepTest, InverterDelayPositiveAndBounded) {
+  const double scale = GetParam();
+  sp::Circuit ckt;
+  add_vdd(ckt, "vdd");
+  add_inverter(ckt, "inv", "in", "out", "vdd", 0.52e-6 * scale,
+               1.04e-6 * scale);
+  ckt.emplace<sp::Capacitor>("cl", ckt.find_node("out"), sp::kGround,
+                             4e-15 * scale + 4e-15);
+  ckt.emplace<sp::VoltageSource>(
+      "vin", ckt.find_node("in"), sp::kGround,
+      std::make_unique<sp::RampStimulus>(0.8e-9, 150e-12, 0.0, kVdd, true));
+  sp::TransientSpec spec;
+  spec.t_stop = 3e-9;
+  spec.dt = 1e-12;
+  const auto res = sp::transient(ckt, spec);
+  const auto d =
+      wv::gate_delay_50(res.waveform("in"), wv::Polarity::kRising,
+                        res.waveform("out"), wv::Polarity::kFalling, kVdd);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_GT(*d, 0.0);
+  EXPECT_LT(*d, 500e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Drives, DriveSweepTest,
+                         ::testing::Values(1.0, 4.0, 16.0, 64.0));

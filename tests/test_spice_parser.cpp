@@ -1,0 +1,186 @@
+// SPICE-deck parser tests: cards, stimuli, models, subcircuit
+// flattening, error reporting, and an end-to-end parsed-deck transient.
+
+#include <gtest/gtest.h>
+
+#include "spice/devices.hpp"
+#include "spice/engine.hpp"
+#include "spice/parser.hpp"
+#include "util/error.hpp"
+#include "wave/metrics.hpp"
+
+namespace sp = waveletic::spice;
+namespace wv = waveletic::wave;
+namespace wu = waveletic::util;
+
+TEST(Parser, ParsesRcDivider) {
+  auto deck = sp::parse_deck(R"(
+* simple divider
+v1 top 0 dc 1.0
+r1 top mid 1k
+r2 mid 0 3k
+)");
+  EXPECT_EQ(deck.circuit.node_count(), 3u);  // gnd, top, mid
+  EXPECT_NE(deck.circuit.find_device("r1"), nullptr);
+  const auto x = sp::dc_operating_point(deck.circuit);
+  EXPECT_NEAR(x[static_cast<size_t>(deck.circuit.find_node("mid") - 1)],
+              0.75, 1e-9);
+}
+
+TEST(Parser, EngineeringSuffixesOnCards) {
+  auto deck = sp::parse_deck("c1 a 0 4.8f\nr1 a 0 8.5\n");
+  auto* c = dynamic_cast<sp::Capacitor*>(deck.circuit.find_device("c1"));
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->capacitance(), 4.8e-15);
+  auto* r = dynamic_cast<sp::Resistor*>(deck.circuit.find_device("r1"));
+  ASSERT_NE(r, nullptr);
+  EXPECT_DOUBLE_EQ(r->resistance(), 8.5);
+}
+
+TEST(Parser, PwlSourceWithParenthesesAndCommas) {
+  auto deck = sp::parse_deck("v1 in 0 pwl(0 0, 1n 1.2, 2n 0)\nr1 in 0 1k\n");
+  auto* v = dynamic_cast<sp::VoltageSource*>(deck.circuit.find_device("v1"));
+  ASSERT_NE(v, nullptr);
+  EXPECT_NEAR(v->value_at(0.5e-9), 0.6, 1e-12);
+  EXPECT_NEAR(v->value_at(1.5e-9), 0.6, 1e-12);
+  EXPECT_NEAR(v->value_at(5e-9), 0.0, 1e-12);
+}
+
+TEST(Parser, PulseSource) {
+  auto deck = sp::parse_deck(
+      "v1 in 0 pulse(0 1.2 1n 0.1n 0.1n 2n 5n)\nr1 in 0 1k\n");
+  auto* v = dynamic_cast<sp::VoltageSource*>(deck.circuit.find_device("v1"));
+  ASSERT_NE(v, nullptr);
+  EXPECT_DOUBLE_EQ(v->value_at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(v->value_at(2e-9), 1.2);
+  EXPECT_NEAR(v->value_at(1.05e-9), 0.6, 1e-9);  // mid-rise
+  EXPECT_NEAR(v->value_at(6.05e-9), 0.6, 1e-9);  // periodic repeat
+}
+
+TEST(Parser, ContinuationLines) {
+  auto deck = sp::parse_deck(
+      "v1 in 0 pwl(0 0\n+ 1n 1.2\n+ 2n 0)\nr1 in 0 1k\n");
+  auto* v = dynamic_cast<sp::VoltageSource*>(deck.circuit.find_device("v1"));
+  ASSERT_NE(v, nullptr);
+  EXPECT_NEAR(v->value_at(1e-9), 1.2, 1e-12);
+}
+
+TEST(Parser, CommentsAndBlankLinesIgnored) {
+  auto deck = sp::parse_deck(R"(
+* full-line comment
+r1 a 0 100 ; trailing comment
+
+r2 a 0 100 $ dollar comment
+)");
+  EXPECT_NE(deck.circuit.find_device("r1"), nullptr);
+  EXPECT_NE(deck.circuit.find_device("r2"), nullptr);
+}
+
+TEST(Parser, ModelAndMosfet) {
+  auto deck = sp::parse_deck(R"(
+.model mynmos nmos (vth=0.35 alpha=1.3 kc=600 kv=0.9 lambda=0.05)
+m1 out in 0 0 mynmos w=0.52u
+r1 out 0 1k
+)");
+  auto* m = dynamic_cast<sp::Mosfet*>(deck.circuit.find_device("m1"));
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->width(), 0.52e-6);
+  EXPECT_DOUBLE_EQ(m->model().vth, 0.35);
+  EXPECT_FALSE(m->model().pmos);
+}
+
+TEST(Parser, SubcktFlattening) {
+  auto deck = sp::parse_deck(R"(
+.subckt divider top bottom
+r1 top mid 1k
+r2 mid bottom 1k
+.ends
+v1 a 0 dc 2.0
+x1 a 0 divider
+x2 a 0 divider
+)");
+  // Flattened internal nodes get instance prefixes.
+  EXPECT_TRUE(deck.circuit.has_node("x1.mid"));
+  EXPECT_TRUE(deck.circuit.has_node("x2.mid"));
+  const auto x = sp::dc_operating_point(deck.circuit);
+  EXPECT_NEAR(x[static_cast<size_t>(deck.circuit.find_node("x1.mid") - 1)],
+              1.0, 1e-9);
+}
+
+TEST(Parser, NestedSubcktInstancing) {
+  auto deck = sp::parse_deck(R"(
+.subckt leaf a b
+r1 a b 2k
+.ends
+.subckt pair x y
+xl x m leaf
+xr m y leaf
+.ends
+v1 in 0 dc 1.0
+xp in 0 pair
+)");
+  EXPECT_TRUE(deck.circuit.has_node("xp.m"));
+  const auto x = sp::dc_operating_point(deck.circuit);
+  EXPECT_NEAR(x[static_cast<size_t>(deck.circuit.find_node("xp.m") - 1)],
+              0.5, 1e-9);
+}
+
+TEST(Parser, TranCardProducesSpec) {
+  auto deck = sp::parse_deck("r1 a 0 1\n.tran 1p 5n\n");
+  ASSERT_TRUE(deck.tran.has_value());
+  EXPECT_DOUBLE_EQ(deck.tran->dt, 1e-12);
+  EXPECT_DOUBLE_EQ(deck.tran->t_stop, 5e-9);
+  EXPECT_EQ(deck.tran->method, sp::Integration::kTrapezoidal);
+
+  auto deck_be = sp::parse_deck("r1 a 0 1\n.tran 1p 5n method=be\n");
+  ASSERT_TRUE(deck_be.tran.has_value());
+  EXPECT_EQ(deck_be.tran->method, sp::Integration::kBackwardEuler);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    (void)sp::parse_deck("r1 a 0 1k\nq1 a b c bjt\n");
+    FAIL() << "expected parse error";
+  } catch (const wu::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsMalformedCards) {
+  EXPECT_THROW((void)sp::parse_deck("r1 a 0\n"), wu::Error);          // no value
+  EXPECT_THROW((void)sp::parse_deck("x1 a b nodef\n"), wu::Error);    // no subckt
+  EXPECT_THROW((void)sp::parse_deck("m1 d g s b nomodel w=1u\n"),
+               wu::Error);                                            // no model
+  EXPECT_THROW((void)sp::parse_deck("v1 a 0 pwl(0)\n"), wu::Error);   // odd pwl
+  EXPECT_THROW((void)sp::parse_deck("+ r1 a 0 1\n"), wu::Error);      // stray +
+  EXPECT_THROW((void)sp::parse_deck(".subckt s a\nr1 a 0 1\n"),
+               wu::Error);                                            // no .ends
+}
+
+TEST(Parser, EndToEndInverterDeck) {
+  auto deck = sp::parse_deck(R"(
+* transistor-level inverter with explicit caps
+.model n1 nmos (vth=0.35 alpha=1.3 kc=600 kv=0.9 lambda=0.05)
+.model p1 pmos (vth=0.32 alpha=1.3 kc=270 kv=0.9 lambda=0.05)
+.subckt inv in out vdd
+mp out in vdd vdd p1 w=1.04u
+mn out in 0 0 n1 w=0.52u
+cg in 0 1.5f
+cd out 0 1.0f
+.ends
+vdd vdd 0 dc 1.2
+vin in 0 pwl(0 0 0.9n 0 1.05n 1.2)
+x1 in out vdd inv
+cl out 0 10f
+.tran 1p 3n
+)");
+  ASSERT_TRUE(deck.tran.has_value());
+  const auto res = sp::transient(deck.circuit, *deck.tran);
+  const auto& out = res.waveform("out");
+  EXPECT_NEAR(out.at(0.1e-9), 1.2, 0.03);
+  EXPECT_NEAR(out.at(3e-9), 0.0, 0.03);
+  const auto d = wv::gate_delay_50(res.waveform("in"), wv::Polarity::kRising,
+                                   out, wv::Polarity::kFalling, 1.2);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_GT(*d, 0.0);
+}
