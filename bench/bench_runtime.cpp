@@ -5,17 +5,40 @@
 // absolute numbers shrink by orders of magnitude but the *ratios*
 // (sensitivity-based methods cost more, roughly linearly in P) are the
 // reproducible shape.
+//
+// Production-scale additions: full-netlist propagation cost at 1..N
+// threads (level-parallel engine), and a 64-noise-scenario sweep run
+// the naive way (sequential loop of engine runs) vs. batched
+// (ScenarioBatch: one levelized pass, scenario×vertex fan-out, shared
+// Γeff memo).  After the google-benchmark tables, a summary section
+// prints the measured speedups and verifies looped and batched sweeps
+// produce identical timing results.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <functional>
 #include <memory>
+#include <sstream>
+#include <vector>
 
+#include "charlib/characterize.hpp"
 #include "core/method.hpp"
 #include "core/sgdp.hpp"
+#include "netlist/generators.hpp"
 #include "noise/scenario.hpp"
+#include "sta/batch.hpp"
+#include "sta/engine.hpp"
+#include "util/thread_pool.hpp"
 
+namespace cl = waveletic::charlib;
 namespace co = waveletic::core;
+namespace nl = waveletic::netlist;
 namespace no = waveletic::noise;
+namespace st = waveletic::sta;
+namespace wu = waveletic::util;
+namespace wv = waveletic::wave;
 
 namespace {
 
@@ -89,4 +112,227 @@ BENCHMARK(sgdp_p_scaling)
     ->Arg(155)
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+// ---------------------------------------------------------------------------
+// Full-netlist propagation: level-parallel engine + batched scenarios
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct StaFixture {
+  static constexpr int kWidth = 48;
+  waveletic::liberty::Library lib;
+  nl::Netlist netlist;
+
+  StaFixture() : lib(cl::build_vcl013_library_fast()),
+                 netlist(nl::make_chain_tree(kWidth)) {}
+
+  void constrain(st::StaEngine& sta) const {
+    for (int i = 0; i < kWidth; ++i) {
+      sta.set_input("a" + std::to_string(i), 0.005e-9 * i,
+                    (80 + 5 * (i % 11)) * 1e-12);
+    }
+    sta.set_output_load("y", 6e-15);
+    sta.set_required("y", 3e-9);
+  }
+
+  /// Scenario grid: aggressor alignment × strength on several victim
+  /// nets, built from the clean victim ramps (same parameterization as
+  /// the golden noise::NoiseRunner sweep).
+  [[nodiscard]] std::vector<st::NoiseScenario> scenarios(int count) const {
+    st::StaEngine clean(netlist, lib);
+    constrain(clean);
+    clean.run();
+    std::vector<st::NoiseScenario> out;
+    int i = 0;
+    while (static_cast<int>(out.size()) < count) {
+      const int chain = i % 8;
+      const int align_step = (i / 8) % 4;
+      const int strength_step = (i / 32) % 4;
+      const auto& t = clean.timing("inv" + std::to_string(chain) + "_2/A",
+                                   st::RiseFall::kFall);
+      out.push_back(st::make_aggressor_scenario(
+          "c" + std::to_string(chain) + "_1", t.arrival, t.slew,
+          lib.nom_voltage, wv::Polarity::kFalling,
+          (align_step - 2) * 15e-12, 0.2 + 0.15 * strength_step));
+      ++i;
+    }
+    return out;
+  }
+};
+
+const StaFixture& sta_fixture() {
+  static const StaFixture f;
+  return f;
+}
+
+/// Full engine run (forward + backward) at `threads` worker threads.
+void sta_run(benchmark::State& state) {
+  const auto& f = sta_fixture();
+  st::StaEngine sta(f.netlist, f.lib);
+  f.constrain(sta);
+  sta.set_threads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    sta.run();
+    benchmark::DoNotOptimize(sta.worst_slack());
+  }
+}
+
+/// Naive scenario sweep: sequential loop of single-threaded runs.
+/// Annotations are cleared between scenarios so every looped run
+/// evaluates exactly one scenario — the same workload the batch does.
+void sta_sweep_looped(benchmark::State& state) {
+  const auto& f = sta_fixture();
+  const auto scenarios = f.scenarios(static_cast<int>(state.range(0)));
+  st::StaEngine sta(f.netlist, f.lib);
+  f.constrain(sta);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const auto& sc : scenarios) {
+      sta.clear_noisy_nets();
+      for (const auto& [net, ann] : sc.annotations) {
+        sta.annotate_noisy_net(net, ann.waveform, ann.polarity);
+      }
+      sta.run();
+      acc += sta.worst_slack();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+
+/// Batched sweep: ScenarioBatch, one levelized pass, shared Γeff memo.
+/// Construction and scenario loading happen outside the timed loop;
+/// run() itself clears the memo, so every iteration is a cold sweep.
+void sta_sweep_batched(benchmark::State& state) {
+  const auto& f = sta_fixture();
+  const auto scenarios = f.scenarios(static_cast<int>(state.range(0)));
+  st::StaEngine sta(f.netlist, f.lib);
+  f.constrain(sta);
+  st::BatchOptions opt;
+  opt.threads = static_cast<int>(state.range(1));
+  st::ScenarioBatch batch(sta, opt);
+  for (const auto& sc : scenarios) batch.add(sc);
+  for (auto _ : state) {
+    batch.run();
+    double acc = 0.0;
+    for (size_t i = 0; i < batch.size(); ++i) acc += batch.worst_slack(i);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(sta_run)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(sta_sweep_looped)
+    ->Arg(64)
+    ->ArgName("scenarios")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(sta_sweep_batched)
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({64, 4})
+    ->ArgNames({"scenarios", "threads"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Summary: measured speedups + result-identity check
+// ---------------------------------------------------------------------------
+
+namespace {
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+void report_sweep_speedups() {
+  const auto& f = sta_fixture();
+  const int kScenarios = 64;
+  const auto scenarios = f.scenarios(kScenarios);
+  const size_t hw = wu::ThreadPool::hardware_threads();
+
+  // Sequential loop baseline (also collects reference results).
+  std::vector<double> looped_slack;
+  st::StaEngine looped(f.netlist, f.lib);
+  f.constrain(looped);
+  const double t_looped = wall_seconds([&] {
+    for (const auto& sc : scenarios) {
+      looped.clear_noisy_nets();
+      for (const auto& [net, ann] : sc.annotations) {
+        looped.annotate_noisy_net(net, ann.waveform, ann.polarity);
+      }
+      looped.run();
+      looped_slack.push_back(looped.worst_slack());
+    }
+  });
+
+  // Batched at 1 thread (cache + single-pass effect) and at the
+  // hardware thread count (adds the parallel fan-out).
+  auto run_batched = [&](int threads, std::vector<double>& slack) {
+    st::StaEngine sta(f.netlist, f.lib);
+    f.constrain(sta);
+    st::BatchOptions opt;
+    opt.threads = threads;
+    st::ScenarioBatch batch(sta, opt);
+    for (const auto& sc : scenarios) batch.add(sc);
+    const double t = wall_seconds([&] { batch.run(); });
+    for (size_t i = 0; i < batch.size(); ++i) {
+      slack.push_back(batch.worst_slack(i));
+    }
+    return t;
+  };
+  std::vector<double> batched1_slack, batchedN_slack;
+  const double t_batched1 = run_batched(1, batched1_slack);
+  const double t_batchedN = run_batched(static_cast<int>(hw), batchedN_slack);
+
+  bool identical = true;
+  for (int i = 0; i < kScenarios; ++i) {
+    identical = identical && looped_slack[i] == batched1_slack[i] &&
+                looped_slack[i] == batchedN_slack[i];
+  }
+
+  // Single-run thread scaling.
+  auto run_once = [&](int threads) {
+    st::StaEngine sta(f.netlist, f.lib);
+    f.constrain(sta);
+    sta.set_threads(threads);
+    return wall_seconds([&] { sta.run(); });
+  };
+  const double t_run1 = run_once(1);
+  const double t_runN = run_once(static_cast<int>(hw));
+
+  std::printf("\n-- scenario-sweep speedup summary (%d scenarios, %zu "
+              "hardware threads) --\n",
+              kScenarios, hw);
+  std::printf("looped sweep, 1 thread:          %8.1f ms\n", t_looped * 1e3);
+  std::printf("batched sweep, 1 thread:         %8.1f ms  (%.2fx vs looped)\n",
+              t_batched1 * 1e3, t_looped / t_batched1);
+  std::printf("batched sweep, %2zu threads:       %8.1f ms  (%.2fx vs "
+              "looped)\n",
+              hw, t_batchedN * 1e3, t_looped / t_batchedN);
+  std::printf("single run 1 thread -> %zu threads: %.2f ms -> %.2f ms "
+              "(%.2fx)\n",
+              hw, t_run1 * 1e3, t_runN * 1e3, t_run1 / t_runN);
+  std::printf("timing results identical across looped/batched: %s\n",
+              identical ? "yes" : "NO — BUG");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  report_sweep_speedups();
+  return 0;
+}

@@ -19,6 +19,10 @@ class E4Method final : public EquivalentWaveformMethod {
     return "E4";
   }
   [[nodiscard]] Fit fit(const MethodInput& input) const override;
+  [[nodiscard]] std::unique_ptr<EquivalentWaveformMethod> clone()
+      const override {
+    return std::make_unique<E4Method>(*this);
+  }
 };
 
 }  // namespace waveletic::core

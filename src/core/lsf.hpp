@@ -15,6 +15,10 @@ class Lsf3Method final : public EquivalentWaveformMethod {
     return "LSF3";
   }
   [[nodiscard]] Fit fit(const MethodInput& input) const override;
+  [[nodiscard]] std::unique_ptr<EquivalentWaveformMethod> clone()
+      const override {
+    return std::make_unique<Lsf3Method>(*this);
+  }
 };
 
 /// Shared helper: unweighted LSQ ramp over the noisy critical region;

@@ -55,13 +55,25 @@ struct Fit {
 };
 
 /// Interface shared by all techniques.
+///
+/// Reentrancy contract: fit() is const and must be safe to call
+/// concurrently from many threads on one instance — implementations
+/// keep all working state on the stack (every built-in technique
+/// does).  The levelized STA engine and ScenarioBatch rely on this to
+/// evaluate noise scenarios in parallel through a single method
+/// object.  A caller that wants per-thread instances anyway (e.g. to
+/// tolerate a future stateful technique) can clone().
 class EquivalentWaveformMethod {
  public:
   virtual ~EquivalentWaveformMethod() = default;
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  /// Const and reentrant; see the class comment.
   [[nodiscard]] virtual Fit fit(const MethodInput& input) const = 0;
   /// Whether the method needs the noiseless input/output pair.
   [[nodiscard]] virtual bool needs_noiseless() const noexcept { return false; }
+  /// Deep copy carrying all options.
+  [[nodiscard]] virtual std::unique_ptr<EquivalentWaveformMethod> clone()
+      const = 0;
 };
 
 /// P uniform sample times across [t0, t1].

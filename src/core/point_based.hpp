@@ -22,6 +22,10 @@ class P1Method final : public EquivalentWaveformMethod {
     return true;  // noiseless slew
   }
   [[nodiscard]] Fit fit(const MethodInput& input) const override;
+  [[nodiscard]] std::unique_ptr<EquivalentWaveformMethod> clone()
+      const override {
+    return std::make_unique<P1Method>(*this);
+  }
 };
 
 class P2Method final : public EquivalentWaveformMethod {
@@ -30,6 +34,10 @@ class P2Method final : public EquivalentWaveformMethod {
     return "P2";
   }
   [[nodiscard]] Fit fit(const MethodInput& input) const override;
+  [[nodiscard]] std::unique_ptr<EquivalentWaveformMethod> clone()
+      const override {
+    return std::make_unique<P2Method>(*this);
+  }
 };
 
 }  // namespace waveletic::core

@@ -66,6 +66,10 @@ class SgdpMethod final : public EquivalentWaveformMethod {
     return true;
   }
   [[nodiscard]] Fit fit(const MethodInput& input) const override;
+  [[nodiscard]] std::unique_ptr<EquivalentWaveformMethod> clone()
+      const override {
+    return std::make_unique<SgdpMethod>(*this);
+  }
 
   [[nodiscard]] const Options& options() const noexcept { return opt_; }
 

@@ -27,6 +27,10 @@ class Wls5Method final : public EquivalentWaveformMethod {
     return true;
   }
   [[nodiscard]] Fit fit(const MethodInput& input) const override;
+  [[nodiscard]] std::unique_ptr<EquivalentWaveformMethod> clone()
+      const override {
+    return std::make_unique<Wls5Method>(*this);
+  }
 };
 
 }  // namespace waveletic::core

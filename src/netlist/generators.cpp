@@ -1,0 +1,63 @@
+#include "netlist/generators.hpp"
+
+#include <sstream>
+#include <string>
+
+#include "netlist/verilog.hpp"
+#include "util/error.hpp"
+
+namespace waveletic::netlist {
+
+Netlist make_chain_tree(int width) {
+  util::require(width >= 1, "make_chain_tree: width must be >= 1");
+  std::ostringstream os;
+  os << "module wide (";
+  for (int i = 0; i < width; ++i) os << "a" << i << ", ";
+  os << "y);\n";
+  for (int i = 0; i < width; ++i) os << "  input a" << i << ";\n";
+  os << "  output y;\n";
+  for (int i = 0; i < width; ++i) {
+    os << "  wire c" << i << "_1, c" << i << "_2, c" << i << "_3;\n";
+    os << "  INVX1 inv" << i << "_1 (.A(a" << i << "), .Y(c" << i << "_1));\n";
+    os << "  INVX1 inv" << i << "_2 (.A(c" << i << "_1), .Y(c" << i
+       << "_2));\n";
+    os << "  INVX4 inv" << i << "_3 (.A(c" << i << "_2), .Y(c" << i
+       << "_3));\n";
+  }
+  // Fold pairs with NAND2s until one signal remains; an odd chain
+  // passes through an inverter so every stage narrows.
+  int stage = 0;
+  int count = width;
+  std::string prefix = "c";
+  std::string suffix = "_3";
+  if (width == 1) {
+    os << "  INVX1 pass0 (.A(c0_3), .Y(y));\n";
+  }
+  while (count > 1) {
+    const int next = (count + 1) / 2;
+    for (int i = 0; i < count / 2; ++i) {
+      const std::string out =
+          count == 2 ? std::string("y")
+                     : "f" + std::to_string(stage) + "_" + std::to_string(i);
+      if (out != "y") os << "  wire " << out << ";\n";
+      os << "  NAND2X1 nd" << stage << "_" << i << " (.A(" << prefix << 2 * i
+         << suffix << "), .B(" << prefix << 2 * i + 1 << suffix << "), .Y("
+         << out << "));\n";
+    }
+    if (count % 2 == 1) {
+      const std::string out =
+          "f" + std::to_string(stage) + "_" + std::to_string(count / 2);
+      os << "  wire " << out << ";\n";
+      os << "  INVX1 pass" << stage << " (.A(" << prefix << count - 1
+         << suffix << "), .Y(" << out << "));\n";
+    }
+    prefix = "f" + std::to_string(stage) + "_";
+    suffix = "";
+    count = next;
+    ++stage;
+  }
+  os << "endmodule\n";
+  return parse_verilog(os.str());
+}
+
+}  // namespace waveletic::netlist

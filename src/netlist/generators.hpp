@@ -1,0 +1,17 @@
+#pragma once
+
+/// \file generators.hpp
+/// Synthetic netlist generators shared by tests, benches and demos.
+
+#include "netlist/netlist.hpp"
+
+namespace waveletic::netlist {
+
+/// `width` parallel 3-inverter chains (INVX1, INVX1, INVX4 per chain,
+/// nets c<i>_1..c<i>_3 from input a<i>) folded pairwise through
+/// NAND2X1 stages into a single output `y`; odd chains pass through an
+/// INVX1.  Wide levels exercise intra-level parallelism, the fold
+/// exercises multi-input relax ordering.  Requires the VCL013 cell set.
+[[nodiscard]] Netlist make_chain_tree(int width);
+
+}  // namespace waveletic::netlist

@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file batch.hpp
+/// Batched noise-scenario sweeps over one prepared STA graph.
+///
+/// A crosstalk sign-off sweeps many noise scenarios — aggressor
+/// alignments, aggressor strengths, switching-window corners — over the
+/// same netlist.  Running them one engine-run at a time repeats the
+/// levelized walk N times and refits Γeff for every (net, ramp, noise)
+/// triple from scratch.  ScenarioBatch instead prepares the engine
+/// once and sweeps all scenarios in ONE levelized pass: the outer loop
+/// walks the stored topological levels, and a work-stealing-free thread
+/// pool processes every (scenario, vertex-of-level) pair in parallel.
+/// All scenarios share a thread-safe Γeff memo (GammaCache), so fits
+/// recur at most once per distinct (net edge, input ramp, annotation).
+///
+/// Determinism: scenarios write disjoint TimingStates, each vertex
+/// folds its in-edges in a fixed order, and cache hits return bitwise
+/// what the fit would produce — so batched results are bitwise
+/// identical to looped single-thread runs at any thread count.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sta/engine.hpp"
+#include "sta/gamma_cache.hpp"
+
+namespace waveletic::noise {
+struct CaseWaveforms;
+}
+namespace waveletic::util {
+class ThreadPool;
+}
+
+namespace waveletic::sta {
+
+/// One named noise scenario: per-net noisy-waveform annotations.
+/// During a batch run they overlay the engine-level annotations:
+/// engine annotations apply to every scenario, and a scenario's own
+/// annotation wins on nets both touch.
+struct NoiseScenario {
+  std::string name;
+  std::map<std::string, NoiseAnnotation> annotations;
+
+  /// Annotates `net`; the memoization key is derived from the waveform
+  /// content, so identical annotations across scenarios share Γeff fits.
+  void annotate(const std::string& net, wave::Waveform waveform,
+                wave::Polarity polarity);
+};
+
+/// Builds a scenario modelling one aggressor coupling event on `net`:
+/// the clean ramp of the victim transition (as propagated by a clean
+/// run: `victim_arrival`/`victim_slew`) plus a Gaussian coupling bump.
+/// `alignment` offsets the bump centre from the victim 50% crossing
+/// [s]; `strength` is the bump peak [V] (the aggressor coupling
+/// magnitude).  This is the synthetic stand-in for the golden
+/// noise::NoiseRunner sweep, parameterized the same way (aggressor
+/// alignment/strength).
+[[nodiscard]] NoiseScenario make_aggressor_scenario(
+    const std::string& net, double victim_arrival, double victim_slew,
+    double vdd, wave::Polarity polarity, double alignment, double strength,
+    size_t samples = 512);
+
+/// Builds a scenario from a golden noise::NoiseRunner case: annotates
+/// `net` with the simulated noisy waveform at the victim receiver input.
+[[nodiscard]] NoiseScenario scenario_from_case(
+    const std::string& net, const noise::CaseWaveforms& case_waveforms);
+
+struct BatchOptions {
+  /// Worker threads for the (scenario × vertex) fan-out; ≤ 0 selects
+  /// the hardware concurrency.
+  int threads = 0;
+  /// Share one Γeff memo across all scenarios (recommended; results
+  /// are bitwise-identical either way).
+  bool share_gamma_cache = true;
+  /// Technique override; null uses the engine's configured method.
+  const core::EquivalentWaveformMethod* method = nullptr;
+};
+
+/// Sweeps N noise scenarios over one engine in a single levelized pass.
+///
+///   ScenarioBatch batch(engine);
+///   for (...) batch.add(make_aggressor_scenario(...));
+///   batch.run();
+///   batch.worst_slack(i); batch.timing(i, "y", RiseFall::kFall);
+///
+/// The engine's own constraints (inputs, loads, parasitics, required
+/// times) apply to every scenario; only the noise annotations vary.
+class ScenarioBatch {
+ public:
+  explicit ScenarioBatch(StaEngine& engine, BatchOptions options = {});
+  ~ScenarioBatch();  // out of line: ThreadPool is forward-declared
+
+  /// Adds a scenario; returns its index.
+  size_t add(NoiseScenario scenario);
+  [[nodiscard]] size_t size() const noexcept { return scenarios_.size(); }
+
+  /// Prepares the engine once and evaluates every scenario in one
+  /// levelized multi-threaded pass.
+  void run();
+
+  // -- results (run() must have completed) --------------------------------
+  [[nodiscard]] const TimingState& state(size_t scenario) const;
+  [[nodiscard]] const PinTiming& timing(size_t scenario,
+                                        const std::string& pin,
+                                        RiseFall rf) const;
+  [[nodiscard]] double worst_slack(size_t scenario) const;
+  [[nodiscard]] const NoiseScenario& scenario(size_t i) const;
+
+  /// Γeff memo statistics of the last run (zeros when caching is off).
+  [[nodiscard]] GammaCache::Stats cache_stats() const noexcept {
+    return cache_.stats();
+  }
+
+ private:
+  StaEngine* engine_;
+  BatchOptions options_;
+  std::vector<NoiseScenario> scenarios_;
+  std::vector<TimingState> states_;
+  GammaCache cache_;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< persists across run()s
+  bool ran_ = false;
+};
+
+}  // namespace waveletic::sta

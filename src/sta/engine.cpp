@@ -1,18 +1,19 @@
 #include "sta/engine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <sstream>
 
 #include "core/sgdp.hpp"
+#include "sta/gamma_cache.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 #include "util/units.hpp"
 #include "wave/ramp.hpp"
 
 namespace waveletic::sta {
 namespace {
-
-constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
 wave::Polarity to_polarity(RiseFall rf) noexcept {
   return rf == RiseFall::kRise ? wave::Polarity::kRising
@@ -32,13 +33,13 @@ StaEngine::StaEngine(const netlist::Netlist& nl, const liberty::Library& lib)
   build_graph();
 }
 
+StaEngine::~StaEngine() = default;
+
 int StaEngine::vertex(const std::string& name) {
   const auto it = vertex_index_.find(name);
   if (it != vertex_index_.end()) return it->second;
-  const int id = static_cast<int>(vertices_.size());
-  Vertex v;
-  v.name = name;
-  vertices_.push_back(std::move(v));
+  const int id = static_cast<int>(vertex_names_.size());
+  vertex_names_.push_back(name);
   vertex_index_.emplace(name, id);
   return id;
 }
@@ -124,7 +125,62 @@ void StaEngine::build_graph() {
       net_edges_.push_back(e);
     }
   }
+  // Adjacency in deterministic construction order: cell edges first,
+  // then net edges, each by ascending edge index.  Every per-vertex
+  // fold during propagation walks these lists in this fixed order,
+  // which is what makes results independent of the thread count.
+  const size_t n = vertex_names_.size();
+  in_edges_.assign(n, {});
+  out_edges_.assign(n, {});
+  for (size_t i = 0; i < cell_edges_.size(); ++i) {
+    out_edges_[static_cast<size_t>(cell_edges_[i].from)].push_back(
+        {true, static_cast<uint32_t>(i)});
+    in_edges_[static_cast<size_t>(cell_edges_[i].to)].push_back(
+        {true, static_cast<uint32_t>(i)});
+  }
+  for (size_t i = 0; i < net_edges_.size(); ++i) {
+    out_edges_[static_cast<size_t>(net_edges_[i].from)].push_back(
+        {false, static_cast<uint32_t>(i)});
+    in_edges_[static_cast<size_t>(net_edges_[i].to)].push_back(
+        {false, static_cast<uint32_t>(i)});
+  }
   levelize();
+}
+
+void StaEngine::levelize() {
+  // Kahn topological sort; level(v) = 1 + max over predecessors.  The
+  // levels are stored on the graph and reused by every evaluation.
+  const size_t n = vertex_names_.size();
+  std::vector<int> indegree(n, 0);
+  for (size_t v = 0; v < n; ++v) {
+    indegree[v] = static_cast<int>(in_edges_[v].size());
+  }
+  std::vector<int> level(n, 0);
+  std::vector<int> ready;
+  for (size_t v = 0; v < n; ++v) {
+    if (indegree[v] == 0) ready.push_back(static_cast<int>(v));
+  }
+  size_t visited = 0;
+  int max_level = 0;
+  while (!ready.empty()) {
+    const int v = ready.back();
+    ready.pop_back();
+    ++visited;
+    for (const auto& [is_cell, idx] : out_edges_[static_cast<size_t>(v)]) {
+      const int to = is_cell ? cell_edges_[idx].to : net_edges_[idx].to;
+      level[static_cast<size_t>(to)] =
+          std::max(level[static_cast<size_t>(to)], level[static_cast<size_t>(v)] + 1);
+      max_level = std::max(max_level, level[static_cast<size_t>(to)]);
+      if (--indegree[static_cast<size_t>(to)] == 0) ready.push_back(to);
+    }
+  }
+  util::require(visited == n,
+                "timing graph has a combinational cycle (", n - visited,
+                " vertices unresolved)");
+  levels_.assign(static_cast<size_t>(max_level) + 1, {});
+  for (size_t v = 0; v < n; ++v) {
+    levels_[static_cast<size_t>(level[v])].push_back(static_cast<int>(v));
+  }
 }
 
 void StaEngine::compute_loads() {
@@ -155,7 +211,7 @@ void StaEngine::compute_loads() {
   }
   // Attach to cell arcs (load seen by the arc's output pin).
   for (auto& e : cell_edges_) {
-    const auto& out_name = vertices_[static_cast<size_t>(e.to)].name;
+    const auto& out_name = vertex_names_[static_cast<size_t>(e.to)];
     const auto slash = out_name.find('/');
     const std::string inst_name = out_name.substr(0, slash);
     const std::string pin_name = out_name.substr(slash + 1);
@@ -163,10 +219,17 @@ void StaEngine::compute_loads() {
     e.load = net_load[inst->pins.at(pin_name)];
   }
   // Attach each sink gate's own output load to net edges (needed to
-  // synthesize the noiseless output response at noisy sinks).
+  // synthesize the noiseless output response at noisy sinks), plus the
+  // annotated wire delay.
   for (auto& e : net_edges_) {
+    if (const auto it = net_parasitics_.find(e.net);
+        it != net_parasitics_.end()) {
+      e.wire_delay = it->second.second;
+    } else {
+      e.wire_delay = 0.0;
+    }
     if (e.sink_cell == nullptr) continue;
-    const auto& sink_name = vertices_[static_cast<size_t>(e.to)].name;
+    const auto& sink_name = vertex_names_[static_cast<size_t>(e.to)];
     const auto slash = sink_name.find('/');
     const auto* inst = netlist_->find_instance(sink_name.substr(0, slash));
     const auto& out_pin = e.sink_cell->output_pin();
@@ -174,40 +237,6 @@ void StaEngine::compute_loads() {
     e.sink_load =
         out_net == inst->pins.end() ? 0.0 : net_load[out_net->second];
   }
-}
-
-void StaEngine::levelize() {
-  // Kahn topological sort over vertices; edges scheduled by source order.
-  const size_t n = vertices_.size();
-  std::vector<std::vector<std::pair<bool, size_t>>> out_edges(n);
-  std::vector<int> indegree(n, 0);
-  for (size_t i = 0; i < cell_edges_.size(); ++i) {
-    out_edges[static_cast<size_t>(cell_edges_[i].from)].push_back({true, i});
-    ++indegree[static_cast<size_t>(cell_edges_[i].to)];
-  }
-  for (size_t i = 0; i < net_edges_.size(); ++i) {
-    out_edges[static_cast<size_t>(net_edges_[i].from)].push_back({false, i});
-    ++indegree[static_cast<size_t>(net_edges_[i].to)];
-  }
-  std::vector<int> ready;
-  for (size_t v = 0; v < n; ++v) {
-    if (indegree[v] == 0) ready.push_back(static_cast<int>(v));
-  }
-  schedule_.clear();
-  size_t visited = 0;
-  while (!ready.empty()) {
-    const int v = ready.back();
-    ready.pop_back();
-    ++visited;
-    for (const auto& [is_cell, idx] : out_edges[static_cast<size_t>(v)]) {
-      schedule_.push_back({is_cell, idx});
-      const int to = is_cell ? cell_edges_[idx].to : net_edges_[idx].to;
-      if (--indegree[static_cast<size_t>(to)] == 0) ready.push_back(to);
-    }
-  }
-  util::require(visited == n,
-                "timing graph has a combinational cycle (", n - visited,
-                " vertices unresolved)");
 }
 
 void StaEngine::set_input(const std::string& port, double arrival,
@@ -222,11 +251,10 @@ void StaEngine::set_input(const std::string& port, RiseFall rf,
   util::require(p != nullptr && p->direction == netlist::PortDirection::kInput,
                 "set_input: ", port, " is not an input port");
   util::require(slew > 0.0, "set_input: non-positive slew");
-  auto& t = vertices_[static_cast<size_t>(find_vertex(port))]
-                .timing[static_cast<int>(rf)];
-  t.arrival = arrival;
-  t.slew = slew;
-  t.valid = true;
+  auto& c = input_constraints_[find_vertex(port)][static_cast<size_t>(rf)];
+  c.arrival = arrival;
+  c.slew = slew;
+  c.set = true;
   analyzed_ = false;
 }
 
@@ -244,9 +272,7 @@ void StaEngine::set_required(const std::string& port, double time) {
   util::require(
       p != nullptr && p->direction == netlist::PortDirection::kOutput,
       "set_required: ", port, " is not an output port");
-  auto& v = vertices_[static_cast<size_t>(find_vertex(port))];
-  v.timing[0].required = time;
-  v.timing[1].required = time;
+  required_[find_vertex(port)] = time;
   analyzed_ = false;
 }
 
@@ -270,163 +296,195 @@ void StaEngine::annotate_noisy_net(const std::string& net,
                                    wave::Polarity polarity) {
   util::require(netlist_->has_net(net), "annotate_noisy_net: unknown net ",
                 net);
-  noisy_nets_.insert_or_assign(net, NoisyNet{std::move(waveform), polarity});
+  const uint64_t key = noise_waveform_key(waveform, polarity);
+  noisy_nets_.insert_or_assign(
+      net, NoiseAnnotation{std::move(waveform), polarity, key});
   analyzed_ = false;
 }
 
-void StaEngine::relax(int to, RiseFall to_rf, double arrival, double slew,
-                      int from, RiseFall from_rf) {
-  auto& t = vertices_[static_cast<size_t>(to)].timing[static_cast<int>(to_rf)];
+void StaEngine::clear_noisy_nets() {
+  noisy_nets_.clear();
+  analyzed_ = false;
+}
+
+void StaEngine::set_threads(int threads) {
+  threads_ = threads;
+  pool_.reset();
+}
+
+void StaEngine::prepare() { compute_loads(); }
+
+void StaEngine::init_state(TimingState& state) const {
+  state.reset(vertex_names_.size());
+  for (const auto& [v, per_rf] : input_constraints_) {
+    for (size_t rf = 0; rf < 2; ++rf) {
+      if (!per_rf[rf].set) continue;
+      auto& t = state[static_cast<size_t>(v)].timing[rf];
+      t.arrival = per_rf[rf].arrival;
+      t.slew = per_rf[rf].slew;
+      t.valid = true;
+    }
+  }
+  for (const auto& [v, time] : required_) {
+    state[static_cast<size_t>(v)].timing[0].required = time;
+    state[static_cast<size_t>(v)].timing[1].required = time;
+  }
+}
+
+void StaEngine::relax(TimingState& state, int to, RiseFall to_rf,
+                      double arrival, double slew, int from,
+                      RiseFall from_rf) {
+  auto& vt = state[static_cast<size_t>(to)];
+  auto& t = vt.timing[static_cast<size_t>(to_rf)];
   if (!t.valid || arrival > t.arrival) {
     t.arrival = arrival;
     t.slew = slew;
     t.valid = true;
-    vertices_[static_cast<size_t>(to)].critical_pred[static_cast<int>(to_rf)] =
-        from;
-    vertices_[static_cast<size_t>(to)]
-        .critical_pred_rf[static_cast<int>(to_rf)] = from_rf;
+    vt.critical_pred[static_cast<size_t>(to_rf)] = from;
+    vt.critical_pred_rf[static_cast<size_t>(to_rf)] = from_rf;
   }
 }
 
-void StaEngine::propagate_cell_arc(const CellArcEdge& e) {
-  const auto& from = vertices_[static_cast<size_t>(e.from)];
+void StaEngine::propagate_cell_edge(const CellArcEdge& e,
+                                    TimingState& state) const {
+  const auto& from = state[static_cast<size_t>(e.from)];
   for (int rf_i = 0; rf_i < 2; ++rf_i) {
     const auto& in = from.timing[rf_i];
     if (!in.valid) continue;
     const auto in_rf = static_cast<RiseFall>(rf_i);
 
-    std::vector<RiseFall> out_rfs;
+    RiseFall out_rfs[2];
+    int out_count = 0;
     switch (e.arc->sense) {
       case liberty::TimingSense::kPositiveUnate:
-        out_rfs = {in_rf};
+        out_rfs[out_count++] = in_rf;
         break;
       case liberty::TimingSense::kNegativeUnate:
-        out_rfs = {flip(in_rf)};
+        out_rfs[out_count++] = flip(in_rf);
         break;
       case liberty::TimingSense::kNonUnate:
-        out_rfs = {RiseFall::kRise, RiseFall::kFall};
+        out_rfs[out_count++] = RiseFall::kRise;
+        out_rfs[out_count++] = RiseFall::kFall;
         break;
     }
-    for (const auto out_rf : out_rfs) {
+    for (int i = 0; i < out_count; ++i) {
+      const auto out_rf = out_rfs[i];
       const auto lookup = (out_rf == RiseFall::kRise)
                               ? e.arc->rise(in.slew, e.load)
                               : e.arc->fall(in.slew, e.load);
-      relax(e.to, out_rf, in.arrival + lookup.delay, lookup.out_slew, e.from,
-            in_rf);
+      relax(state, e.to, out_rf, in.arrival + lookup.delay, lookup.out_slew,
+            e.from, in_rf);
     }
   }
 }
 
-void StaEngine::propagate_net_edge(const NetEdge& e) {
-  const auto& from = vertices_[static_cast<size_t>(e.from)];
-  double wire_delay = 0.0;
-  if (const auto it = net_parasitics_.find(e.net);
-      it != net_parasitics_.end()) {
-    wire_delay = it->second.second;
+void StaEngine::propagate_net_edge(size_t edge_index, TimingState& state,
+                                   const EvalContext& ctx) const {
+  const auto& e = net_edges_[edge_index];
+  const auto& from = state[static_cast<size_t>(e.from)];
+  const NoiseAnnotation* noisy = nullptr;
+  if (ctx.noise != nullptr) {
+    if (const auto it = ctx.noise->find(e.net); it != ctx.noise->end()) {
+      noisy = &it->second;
+    }
   }
-  const auto noisy = noisy_nets_.find(e.net);
+  if (noisy == nullptr && ctx.base_noise != nullptr) {
+    if (const auto it = ctx.base_noise->find(e.net);
+        it != ctx.base_noise->end()) {
+      noisy = &it->second;
+    }
+  }
 
   for (int rf_i = 0; rf_i < 2; ++rf_i) {
     const auto& drv = from.timing[rf_i];
     if (!drv.valid) continue;
     const auto rf = static_cast<RiseFall>(rf_i);
-    double arrival = drv.arrival + wire_delay;
+    double arrival = drv.arrival + e.wire_delay;
     double slew = drv.slew;
 
-    const bool apply_noise = noisy != noisy_nets_.end() &&
-                             e.sink_pin != nullptr &&
-                             to_polarity(rf) == noisy->second.polarity;
+    const bool apply_noise = noisy != nullptr && e.sink_pin != nullptr &&
+                             to_polarity(rf) == noisy->polarity;
     if (apply_noise) {
-      // The equivalent-waveform flow of the paper: replace the ramp at
-      // this gate input by Γeff fitted against the annotated noisy
-      // waveform, using a noiseless response synthesized from NLDM.
-      const auto pol = noisy->second.polarity;
-      const double vdd = library_->nom_voltage;
-      const auto clean_ramp =
-          wave::Ramp::from_arrival_slew(arrival, slew, vdd);
-      const wave::Waveform clean_in = clean_ramp.denormalized(pol, 192);
-
       const auto* arc = e.sink_cell->output_pin().find_arc(e.sink_pin->name);
       if (arc != nullptr) {
-        const auto out_pol =
-            arc->sense == liberty::TimingSense::kNegativeUnate ? flip(pol)
-                                                               : pol;
-        const auto lk = (out_pol == wave::Polarity::kRising)
-                            ? arc->rise(slew, e.sink_load)
-                            : arc->fall(slew, e.sink_load);
-        const auto out_ramp = wave::Ramp::from_arrival_slew(
-            arrival + lk.delay, lk.out_slew, vdd);
-        const wave::Waveform clean_out = out_ramp.denormalized(out_pol, 192);
+        // The fit is a pure function of (annotation, clean ramp, arc,
+        // load); memoize it per exact key when a cache is supplied.
+        GammaCache::Key key;
+        key.noise_key = noisy->key;
+        key.method_id = reinterpret_cast<uintptr_t>(ctx.method);
+        key.edge = static_cast<uint32_t>(edge_index);
+        key.rf = static_cast<uint32_t>(rf_i);
+        key.arrival_bits = std::bit_cast<uint64_t>(arrival);
+        key.slew_bits = std::bit_cast<uint64_t>(slew);
+        std::optional<GammaCache::Value> cached;
+        if (ctx.cache != nullptr) cached = ctx.cache->lookup(key);
+        if (cached.has_value()) {
+          arrival = cached->arrival;
+          slew = cached->slew;
+        } else {
+          // The equivalent-waveform flow of the paper: replace the ramp
+          // at this gate input by Γeff fitted against the annotated
+          // noisy waveform, using a noiseless response synthesized from
+          // NLDM.
+          const auto pol = noisy->polarity;
+          const double vdd = library_->nom_voltage;
+          const auto clean_ramp =
+              wave::Ramp::from_arrival_slew(arrival, slew, vdd);
+          const wave::Waveform clean_in = clean_ramp.denormalized(pol, 192);
 
-        core::MethodInput mi;
-        mi.noisy_in = &noisy->second.waveform;
-        mi.noiseless_in = &clean_in;
-        mi.noiseless_out = &clean_out;
-        mi.in_polarity = pol;
-        mi.out_polarity = out_pol;
-        mi.vdd = vdd;
-        const auto fit = noise_method_->fit(mi);
-        arrival = fit.ramp.t50();
-        slew = fit.ramp.slew();
+          const auto out_pol =
+              arc->sense == liberty::TimingSense::kNegativeUnate ? flip(pol)
+                                                                 : pol;
+          const auto lk = (out_pol == wave::Polarity::kRising)
+                              ? arc->rise(slew, e.sink_load)
+                              : arc->fall(slew, e.sink_load);
+          const auto out_ramp = wave::Ramp::from_arrival_slew(
+              arrival + lk.delay, lk.out_slew, vdd);
+          const wave::Waveform clean_out = out_ramp.denormalized(out_pol, 192);
+
+          core::MethodInput mi;
+          mi.noisy_in = &noisy->waveform;
+          mi.noiseless_in = &clean_in;
+          mi.noiseless_out = &clean_out;
+          mi.in_polarity = pol;
+          mi.out_polarity = out_pol;
+          mi.vdd = vdd;
+          const auto fit = ctx.method->fit(mi);
+          arrival = fit.ramp.t50();
+          slew = fit.ramp.slew();
+          if (ctx.cache != nullptr) {
+            ctx.cache->insert(key, GammaCache::Value{arrival, slew});
+          }
+        }
       }
     }
-    relax(e.to, rf, arrival, slew, e.from, rf);
+    relax(state, e.to, rf, arrival, slew, e.from, rf);
   }
 }
 
-void StaEngine::run() {
-  // Reset all derived state, keep constraints.
-  for (auto& v : vertices_) {
-    const bool is_input_port =
-        netlist_->find_port(v.name) != nullptr &&
-        netlist_->find_port(v.name)->direction ==
-            netlist::PortDirection::kInput;
-    for (int rf = 0; rf < 2; ++rf) {
-      if (!is_input_port) {
-        v.timing[rf].arrival = kNegInf;
-        v.timing[rf].slew = 0.0;
-        v.timing[rf].valid = false;
-      }
-      v.critical_pred[rf] = -1;
-    }
-  }
-  compute_loads();
-  for (const auto& [is_cell, idx] : schedule_) {
+void StaEngine::forward_vertex(int v, TimingState& state,
+                               const EvalContext& ctx) const {
+  for (const auto& [is_cell, idx] : in_edges_[static_cast<size_t>(v)]) {
     if (is_cell) {
-      propagate_cell_arc(cell_edges_[idx]);
+      propagate_cell_edge(cell_edges_[idx], state);
     } else {
-      propagate_net_edge(net_edges_[idx]);
+      propagate_net_edge(idx, state, ctx);
     }
   }
-  backward_pass();
-  analyzed_ = true;
 }
 
-void StaEngine::backward_pass() {
-  // Reset required times except at constrained output ports.
-  for (auto& v : vertices_) {
-    const auto* port = netlist_->find_port(v.name);
-    const bool keep = port != nullptr &&
-                      port->direction == netlist::PortDirection::kOutput;
-    if (!keep) {
-      v.timing[0].required = std::numeric_limits<double>::infinity();
-      v.timing[1].required = std::numeric_limits<double>::infinity();
-    }
-  }
-  // Walk edges in reverse schedule order; the edge delay actually used
-  // by the forward pass is recovered from the endpoint arrivals of the
-  // transitions it connected.
-  for (auto it = schedule_.rbegin(); it != schedule_.rend(); ++it) {
-    const auto& [is_cell, idx] = *it;
-    const int from = is_cell ? cell_edges_[idx].from : net_edges_[idx].from;
+void StaEngine::backward_vertex(int v, TimingState& state) const {
+  // The edge delay actually used by the forward pass is recovered from
+  // the endpoint arrivals of the transitions it connected.
+  auto& vf = state[static_cast<size_t>(v)];
+  for (const auto& [is_cell, idx] : out_edges_[static_cast<size_t>(v)]) {
     const int to = is_cell ? cell_edges_[idx].to : net_edges_[idx].to;
-    auto& vf = vertices_[static_cast<size_t>(from)];
-    const auto& vt = vertices_[static_cast<size_t>(to)];
+    const auto& vt = state[static_cast<size_t>(to)];
     for (int to_rf = 0; to_rf < 2; ++to_rf) {
       const auto& tt = vt.timing[to_rf];
       if (!tt.valid || !std::isfinite(tt.required)) continue;
       // Which source transition fed this sink transition?
-      if (vt.critical_pred[to_rf] != from) continue;
+      if (vt.critical_pred[to_rf] != v) continue;
       const int from_rf = static_cast<int>(vt.critical_pred_rf[to_rf]);
       auto& ft = vf.timing[from_rf];
       if (!ft.valid) continue;
@@ -436,19 +494,69 @@ void StaEngine::backward_pass() {
   }
 }
 
-const PinTiming& StaEngine::timing(const std::string& pin,
-                                   RiseFall rf) const {
-  util::require(analyzed_, "run() the analysis first");
-  return vertices_[static_cast<size_t>(find_vertex(pin))]
-      .timing[static_cast<int>(rf)];
+void StaEngine::evaluate(TimingState& state, const EvalContext& ctx,
+                         util::ThreadPool* pool) const {
+  util::require(ctx.method != nullptr, "evaluate: null noise method");
+  init_state(state);
+  for (const auto& level : levels_) {
+    if (pool != nullptr && pool->size() > 1 && level.size() > 1) {
+      pool->parallel_for(level.size(), [&](size_t i) {
+        forward_vertex(level[i], state, ctx);
+      });
+    } else {
+      for (const int v : level) forward_vertex(v, state, ctx);
+    }
+  }
+  for (auto it = levels_.rbegin(); it != levels_.rend(); ++it) {
+    const auto& level = *it;
+    if (pool != nullptr && pool->size() > 1 && level.size() > 1) {
+      pool->parallel_for(level.size(),
+                         [&](size_t i) { backward_vertex(level[i], state); });
+    } else {
+      for (const int v : level) backward_vertex(v, state);
+    }
+  }
 }
 
-double StaEngine::worst_slack() const {
-  util::require(analyzed_, "run() the analysis first");
+StaEngine::EvalContext StaEngine::default_context() const {
+  EvalContext ctx;
+  ctx.noise = &noisy_nets_;
+  ctx.method = noise_method_.get();
+  ctx.cache = nullptr;
+  return ctx;
+}
+
+void StaEngine::run() {
+  prepare();
+  const int want = threads_ <= 0
+                       ? static_cast<int>(util::ThreadPool::hardware_threads())
+                       : threads_;
+  if (want > 1 && (pool_ == nullptr ||
+                   pool_->size() != static_cast<size_t>(want))) {
+    pool_ = std::make_unique<util::ThreadPool>(want);
+  }
+  evaluate(state_, default_context(), want > 1 ? pool_.get() : nullptr);
+  analyzed_ = true;
+}
+
+const PinTiming& StaEngine::timing_in(const TimingState& state,
+                                      const std::string& pin,
+                                      RiseFall rf) const {
+  util::require(state.size() == vertex_names_.size(),
+                "timing_in: state size does not match this engine "
+                "(init_state/evaluate it first)");
+  return state[static_cast<size_t>(find_vertex(pin))]
+      .timing[static_cast<size_t>(rf)];
+}
+
+double StaEngine::worst_slack_in(const TimingState& state) const {
+  util::require(state.size() == vertex_names_.size(),
+                "worst_slack_in: state size does not match this engine "
+                "(init_state/evaluate it first)");
   double worst = std::numeric_limits<double>::infinity();
   for (const auto& port : netlist_->ports()) {
     if (port.direction != netlist::PortDirection::kOutput) continue;
-    const auto& v = vertices_[static_cast<size_t>(find_vertex(port.name))];
+    const auto& v = state[static_cast<size_t>(find_vertex(port.name))];
     for (int rf = 0; rf < 2; ++rf) {
       if (v.timing[rf].valid && std::isfinite(v.timing[rf].required)) {
         worst = std::min(worst, v.timing[rf].slack());
@@ -456,6 +564,17 @@ double StaEngine::worst_slack() const {
     }
   }
   return worst;
+}
+
+const PinTiming& StaEngine::timing(const std::string& pin,
+                                   RiseFall rf) const {
+  util::require(analyzed_, "run() the analysis first");
+  return timing_in(state_, pin, rf);
+}
+
+double StaEngine::worst_slack() const {
+  util::require(analyzed_, "run() the analysis first");
+  return worst_slack_in(state_);
 }
 
 std::vector<PathStep> StaEngine::worst_path() const {
@@ -467,7 +586,7 @@ std::vector<PathStep> StaEngine::worst_path() const {
   bool use_slack = false;
   for (const auto& port : netlist_->ports()) {
     if (port.direction != netlist::PortDirection::kOutput) continue;
-    const auto& v = vertices_[static_cast<size_t>(find_vertex(port.name))];
+    const auto& v = state_[static_cast<size_t>(find_vertex(port.name))];
     for (int rf = 0; rf < 2; ++rf) {
       const auto& t = v.timing[rf];
       if (!t.valid) continue;
@@ -488,9 +607,9 @@ std::vector<PathStep> StaEngine::worst_path() const {
   int v = best_v;
   int rf = best_rf;
   while (v >= 0) {
-    const auto& vert = vertices_[static_cast<size_t>(v)];
-    path.push_back({vert.name, static_cast<RiseFall>(rf),
-                    vert.timing[rf].arrival});
+    const auto& vert = state_[static_cast<size_t>(v)];
+    path.push_back({vertex_names_[static_cast<size_t>(v)],
+                    static_cast<RiseFall>(rf), vert.timing[rf].arrival});
     const int pred = vert.critical_pred[rf];
     rf = static_cast<int>(vert.critical_pred_rf[rf]);
     v = pred;
@@ -504,10 +623,10 @@ std::string StaEngine::report() const {
   std::ostringstream os;
   os << "STA report for " << netlist_->name << " ("
      << netlist_->instances().size() << " instances, "
-     << vertices_.size() << " pins)\n";
+     << vertex_names_.size() << " pins)\n";
   for (const auto& port : netlist_->ports()) {
     if (port.direction != netlist::PortDirection::kOutput) continue;
-    const auto& v = vertices_[static_cast<size_t>(find_vertex(port.name))];
+    const auto& v = state_[static_cast<size_t>(find_vertex(port.name))];
     for (int rf = 0; rf < 2; ++rf) {
       const auto& t = v.timing[rf];
       if (!t.valid) continue;

@@ -19,7 +19,19 @@
 /// propagated (arrival, slew); the noiseless output is synthesized from
 /// the receiving gate's NLDM response, so no extra library
 /// characterization is needed — the paper's compatibility claim.
+///
+/// Propagation is *levelized*: topological levels are computed once at
+/// construction and stored on the graph.  Every vertex in a level
+/// depends only on strictly lower levels, so a level's vertices can be
+/// processed in parallel; each vertex folds its incoming edges in a
+/// fixed order, which makes results bitwise-identical at any thread
+/// count.  The timing state lives in a separate TimingState object, so
+/// a prepared engine can evaluate many noise scenarios concurrently
+/// through the const, reentrant evaluate() path (see ScenarioBatch in
+/// batch.hpp).
 
+#include <array>
+#include <cstdint>
 #include <limits>
 #include <map>
 #include <memory>
@@ -32,7 +44,13 @@
 #include "netlist/netlist.hpp"
 #include "wave/waveform.hpp"
 
+namespace waveletic::util {
+class ThreadPool;
+}
+
 namespace waveletic::sta {
+
+class GammaCache;
 
 enum class RiseFall { kRise = 0, kFall = 1 };
 
@@ -57,10 +75,45 @@ struct PathStep {
   double arrival = 0.0;
 };
 
+/// A noisy-waveform annotation on a net; `key` is a content hash used
+/// to memoize Γeff fits (annotations with equal keys must be equal).
+struct NoiseAnnotation {
+  wave::Waveform waveform;
+  wave::Polarity polarity = wave::Polarity::kFalling;
+  uint64_t key = 0;
+};
+
+/// Per-vertex derived timing (both transitions + critical-path links).
+struct VertexTiming {
+  PinTiming timing[2];  // indexed by RiseFall
+  int critical_pred[2] = {-1, -1};
+  RiseFall critical_pred_rf[2] = {RiseFall::kRise, RiseFall::kRise};
+};
+
+/// The complete timing state of one analysis (one noise scenario).
+/// Separate from the engine so N scenarios can be evaluated over the
+/// same prepared graph concurrently, each with its own state.
+class TimingState {
+ public:
+  TimingState() = default;
+  explicit TimingState(size_t vertices) : v_(vertices) {}
+
+  [[nodiscard]] size_t size() const noexcept { return v_.size(); }
+  [[nodiscard]] VertexTiming& operator[](size_t i) noexcept { return v_[i]; }
+  [[nodiscard]] const VertexTiming& operator[](size_t i) const noexcept {
+    return v_[i];
+  }
+  void reset(size_t vertices) { v_.assign(vertices, VertexTiming{}); }
+
+ private:
+  std::vector<VertexTiming> v_;
+};
+
 class StaEngine {
  public:
   /// Both netlist and library must outlive the engine.
   StaEngine(const netlist::Netlist& nl, const liberty::Library& lib);
+  ~StaEngine();  // out of line: ThreadPool is forward-declared
 
   // -- constraints -------------------------------------------------------
   /// Arrival + slew applied to both transitions of an input port.
@@ -79,12 +132,26 @@ class StaEngine {
   // -- crosstalk hooks ----------------------------------------------------
   /// Technique used at noisy nets (defaults to SGDP).
   void set_noise_method(std::unique_ptr<core::EquivalentWaveformMethod> m);
+  [[nodiscard]] const core::EquivalentWaveformMethod& noise_method()
+      const noexcept {
+    return *noise_method_;
+  }
   /// Annotates a net with the noisy waveform observed at its sinks for
   /// the transition of the given polarity.
   void annotate_noisy_net(const std::string& net, wave::Waveform waveform,
                           wave::Polarity polarity);
+  /// Removes all noisy-net annotations (scenario loops re-annotate).
+  void clear_noisy_nets();
+  [[nodiscard]] const std::map<std::string, NoiseAnnotation>& noisy_nets()
+      const noexcept {
+    return noisy_nets_;
+  }
 
   // -- analysis ------------------------------------------------------------
+  /// Number of worker threads used by run() for level-parallel
+  /// propagation (≤ 0 selects the hardware concurrency; default 1).
+  void set_threads(int threads);
+
   /// Runs forward (arrival) and backward (required) propagation.
   void run();
 
@@ -101,22 +168,66 @@ class StaEngine {
 
   /// Number of graph vertices (pins + ports); for tests.
   [[nodiscard]] size_t vertex_count() const noexcept {
-    return vertices_.size();
+    return vertex_names_.size();
   }
 
- private:
-  struct Vertex {
-    std::string name;
-    PinTiming timing[2];          // indexed by RiseFall
-    int critical_pred[2] = {-1, -1};
-    RiseFall critical_pred_rf[2] = {RiseFall::kRise, RiseFall::kRise};
+  // -- reentrant scenario-evaluation path ---------------------------------
+  // A prepared engine is immutable during evaluation, so many noise
+  // scenarios can be swept concurrently over the same graph, each with
+  // its own TimingState.  run() is implemented on top of this path;
+  // ScenarioBatch (batch.hpp) drives it for N scenarios in one
+  // levelized pass.
+
+  /// Inputs of one evaluation.  `noise` maps net name → annotation
+  /// (null = no noise); `base_noise` is an optional fallback consulted
+  /// for nets `noise` does not annotate (ScenarioBatch points it at
+  /// the engine-level annotations, so scenarios overlay them without
+  /// copying waveforms); `method` is the Γeff technique (must be
+  /// reentrant — all built-in techniques are); `cache` optionally
+  /// memoizes Γeff fits across scenarios/threads.
+  struct EvalContext {
+    const std::map<std::string, NoiseAnnotation>* noise = nullptr;
+    const std::map<std::string, NoiseAnnotation>* base_noise = nullptr;
+    const core::EquivalentWaveformMethod* method = nullptr;
+    GammaCache* cache = nullptr;
   };
 
+  /// Recomputes edge loads from the current constraints and makes the
+  /// engine ready for const evaluation.  run() calls this; ScenarioBatch
+  /// calls it once before fanning out.
+  void prepare();
+
+  /// Topological levels, computed once at construction: levels()[0] are
+  /// sources; every vertex depends only on strictly lower levels.
+  [[nodiscard]] const std::vector<std::vector<int>>& levels() const noexcept {
+    return levels_;
+  }
+
+  /// Resets `state` and applies the input/required constraints.
+  void init_state(TimingState& state) const;
+  /// Folds all incoming edges of vertex `v` (fixed order → deterministic).
+  /// Requires every lower-level vertex of `state` to be final.
+  void forward_vertex(int v, TimingState& state, const EvalContext& ctx) const;
+  /// Propagates required times backwards through the outgoing edges of
+  /// `v`.  Requires every higher-level vertex of `state` to be final.
+  void backward_vertex(int v, TimingState& state) const;
+  /// Full forward + backward sweep of one scenario into `state`,
+  /// level-parallel when `pool` is given.  prepare() must have run.
+  void evaluate(TimingState& state, const EvalContext& ctx,
+                util::ThreadPool* pool = nullptr) const;
+
+  /// Result accessors against an external state (ScenarioBatch results).
+  [[nodiscard]] const PinTiming& timing_in(const TimingState& state,
+                                           const std::string& pin,
+                                           RiseFall rf) const;
+  [[nodiscard]] double worst_slack_in(const TimingState& state) const;
+
+ private:
   struct CellArcEdge {
     int from = -1;  // instance input pin vertex
     int to = -1;    // instance output pin vertex
     const liberty::TimingArc* arc = nullptr;
-    double load = 0.0;  // computed before propagation
+    double load = 0.0;  // computed by prepare()
   };
 
   struct NetEdge {
@@ -126,11 +237,14 @@ class StaEngine {
     const liberty::Pin* sink_pin = nullptr;   // liberty pin at the sink
     const liberty::Cell* sink_cell = nullptr;
     double sink_load = 0.0;  // load seen by the sink gate's output
+    double wire_delay = 0.0;  // computed by prepare()
   };
 
-  struct NoisyNet {
-    wave::Waveform waveform;
-    wave::Polarity polarity;
+  /// One rise/fall input constraint of an input port.
+  struct InputConstraint {
+    double arrival = 0.0;
+    double slew = 0.0;
+    bool set = false;
   };
 
   int vertex(const std::string& name);
@@ -138,25 +252,35 @@ class StaEngine {
   void build_graph();
   void compute_loads();
   void levelize();
-  void propagate_cell_arc(const CellArcEdge& e);
-  void propagate_net_edge(const NetEdge& e);
-  void relax(int to, RiseFall to_rf, double arrival, double slew, int from,
-             RiseFall from_rf);
-  void backward_pass();
+  void propagate_cell_edge(const CellArcEdge& e, TimingState& state) const;
+  void propagate_net_edge(size_t edge_index, TimingState& state,
+                          const EvalContext& ctx) const;
+  static void relax(TimingState& state, int to, RiseFall to_rf, double arrival,
+                    double slew, int from, RiseFall from_rf);
+  [[nodiscard]] EvalContext default_context() const;
 
   const netlist::Netlist* netlist_;
   const liberty::Library* library_;
-  std::vector<Vertex> vertices_;
+  std::vector<std::string> vertex_names_;
   std::map<std::string, int> vertex_index_;
   std::vector<CellArcEdge> cell_edges_;
   std::vector<NetEdge> net_edges_;
-  /// Edge execution order produced by levelization: pairs of
-  /// (is_cell_edge, index).
-  std::vector<std::pair<bool, size_t>> schedule_;
+  /// Incoming/outgoing adjacency: (is_cell_edge, edge index), in
+  /// deterministic construction order.
+  std::vector<std::vector<std::pair<bool, uint32_t>>> in_edges_;
+  std::vector<std::vector<std::pair<bool, uint32_t>>> out_edges_;
+  std::vector<std::vector<int>> levels_;
+
+  std::map<int, std::array<InputConstraint, 2>> input_constraints_;
+  std::map<int, double> required_;
   std::map<std::string, double> output_loads_;
   std::map<std::string, std::pair<double, double>> net_parasitics_;
-  std::map<std::string, NoisyNet> noisy_nets_;
+  std::map<std::string, NoiseAnnotation> noisy_nets_;
   std::unique_ptr<core::EquivalentWaveformMethod> noise_method_;
+
+  TimingState state_;  ///< default state written by run()
+  int threads_ = 1;
+  std::unique_ptr<util::ThreadPool> pool_;
   bool analyzed_ = false;
 };
 

@@ -1,0 +1,88 @@
+#include "sta/gamma_cache.hpp"
+
+#include <cstring>
+
+namespace waveletic::sta {
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t fnv1a(uint64_t h, const void* data, size_t bytes) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t mix(uint64_t h, uint64_t v) noexcept {
+  return fnv1a(h, &v, sizeof(v));
+}
+
+}  // namespace
+
+uint64_t noise_waveform_key(const wave::Waveform& w,
+                            wave::Polarity polarity) noexcept {
+  uint64_t h = kFnvOffset;
+  h = mix(h, static_cast<uint64_t>(polarity));
+  h = mix(h, static_cast<uint64_t>(w.size()));
+  const auto t = w.times();
+  const auto v = w.values();
+  if (!t.empty()) {
+    h = fnv1a(h, t.data(), t.size() * sizeof(double));
+    h = fnv1a(h, v.data(), v.size() * sizeof(double));
+  }
+  return h;
+}
+
+size_t GammaCache::KeyHash::operator()(const Key& k) const noexcept {
+  uint64_t h = kFnvOffset;
+  h = mix(h, k.noise_key);
+  h = mix(h, k.method_id);
+  h = mix(h, (static_cast<uint64_t>(k.edge) << 32) | k.rf);
+  h = mix(h, k.arrival_bits);
+  h = mix(h, k.slew_bits);
+  return static_cast<size_t>(h);
+}
+
+size_t GammaCache::shard_of(const Key& key) const noexcept {
+  return KeyHash{}(key) % kShards;
+}
+
+std::optional<GammaCache::Value> GammaCache::lookup(const Key& key) noexcept {
+  auto& shard = shards_[shard_of(key)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void GammaCache::insert(const Key& key, const Value& value) {
+  auto& shard = shards_[shard_of(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.map.emplace(key, value);
+}
+
+GammaCache::Stats GammaCache::stats() const noexcept {
+  return {hits_.load(std::memory_order_relaxed),
+          misses_.load(std::memory_order_relaxed)};
+}
+
+void GammaCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace waveletic::sta

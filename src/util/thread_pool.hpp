@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Small fixed-size thread pool with a blocking parallel_for.
+///
+/// Deliberately work-stealing-free: parallel_for splits [0, n) into
+/// `size()` contiguous chunks, one per worker, and blocks until every
+/// chunk has run.  The static partition keeps the execution schedule
+/// independent of runtime timing, which is what lets the levelized STA
+/// propagation produce bitwise-identical results at any thread count
+/// (tasks write disjoint state; ordering within a task is fixed).
+///
+/// A pool of size 1 runs everything inline on the calling thread and
+/// spawns no workers at all.
+
+#include <cstddef>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace waveletic::util {
+
+class ThreadPool {
+ public:
+  /// `threads` ≤ 0 selects hardware_threads().  Size is clamped to ≥ 1.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] size_t size() const noexcept { return size_; }
+
+  /// Runs body(i) for every i in [0, n); returns when all calls have
+  /// finished.  The first exception thrown by any body is rethrown on
+  /// the calling thread (remaining chunks still run to completion).
+  /// Reentrant calls from inside a body are not supported.
+  void parallel_for(size_t n, const std::function<void(size_t)>& body);
+
+  /// std::thread::hardware_concurrency with a sane floor of 1.
+  [[nodiscard]] static size_t hardware_threads() noexcept;
+
+ private:
+  struct Job {
+    const std::function<void(size_t)>* body = nullptr;
+    size_t n = 0;
+  };
+
+  void worker_loop(size_t worker_index);
+  void run_chunk(size_t worker_index, const Job& job) noexcept;
+
+  size_t size_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  Job job_;
+  uint64_t generation_ = 0;   ///< bumped per parallel_for to wake workers
+  size_t pending_ = 0;        ///< chunks not yet finished
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace waveletic::util

@@ -1,0 +1,324 @@
+// Parallel + batched STA propagation: bitwise determinism of the
+// level-parallel forward/backward passes across thread counts, bitwise
+// equivalence of batched scenario sweeps vs. sequential looped runs,
+// and Γeff-memo hit accounting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "charlib/characterize.hpp"
+#include "netlist/generators.hpp"
+#include "sta/batch.hpp"
+#include "sta/engine.hpp"
+#include "sta/gamma_cache.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+#include "wave/ramp.hpp"
+
+namespace cl = waveletic::charlib;
+namespace lb = waveletic::liberty;
+namespace nl = waveletic::netlist;
+namespace st = waveletic::sta;
+namespace wu = waveletic::util;
+namespace wv = waveletic::wave;
+
+namespace {
+
+const lb::Library& lib() {
+  static const lb::Library library = cl::build_vcl013_library_fast();
+  return library;
+}
+
+nl::Netlist wide_netlist(int width) { return nl::make_chain_tree(width); }
+
+void constrain(st::StaEngine& sta, int width) {
+  for (int i = 0; i < width; ++i) {
+    sta.set_input("a" + std::to_string(i), 0.01e-9 * i, (80 + 7 * i) * 1e-12);
+  }
+  sta.set_output_load("y", 6e-15);
+  sta.set_required("y", 2e-9);
+}
+
+/// Bitwise comparison of two full timing states over all pins.
+void expect_states_identical(const st::StaEngine& sta,
+                             const st::TimingState& a,
+                             const st::TimingState& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t v = 0; v < a.size(); ++v) {
+    for (int rf = 0; rf < 2; ++rf) {
+      const auto& ta = a[v].timing[rf];
+      const auto& tb = b[v].timing[rf];
+      EXPECT_EQ(ta.valid, tb.valid) << "vertex " << v;
+      // Bitwise: no tolerance.
+      EXPECT_EQ(ta.arrival, tb.arrival) << "vertex " << v;
+      EXPECT_EQ(ta.slew, tb.slew) << "vertex " << v;
+      EXPECT_EQ(ta.required, tb.required) << "vertex " << v;
+    }
+  }
+  (void)sta;
+}
+
+st::NoiseScenario bump_scenario(const st::StaEngine& clean, int chain,
+                                double alignment, double strength) {
+  const std::string net = "c" + std::to_string(chain) + "_1";
+  const auto& t = clean.timing("inv" + std::to_string(chain) + "_2/A",
+                               st::RiseFall::kFall);
+  return st::make_aggressor_scenario(net, t.arrival, t.slew,
+                                     lib().nom_voltage,
+                                     wv::Polarity::kFalling, alignment,
+                                     strength);
+}
+
+}  // namespace
+
+TEST(StaParallel, LevelsCoverAllVerticesOnce) {
+  const auto net = wide_netlist(8);
+  st::StaEngine sta(net, lib());
+  size_t total = 0;
+  for (const auto& level : sta.levels()) total += level.size();
+  EXPECT_EQ(total, sta.vertex_count());
+  EXPECT_GT(sta.levels().size(), 3u);  // chains are at least 3 gates deep
+}
+
+TEST(StaParallel, MultiThreadBitwiseIdenticalToSingleThread) {
+  const int width = 12;
+  const auto net = wide_netlist(width);
+
+  st::StaEngine sta1(net, lib());
+  constrain(sta1, width);
+  sta1.set_threads(1);
+  sta1.run();
+
+  for (const int threads : {2, 4, 8}) {
+    st::StaEngine stan(net, lib());
+    constrain(stan, width);
+    // A noisy annotation makes the parallel path exercise Γeff too.
+    const auto& n0 = sta1.timing("inv0_2/A", st::RiseFall::kFall);
+    const auto ramp =
+        wv::Ramp::from_arrival_slew(n0.arrival, n0.slew, lib().nom_voltage);
+    stan.annotate_noisy_net("c0_1",
+                            ramp.denormalized(wv::Polarity::kFalling, 256),
+                            wv::Polarity::kFalling);
+    st::StaEngine sta1n(net, lib());
+    constrain(sta1n, width);
+    sta1n.annotate_noisy_net("c0_1",
+                             ramp.denormalized(wv::Polarity::kFalling, 256),
+                             wv::Polarity::kFalling);
+    sta1n.set_threads(1);
+    sta1n.run();
+    stan.set_threads(threads);
+    stan.run();
+
+    for (int rf = 0; rf < 2; ++rf) {
+      const auto r = static_cast<st::RiseFall>(rf);
+      EXPECT_EQ(sta1n.timing("y", r).arrival, stan.timing("y", r).arrival)
+          << "threads=" << threads;
+      EXPECT_EQ(sta1n.timing("y", r).slew, stan.timing("y", r).slew);
+      EXPECT_EQ(sta1n.timing("y", r).required, stan.timing("y", r).required);
+    }
+    EXPECT_EQ(sta1n.worst_slack(), stan.worst_slack());
+  }
+}
+
+TEST(StaParallel, BatchedBitwiseIdenticalToLoopedRuns) {
+  const int width = 6;
+  const auto net = wide_netlist(width);
+
+  // Clean run provides the victim ramps the scenarios perturb.
+  st::StaEngine clean(net, lib());
+  constrain(clean, width);
+  clean.run();
+
+  // 24 scenarios: aggressor alignment × strength grid on two nets.
+  std::vector<st::NoiseScenario> scenarios;
+  for (int chain : {0, 3}) {
+    for (int a = 0; a < 4; ++a) {
+      for (int s = 0; s < 3; ++s) {
+        scenarios.push_back(bump_scenario(clean, chain,
+                                          (a - 2) * 20e-12,
+                                          0.25 + 0.2 * s));
+      }
+    }
+  }
+
+  // Looped baseline: one engine, re-annotated and re-run per scenario,
+  // single-threaded, no cache.
+  std::vector<double> looped_arrival, looped_slack;
+  for (const auto& sc : scenarios) {
+    st::StaEngine sta(net, lib());
+    constrain(sta, width);
+    for (const auto& [n, ann] : sc.annotations) {
+      sta.annotate_noisy_net(n, ann.waveform, ann.polarity);
+    }
+    sta.run();
+    looped_arrival.push_back(sta.timing("y", st::RiseFall::kFall).arrival);
+    looped_slack.push_back(sta.worst_slack());
+  }
+
+  // Batched: one levelized pass, 4 threads, shared Γeff cache.
+  st::StaEngine sta(net, lib());
+  constrain(sta, width);
+  st::BatchOptions opt;
+  opt.threads = 4;
+  st::ScenarioBatch batch(sta, opt);
+  for (auto& sc : scenarios) batch.add(sc);
+  batch.run();
+
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    EXPECT_EQ(batch.timing(i, "y", st::RiseFall::kFall).arrival,
+              looped_arrival[i])
+        << "scenario " << i << " (" << batch.scenario(i).name << ")";
+    EXPECT_EQ(batch.worst_slack(i), looped_slack[i]) << "scenario " << i;
+  }
+}
+
+TEST(StaParallel, GammaCacheCountsHitsForRepeatedScenarios) {
+  const int width = 4;
+  const auto net = wide_netlist(width);
+  st::StaEngine clean(net, lib());
+  constrain(clean, width);
+  clean.run();
+
+  // The same annotation repeated across all scenarios: the fit must be
+  // computed once per (edge, rf) and hit thereafter.
+  const auto sc = bump_scenario(clean, 0, 10e-12, 0.4);
+  const int copies = 16;
+  st::StaEngine sta(net, lib());
+  constrain(sta, width);
+  st::BatchOptions opt;
+  opt.threads = 2;
+  st::ScenarioBatch batch(sta, opt);
+  for (int i = 0; i < copies; ++i) batch.add(sc);
+  batch.run();
+
+  const auto stats = batch.cache_stats();
+  // One noisy sink, one matching transition → exactly one lookup per
+  // scenario, deterministically.
+  EXPECT_EQ(stats.hits + stats.misses, static_cast<uint64_t>(copies));
+  // There is one distinct key; concurrent first lookups may each miss
+  // before the first insert lands, so allow up to `threads` misses.
+  EXPECT_GE(stats.misses, 1u);
+  EXPECT_LE(stats.misses, 2u);
+  EXPECT_GE(stats.hits, static_cast<uint64_t>(copies) - 2);
+
+  // And hits do not change results: scenario 0 == scenario N-1 bitwise.
+  expect_states_identical(sta, batch.state(0), batch.state(copies - 1));
+}
+
+TEST(StaParallel, CacheOffMatchesCacheOnBitwise) {
+  const int width = 4;
+  const auto net = wide_netlist(width);
+  st::StaEngine clean(net, lib());
+  constrain(clean, width);
+  clean.run();
+
+  std::vector<st::NoiseScenario> scenarios;
+  for (int a = 0; a < 4; ++a) {
+    scenarios.push_back(bump_scenario(clean, 1, a * 15e-12, 0.5));
+  }
+
+  st::StaEngine sta_on(net, lib());
+  constrain(sta_on, width);
+  st::BatchOptions on;
+  on.threads = 2;
+  on.share_gamma_cache = true;
+  st::ScenarioBatch batch_on(sta_on, on);
+  for (auto& s : scenarios) batch_on.add(s);
+  batch_on.run();
+
+  st::StaEngine sta_off(net, lib());
+  constrain(sta_off, width);
+  st::BatchOptions off;
+  off.threads = 1;
+  off.share_gamma_cache = false;
+  st::ScenarioBatch batch_off(sta_off, off);
+  for (auto& s : scenarios) batch_off.add(s);
+  batch_off.run();
+
+  EXPECT_EQ(batch_off.cache_stats().hits + batch_off.cache_stats().misses,
+            0u);
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    expect_states_identical(sta_on, batch_on.state(i), batch_off.state(i));
+  }
+}
+
+TEST(StaParallel, ThreadPoolRunsEveryIndexOnceAndPropagatesErrors) {
+  wu::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<int> counts(1000, 0);
+  pool.parallel_for(counts.size(), [&](size_t i) { counts[i]++; });
+  for (const int c : counts) EXPECT_EQ(c, 1);
+
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](size_t i) {
+                          if (i == 57) throw wu::Error("boom");
+                        }),
+      wu::Error);
+  // Pool stays usable after an exception.
+  std::atomic<int> total{0};
+  pool.parallel_for(100, [&](size_t) { total++; });
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(StaParallel, EngineAnnotationsOverlayIntoBatchScenarios) {
+  const int width = 4;
+  const auto net = wide_netlist(width);
+  st::StaEngine clean(net, lib());
+  constrain(clean, width);
+  clean.run();
+
+  const auto sc0 = bump_scenario(clean, 0, 10e-12, 0.5);
+  const auto sc1 = bump_scenario(clean, 1, -15e-12, 0.4);
+
+  // Engine-level annotation on chain 1, scenario annotation on chain 0:
+  // the batch must apply BOTH (engine annotations overlay into every
+  // scenario; the scenario wins only on nets both touch).
+  st::StaEngine sta(net, lib());
+  constrain(sta, width);
+  const auto& ann1 = sc1.annotations.begin()->second;
+  sta.annotate_noisy_net(sc1.annotations.begin()->first, ann1.waveform,
+                         ann1.polarity);
+  st::ScenarioBatch batch(sta);
+  batch.add(sc0);
+  batch.run();
+
+  // Reference: one engine run with both annotations applied.
+  st::StaEngine both(net, lib());
+  constrain(both, width);
+  both.annotate_noisy_net(sc1.annotations.begin()->first, ann1.waveform,
+                          ann1.polarity);
+  const auto& ann0 = sc0.annotations.begin()->second;
+  both.annotate_noisy_net(sc0.annotations.begin()->first, ann0.waveform,
+                          ann0.polarity);
+  both.run();
+
+  EXPECT_EQ(batch.timing(0, "y", st::RiseFall::kFall).arrival,
+            both.timing("y", st::RiseFall::kFall).arrival);
+  EXPECT_EQ(batch.worst_slack(0), both.worst_slack());
+
+  // clear_noisy_nets drops the engine-level annotation: the next run
+  // matches the clean analysis again.
+  both.clear_noisy_nets();
+  both.run();
+  EXPECT_EQ(both.timing("y", st::RiseFall::kFall).arrival,
+            clean.timing("y", st::RiseFall::kFall).arrival);
+}
+
+TEST(StaParallel, EmptyBatchThrows) {
+  const auto net = wide_netlist(2);
+  st::StaEngine sta(net, lib());
+  constrain(sta, 2);
+  st::ScenarioBatch batch(sta);
+  EXPECT_THROW(batch.run(), wu::Error);
+  st::NoiseScenario sc;
+  batch.add(sc);  // scenario with no annotations = clean run
+  batch.run();
+  sta.run();
+  EXPECT_EQ(batch.timing(0, "y", st::RiseFall::kFall).arrival,
+            sta.timing("y", st::RiseFall::kFall).arrival);
+}
