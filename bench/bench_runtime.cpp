@@ -189,8 +189,9 @@ void sta_sweep_looped(benchmark::State& state) {
     double acc = 0.0;
     for (const auto& sc : scenarios) {
       sta.clear_noisy_nets();
-      for (const auto& [net, ann] : sc.annotations) {
-        sta.annotate_noisy_net(net, ann.waveform, ann.polarity);
+      for (const auto& e : sc.entries) {
+        sta.annotate_noisy_net(e.net, e.annotation.waveform,
+                               e.annotation.polarity);
       }
       sta.run();
       acc += sta.worst_slack();
@@ -267,8 +268,9 @@ void report_sweep_speedups() {
   const double t_looped = wall_seconds([&] {
     for (const auto& sc : scenarios) {
       looped.clear_noisy_nets();
-      for (const auto& [net, ann] : sc.annotations) {
-        looped.annotate_noisy_net(net, ann.waveform, ann.polarity);
+      for (const auto& e : sc.entries) {
+        looped.annotate_noisy_net(e.net, e.annotation.waveform,
+                                  e.annotation.polarity);
       }
       looped.run();
       looped_slack.push_back(looped.worst_slack());
@@ -277,7 +279,9 @@ void report_sweep_speedups() {
 
   // Batched at 1 thread (cache + single-pass effect) and at the
   // hardware thread count (adds the parallel fan-out).
-  auto run_batched = [&](int threads, std::vector<double>& slack) {
+  waveletic::sta::GammaCache::Stats statsN{};
+  auto run_batched = [&](int threads, std::vector<double>& slack,
+                         waveletic::sta::GammaCache::Stats& stats) {
     st::StaEngine sta(f.netlist, f.lib);
     f.constrain(sta);
     st::BatchOptions opt;
@@ -288,11 +292,14 @@ void report_sweep_speedups() {
     for (size_t i = 0; i < batch.size(); ++i) {
       slack.push_back(batch.worst_slack(i));
     }
+    stats = batch.cache_stats();
     return t;
   };
   std::vector<double> batched1_slack, batchedN_slack;
-  const double t_batched1 = run_batched(1, batched1_slack);
-  const double t_batchedN = run_batched(static_cast<int>(hw), batchedN_slack);
+  waveletic::sta::GammaCache::Stats stats1{};
+  const double t_batched1 = run_batched(1, batched1_slack, stats1);
+  const double t_batchedN =
+      run_batched(static_cast<int>(hw), batchedN_slack, statsN);
 
   bool identical = true;
   for (int i = 0; i < kScenarios; ++i) {
@@ -324,6 +331,38 @@ void report_sweep_speedups() {
               hw, t_run1 * 1e3, t_runN * 1e3, t_run1 / t_runN);
   std::printf("timing results identical across looped/batched: %s\n",
               identical ? "yes" : "NO — BUG");
+
+  // Machine-readable summary for CI trend tracking.
+  const char* json_path = "BENCH_sweep.json";
+  if (FILE* f_json = std::fopen(json_path, "w")) {
+    const uint64_t lookups = statsN.hits + statsN.misses;
+    const double hit_rate =
+        lookups == 0 ? 0.0
+                     : static_cast<double>(statsN.hits) /
+                           static_cast<double>(lookups);
+    std::fprintf(f_json,
+                 "{\n"
+                 "  \"scenarios\": %d,\n"
+                 "  \"threads\": %zu,\n"
+                 "  \"looped_ms\": %.3f,\n"
+                 "  \"batched_1t_ms\": %.3f,\n"
+                 "  \"batched_ms\": %.3f,\n"
+                 "  \"scenarios_per_sec\": %.1f,\n"
+                 "  \"speedup_vs_looped\": %.2f,\n"
+                 "  \"cache_hits\": %llu,\n"
+                 "  \"cache_misses\": %llu,\n"
+                 "  \"cache_hit_rate\": %.4f,\n"
+                 "  \"bitwise_identical\": %s\n"
+                 "}\n",
+                 kScenarios, hw, t_looped * 1e3, t_batched1 * 1e3,
+                 t_batchedN * 1e3, kScenarios / t_batchedN,
+                 t_looped / t_batchedN,
+                 static_cast<unsigned long long>(statsN.hits),
+                 static_cast<unsigned long long>(statsN.misses), hit_rate,
+                 identical ? "true" : "false");
+    std::fclose(f_json);
+    std::printf("wrote %s\n", json_path);
+  }
 }
 
 }  // namespace

@@ -46,17 +46,18 @@ endmodule
 )");
 
   st::StaEngine sta(netlist, lib);
-  sta.set_input("a", 0.0, 120e-12);
-  sta.set_input("b", 20e-12, 150e-12);
-  sta.set_output_load("y", 8e-15);
-  sta.set_required("y", 0.8e-9);
+  // Handle-based constraint API: resolve names once, then run dense.
+  sta.set_input(sta.port("a"), 0.0, 120e-12);
+  sta.set_input(sta.port("b"), 20e-12, 150e-12);
+  sta.set_output_load(sta.port("y"), 8e-15);
+  sta.set_required(sta.port("y"), 0.8e-9);
   sta.run();
   std::cout << "\n-- clean run --\n" << sta.report();
 
   // Victim ramps at the two noisy nets (falling transitions at the
-  // receiver inputs of ua2 / ub2).
-  const auto& va = sta.timing("ua2/A", st::RiseFall::kFall);
-  const auto& vb = sta.timing("ub2/A", st::RiseFall::kFall);
+  // receiver inputs of ua2 / ub2), read through PinId handles.
+  const auto& va = sta.timing(sta.pin("ua2/A"), st::RiseFall::kFall);
+  const auto& vb = sta.timing(sta.pin("ub2/A"), st::RiseFall::kFall);
 
   // Scenario grid: 8 alignments × 4 strengths × 2 victim nets = 64.
   st::BatchOptions opt;

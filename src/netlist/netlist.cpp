@@ -30,6 +30,11 @@ bool Netlist::has_net(const std::string& net_name) const noexcept {
   return net_index_.count(net_name) > 0;
 }
 
+int Netlist::net_ordinal(const std::string& net_name) const noexcept {
+  const auto it = net_index_.find(net_name);
+  return it == net_index_.end() ? -1 : static_cast<int>(it->second);
+}
+
 const Port* Netlist::find_port(const std::string& port_name) const noexcept {
   for (const auto& p : ports_) {
     if (p.name == port_name) return &p;

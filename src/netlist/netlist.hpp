@@ -8,6 +8,7 @@
 
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace waveletic::netlist {
@@ -45,6 +46,10 @@ class Netlist {
   }
 
   [[nodiscard]] bool has_net(const std::string& net_name) const noexcept;
+  /// Ordinal of `net_name` in nets() (stable for the netlist's
+  /// lifetime), or -1 when absent.  O(1); this is what NetId handles
+  /// index.
+  [[nodiscard]] int net_ordinal(const std::string& net_name) const noexcept;
   [[nodiscard]] const Port* find_port(
       const std::string& port_name) const noexcept;
   [[nodiscard]] const Instance* find_instance(
@@ -68,7 +73,7 @@ class Netlist {
   std::vector<Port> ports_;
   std::vector<std::string> nets_;
   std::vector<Instance> instances_;
-  std::map<std::string, size_t> net_index_;
+  std::unordered_map<std::string, size_t> net_index_;
 };
 
 }  // namespace waveletic::netlist

@@ -1,66 +1,9 @@
 #include "sta/batch.hpp"
 
-#include <cmath>
-#include <sstream>
-
-#include "noise/scenario.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
-#include "wave/ramp.hpp"
 
 namespace waveletic::sta {
-
-void NoiseScenario::annotate(const std::string& net, wave::Waveform waveform,
-                             wave::Polarity polarity) {
-  const uint64_t key = noise_waveform_key(waveform, polarity);
-  annotations.insert_or_assign(
-      net, NoiseAnnotation{std::move(waveform), polarity, key});
-}
-
-NoiseScenario make_aggressor_scenario(const std::string& net,
-                                      double victim_arrival,
-                                      double victim_slew, double vdd,
-                                      wave::Polarity polarity,
-                                      double alignment, double strength,
-                                      size_t samples) {
-  util::require(victim_slew > 0.0,
-                "make_aggressor_scenario: non-positive victim slew");
-  util::require(samples >= 8, "make_aggressor_scenario: too few samples");
-  const auto ramp =
-      wave::Ramp::from_arrival_slew(victim_arrival, victim_slew, vdd);
-  const auto clean = ramp.denormalized(polarity, samples);
-  std::vector<double> t(clean.times().begin(), clean.times().end());
-  std::vector<double> v(clean.values().begin(), clean.values().end());
-  // Gaussian coupling bump centred `alignment` after the victim 50%
-  // crossing, width tied to the victim transition.  A bump that pushes
-  // against the transition direction delays the final crossing — the
-  // worst-case aggressor of the paper's Figure 1 testbench.
-  const double center = victim_arrival + alignment;
-  const double sigma = 0.5 * victim_slew;
-  const double sign = polarity == wave::Polarity::kFalling ? 1.0 : -1.0;
-  for (size_t i = 0; i < t.size(); ++i) {
-    v[i] += sign * strength *
-            std::exp(-std::pow((t[i] - center) / sigma, 2.0));
-  }
-  NoiseScenario s;
-  std::ostringstream name;
-  name << net << "@align=" << alignment * 1e12
-       << "ps,strength=" << strength << "V";
-  s.name = name.str();
-  s.annotate(net, wave::Waveform(std::move(t), std::move(v)), polarity);
-  return s;
-}
-
-NoiseScenario scenario_from_case(const std::string& net,
-                                 const noise::CaseWaveforms& case_waveforms) {
-  NoiseScenario s;
-  std::ostringstream name;
-  name << net << "@offset=" << case_waveforms.aggressor_offset * 1e12
-       << "ps";
-  s.name = name.str();
-  s.annotate(net, case_waveforms.noisy_in, case_waveforms.in_polarity);
-  return s;
-}
 
 ScenarioBatch::ScenarioBatch(StaEngine& engine, BatchOptions options)
     : engine_(&engine), options_(options) {}
@@ -68,74 +11,42 @@ ScenarioBatch::ScenarioBatch(StaEngine& engine, BatchOptions options)
 ScenarioBatch::~ScenarioBatch() = default;
 
 size_t ScenarioBatch::add(NoiseScenario scenario) {
-  scenarios_.push_back(std::move(scenario));
-  ran_ = false;
-  return scenarios_.size() - 1;
+  spec_.scenarios.push_back(std::move(scenario));
+  result_.reset();
+  return spec_.scenarios.size() - 1;
 }
 
 void ScenarioBatch::run() {
-  util::require(!scenarios_.empty(), "ScenarioBatch: no scenarios added");
-  engine_->prepare();
-  cache_.clear();
-
-  const size_t n_scenarios = scenarios_.size();
-  states_.assign(n_scenarios, TimingState{});
-
-  // Overlay semantics: engine-level annotations apply to every
-  // scenario as a fallback, with the scenario's own annotations taking
-  // precedence on nets both touch (no waveform copies — the engine map
-  // is consulted through EvalContext::base_noise).
-  const auto* base_noise =
-      engine_->noisy_nets().empty() ? nullptr : &engine_->noisy_nets();
-
-  std::vector<StaEngine::EvalContext> contexts(n_scenarios);
-  for (size_t s = 0; s < n_scenarios; ++s) {
-    contexts[s].noise = &scenarios_[s].annotations;
-    contexts[s].base_noise = base_noise;
-    contexts[s].method = options_.method != nullptr
-                             ? options_.method
-                             : &engine_->noise_method();
-    contexts[s].cache = options_.share_gamma_cache ? &cache_ : nullptr;
-    engine_->init_state(states_[s]);
-  }
-
+  util::require(!spec_.scenarios.empty(), "ScenarioBatch: no scenarios added");
   const size_t want = options_.threads <= 0
                           ? util::ThreadPool::hardware_threads()
                           : static_cast<size_t>(options_.threads);
   if (pool_ == nullptr || pool_->size() != want) {
     pool_ = std::make_unique<util::ThreadPool>(static_cast<int>(want));
   }
-  util::ThreadPool& pool = *pool_;
-  const auto& levels = engine_->levels();
+  spec_.threads = options_.threads;
+  spec_.share_gamma_cache = options_.share_gamma_cache;
+  spec_.method = options_.method;
+  spec_.pool = pool_.get();
+  // corners stays empty: one point per scenario, at the engine corner.
+  result_ = engine_->sweep(spec_);
+}
 
-  // ONE levelized pass for all scenarios: per level, every
-  // (scenario, vertex) pair is independent — scenarios write disjoint
-  // states and vertices of one level only read lower levels.
-  for (const auto& level : levels) {
-    const size_t m = level.size();
-    pool.parallel_for(m * n_scenarios, [&](size_t idx) {
-      const size_t s = idx / m;
-      const int v = level[idx % m];
-      engine_->forward_vertex(v, states_[s], contexts[s]);
-    });
-  }
-  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
-    const auto& level = *it;
-    const size_t m = level.size();
-    pool.parallel_for(m * n_scenarios, [&](size_t idx) {
-      const size_t s = idx / m;
-      const int v = level[idx % m];
-      engine_->backward_vertex(v, states_[s]);
-    });
-  }
-  ran_ = true;
+const SweepResult& ScenarioBatch::result() const {
+  util::require(result_.has_value(), "ScenarioBatch: run() first");
+  return *result_;
 }
 
 const TimingState& ScenarioBatch::state(size_t scenario) const {
-  util::require(ran_, "ScenarioBatch: run() first");
-  util::require(scenario < states_.size(), "ScenarioBatch: scenario ",
-                scenario, " out of range");
-  return states_[scenario];
+  util::require(result_.has_value(), "ScenarioBatch: run() first");
+  util::require(scenario < spec_.scenarios.size(),
+                "ScenarioBatch: scenario ", scenario, " out of range");
+  return result_->state(scenario);
+}
+
+const PinTiming& ScenarioBatch::timing(size_t scenario, PinId pin,
+                                       RiseFall rf) const {
+  return engine_->timing_in(state(scenario), pin, rf);
 }
 
 const PinTiming& ScenarioBatch::timing(size_t scenario,
@@ -149,9 +60,9 @@ double ScenarioBatch::worst_slack(size_t scenario) const {
 }
 
 const NoiseScenario& ScenarioBatch::scenario(size_t i) const {
-  util::require(i < scenarios_.size(), "ScenarioBatch: scenario ", i,
+  util::require(i < spec_.scenarios.size(), "ScenarioBatch: scenario ", i,
                 " out of range");
-  return scenarios_[i];
+  return spec_.scenarios[i];
 }
 
 }  // namespace waveletic::sta

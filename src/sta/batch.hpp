@@ -1,73 +1,38 @@
 #pragma once
 
 /// \file batch.hpp
-/// Batched noise-scenario sweeps over one prepared STA graph.
+/// Batched noise-scenario sweeps — a compatibility shim over the
+/// unified Sweep surface (sweep.hpp).
 ///
-/// A crosstalk sign-off sweeps many noise scenarios — aggressor
-/// alignments, aggressor strengths, switching-window corners — over the
-/// same netlist.  Running them one engine-run at a time repeats the
-/// levelized walk N times and refits Γeff for every (net, ramp, noise)
-/// triple from scratch.  ScenarioBatch instead prepares the engine
-/// once and sweeps all scenarios in ONE levelized pass: the outer loop
-/// walks the stored topological levels, and a work-stealing-free thread
-/// pool processes every (scenario, vertex-of-level) pair in parallel.
-/// All scenarios share a thread-safe Γeff memo (GammaCache), so fits
-/// recur at most once per distinct (net edge, input ramp, annotation).
+/// ScenarioBatch is the historical N-scenario API: one nominal corner,
+/// N noise scenarios, one levelized pass.  Since the Sweep redesign it
+/// simply builds a SweepSpec (corner axis empty, scenario axis = the
+/// added scenarios) and delegates to StaEngine::sweep(), keeping its
+/// indexed accessors.  New code should use StaEngine::sweep() directly
+/// — it exposes the corner axis, per-point TimingViews, worst_point(),
+/// and critical paths.
 ///
-/// Determinism: scenarios write disjoint TimingStates, each vertex
-/// folds its in-edges in a fixed order, and cache hits return bitwise
-/// what the fit would produce — so batched results are bitwise
-/// identical to looped single-thread runs at any thread count.
+/// Determinism guarantees are inherited from sweep(): scenarios write
+/// disjoint TimingStates, each vertex folds its in-edges in a fixed
+/// order, and Γeff-memo hits return bitwise what the fit would produce
+/// — so batched results are bitwise identical to looped single-thread
+/// runs at any thread count.
 
 #include <cstdint>
-#include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "sta/engine.hpp"
 #include "sta/gamma_cache.hpp"
+#include "sta/sweep.hpp"
 
-namespace waveletic::noise {
-struct CaseWaveforms;
-}
 namespace waveletic::util {
 class ThreadPool;
 }
 
 namespace waveletic::sta {
-
-/// One named noise scenario: per-net noisy-waveform annotations.
-/// During a batch run they overlay the engine-level annotations:
-/// engine annotations apply to every scenario, and a scenario's own
-/// annotation wins on nets both touch.
-struct NoiseScenario {
-  std::string name;
-  std::map<std::string, NoiseAnnotation> annotations;
-
-  /// Annotates `net`; the memoization key is derived from the waveform
-  /// content, so identical annotations across scenarios share Γeff fits.
-  void annotate(const std::string& net, wave::Waveform waveform,
-                wave::Polarity polarity);
-};
-
-/// Builds a scenario modelling one aggressor coupling event on `net`:
-/// the clean ramp of the victim transition (as propagated by a clean
-/// run: `victim_arrival`/`victim_slew`) plus a Gaussian coupling bump.
-/// `alignment` offsets the bump centre from the victim 50% crossing
-/// [s]; `strength` is the bump peak [V] (the aggressor coupling
-/// magnitude).  This is the synthetic stand-in for the golden
-/// noise::NoiseRunner sweep, parameterized the same way (aggressor
-/// alignment/strength).
-[[nodiscard]] NoiseScenario make_aggressor_scenario(
-    const std::string& net, double victim_arrival, double victim_slew,
-    double vdd, wave::Polarity polarity, double alignment, double strength,
-    size_t samples = 512);
-
-/// Builds a scenario from a golden noise::NoiseRunner case: annotates
-/// `net` with the simulated noisy waveform at the victim receiver input.
-[[nodiscard]] NoiseScenario scenario_from_case(
-    const std::string& net, const noise::CaseWaveforms& case_waveforms);
 
 struct BatchOptions {
   /// Worker threads for the (scenario × vertex) fan-out; ≤ 0 selects
@@ -96,33 +61,39 @@ class ScenarioBatch {
 
   /// Adds a scenario; returns its index.
   size_t add(NoiseScenario scenario);
-  [[nodiscard]] size_t size() const noexcept { return scenarios_.size(); }
+  [[nodiscard]] size_t size() const noexcept {
+    return spec_.scenarios.size();
+  }
 
   /// Prepares the engine once and evaluates every scenario in one
-  /// levelized multi-threaded pass.
+  /// levelized multi-threaded pass (via StaEngine::sweep()).
   void run();
 
   // -- results (run() must have completed) --------------------------------
   [[nodiscard]] const TimingState& state(size_t scenario) const;
+  [[nodiscard]] const PinTiming& timing(size_t scenario, PinId pin,
+                                        RiseFall rf) const;
   [[nodiscard]] const PinTiming& timing(size_t scenario,
                                         const std::string& pin,
                                         RiseFall rf) const;
   [[nodiscard]] double worst_slack(size_t scenario) const;
   [[nodiscard]] const NoiseScenario& scenario(size_t i) const;
 
-  /// Γeff memo statistics of the last run (zeros when caching is off).
+  /// The underlying sweep result (run() must have completed).
+  [[nodiscard]] const SweepResult& result() const;
+
+  /// Γeff memo statistics of the last run (zeros when caching is off
+  /// or before the first run).
   [[nodiscard]] GammaCache::Stats cache_stats() const noexcept {
-    return cache_.stats();
+    return result_ ? result_->cache_stats() : GammaCache::Stats{};
   }
 
  private:
   StaEngine* engine_;
   BatchOptions options_;
-  std::vector<NoiseScenario> scenarios_;
-  std::vector<TimingState> states_;
-  GammaCache cache_;
+  SweepSpec spec_;  ///< scenario axis accumulates here; corner axis empty
+  std::optional<SweepResult> result_;
   std::unique_ptr<util::ThreadPool> pool_;  ///< persists across run()s
-  bool ran_ = false;
 };
 
 }  // namespace waveletic::sta

@@ -1,13 +1,14 @@
 #include "sta/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <sstream>
 
 #include "core/sgdp.hpp"
 #include "sta/gamma_cache.hpp"
-#include "util/error.hpp"
+#include "sta/sweep.hpp"
 #include "util/thread_pool.hpp"
 #include "util/units.hpp"
 #include "wave/ramp.hpp"
@@ -20,6 +21,66 @@ wave::Polarity to_polarity(RiseFall rf) noexcept {
                                : wave::Polarity::kFalling;
 }
 
+/// Engine tags start at 1 so a zero-initialized handle never matches.
+uint32_t next_graph_tag() noexcept {
+  static std::atomic<uint32_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/// Levenshtein distance with a band cut-off: distances above `cap` all
+/// report cap + 1.  Only runs on the error path.
+size_t edit_distance(const std::string& a, const std::string& b,
+                     size_t cap) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n > m + cap || m > n + cap) return cap + 1;
+  std::vector<size_t> row(m + 1);
+  for (size_t j = 0; j <= m; ++j) row[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    size_t prev = row[0];
+    row[0] = i;
+    size_t best = row[0];
+    for (size_t j = 1; j <= m; ++j) {
+      const size_t subst = prev + (a[i - 1] == b[j - 1] ? 0 : 1);
+      prev = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+      best = std::min(best, row[j]);
+    }
+    if (best > cap) return cap + 1;
+  }
+  return row[m];
+}
+
+/// Up to three names nearest to `name` by edit distance (ties broken by
+/// the order of `candidates`, which callers pass sorted).
+std::vector<std::string> nearest_names(
+    const std::string& name, const std::vector<std::string>& candidates) {
+  constexpr size_t kCap = 6;
+  std::vector<std::pair<size_t, const std::string*>> scored;
+  for (const auto& c : candidates) {
+    const size_t d = edit_distance(name, c, kCap);
+    if (d <= kCap) scored.push_back({d, &c});
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& x, const auto& y) { return x.first < y.first; });
+  std::vector<std::string> out;
+  for (size_t i = 0; i < scored.size() && i < 3; ++i) {
+    out.push_back(*scored[i].second);
+  }
+  return out;
+}
+
+void append_suggestions(std::ostringstream& os,
+                        const std::vector<std::string>& suggestions) {
+  if (suggestions.empty()) return;
+  os << " (nearest: ";
+  for (size_t i = 0; i < suggestions.size(); ++i) {
+    if (i) os << ", ";
+    os << suggestions[i];
+  }
+  os << ')';
+}
+
 }  // namespace
 
 const char* to_string(RiseFall rf) noexcept {
@@ -27,7 +88,7 @@ const char* to_string(RiseFall rf) noexcept {
 }
 
 StaEngine::StaEngine(const netlist::Netlist& nl, const liberty::Library& lib)
-    : netlist_(&nl), library_(&lib) {
+    : netlist_(&nl), library_(&lib), graph_tag_(next_graph_tag()) {
   nl.validate();
   noise_method_ = std::make_unique<core::SgdpMethod>();
   build_graph();
@@ -44,17 +105,92 @@ int StaEngine::vertex(const std::string& name) {
   return id;
 }
 
+util::Error StaEngine::unknown_vertex_error(const std::string& name) const {
+  std::ostringstream os;
+  os << "unknown pin/port: " << name;
+  append_suggestions(os, nearest_names(name, sorted_vertex_names_));
+  return util::Error(os.str());
+}
+
 int StaEngine::find_vertex(const std::string& name) const {
   const auto it = vertex_index_.find(name);
-  util::require(it != vertex_index_.end(), "unknown pin/port: ", name);
+  if (it == vertex_index_.end()) throw unknown_vertex_error(name);
   return it->second;
 }
 
-void StaEngine::build_graph() {
-  // Vertices for ports.
-  for (const auto& port : netlist_->ports()) {
-    vertex(port.name);
+PinId StaEngine::pin(const std::string& name) const {
+  return PinId{find_vertex(name), graph_tag_};
+}
+
+NetId StaEngine::net(const std::string& name) const {
+  const int ord = netlist_->net_ordinal(name);
+  if (ord < 0) {
+    std::ostringstream os;
+    os << "unknown net: " << name;
+    std::vector<std::string> nets = netlist_->nets();
+    std::sort(nets.begin(), nets.end());
+    append_suggestions(os, nearest_names(name, nets));
+    throw util::Error(os.str());
   }
+  return NetId{ord, graph_tag_};
+}
+
+PortId StaEngine::port(const std::string& name) const {
+  for (size_t i = 0; i < ports_.size(); ++i) {
+    if (ports_[i].name == name) {
+      return PortId{static_cast<int32_t>(i), graph_tag_};
+    }
+  }
+  std::ostringstream os;
+  os << "unknown port: " << name << " (ports:";
+  for (const auto& p : ports_) os << ' ' << p.name;
+  os << ')';
+  throw util::Error(os.str());
+}
+
+const std::string& StaEngine::name(PinId pin) const {
+  return vertex_names_[static_cast<size_t>(check(pin))];
+}
+
+const std::string& StaEngine::name(NetId net) const {
+  return netlist_->nets()[static_cast<size_t>(check(net))];
+}
+
+const std::string& StaEngine::name(PortId port) const {
+  return ports_[static_cast<size_t>(check(port))].name;
+}
+
+int StaEngine::check(PinId pin) const {
+  util::require(pin.graph == graph_tag_ && pin.index >= 0 &&
+                    static_cast<size_t>(pin.index) < vertex_names_.size(),
+                "invalid PinId (index ", pin.index, ", graph ", pin.graph,
+                "): not minted by this engine — resolve it via pin()");
+  return pin.index;
+}
+
+int StaEngine::check(NetId net) const {
+  util::require(net.graph == graph_tag_ && net.index >= 0 &&
+                    static_cast<size_t>(net.index) < net_annotations_.size(),
+                "invalid NetId (index ", net.index, ", graph ", net.graph,
+                "): not minted by this engine — resolve it via net()");
+  return net.index;
+}
+
+int StaEngine::check(PortId port) const {
+  util::require(port.graph == graph_tag_ && port.index >= 0 &&
+                    static_cast<size_t>(port.index) < ports_.size(),
+                "invalid PortId (index ", port.index, ", graph ", port.graph,
+                "): not minted by this engine — resolve it via port()");
+  return port.index;
+}
+
+void StaEngine::build_graph() {
+  // Vertices + port records for ports.
+  for (const auto& port : netlist_->ports()) {
+    const int v = vertex(port.name);
+    ports_.push_back({port.name, v, port.direction});
+  }
+  output_loads_.assign(ports_.size(), 0.0);
   // Vertices + cell arc edges for instances.
   for (const auto& inst : netlist_->instances()) {
     const liberty::Cell* cell = library_->find_cell(inst.cell);
@@ -82,6 +218,12 @@ void StaEngine::build_graph() {
       }
     }
   }
+  // Dense per-net tables, sized once (pointers into net_annotations_
+  // slots stay stable: the vector is never resized afterwards).
+  const size_t n_nets = netlist_->nets().size();
+  net_parasitics_.assign(n_nets, {0.0, 0.0});
+  net_annotations_.assign(n_nets, std::nullopt);
+  edges_of_net_.assign(n_nets, {});
   // Net edges: driver -> every sink.
   for (const auto& net : netlist_->nets()) {
     // Driver: an input port with this net name, or an instance output.
@@ -115,13 +257,16 @@ void StaEngine::build_graph() {
     util::require(drivers.size() <= 1, "net ", net, " has ", drivers.size(),
                   " drivers");
     if (drivers.empty()) continue;  // undriven net: stays unconstrained
+    const int32_t net_ord = netlist_->net_ordinal(net);
     for (const auto& sink : sinks) {
       NetEdge e;
       e.from = drivers[0];
       e.to = sink.v;
-      e.net = net;
+      e.net = net_ord;
       e.sink_pin = sink.pin;
       e.sink_cell = sink.cell;
+      edges_of_net_[static_cast<size_t>(net_ord)].push_back(
+          static_cast<uint32_t>(net_edges_.size()));
       net_edges_.push_back(e);
     }
   }
@@ -144,6 +289,8 @@ void StaEngine::build_graph() {
     in_edges_[static_cast<size_t>(net_edges_[i].to)].push_back(
         {false, static_cast<uint32_t>(i)});
   }
+  sorted_vertex_names_ = vertex_names_;
+  std::sort(sorted_vertex_names_.begin(), sorted_vertex_names_.end());
   levelize();
 }
 
@@ -185,29 +332,24 @@ void StaEngine::levelize() {
 
 void StaEngine::compute_loads() {
   // Load on each net = sink pin caps + annotated wire cap + port load.
-  std::map<std::string, double> net_load;
-  for (const auto& net : netlist_->nets()) {
+  const auto& nets = netlist_->nets();
+  std::vector<double> net_load(nets.size(), 0.0);
+  for (size_t i = 0; i < nets.size(); ++i) {
     double load = 0.0;
-    for (const auto& ref : netlist_->pins_on_net(net)) {
+    for (const auto& ref : netlist_->pins_on_net(nets[i])) {
       const liberty::Cell* cell = library_->find_cell(ref.instance->cell);
       const liberty::Pin* pin = cell->find_pin(ref.pin);
       if (pin->direction == liberty::PinDirection::kInput) {
         load += pin->capacitance;
       }
     }
-    if (const auto para = net_parasitics_.find(net);
-        para != net_parasitics_.end()) {
-      load += para->second.first;
-    }
-    if (const auto* port = netlist_->find_port(net)) {
-      if (port->direction == netlist::PortDirection::kOutput) {
-        if (const auto it = output_loads_.find(net);
-            it != output_loads_.end()) {
-          load += it->second;
-        }
-      }
-    }
-    net_load[net] = load;
+    load += net_parasitics_[i].first;
+    net_load[i] = load;
+  }
+  for (size_t p = 0; p < ports_.size(); ++p) {
+    if (ports_[p].direction != netlist::PortDirection::kOutput) continue;
+    const int ord = netlist_->net_ordinal(ports_[p].name);
+    if (ord >= 0) net_load[static_cast<size_t>(ord)] += output_loads_[p];
   }
   // Attach to cell arcs (load seen by the arc's output pin).
   for (auto& e : cell_edges_) {
@@ -216,18 +358,14 @@ void StaEngine::compute_loads() {
     const std::string inst_name = out_name.substr(0, slash);
     const std::string pin_name = out_name.substr(slash + 1);
     const auto* inst = netlist_->find_instance(inst_name);
-    e.load = net_load[inst->pins.at(pin_name)];
+    const int ord = netlist_->net_ordinal(inst->pins.at(pin_name));
+    e.load = net_load[static_cast<size_t>(ord)];
   }
   // Attach each sink gate's own output load to net edges (needed to
   // synthesize the noiseless output response at noisy sinks), plus the
   // annotated wire delay.
   for (auto& e : net_edges_) {
-    if (const auto it = net_parasitics_.find(e.net);
-        it != net_parasitics_.end()) {
-      e.wire_delay = it->second.second;
-    } else {
-      e.wire_delay = 0.0;
-    }
+    e.wire_delay = net_parasitics_[static_cast<size_t>(e.net)].second;
     if (e.sink_cell == nullptr) continue;
     const auto& sink_name = vertex_names_[static_cast<size_t>(e.to)];
     const auto slash = sink_name.find('/');
@@ -235,44 +373,68 @@ void StaEngine::compute_loads() {
     const auto& out_pin = e.sink_cell->output_pin();
     const auto out_net = inst->pins.find(out_pin.name);
     e.sink_load =
-        out_net == inst->pins.end() ? 0.0 : net_load[out_net->second];
+        out_net == inst->pins.end()
+            ? 0.0
+            : net_load[static_cast<size_t>(
+                  netlist_->net_ordinal(out_net->second))];
   }
 }
 
-void StaEngine::set_input(const std::string& port, double arrival,
-                          double slew) {
+void StaEngine::set_input(PortId port, double arrival, double slew) {
   set_input(port, RiseFall::kRise, arrival, slew);
   set_input(port, RiseFall::kFall, arrival, slew);
 }
 
-void StaEngine::set_input(const std::string& port, RiseFall rf,
-                          double arrival, double slew) {
-  const auto* p = netlist_->find_port(port);
-  util::require(p != nullptr && p->direction == netlist::PortDirection::kInput,
-                "set_input: ", port, " is not an input port");
+void StaEngine::set_input(const std::string& port, double arrival,
+                          double slew) {
+  set_input(this->port(port), arrival, slew);
+}
+
+void StaEngine::set_input(PortId port, RiseFall rf, double arrival,
+                          double slew) {
+  const auto& p = ports_[static_cast<size_t>(check(port))];
+  util::require(p.direction == netlist::PortDirection::kInput,
+                "set_input: ", p.name, " is not an input port");
   util::require(slew > 0.0, "set_input: non-positive slew");
-  auto& c = input_constraints_[find_vertex(port)][static_cast<size_t>(rf)];
+  auto& c = input_constraints_[p.vertex][static_cast<size_t>(rf)];
   c.arrival = arrival;
   c.slew = slew;
   c.set = true;
   analyzed_ = false;
 }
 
+void StaEngine::set_input(const std::string& port, RiseFall rf,
+                          double arrival, double slew) {
+  set_input(this->port(port), rf, arrival, slew);
+}
+
+void StaEngine::set_output_load(PortId port, double cap) {
+  const size_t i = static_cast<size_t>(check(port));
+  util::require(ports_[i].direction == netlist::PortDirection::kOutput,
+                "set_output_load: ", ports_[i].name,
+                " is not an output port");
+  output_loads_[i] = cap;
+  analyzed_ = false;
+}
+
 void StaEngine::set_output_load(const std::string& port, double cap) {
-  const auto* p = netlist_->find_port(port);
-  util::require(
-      p != nullptr && p->direction == netlist::PortDirection::kOutput,
-      "set_output_load: ", port, " is not an output port");
-  output_loads_[port] = cap;
+  set_output_load(this->port(port), cap);
+}
+
+void StaEngine::set_required(PortId port, double time) {
+  const auto& p = ports_[static_cast<size_t>(check(port))];
+  util::require(p.direction == netlist::PortDirection::kOutput,
+                "set_required: ", p.name, " is not an output port");
+  required_[p.vertex] = time;
   analyzed_ = false;
 }
 
 void StaEngine::set_required(const std::string& port, double time) {
-  const auto* p = netlist_->find_port(port);
-  util::require(
-      p != nullptr && p->direction == netlist::PortDirection::kOutput,
-      "set_required: ", port, " is not an output port");
-  required_[find_vertex(port)] = time;
+  set_required(this->port(port), time);
+}
+
+void StaEngine::set_net_parasitics(NetId net, double cap, double delay) {
+  net_parasitics_[static_cast<size_t>(check(net))] = {cap, delay};
   analyzed_ = false;
 }
 
@@ -280,7 +442,16 @@ void StaEngine::set_net_parasitics(const std::string& net, double cap,
                                    double delay) {
   util::require(netlist_->has_net(net), "set_net_parasitics: unknown net ",
                 net);
-  net_parasitics_[net] = {cap, delay};
+  set_net_parasitics(this->net(net), cap, delay);
+}
+
+void StaEngine::set_corner(Corner corner) {
+  corner_ = std::move(corner);
+  analyzed_ = false;
+}
+
+void StaEngine::clear_corner() {
+  corner_.reset();
   analyzed_ = false;
 }
 
@@ -291,20 +462,60 @@ void StaEngine::set_noise_method(
   analyzed_ = false;
 }
 
+void StaEngine::annotate_noisy_net(NetId net, wave::Waveform waveform,
+                                   wave::Polarity polarity) {
+  const size_t i = static_cast<size_t>(check(net));
+  const uint64_t key = noise_waveform_key(waveform, polarity);
+  if (!net_annotations_[i].has_value()) ++noisy_net_count_;
+  net_annotations_[i] = NoiseAnnotation{std::move(waveform), polarity, key};
+  analyzed_ = false;
+}
+
 void StaEngine::annotate_noisy_net(const std::string& net,
                                    wave::Waveform waveform,
                                    wave::Polarity polarity) {
   util::require(netlist_->has_net(net), "annotate_noisy_net: unknown net ",
                 net);
-  const uint64_t key = noise_waveform_key(waveform, polarity);
-  noisy_nets_.insert_or_assign(
-      net, NoiseAnnotation{std::move(waveform), polarity, key});
-  analyzed_ = false;
+  annotate_noisy_net(this->net(net), std::move(waveform), polarity);
 }
 
 void StaEngine::clear_noisy_nets() {
-  noisy_nets_.clear();
+  std::fill(net_annotations_.begin(), net_annotations_.end(), std::nullopt);
+  noisy_net_count_ = 0;
   analyzed_ = false;
+}
+
+const NoiseAnnotation* StaEngine::noisy_net(NetId net) const {
+  const auto& slot = net_annotations_[static_cast<size_t>(check(net))];
+  return slot.has_value() ? &*slot : nullptr;
+}
+
+const NoiseAnnotation* StaEngine::noisy_net(const std::string& net) const {
+  return noisy_net(this->net(net));
+}
+
+std::vector<const NoiseAnnotation*> StaEngine::compile_edge_annotations(
+    const NoiseScenario* overlay) const {
+  std::vector<const NoiseAnnotation*> table(net_edges_.size(), nullptr);
+  if (noisy_net_count_ > 0) {
+    for (size_t i = 0; i < net_annotations_.size(); ++i) {
+      if (!net_annotations_[i].has_value()) continue;
+      for (const uint32_t e : edges_of_net_[i]) {
+        table[e] = &*net_annotations_[i];
+      }
+    }
+  }
+  if (overlay != nullptr) {
+    for (const auto& entry : overlay->entries) {
+      const int ord = netlist_->net_ordinal(entry.net);
+      util::require(ord >= 0, "scenario ", overlay->name,
+                    " annotates unknown net ", entry.net);
+      for (const uint32_t e : edges_of_net_[static_cast<size_t>(ord)]) {
+        table[e] = &entry.annotation;
+      }
+    }
+  }
+  return table;
 }
 
 void StaEngine::set_threads(int threads) {
@@ -345,8 +556,14 @@ void StaEngine::relax(TimingState& state, int to, RiseFall to_rf,
   }
 }
 
-void StaEngine::propagate_cell_edge(const CellArcEdge& e,
-                                    TimingState& state) const {
+void StaEngine::propagate_cell_edge(const CellArcEdge& e, TimingState& state,
+                                    const EvalContext& ctx) const {
+  // x * 1.0 is bitwise x, so the nominal corner (or no corner at all)
+  // reproduces un-derated results exactly.
+  const double delay_scale =
+      ctx.corner != nullptr ? ctx.corner->cell_delay_scale : 1.0;
+  const double slew_scale =
+      ctx.corner != nullptr ? ctx.corner->cell_slew_scale : 1.0;
   const auto& from = state[static_cast<size_t>(e.from)];
   for (int rf_i = 0; rf_i < 2; ++rf_i) {
     const auto& in = from.timing[rf_i];
@@ -372,8 +589,8 @@ void StaEngine::propagate_cell_edge(const CellArcEdge& e,
       const auto lookup = (out_rf == RiseFall::kRise)
                               ? e.arc->rise(in.slew, e.load)
                               : e.arc->fall(in.slew, e.load);
-      relax(state, e.to, out_rf, in.arrival + lookup.delay, lookup.out_slew,
-            e.from, in_rf);
+      relax(state, e.to, out_rf, in.arrival + lookup.delay * delay_scale,
+            lookup.out_slew * slew_scale, e.from, in_rf);
     }
   }
 }
@@ -382,24 +599,22 @@ void StaEngine::propagate_net_edge(size_t edge_index, TimingState& state,
                                    const EvalContext& ctx) const {
   const auto& e = net_edges_[edge_index];
   const auto& from = state[static_cast<size_t>(e.from)];
-  const NoiseAnnotation* noisy = nullptr;
-  if (ctx.noise != nullptr) {
-    if (const auto it = ctx.noise->find(e.net); it != ctx.noise->end()) {
-      noisy = &it->second;
-    }
-  }
-  if (noisy == nullptr && ctx.base_noise != nullptr) {
-    if (const auto it = ctx.base_noise->find(e.net);
-        it != ctx.base_noise->end()) {
-      noisy = &it->second;
-    }
-  }
+  // Annotation resolution is a single indexed load from the table
+  // compiled by compile_edge_annotations() — no map lookups here.
+  const NoiseAnnotation* noisy =
+      ctx.edge_noise != nullptr ? ctx.edge_noise[edge_index] : nullptr;
+  const double wire_scale =
+      ctx.corner != nullptr ? ctx.corner->wire_delay_scale : 1.0;
+  const double delay_scale =
+      ctx.corner != nullptr ? ctx.corner->cell_delay_scale : 1.0;
+  const double slew_scale =
+      ctx.corner != nullptr ? ctx.corner->cell_slew_scale : 1.0;
 
   for (int rf_i = 0; rf_i < 2; ++rf_i) {
     const auto& drv = from.timing[rf_i];
     if (!drv.valid) continue;
     const auto rf = static_cast<RiseFall>(rf_i);
-    double arrival = drv.arrival + e.wire_delay;
+    double arrival = drv.arrival + e.wire_delay * wire_scale;
     double slew = drv.slew;
 
     const bool apply_noise = noisy != nullptr && e.sink_pin != nullptr &&
@@ -408,7 +623,8 @@ void StaEngine::propagate_net_edge(size_t edge_index, TimingState& state,
       const auto* arc = e.sink_cell->output_pin().find_arc(e.sink_pin->name);
       if (arc != nullptr) {
         // The fit is a pure function of (annotation, clean ramp, arc,
-        // load); memoize it per exact key when a cache is supplied.
+        // load, corner); memoize it per exact key when a cache is
+        // supplied.
         GammaCache::Key key;
         key.noise_key = noisy->key;
         key.method_id = reinterpret_cast<uintptr_t>(ctx.method);
@@ -416,6 +632,7 @@ void StaEngine::propagate_net_edge(size_t edge_index, TimingState& state,
         key.rf = static_cast<uint32_t>(rf_i);
         key.arrival_bits = std::bit_cast<uint64_t>(arrival);
         key.slew_bits = std::bit_cast<uint64_t>(slew);
+        key.corner_key = ctx.corner_key;
         std::optional<GammaCache::Value> cached;
         if (ctx.cache != nullptr) cached = ctx.cache->lookup(key);
         if (cached.has_value()) {
@@ -425,7 +642,7 @@ void StaEngine::propagate_net_edge(size_t edge_index, TimingState& state,
           // The equivalent-waveform flow of the paper: replace the ramp
           // at this gate input by Γeff fitted against the annotated
           // noisy waveform, using a noiseless response synthesized from
-          // NLDM.
+          // NLDM (derated the same way as the real propagation).
           const auto pol = noisy->polarity;
           const double vdd = library_->nom_voltage;
           const auto clean_ramp =
@@ -439,7 +656,8 @@ void StaEngine::propagate_net_edge(size_t edge_index, TimingState& state,
                               ? arc->rise(slew, e.sink_load)
                               : arc->fall(slew, e.sink_load);
           const auto out_ramp = wave::Ramp::from_arrival_slew(
-              arrival + lk.delay, lk.out_slew, vdd);
+              arrival + lk.delay * delay_scale, lk.out_slew * slew_scale,
+              vdd);
           const wave::Waveform clean_out = out_ramp.denormalized(out_pol, 192);
 
           core::MethodInput mi;
@@ -466,7 +684,7 @@ void StaEngine::forward_vertex(int v, TimingState& state,
                                const EvalContext& ctx) const {
   for (const auto& [is_cell, idx] : in_edges_[static_cast<size_t>(v)]) {
     if (is_cell) {
-      propagate_cell_edge(cell_edges_[idx], state);
+      propagate_cell_edge(cell_edges_[idx], state, ctx);
     } else {
       propagate_net_edge(idx, state, ctx);
     }
@@ -518,16 +736,15 @@ void StaEngine::evaluate(TimingState& state, const EvalContext& ctx,
   }
 }
 
-StaEngine::EvalContext StaEngine::default_context() const {
-  EvalContext ctx;
-  ctx.noise = &noisy_nets_;
-  ctx.method = noise_method_.get();
-  ctx.cache = nullptr;
-  return ctx;
-}
-
 void StaEngine::run() {
   prepare();
+  const auto edge_noise = compile_edge_annotations();
+  EvalContext ctx;
+  ctx.edge_noise = edge_noise.data();
+  ctx.corner = corner_ ? &*corner_ : nullptr;
+  ctx.corner_key = corner_ ? corner_->key() : 0;
+  ctx.method = noise_method_.get();
+  ctx.cache = nullptr;
   const int want = threads_ <= 0
                        ? static_cast<int>(util::ThreadPool::hardware_threads())
                        : threads_;
@@ -535,18 +752,23 @@ void StaEngine::run() {
                    pool_->size() != static_cast<size_t>(want))) {
     pool_ = std::make_unique<util::ThreadPool>(want);
   }
-  evaluate(state_, default_context(), want > 1 ? pool_.get() : nullptr);
+  evaluate(state_, ctx, want > 1 ? pool_.get() : nullptr);
   analyzed_ = true;
+}
+
+const PinTiming& StaEngine::timing_in(const TimingState& state, PinId pin,
+                                      RiseFall rf) const {
+  util::require(state.size() == vertex_names_.size(),
+                "timing_in: state size does not match this engine "
+                "(init_state/evaluate it first)");
+  return state[static_cast<size_t>(check(pin))]
+      .timing[static_cast<size_t>(rf)];
 }
 
 const PinTiming& StaEngine::timing_in(const TimingState& state,
                                       const std::string& pin,
                                       RiseFall rf) const {
-  util::require(state.size() == vertex_names_.size(),
-                "timing_in: state size does not match this engine "
-                "(init_state/evaluate it first)");
-  return state[static_cast<size_t>(find_vertex(pin))]
-      .timing[static_cast<size_t>(rf)];
+  return timing_in(state, this->pin(pin), rf);
 }
 
 double StaEngine::worst_slack_in(const TimingState& state) const {
@@ -554,9 +776,9 @@ double StaEngine::worst_slack_in(const TimingState& state) const {
                 "worst_slack_in: state size does not match this engine "
                 "(init_state/evaluate it first)");
   double worst = std::numeric_limits<double>::infinity();
-  for (const auto& port : netlist_->ports()) {
+  for (const auto& port : ports_) {
     if (port.direction != netlist::PortDirection::kOutput) continue;
-    const auto& v = state[static_cast<size_t>(find_vertex(port.name))];
+    const auto& v = state[static_cast<size_t>(port.vertex)];
     for (int rf = 0; rf < 2; ++rf) {
       if (v.timing[rf].valid && std::isfinite(v.timing[rf].required)) {
         worst = std::min(worst, v.timing[rf].slack());
@@ -564,6 +786,11 @@ double StaEngine::worst_slack_in(const TimingState& state) const {
     }
   }
   return worst;
+}
+
+const PinTiming& StaEngine::timing(PinId pin, RiseFall rf) const {
+  util::require(analyzed_, "run() the analysis first");
+  return timing_in(state_, pin, rf);
 }
 
 const PinTiming& StaEngine::timing(const std::string& pin,
@@ -577,16 +804,19 @@ double StaEngine::worst_slack() const {
   return worst_slack_in(state_);
 }
 
-std::vector<PathStep> StaEngine::worst_path() const {
-  util::require(analyzed_, "run() the analysis first");
+std::vector<PathStep> StaEngine::worst_path_in(
+    const TimingState& state) const {
+  util::require(state.size() == vertex_names_.size(),
+                "worst_path_in: state size does not match this engine "
+                "(init_state/evaluate it first)");
   // Endpoint: worst slack when constrained, else latest arrival.
   int best_v = -1;
   int best_rf = 0;
   double best_metric = std::numeric_limits<double>::infinity();
   bool use_slack = false;
-  for (const auto& port : netlist_->ports()) {
+  for (const auto& port : ports_) {
     if (port.direction != netlist::PortDirection::kOutput) continue;
-    const auto& v = state_[static_cast<size_t>(find_vertex(port.name))];
+    const auto& v = state[static_cast<size_t>(port.vertex)];
     for (int rf = 0; rf < 2; ++rf) {
       const auto& t = v.timing[rf];
       if (!t.valid) continue;
@@ -598,7 +828,7 @@ std::vector<PathStep> StaEngine::worst_path() const {
       }
       if (constrained == use_slack && metric < best_metric) {
         best_metric = metric;
-        best_v = find_vertex(port.name);
+        best_v = port.vertex;
         best_rf = rf;
       }
     }
@@ -607,7 +837,7 @@ std::vector<PathStep> StaEngine::worst_path() const {
   int v = best_v;
   int rf = best_rf;
   while (v >= 0) {
-    const auto& vert = state_[static_cast<size_t>(v)];
+    const auto& vert = state[static_cast<size_t>(v)];
     path.push_back({vertex_names_[static_cast<size_t>(v)],
                     static_cast<RiseFall>(rf), vert.timing[rf].arrival});
     const int pred = vert.critical_pred[rf];
@@ -618,15 +848,20 @@ std::vector<PathStep> StaEngine::worst_path() const {
   return path;
 }
 
+std::vector<PathStep> StaEngine::worst_path() const {
+  util::require(analyzed_, "run() the analysis first");
+  return worst_path_in(state_);
+}
+
 std::string StaEngine::report() const {
   util::require(analyzed_, "run() the analysis first");
   std::ostringstream os;
   os << "STA report for " << netlist_->name << " ("
      << netlist_->instances().size() << " instances, "
      << vertex_names_.size() << " pins)\n";
-  for (const auto& port : netlist_->ports()) {
+  for (const auto& port : ports_) {
     if (port.direction != netlist::PortDirection::kOutput) continue;
-    const auto& v = state_[static_cast<size_t>(find_vertex(port.name))];
+    const auto& v = state_[static_cast<size_t>(port.vertex)];
     for (int rf = 0; rf < 2; ++rf) {
       const auto& t = v.timing[rf];
       if (!t.valid) continue;

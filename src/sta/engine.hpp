@@ -26,9 +26,18 @@
 /// processed in parallel; each vertex folds its incoming edges in a
 /// fixed order, which makes results bitwise-identical at any thread
 /// count.  The timing state lives in a separate TimingState object, so
-/// a prepared engine can evaluate many noise scenarios concurrently
-/// through the const, reentrant evaluate() path (see ScenarioBatch in
-/// batch.hpp).
+/// a prepared engine can evaluate many (noise scenario × corner) points
+/// concurrently through the const, reentrant evaluate() path (see
+/// sweep.hpp).
+///
+/// Handle-based API: names are resolved ONCE to PinId / NetId / PortId
+/// handles (pin(), net(), port()), and the primary overloads of every
+/// constraint setter and result accessor take handles — they index
+/// dense arrays, no string hashing anywhere on a resolved path.  The
+/// string overloads are thin resolve-then-forward wrappers.  Noise
+/// annotations live in a dense NetId-indexed table that prepare-time
+/// compilation (compile_edge_annotations()) turns into a per-net-edge
+/// pointer array, so propagate_net_edge() performs ZERO map lookups.
 
 #include <array>
 #include <cstdint>
@@ -37,11 +46,14 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/method.hpp"
 #include "liberty/library.hpp"
 #include "netlist/netlist.hpp"
+#include "sta/ids.hpp"
+#include "util/error.hpp"
 #include "wave/waveform.hpp"
 
 namespace waveletic::util {
@@ -51,6 +63,9 @@ class ThreadPool;
 namespace waveletic::sta {
 
 class GammaCache;
+struct NoiseScenario;  // sweep.hpp
+struct SweepSpec;      // sweep.hpp
+class SweepResult;     // sweep.hpp
 
 enum class RiseFall { kRise = 0, kFall = 1 };
 
@@ -90,8 +105,8 @@ struct VertexTiming {
   RiseFall critical_pred_rf[2] = {RiseFall::kRise, RiseFall::kRise};
 };
 
-/// The complete timing state of one analysis (one noise scenario).
-/// Separate from the engine so N scenarios can be evaluated over the
+/// The complete timing state of one analysis (one sweep point).
+/// Separate from the engine so N points can be evaluated over the
 /// same prepared graph concurrently, each with its own state.
 class TimingState {
  public:
@@ -111,23 +126,54 @@ class TimingState {
 
 class StaEngine {
  public:
-  /// Both netlist and library must outlive the engine.
+  /// Both netlist and library must outlive the engine, and the netlist
+  /// must not be modified afterwards (handles index its net/port order).
   StaEngine(const netlist::Netlist& nl, const liberty::Library& lib);
   ~StaEngine();  // out of line: ThreadPool is forward-declared
 
+  // -- handle resolution ---------------------------------------------------
+  // Resolve once, then run dense.  All three throw util::Error for
+  // unknown names, naming the offending string and the nearest known
+  // names.  A handle is only valid on the engine that minted it;
+  // passing a stale/foreign/default handle to any accessor throws.
+
+  /// Handle to a pin ("u1/A") or port ("y") vertex.
+  [[nodiscard]] PinId pin(const std::string& name) const;
+  /// Handle to a net.
+  [[nodiscard]] NetId net(const std::string& name) const;
+  /// Handle to a top-level port.
+  [[nodiscard]] PortId port(const std::string& name) const;
+
+  [[nodiscard]] const std::string& name(PinId pin) const;
+  [[nodiscard]] const std::string& name(NetId net) const;
+  [[nodiscard]] const std::string& name(PortId port) const;
+
   // -- constraints -------------------------------------------------------
   /// Arrival + slew applied to both transitions of an input port.
+  void set_input(PortId port, double arrival, double slew);
+  void set_input(PortId port, RiseFall rf, double arrival, double slew);
   void set_input(const std::string& port, double arrival, double slew);
   void set_input(const std::string& port, RiseFall rf, double arrival,
                  double slew);
   /// Extra load on an output port [F].
+  void set_output_load(PortId port, double cap);
   void set_output_load(const std::string& port, double cap);
   /// Required (latest allowed) arrival at an output port.
+  void set_required(PortId port, double time);
   void set_required(const std::string& port, double time);
   /// Lumped net parasitics: extra capacitive load on the driver and a
   /// wire delay added to every sink arrival (e.g. the Elmore delay from
   /// interconnect::RcTree).
+  void set_net_parasitics(NetId net, double cap, double delay);
   void set_net_parasitics(const std::string& net, double cap, double delay);
+
+  /// Engine-level corner (derate) applied by run(); sweep() points
+  /// override it.  Default: nominal (no derate).
+  void set_corner(Corner corner);
+  void clear_corner();
+  [[nodiscard]] const Corner* corner() const noexcept {
+    return corner_ ? &*corner_ : nullptr;
+  }
 
   // -- crosstalk hooks ----------------------------------------------------
   /// Technique used at noisy nets (defaults to SGDP).
@@ -137,14 +183,19 @@ class StaEngine {
     return *noise_method_;
   }
   /// Annotates a net with the noisy waveform observed at its sinks for
-  /// the transition of the given polarity.
+  /// the transition of the given polarity.  Stored in a dense
+  /// NetId-indexed table (one slot per net).
+  void annotate_noisy_net(NetId net, wave::Waveform waveform,
+                          wave::Polarity polarity);
   void annotate_noisy_net(const std::string& net, wave::Waveform waveform,
                           wave::Polarity polarity);
   /// Removes all noisy-net annotations (scenario loops re-annotate).
   void clear_noisy_nets();
-  [[nodiscard]] const std::map<std::string, NoiseAnnotation>& noisy_nets()
-      const noexcept {
-    return noisy_nets_;
+  /// The annotation on `net`, or null when the net is clean.
+  [[nodiscard]] const NoiseAnnotation* noisy_net(NetId net) const;
+  [[nodiscard]] const NoiseAnnotation* noisy_net(const std::string& net) const;
+  [[nodiscard]] size_t noisy_net_count() const noexcept {
+    return noisy_net_count_;
   }
 
   // -- analysis ------------------------------------------------------------
@@ -152,10 +203,20 @@ class StaEngine {
   /// propagation (≤ 0 selects the hardware concurrency; default 1).
   void set_threads(int threads);
 
-  /// Runs forward (arrival) and backward (required) propagation.
+  /// Runs forward (arrival) and backward (required) propagation under
+  /// the engine-level annotations and corner.
   void run();
 
-  /// Timing of a pin ("u1/Y") or port ("y").  Throws for unknown names.
+  /// Sweeps the cross product of spec.corners × spec.scenarios over
+  /// this engine in ONE levelized pass (defined in sweep.cpp; include
+  /// sweep.hpp for SweepSpec/SweepResult).  run() and ScenarioBatch are
+  /// the 1×1 and 1×N specializations of this surface.
+  [[nodiscard]] SweepResult sweep(const SweepSpec& spec);
+
+  /// Timing of a pin/port.  Handle overload is the primary; the string
+  /// overload resolves and forwards.  Throws for unknown names or
+  /// foreign handles, or when run() has not been called.
+  [[nodiscard]] const PinTiming& timing(PinId pin, RiseFall rf) const;
   [[nodiscard]] const PinTiming& timing(const std::string& pin,
                                         RiseFall rf) const;
   /// Worst slack over output ports (the analysis must have run).
@@ -170,31 +231,43 @@ class StaEngine {
   [[nodiscard]] size_t vertex_count() const noexcept {
     return vertex_names_.size();
   }
+  /// Number of net arcs in the prepared graph (the length of a compiled
+  /// per-edge annotation table).
+  [[nodiscard]] size_t net_edge_count() const noexcept {
+    return net_edges_.size();
+  }
 
-  // -- reentrant scenario-evaluation path ---------------------------------
-  // A prepared engine is immutable during evaluation, so many noise
-  // scenarios can be swept concurrently over the same graph, each with
+  // -- reentrant point-evaluation path -------------------------------------
+  // A prepared engine is immutable during evaluation, so many sweep
+  // points can be evaluated concurrently over the same graph, each with
   // its own TimingState.  run() is implemented on top of this path;
-  // ScenarioBatch (batch.hpp) drives it for N scenarios in one
-  // levelized pass.
+  // sweep() drives it for corners × scenarios in one levelized pass.
 
-  /// Inputs of one evaluation.  `noise` maps net name → annotation
-  /// (null = no noise); `base_noise` is an optional fallback consulted
-  /// for nets `noise` does not annotate (ScenarioBatch points it at
-  /// the engine-level annotations, so scenarios overlay them without
-  /// copying waveforms); `method` is the Γeff technique (must be
-  /// reentrant — all built-in techniques are); `cache` optionally
-  /// memoizes Γeff fits across scenarios/threads.
+  /// Inputs of one evaluation.  `edge_noise` is a compiled per-net-edge
+  /// annotation pointer array (compile_edge_annotations(); null = no
+  /// noise anywhere) — propagation indexes it, it never searches;
+  /// `corner` is the derate point (null = nominal) and `corner_key` its
+  /// Corner::key() (0 when null), folded into Γeff memo keys; `method`
+  /// is the Γeff technique (must be reentrant — all built-in techniques
+  /// are); `cache` optionally memoizes Γeff fits across points/threads.
   struct EvalContext {
-    const std::map<std::string, NoiseAnnotation>* noise = nullptr;
-    const std::map<std::string, NoiseAnnotation>* base_noise = nullptr;
+    const NoiseAnnotation* const* edge_noise = nullptr;
+    const Corner* corner = nullptr;
+    uint64_t corner_key = 0;
     const core::EquivalentWaveformMethod* method = nullptr;
     GammaCache* cache = nullptr;
   };
 
+  /// Compiles the effective annotation of every net edge into a dense
+  /// pointer array of net_edge_count() entries: the engine-level table,
+  /// overlaid by `overlay`'s entries when given (the scenario wins on
+  /// nets both annotate).  The returned pointers alias the engine's
+  /// table and the overlay scenario — both must outlive the evaluation.
+  [[nodiscard]] std::vector<const NoiseAnnotation*> compile_edge_annotations(
+      const NoiseScenario* overlay = nullptr) const;
+
   /// Recomputes edge loads from the current constraints and makes the
-  /// engine ready for const evaluation.  run() calls this; ScenarioBatch
-  /// calls it once before fanning out.
+  /// engine ready for const evaluation.  run() and sweep() call this.
   void prepare();
 
   /// Topological levels, computed once at construction: levels()[0] are
@@ -211,16 +284,20 @@ class StaEngine {
   /// Propagates required times backwards through the outgoing edges of
   /// `v`.  Requires every higher-level vertex of `state` to be final.
   void backward_vertex(int v, TimingState& state) const;
-  /// Full forward + backward sweep of one scenario into `state`,
+  /// Full forward + backward sweep of one point into `state`,
   /// level-parallel when `pool` is given.  prepare() must have run.
   void evaluate(TimingState& state, const EvalContext& ctx,
                 util::ThreadPool* pool = nullptr) const;
 
-  /// Result accessors against an external state (ScenarioBatch results).
+  /// Result accessors against an external state (sweep/batch results).
+  [[nodiscard]] const PinTiming& timing_in(const TimingState& state,
+                                           PinId pin, RiseFall rf) const;
   [[nodiscard]] const PinTiming& timing_in(const TimingState& state,
                                            const std::string& pin,
                                            RiseFall rf) const;
   [[nodiscard]] double worst_slack_in(const TimingState& state) const;
+  [[nodiscard]] std::vector<PathStep> worst_path_in(
+      const TimingState& state) const;
 
  private:
   struct CellArcEdge {
@@ -233,7 +310,7 @@ class StaEngine {
   struct NetEdge {
     int from = -1;
     int to = -1;
-    std::string net;
+    int32_t net = -1;  // net ordinal (NetId::index)
     const liberty::Pin* sink_pin = nullptr;   // liberty pin at the sink
     const liberty::Cell* sink_cell = nullptr;
     double sink_load = 0.0;  // load seen by the sink gate's output
@@ -247,24 +324,46 @@ class StaEngine {
     bool set = false;
   };
 
+  /// A top-level port, with its vertex resolved once at construction.
+  struct PortRec {
+    std::string name;
+    int vertex = -1;
+    netlist::PortDirection direction = netlist::PortDirection::kInput;
+  };
+
   int vertex(const std::string& name);
   [[nodiscard]] int find_vertex(const std::string& name) const;
+  /// Index checks behind every handle accessor; throw on foreign/stale
+  /// handles and return the dense index.
+  [[nodiscard]] int check(PinId pin) const;
+  [[nodiscard]] int check(NetId net) const;
+  [[nodiscard]] int check(PortId port) const;
+  [[nodiscard]] util::Error unknown_vertex_error(
+      const std::string& name) const;
   void build_graph();
   void compute_loads();
   void levelize();
-  void propagate_cell_edge(const CellArcEdge& e, TimingState& state) const;
+  void propagate_cell_edge(const CellArcEdge& e, TimingState& state,
+                           const EvalContext& ctx) const;
   void propagate_net_edge(size_t edge_index, TimingState& state,
                           const EvalContext& ctx) const;
   static void relax(TimingState& state, int to, RiseFall to_rf, double arrival,
                     double slew, int from, RiseFall from_rf);
-  [[nodiscard]] EvalContext default_context() const;
 
   const netlist::Netlist* netlist_;
   const liberty::Library* library_;
+  uint32_t graph_tag_ = 0;  ///< unique engine tag carried by handles
   std::vector<std::string> vertex_names_;
-  std::map<std::string, int> vertex_index_;
+  /// O(1) name → vertex resolution; built once during construction.
+  std::unordered_map<std::string, int> vertex_index_;
+  /// Deterministic sorted view of vertex_names_ (error suggestions,
+  /// stable listings) — the unordered map is never iterated.
+  std::vector<std::string> sorted_vertex_names_;
+  std::vector<PortRec> ports_;  ///< netlist port order (PortId::index)
   std::vector<CellArcEdge> cell_edges_;
   std::vector<NetEdge> net_edges_;
+  /// Net ordinal → indices of its net edges (annotation compilation).
+  std::vector<std::vector<uint32_t>> edges_of_net_;
   /// Incoming/outgoing adjacency: (is_cell_edge, edge index), in
   /// deterministic construction order.
   std::vector<std::vector<std::pair<bool, uint32_t>>> in_edges_;
@@ -273,9 +372,12 @@ class StaEngine {
 
   std::map<int, std::array<InputConstraint, 2>> input_constraints_;
   std::map<int, double> required_;
-  std::map<std::string, double> output_loads_;
-  std::map<std::string, std::pair<double, double>> net_parasitics_;
-  std::map<std::string, NoiseAnnotation> noisy_nets_;
+  std::vector<double> output_loads_;  ///< by port ordinal (0 = none)
+  /// Dense per-net tables indexed by NetId::index.
+  std::vector<std::pair<double, double>> net_parasitics_;  ///< (cap, delay)
+  std::vector<std::optional<NoiseAnnotation>> net_annotations_;
+  size_t noisy_net_count_ = 0;
+  std::optional<Corner> corner_;
   std::unique_ptr<core::EquivalentWaveformMethod> noise_method_;
 
   TimingState state_;  ///< default state written by run()

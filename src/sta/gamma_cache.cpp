@@ -44,6 +44,7 @@ size_t GammaCache::KeyHash::operator()(const Key& k) const noexcept {
   h = mix(h, (static_cast<uint64_t>(k.edge) << 32) | k.rf);
   h = mix(h, k.arrival_bits);
   h = mix(h, k.slew_bits);
+  h = mix(h, k.corner_key);
   return static_cast<size_t>(h);
 }
 

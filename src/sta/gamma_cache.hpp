@@ -44,11 +44,13 @@ class GammaCache {
     uint32_t rf = 0;          ///< transition index at the sink
     uint64_t arrival_bits = 0;  ///< IEEE-754 bits of the clean arrival
     uint64_t slew_bits = 0;     ///< IEEE-754 bits of the clean slew
+    uint64_t corner_key = 0;    ///< Corner::key() of the derate point (0 = nominal)
 
     [[nodiscard]] bool operator==(const Key& o) const noexcept {
       return noise_key == o.noise_key && method_id == o.method_id &&
              edge == o.edge && rf == o.rf &&
-             arrival_bits == o.arrival_bits && slew_bits == o.slew_bits;
+             arrival_bits == o.arrival_bits && slew_bits == o.slew_bits &&
+             corner_key == o.corner_key;
     }
   };
 

@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file ids.hpp
+/// Stable integer handles into a prepared StaEngine, plus the corner
+/// (derate) descriptor swept by the Sweep API.
+///
+/// Handles are resolved ONCE by name — StaEngine::pin(), net(), port()
+/// — and are then plain integers: every hot-path call that takes a
+/// handle (constraint setters, timing(), annotate_noisy_net(), result
+/// accessors) indexes dense per-vertex / per-net arrays directly, with
+/// no string hashing or map walk.  A handle carries the tag of the
+/// engine that minted it, so using a default-constructed handle or one
+/// resolved against a *different* engine throws instead of silently
+/// reading the wrong vertex.
+///
+/// The string overloads of the engine API remain as thin
+/// resolve-then-forward wrappers, so name-based code keeps working and
+/// is bitwise-identical to the handle path.
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace waveletic::sta {
+
+/// Handle to a timing-graph vertex: an instance pin ("u1/A") or a
+/// top-level port ("y").  Minted by StaEngine::pin().
+struct PinId {
+  int32_t index = -1;  ///< vertex index in the minting engine
+  uint32_t graph = 0;  ///< tag of the minting engine (0 = invalid)
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return index >= 0 && graph != 0;
+  }
+  [[nodiscard]] constexpr bool operator==(const PinId&) const noexcept =
+      default;
+};
+
+/// Handle to a net of the analyzed netlist.  Minted by StaEngine::net().
+struct NetId {
+  int32_t index = -1;  ///< net ordinal in the netlist
+  uint32_t graph = 0;
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return index >= 0 && graph != 0;
+  }
+  [[nodiscard]] constexpr bool operator==(const NetId&) const noexcept =
+      default;
+};
+
+/// Handle to a top-level port.  Minted by StaEngine::port().
+struct PortId {
+  int32_t index = -1;  ///< port ordinal in the netlist's port list
+  uint32_t graph = 0;
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return index >= 0 && graph != 0;
+  }
+  [[nodiscard]] constexpr bool operator==(const PortId&) const noexcept =
+      default;
+};
+
+/// One corner / derate setting of a sweep: multiplicative scales applied
+/// during propagation.  The nominal corner (all scales 1.0) is bitwise
+/// identical to an un-derated run, because x * 1.0 == x for every
+/// finite IEEE double.
+struct Corner {
+  std::string name = "nominal";
+  /// Scales every cell-arc delay (NLDM lookup result).
+  double cell_delay_scale = 1.0;
+  /// Scales every cell-arc output slew.
+  double cell_slew_scale = 1.0;
+  /// Scales annotated wire delays on net arcs.
+  double wire_delay_scale = 1.0;
+
+  /// Content key over the scale bits, folded into the Γeff memo key so
+  /// one shared cache stays correct across corners (a fit under a
+  /// different derate is a different fit).
+  [[nodiscard]] uint64_t key() const noexcept {
+    auto mix = [](uint64_t h, uint64_t v) noexcept {
+      return (h ^ (v + 0x9e3779b97f4a7c15ull)) * 0x100000001b3ull;
+    };
+    uint64_t h = 1469598103934665603ull;
+    h = mix(h, std::bit_cast<uint64_t>(cell_delay_scale));
+    h = mix(h, std::bit_cast<uint64_t>(cell_slew_scale));
+    h = mix(h, std::bit_cast<uint64_t>(wire_delay_scale));
+    return h;
+  }
+};
+
+}  // namespace waveletic::sta

@@ -1,0 +1,271 @@
+#include "sta/sweep.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "noise/scenario.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+#include "wave/ramp.hpp"
+
+namespace waveletic::sta {
+
+void NoiseScenario::annotate(const std::string& net, wave::Waveform waveform,
+                             wave::Polarity polarity) {
+  const uint64_t key = noise_waveform_key(waveform, polarity);
+  for (auto& e : entries) {
+    if (e.net == net) {
+      e.annotation = NoiseAnnotation{std::move(waveform), polarity, key};
+      return;
+    }
+  }
+  entries.push_back(
+      {net, NoiseAnnotation{std::move(waveform), polarity, key}});
+}
+
+const NoiseAnnotation* NoiseScenario::find(
+    const std::string& net) const noexcept {
+  for (const auto& e : entries) {
+    if (e.net == net) return &e.annotation;
+  }
+  return nullptr;
+}
+
+NoiseScenario make_aggressor_scenario(const std::string& net,
+                                      double victim_arrival,
+                                      double victim_slew, double vdd,
+                                      wave::Polarity polarity,
+                                      double alignment, double strength,
+                                      size_t samples) {
+  util::require(victim_slew > 0.0,
+                "make_aggressor_scenario: non-positive victim slew");
+  util::require(samples >= 8, "make_aggressor_scenario: too few samples");
+  const auto ramp =
+      wave::Ramp::from_arrival_slew(victim_arrival, victim_slew, vdd);
+  const auto clean = ramp.denormalized(polarity, samples);
+  std::vector<double> t(clean.times().begin(), clean.times().end());
+  std::vector<double> v(clean.values().begin(), clean.values().end());
+  // Gaussian coupling bump centred `alignment` after the victim 50%
+  // crossing, width tied to the victim transition.  A bump that pushes
+  // against the transition direction delays the final crossing — the
+  // worst-case aggressor of the paper's Figure 1 testbench.
+  const double center = victim_arrival + alignment;
+  const double sigma = 0.5 * victim_slew;
+  const double sign = polarity == wave::Polarity::kFalling ? 1.0 : -1.0;
+  for (size_t i = 0; i < t.size(); ++i) {
+    v[i] += sign * strength *
+            std::exp(-std::pow((t[i] - center) / sigma, 2.0));
+  }
+  NoiseScenario s;
+  std::ostringstream name;
+  name << net << "@align=" << alignment * 1e12
+       << "ps,strength=" << strength << "V";
+  s.name = name.str();
+  s.annotate(net, wave::Waveform(std::move(t), std::move(v)), polarity);
+  return s;
+}
+
+NoiseScenario scenario_from_case(const std::string& net,
+                                 const noise::CaseWaveforms& case_waveforms) {
+  NoiseScenario s;
+  std::ostringstream name;
+  name << net << "@offset=" << case_waveforms.aggressor_offset * 1e12
+       << "ps";
+  s.name = name.str();
+  s.annotate(net, case_waveforms.noisy_in, case_waveforms.in_polarity);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// SweepResult
+// ---------------------------------------------------------------------------
+
+size_t SweepResult::point(size_t corner, size_t scenario) const {
+  util::require(corner < num_corners(), "SweepResult: corner ", corner,
+                " out of range (", num_corners(), " corners)");
+  util::require(scenario < num_scenarios(), "SweepResult: scenario ",
+                scenario, " out of range (", num_scenarios(), " scenarios)");
+  return corner * num_scenarios() + scenario;
+}
+
+const TimingState& SweepResult::state(size_t point) const {
+  util::require(engine_ != nullptr, "SweepResult: empty result");
+  util::require(point < states_.size(), "SweepResult: point ", point,
+                " out of range (", states_.size(), " points)");
+  return states_[point];
+}
+
+TimingView SweepResult::view(size_t point) const {
+  const TimingState& s = state(point);  // validates
+  return TimingView(engine_, &s, &corners_[point / num_scenarios()],
+                    &scenario_names_[point % num_scenarios()]);
+}
+
+TimingView SweepResult::view(size_t corner, size_t scenario) const {
+  return view(point(corner, scenario));
+}
+
+double SweepResult::worst_slack(size_t point) const {
+  return engine_->worst_slack_in(state(point));
+}
+
+const PinTiming& SweepResult::timing(size_t point, PinId pin,
+                                     RiseFall rf) const {
+  return engine_->timing_in(state(point), pin, rf);
+}
+
+const PinTiming& SweepResult::timing(size_t point, const std::string& pin,
+                                     RiseFall rf) const {
+  return engine_->timing_in(state(point), pin, rf);
+}
+
+std::vector<PathStep> SweepResult::critical_path(size_t point) const {
+  return engine_->worst_path_in(state(point));
+}
+
+SweepResult::WorstPoint SweepResult::worst_point() const {
+  util::require(!states_.empty(), "SweepResult: empty result");
+  WorstPoint best;
+  for (size_t p = 0; p < states_.size(); ++p) {
+    const double slack = worst_slack(p);
+    if (p == 0 || slack < best.slack) {
+      best.point = p;
+      best.slack = slack;
+    }
+  }
+  best.corner = best.point / num_scenarios();
+  best.scenario = best.point % num_scenarios();
+  return best;
+}
+
+const Corner& SweepResult::corner(size_t i) const {
+  util::require(i < corners_.size(), "SweepResult: corner ", i,
+                " out of range");
+  return corners_[i];
+}
+
+const std::string& SweepResult::scenario_name(size_t i) const {
+  util::require(i < scenario_names_.size(), "SweepResult: scenario ", i,
+                " out of range");
+  return scenario_names_[i];
+}
+
+GammaCache::Stats SweepResult::cache_stats() const noexcept {
+  return cache_ != nullptr ? cache_->stats() : GammaCache::Stats{};
+}
+
+// ---------------------------------------------------------------------------
+// TimingView
+// ---------------------------------------------------------------------------
+
+const PinTiming& TimingView::timing(PinId pin, RiseFall rf) const {
+  return engine_->timing_in(*state_, pin, rf);
+}
+
+const PinTiming& TimingView::timing(const std::string& pin,
+                                    RiseFall rf) const {
+  return engine_->timing_in(*state_, pin, rf);
+}
+
+double TimingView::worst_slack() const {
+  return engine_->worst_slack_in(*state_);
+}
+
+std::vector<PathStep> TimingView::critical_path() const {
+  return engine_->worst_path_in(*state_);
+}
+
+// ---------------------------------------------------------------------------
+// StaEngine::sweep — the one levelized pass over corners × scenarios
+// ---------------------------------------------------------------------------
+
+SweepResult StaEngine::sweep(const SweepSpec& spec) {
+  prepare();
+
+  SweepResult r;
+  r.engine_ = this;
+  if (spec.corners.empty()) {
+    r.corners_.push_back(corner_ ? *corner_ : Corner{});
+  } else {
+    r.corners_ = spec.corners;
+  }
+
+  static const NoiseScenario kCleanScenario{};
+  std::vector<const NoiseScenario*> scenarios;
+  if (spec.scenarios.empty()) {
+    scenarios.push_back(&kCleanScenario);
+    r.scenario_names_.push_back("clean");
+  } else {
+    scenarios.reserve(spec.scenarios.size());
+    for (const auto& sc : spec.scenarios) {
+      scenarios.push_back(&sc);
+      r.scenario_names_.push_back(sc.name);
+    }
+  }
+
+  const size_t n_corners = r.corners_.size();
+  const size_t n_scenarios = scenarios.size();
+  const size_t n_points = n_corners * n_scenarios;
+
+  // Compile each scenario's effective annotations (engine base overlaid
+  // by the scenario) into a dense per-net-edge pointer table, shared by
+  // every corner of that scenario.  This is the only place annotations
+  // are *searched*; propagation just indexes.
+  std::vector<std::vector<const NoiseAnnotation*>> tables(n_scenarios);
+  for (size_t s = 0; s < n_scenarios; ++s) {
+    tables[s] = compile_edge_annotations(scenarios[s]);
+  }
+
+  if (spec.share_gamma_cache) r.cache_ = std::make_unique<GammaCache>();
+  const core::EquivalentWaveformMethod* method =
+      spec.method != nullptr ? spec.method : noise_method_.get();
+
+  r.states_.assign(n_points, TimingState{});
+  std::vector<EvalContext> contexts(n_points);
+  for (size_t c = 0; c < n_corners; ++c) {
+    const uint64_t corner_key = r.corners_[c].key();
+    for (size_t s = 0; s < n_scenarios; ++s) {
+      const size_t p = c * n_scenarios + s;
+      contexts[p].edge_noise = tables[s].data();
+      contexts[p].corner = &r.corners_[c];
+      contexts[p].corner_key = corner_key;
+      contexts[p].method = method;
+      contexts[p].cache = r.cache_.get();
+      init_state(r.states_[p]);
+    }
+  }
+
+  const size_t want = spec.threads <= 0
+                          ? util::ThreadPool::hardware_threads()
+                          : static_cast<size_t>(spec.threads);
+  std::unique_ptr<util::ThreadPool> owned_pool;
+  util::ThreadPool* pool = spec.pool;
+  if (pool == nullptr) {
+    owned_pool = std::make_unique<util::ThreadPool>(static_cast<int>(want));
+    pool = owned_pool.get();
+  }
+
+  // ONE levelized pass for all points: per level, every (point, vertex)
+  // pair is independent — points write disjoint states and vertices of
+  // one level only read lower levels.
+  for (const auto& level : levels_) {
+    const size_t m = level.size();
+    pool->parallel_for(m * n_points, [&](size_t idx) {
+      const size_t p = idx / m;
+      const int v = level[idx % m];
+      forward_vertex(v, r.states_[p], contexts[p]);
+    });
+  }
+  for (auto it = levels_.rbegin(); it != levels_.rend(); ++it) {
+    const auto& level = *it;
+    const size_t m = level.size();
+    pool->parallel_for(m * n_points, [&](size_t idx) {
+      const size_t p = idx / m;
+      const int v = level[idx % m];
+      backward_vertex(v, r.states_[p]);
+    });
+  }
+  return r;
+}
+
+}  // namespace waveletic::sta

@@ -1,0 +1,196 @@
+#pragma once
+
+/// \file sweep.hpp
+/// The unified sweep surface: one levelized pass over the cross product
+/// of noise scenarios × corner (derate) settings.
+///
+/// A crosstalk sign-off sweeps many noise scenarios — aggressor
+/// alignments, strengths, switching-window corners — and modern flows
+/// sweep them *per library corner*.  Running each (scenario, corner)
+/// point as its own engine run repeats the levelized walk N×M times.
+/// StaEngine::sweep(SweepSpec) instead prepares the engine once,
+/// compiles every scenario's annotations into dense per-net-edge
+/// pointer tables, and evaluates all points in ONE levelized pass: the
+/// outer loop walks the stored topological levels, and a
+/// work-stealing-free thread pool processes every (point,
+/// vertex-of-level) pair in parallel.  All points share a thread-safe
+/// Γeff memo (GammaCache) keyed on exact inputs + the corner key, so
+/// fits recur at most once per distinct (net edge, ramp, annotation,
+/// corner).
+///
+/// Determinism: points write disjoint TimingStates, each vertex folds
+/// its in-edges in a fixed order, and cache hits return bitwise what
+/// the fit would produce — so sweep results are bitwise identical to
+/// looped single-thread runs at any thread count.
+///
+/// ScenarioBatch (batch.hpp) is a compatibility shim over this surface:
+/// a sweep of one nominal corner × N scenarios.
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sta/engine.hpp"
+#include "sta/gamma_cache.hpp"
+
+namespace waveletic::noise {
+struct CaseWaveforms;
+}
+namespace waveletic::util {
+class ThreadPool;
+}
+
+namespace waveletic::sta {
+
+/// One named noise scenario: per-net noisy-waveform annotations, stored
+/// as a flat entry list (annotate() replaces an existing entry for the
+/// same net).  During a sweep they overlay the engine-level dense
+/// annotation table: engine annotations apply to every scenario, and a
+/// scenario's own annotation wins on nets both touch — resolved once at
+/// compile time into the per-edge pointer table, never during
+/// propagation.
+struct NoiseScenario {
+  std::string name;
+
+  struct Entry {
+    std::string net;
+    NoiseAnnotation annotation;
+  };
+  std::vector<Entry> entries;
+
+  /// Annotates `net`; the memoization key is derived from the waveform
+  /// content, so identical annotations across scenarios share Γeff fits.
+  void annotate(const std::string& net, wave::Waveform waveform,
+                wave::Polarity polarity);
+  /// The annotation this scenario puts on `net`, or null.
+  [[nodiscard]] const NoiseAnnotation* find(
+      const std::string& net) const noexcept;
+};
+
+/// Builds a scenario modelling one aggressor coupling event on `net`:
+/// the clean ramp of the victim transition (as propagated by a clean
+/// run: `victim_arrival`/`victim_slew`) plus a Gaussian coupling bump.
+/// `alignment` offsets the bump centre from the victim 50% crossing
+/// [s]; `strength` is the bump peak [V] (the aggressor coupling
+/// magnitude).  This is the synthetic stand-in for the golden
+/// noise::NoiseRunner sweep, parameterized the same way (aggressor
+/// alignment/strength).
+[[nodiscard]] NoiseScenario make_aggressor_scenario(
+    const std::string& net, double victim_arrival, double victim_slew,
+    double vdd, wave::Polarity polarity, double alignment, double strength,
+    size_t samples = 512);
+
+/// Builds a scenario from a golden noise::NoiseRunner case: annotates
+/// `net` with the simulated noisy waveform at the victim receiver input.
+[[nodiscard]] NoiseScenario scenario_from_case(
+    const std::string& net, const noise::CaseWaveforms& case_waveforms);
+
+/// The cross product a sweep evaluates: every corner × every scenario.
+struct SweepSpec {
+  /// Corner/derate axis; empty selects one point — the engine-level
+  /// corner if set, else nominal.
+  std::vector<Corner> corners;
+  /// Noise-scenario axis; empty selects one clean scenario (the
+  /// engine-level annotations still apply).
+  std::vector<NoiseScenario> scenarios;
+  /// Worker threads for the (point × vertex) fan-out; ≤ 0 selects the
+  /// hardware concurrency.
+  int threads = 0;
+  /// Share one Γeff memo across all points (recommended; results are
+  /// bitwise-identical either way — corner keys keep entries distinct).
+  bool share_gamma_cache = true;
+  /// Technique override; null uses the engine's configured method.
+  const core::EquivalentWaveformMethod* method = nullptr;
+  /// External pool to reuse across sweeps; null lets sweep() build one.
+  util::ThreadPool* pool = nullptr;
+};
+
+class SweepResult;
+
+/// Read-only window onto one sweep point.  Valid while the SweepResult
+/// it came from (and the engine) are alive.
+class TimingView {
+ public:
+  [[nodiscard]] const PinTiming& timing(PinId pin, RiseFall rf) const;
+  [[nodiscard]] const PinTiming& timing(const std::string& pin,
+                                        RiseFall rf) const;
+  [[nodiscard]] double worst_slack() const;
+  [[nodiscard]] std::vector<PathStep> critical_path() const;
+  [[nodiscard]] const Corner& corner() const noexcept { return *corner_; }
+  [[nodiscard]] const std::string& scenario_name() const noexcept {
+    return *scenario_name_;
+  }
+  [[nodiscard]] const TimingState& state() const noexcept { return *state_; }
+
+ private:
+  friend class SweepResult;
+  TimingView(const StaEngine* engine, const TimingState* state,
+             const Corner* corner, const std::string* scenario_name) noexcept
+      : engine_(engine), state_(state), corner_(corner),
+        scenario_name_(scenario_name) {}
+
+  const StaEngine* engine_;
+  const TimingState* state_;
+  const Corner* corner_;
+  const std::string* scenario_name_;
+};
+
+/// All states of one sweep, indexed by flat point (corner-major:
+/// point = corner * num_scenarios + scenario) or by (corner, scenario).
+/// The engine that produced it must outlive it.
+class SweepResult {
+ public:
+  SweepResult() = default;
+
+  [[nodiscard]] size_t num_corners() const noexcept {
+    return corners_.size();
+  }
+  [[nodiscard]] size_t num_scenarios() const noexcept {
+    return scenario_names_.size();
+  }
+  /// Total points = corners × scenarios.
+  [[nodiscard]] size_t size() const noexcept { return states_.size(); }
+
+  /// Flat index of (corner, scenario); throws when out of range.
+  [[nodiscard]] size_t point(size_t corner, size_t scenario) const;
+
+  [[nodiscard]] TimingView view(size_t point) const;
+  [[nodiscard]] TimingView view(size_t corner, size_t scenario) const;
+
+  [[nodiscard]] const TimingState& state(size_t point) const;
+  [[nodiscard]] double worst_slack(size_t point) const;
+  [[nodiscard]] const PinTiming& timing(size_t point, PinId pin,
+                                        RiseFall rf) const;
+  [[nodiscard]] const PinTiming& timing(size_t point, const std::string& pin,
+                                        RiseFall rf) const;
+  [[nodiscard]] std::vector<PathStep> critical_path(size_t point) const;
+
+  /// The point with the smallest worst-slack over all (corner,
+  /// scenario) pairs.
+  struct WorstPoint {
+    size_t point = 0;
+    size_t corner = 0;
+    size_t scenario = 0;
+    double slack = std::numeric_limits<double>::infinity();
+  };
+  [[nodiscard]] WorstPoint worst_point() const;
+
+  [[nodiscard]] const Corner& corner(size_t i) const;
+  [[nodiscard]] const std::string& scenario_name(size_t i) const;
+
+  /// Γeff memo statistics of the sweep (zeros when sharing was off).
+  [[nodiscard]] GammaCache::Stats cache_stats() const noexcept;
+
+ private:
+  friend class StaEngine;  // sweep() populates the result
+
+  const StaEngine* engine_ = nullptr;
+  std::vector<Corner> corners_;
+  std::vector<std::string> scenario_names_;
+  std::vector<TimingState> states_;  ///< corner-major
+  std::unique_ptr<GammaCache> cache_;  ///< null when sharing was off
+};
+
+}  // namespace waveletic::sta

@@ -151,8 +151,9 @@ TEST(StaParallel, BatchedBitwiseIdenticalToLoopedRuns) {
   for (const auto& sc : scenarios) {
     st::StaEngine sta(net, lib());
     constrain(sta, width);
-    for (const auto& [n, ann] : sc.annotations) {
-      sta.annotate_noisy_net(n, ann.waveform, ann.polarity);
+    for (const auto& e : sc.entries) {
+      sta.annotate_noisy_net(e.net, e.annotation.waveform,
+                             e.annotation.polarity);
     }
     sta.run();
     looped_arrival.push_back(sta.timing("y", st::RiseFall::kFall).arrival);
@@ -280,8 +281,8 @@ TEST(StaParallel, EngineAnnotationsOverlayIntoBatchScenarios) {
   // scenario; the scenario wins only on nets both touch).
   st::StaEngine sta(net, lib());
   constrain(sta, width);
-  const auto& ann1 = sc1.annotations.begin()->second;
-  sta.annotate_noisy_net(sc1.annotations.begin()->first, ann1.waveform,
+  const auto& ann1 = sc1.entries.front().annotation;
+  sta.annotate_noisy_net(sc1.entries.front().net, ann1.waveform,
                          ann1.polarity);
   st::ScenarioBatch batch(sta);
   batch.add(sc0);
@@ -290,10 +291,10 @@ TEST(StaParallel, EngineAnnotationsOverlayIntoBatchScenarios) {
   // Reference: one engine run with both annotations applied.
   st::StaEngine both(net, lib());
   constrain(both, width);
-  both.annotate_noisy_net(sc1.annotations.begin()->first, ann1.waveform,
+  both.annotate_noisy_net(sc1.entries.front().net, ann1.waveform,
                           ann1.polarity);
-  const auto& ann0 = sc0.annotations.begin()->second;
-  both.annotate_noisy_net(sc0.annotations.begin()->first, ann0.waveform,
+  const auto& ann0 = sc0.entries.front().annotation;
+  both.annotate_noisy_net(sc0.entries.front().net, ann0.waveform,
                           ann0.polarity);
   both.run();
 
