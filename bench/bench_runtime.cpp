@@ -16,10 +16,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
+#include <new>
 #include <sstream>
 #include <vector>
 
@@ -30,7 +34,39 @@
 #include "noise/scenario.hpp"
 #include "sta/batch.hpp"
 #include "sta/engine.hpp"
+#include "sta/sweep.hpp"
 #include "util/thread_pool.hpp"
+#include "wave/kernels.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counting hook (this binary only): makes "zero
+// hot-path allocations" an asserted number instead of a claim.  Every
+// operator-new in the process bumps the counter; sections snapshot it
+// around the code under test.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<uint64_t> g_heap_allocations{0};
+
+uint64_t heap_allocations() noexcept {
+  return g_heap_allocations.load(std::memory_order_relaxed);
+}
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n != 0 ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n != 0 ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace cl = waveletic::charlib;
 namespace co = waveletic::core;
@@ -111,6 +147,122 @@ BENCHMARK(sgdp_p_scaling)
     ->Arg(75)
     ->Arg(155)
     ->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// Waveform-kernel microbenchmarks: batched merge-scan sampling vs the
+// per-point binary-search pattern it replaced (the acceptance shape:
+// a 64-point grid over a 512-sample waveform).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct KernelFixture {
+  static constexpr size_t kWaveSamples = 512;
+  static constexpr size_t kGridPoints = 64;
+  /// Different fits sample different arrival windows, so the benchmark
+  /// cycles through many grids — a single fixed grid would let the
+  /// branch predictor memorize the binary-search paths and flatter the
+  /// scalar baseline.
+  static constexpr size_t kNumGrids = 128;
+  wv::Waveform wave;
+  std::vector<std::vector<double>> grids;
+
+  KernelFixture() {
+    // A noisy transition: saturated ramp plus a glitch and ripple.
+    std::vector<double> t(kWaveSamples), v(kWaveSamples);
+    for (size_t i = 0; i < kWaveSamples; ++i) {
+      const double x = static_cast<double>(i) / (kWaveSamples - 1);
+      t[i] = x * 1e-9;
+      const double ramp = std::clamp((x - 0.3) / 0.3, 0.0, 1.0) * 1.2;
+      const double dip =
+          -0.4 * std::exp(-std::pow((x - 0.55) / 0.04, 2.0));
+      v[i] = ramp + dip + 0.02 * std::sin(60.0 * x);
+    }
+    wave = wv::Waveform(std::move(t), std::move(v));
+    // Uniform grids over varying sub-windows (the sample_times shape),
+    // deterministic LCG placement.
+    uint64_t seed = 0x9e3779b97f4a7c15ull;
+    auto next = [&seed] {
+      seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+      return static_cast<double>(seed >> 11) /
+             static_cast<double>(1ull << 53);
+    };
+    grids.resize(kNumGrids);
+    for (auto& grid : grids) {
+      const double lo = next() * 0.5e-9;
+      const double hi = lo + 0.2e-9 + next() * (1.0e-9 - lo - 0.2e-9);
+      grid.resize(kGridPoints);
+      for (size_t i = 0; i < kGridPoints; ++i) {
+        grid[i] = lo + (hi - lo) * static_cast<double>(i) /
+                           (kGridPoints - 1);
+      }
+    }
+  }
+};
+
+const KernelFixture& kernel_fixture() {
+  static const KernelFixture f;
+  return f;
+}
+
+void kernel_sample_scalar(benchmark::State& state) {
+  const auto& f = kernel_fixture();
+  std::vector<double> out(KernelFixture::kGridPoints);
+  size_t g = 0;
+  for (auto _ : state) {
+    const auto& grid = f.grids[g];
+    g = (g + 1) % f.grids.size();
+    for (size_t i = 0; i < grid.size(); ++i) {
+      out[i] = f.wave.at(grid[i]);
+    }
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(KernelFixture::kGridPoints));
+}
+
+void kernel_sample_batched(benchmark::State& state) {
+  const auto& f = kernel_fixture();
+  std::vector<double> out(KernelFixture::kGridPoints);
+  size_t g = 0;
+  for (auto _ : state) {
+    const auto& grid = f.grids[g];
+    g = (g + 1) % f.grids.size();
+    wv::sample_into(f.wave, grid, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(KernelFixture::kGridPoints));
+}
+
+void kernel_combine_scalar(benchmark::State& state) {
+  const auto& f = kernel_fixture();
+  const auto other = f.wave.shifted(13e-12);
+  for (auto _ : state) {
+    auto c = wv::combine(f.wave, 0.7, other, 0.3);
+    benchmark::DoNotOptimize(c);
+  }
+}
+
+void kernel_combine_batched(benchmark::State& state) {
+  const auto& f = kernel_fixture();
+  const auto other = f.wave.shifted(13e-12);
+  wv::Workspace ws;
+  for (auto _ : state) {
+    const auto scope = ws.scope();
+    auto c = wv::combine_into(f.wave, 0.7, other, 0.3, ws);
+    benchmark::DoNotOptimize(c);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(kernel_sample_scalar)->Unit(benchmark::kNanosecond);
+BENCHMARK(kernel_sample_batched)->Unit(benchmark::kNanosecond);
+BENCHMARK(kernel_combine_scalar)->Unit(benchmark::kMicrosecond);
+BENCHMARK(kernel_combine_batched)->Unit(benchmark::kMicrosecond);
 
 // ---------------------------------------------------------------------------
 // Full-netlist propagation: level-parallel engine + batched scenarios
@@ -255,7 +407,13 @@ double wall_seconds(const std::function<void()>& fn) {
   return std::chrono::duration<double>(t1 - t0).count();
 }
 
-void report_sweep_speedups() {
+struct SweepFigures {
+  double scenarios_per_sec = 0.0;
+  double speedup_vs_looped = 0.0;
+  bool bitwise = false;
+};
+
+SweepFigures report_sweep_speedups() {
   const auto& f = sta_fixture();
   const int kScenarios = 64;
   const auto scenarios = f.scenarios(kScenarios);
@@ -363,6 +521,132 @@ void report_sweep_speedups() {
     std::fclose(f_json);
     std::printf("wrote %s\n", json_path);
   }
+  SweepFigures figures;
+  figures.scenarios_per_sec = kScenarios / t_batchedN;
+  figures.speedup_vs_looped = t_looped / t_batchedN;
+  figures.bitwise = identical;
+  return figures;
+}
+
+// ---------------------------------------------------------------------------
+// Kernel summary: measured ns/sample of batched vs scalar sampling,
+// heap allocations per Γeff fit and per full propagation (legacy vs
+// workspace paths), emitted as BENCH_kernels.json for CI tracking.
+// ---------------------------------------------------------------------------
+
+void report_kernel_summary(const SweepFigures& sweep) {
+  const auto& kf = kernel_fixture();
+  const size_t grid_n = KernelFixture::kGridPoints;
+  std::vector<double> out(grid_n);
+  double sink = 0.0;
+  const int kReps = 200000;
+  const double t_scalar = wall_seconds([&] {
+    for (int r = 0; r < kReps; ++r) {
+      const auto& grid = kf.grids[static_cast<size_t>(r) % kf.grids.size()];
+      for (size_t i = 0; i < grid_n; ++i) out[i] = kf.wave.at(grid[i]);
+      sink += out[grid_n / 2];
+    }
+  });
+  const double t_batched = wall_seconds([&] {
+    for (int r = 0; r < kReps; ++r) {
+      const auto& grid = kf.grids[static_cast<size_t>(r) % kf.grids.size()];
+      wv::sample_into(kf.wave, grid, out);
+      sink += out[grid_n / 2];
+    }
+  });
+  const double scalar_ns =
+      t_scalar * 1e9 / (static_cast<double>(kReps) * grid_n);
+  const double batched_ns =
+      t_batched * 1e9 / (static_cast<double>(kReps) * grid_n);
+  const double sample_speedup = scalar_ns / batched_ns;
+
+  // Heap allocations per Γeff fit: the legacy allocating path vs a
+  // warmed per-worker workspace (the paper's P = 35, SGDP).
+  const auto method = co::make_method("SGDP");
+  auto allocs_per_fit = [&](wv::Workspace* ws, int n) {
+    auto mi = fixture().input(35);
+    mi.workspace = ws;
+    auto warm = method->fit(mi);  // warm slabs + one-time lazies
+    benchmark::DoNotOptimize(warm);
+    const uint64_t before = heap_allocations();
+    for (int i = 0; i < n; ++i) {
+      auto fit = method->fit(mi);
+      benchmark::DoNotOptimize(fit);
+    }
+    return static_cast<double>(heap_allocations() - before) / n;
+  };
+  wv::Workspace fit_ws;
+  const double fit_allocs_legacy = allocs_per_fit(nullptr, 50);
+  const double fit_allocs_ws = allocs_per_fit(&fit_ws, 50);
+
+  // Heap allocations per full propagation (prepared engine, one noisy
+  // net, serial reentrant evaluate — the sweep inner loop).  With a
+  // warmed workspace this must be exactly zero.
+  const auto& f = sta_fixture();
+  st::StaEngine sta(f.netlist, f.lib);
+  f.constrain(sta);
+  const auto scenarios = f.scenarios(1);
+  for (const auto& e : scenarios[0].entries) {
+    sta.annotate_noisy_net(e.net, e.annotation.waveform,
+                           e.annotation.polarity);
+  }
+  sta.prepare();
+  const auto table = sta.compile_edge_annotations();
+  st::StaEngine::EvalContext ctx;
+  ctx.edge_noise = table.data();
+  ctx.method = &sta.noise_method();
+  st::TimingState state;
+  auto allocs_per_propagate = [&](wv::Workspace* ws, int n) {
+    ctx.workspace = ws;
+    sta.evaluate(state, ctx);  // warm slabs + state capacity
+    const uint64_t before = heap_allocations();
+    for (int i = 0; i < n; ++i) sta.evaluate(state, ctx);
+    return static_cast<double>(heap_allocations() - before) / n;
+  };
+  wv::Workspace prop_ws;
+  const double prop_allocs_legacy = allocs_per_propagate(nullptr, 20);
+  const double prop_allocs_ws = allocs_per_propagate(&prop_ws, 20);
+
+  std::printf("\n-- waveform-kernel summary (%zu-point grid over %zu-sample "
+              "waveform) --\n",
+              grid_n, kf.wave.size());
+  std::printf("sample scalar at():    %7.2f ns/point\n", scalar_ns);
+  std::printf("sample_into (batched): %7.2f ns/point  (%.2fx)%s\n",
+              batched_ns, sample_speedup,
+              sample_speedup >= 3.0 ? "" : "  [below 3x target]");
+  std::printf("allocations per SGDP fit:   legacy %6.1f  workspace %6.1f\n",
+              fit_allocs_legacy, fit_allocs_ws);
+  std::printf("allocations per propagate:  legacy %6.1f  workspace %6.1f%s\n",
+              prop_allocs_legacy, prop_allocs_ws,
+              prop_allocs_ws == 0.0 ? "  (zero hot-path allocations)"
+                                    : "  [expected 0 — BUG]");
+  if (sink == 12345.6789) std::printf("%f\n", sink);  // defeat DCE
+
+  const char* json_path = "BENCH_kernels.json";
+  if (FILE* f_json = std::fopen(json_path, "w")) {
+    std::fprintf(f_json,
+                 "{\n"
+                 "  \"grid_points\": %zu,\n"
+                 "  \"wave_samples\": %zu,\n"
+                 "  \"sample_scalar_ns_per_point\": %.3f,\n"
+                 "  \"sample_batched_ns_per_point\": %.3f,\n"
+                 "  \"sample_into_speedup\": %.2f,\n"
+                 "  \"fit_allocs_legacy\": %.1f,\n"
+                 "  \"fit_allocs_workspace\": %.1f,\n"
+                 "  \"propagate_allocs_legacy\": %.1f,\n"
+                 "  \"propagate_allocs_workspace\": %.1f,\n"
+                 "  \"sweep_scenarios_per_sec\": %.1f,\n"
+                 "  \"sweep_speedup_vs_looped\": %.2f,\n"
+                 "  \"bitwise_identical\": %s\n"
+                 "}\n",
+                 grid_n, kf.wave.size(), scalar_ns, batched_ns,
+                 sample_speedup, fit_allocs_legacy, fit_allocs_ws,
+                 prop_allocs_legacy, prop_allocs_ws,
+                 sweep.scenarios_per_sec, sweep.speedup_vs_looped,
+                 sweep.bitwise ? "true" : "false");
+    std::fclose(f_json);
+    std::printf("wrote %s\n", json_path);
+  }
 }
 
 }  // namespace
@@ -372,6 +656,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  report_sweep_speedups();
+  const auto sweep_figures = report_sweep_speedups();
+  report_kernel_summary(sweep_figures);
   return 0;
 }

@@ -7,7 +7,9 @@
 
 namespace waveletic::core {
 
-Fit lsf3_fit(const wave::Waveform& noisy_rising, double vdd, int samples) {
+Fit lsf3_fit(wave::WaveView noisy_rising, double vdd, int samples,
+             wave::Workspace& ws) {
+  const auto scope = ws.scope();
   // Sample the arrival event (see wave::arrival_event_region): glitch
   // tails that cannot move the latest 50% crossing are excluded so they
   // cannot dominate the sample budget.
@@ -15,14 +17,16 @@ Fit lsf3_fit(const wave::Waveform& noisy_rising, double vdd, int samples) {
       noisy_rising, wave::Polarity::kRising, vdd);
   util::require(region.has_value(),
                 "LSF3: noisy input never completes a transition");
-  const auto t = sample_times(region->t_first, region->t_last, samples);
-  std::vector<double> v(t.size());
-  for (size_t k = 0; k < t.size(); ++k) v[k] = noisy_rising.at(t[k]);
+  util::require(samples >= 2, "sample_times: need >= 2 samples");
+  const auto t = ws.alloc(static_cast<size_t>(samples));
+  wave::sample_times_into(region->t_first, region->t_last, t);
+  const auto v = ws.alloc(t.size());
+  wave::sample_into(noisy_rising, t, v);
 
   // Least-squares fit of the *saturated* ramp: plain linear LSQ seeds
   // the Gauss-Newton refinement, which is what keeps long mid-rail
   // glitch tails from dragging the slope (tail samples saturate).
-  const auto arrival = noisy_rising.last_crossing(0.5 * vdd);
+  const auto arrival = wave::last_crossing(noisy_rising, 0.5 * vdd);
   util::require(arrival.has_value(), "LSF3: noisy input never crosses 50%");
   wave::Ramp init = wave::Ramp::from_arrival_slew(
       *arrival, 0.8 * (region->t_last - region->t_first), vdd);
@@ -44,13 +48,22 @@ Fit lsf3_fit(const wave::Waveform& noisy_rising, double vdd, int samples) {
   spec.v = v;
   spec.vdd = vdd;
   spec.init = init;
+  spec.ws = &ws;
   fit.ramp = fit_clamped_ramp(spec);
   return fit;
 }
 
+Fit lsf3_fit(const wave::Waveform& noisy_rising, double vdd, int samples) {
+  wave::Workspace local;
+  return lsf3_fit(wave::WaveView(noisy_rising), vdd, samples, local);
+}
+
 Fit Lsf3Method::fit(const MethodInput& input) const {
   input.require_noisy();
-  return lsf3_fit(input.noisy_rising(), input.vdd, input.samples);
+  wave::Workspace local;
+  wave::Workspace& ws = input.scratch(local);
+  const auto scope = ws.scope();
+  return lsf3_fit(input.noisy_rising_view(ws), input.vdd, input.samples, ws);
 }
 
 }  // namespace waveletic::core

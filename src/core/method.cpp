@@ -10,32 +10,87 @@
 
 namespace waveletic::core {
 
+namespace {
+
+/// A non-empty view wins over the pointer; an absent pair is empty.
+wave::WaveView pick(const wave::Waveform* w, wave::WaveView view) noexcept {
+  if (!view.empty()) return view;
+  return w != nullptr ? wave::WaveView(*w) : wave::WaveView();
+}
+
+}  // namespace
+
+wave::WaveView MethodInput::noisy_wave() const noexcept {
+  return pick(noisy_in, noisy_in_view);
+}
+
+wave::WaveView MethodInput::noiseless_in_wave() const noexcept {
+  return pick(noiseless_in, noiseless_in_view);
+}
+
+wave::WaveView MethodInput::noiseless_out_wave() const noexcept {
+  return pick(noiseless_out, noiseless_out_view);
+}
+
 wave::Waveform MethodInput::noisy_rising() const {
   require_noisy();
-  return noisy_in->normalized_rising(in_polarity, vdd);
+  if (noisy_in_view.empty()) {
+    return noisy_in->normalized_rising(in_polarity, vdd);
+  }
+  return noisy_in_view.to_waveform().normalized_rising(in_polarity, vdd);
 }
 
 wave::Waveform MethodInput::noiseless_in_rising() const {
-  util::require(noiseless_in != nullptr, "missing noiseless input waveform");
-  return noiseless_in->normalized_rising(in_polarity, vdd);
+  util::require(!noiseless_in_wave().empty(),
+                "missing noiseless input waveform");
+  if (noiseless_in_view.empty()) {
+    return noiseless_in->normalized_rising(in_polarity, vdd);
+  }
+  return noiseless_in_view.to_waveform().normalized_rising(in_polarity, vdd);
 }
 
 wave::Waveform MethodInput::noiseless_out_rising() const {
-  util::require(noiseless_out != nullptr,
+  util::require(!noiseless_out_wave().empty(),
                 "missing noiseless output waveform");
-  return noiseless_out->normalized_rising(out_polarity, vdd);
+  if (noiseless_out_view.empty()) {
+    return noiseless_out->normalized_rising(out_polarity, vdd);
+  }
+  return noiseless_out_view.to_waveform().normalized_rising(out_polarity,
+                                                            vdd);
+}
+
+wave::WaveView MethodInput::noisy_rising_view(wave::Workspace& ws) const {
+  require_noisy();
+  return wave::normalized_rising_view(noisy_wave(), in_polarity, vdd, ws);
+}
+
+wave::WaveView MethodInput::noiseless_in_rising_view(
+    wave::Workspace& ws) const {
+  util::require(!noiseless_in_wave().empty(),
+                "missing noiseless input waveform");
+  return wave::normalized_rising_view(noiseless_in_wave(), in_polarity, vdd,
+                                      ws);
+}
+
+wave::WaveView MethodInput::noiseless_out_rising_view(
+    wave::Workspace& ws) const {
+  util::require(!noiseless_out_wave().empty(),
+                "missing noiseless output waveform");
+  return wave::normalized_rising_view(noiseless_out_wave(), out_polarity,
+                                      vdd, ws);
 }
 
 void MethodInput::require_noisy() const {
-  util::require(noisy_in != nullptr, "missing noisy input waveform");
+  util::require(!noisy_wave().empty(), "missing noisy input waveform");
   util::require(vdd > 0.0, "non-positive vdd");
   util::require(samples >= 4, "need at least 4 sampling points, got ",
                 samples);
 }
 
 void MethodInput::require_noiseless_pair(std::string_view method) const {
-  util::require(noiseless_in != nullptr && noiseless_out != nullptr, method,
-                " requires the noiseless input/output waveform pair");
+  util::require(!noiseless_in_wave().empty() &&
+                    !noiseless_out_wave().empty(),
+                method, " requires the noiseless input/output waveform pair");
 }
 
 std::vector<double> sample_times(double t0, double t1, int samples) {

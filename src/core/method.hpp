@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/sensitivity.hpp"
+#include "wave/kernels.hpp"
 #include "wave/ramp.hpp"
 #include "wave/waveform.hpp"
 
@@ -26,6 +27,13 @@ struct MethodInput {
   const wave::Waveform* noisy_in = nullptr;
   const wave::Waveform* noiseless_in = nullptr;
   const wave::Waveform* noiseless_out = nullptr;
+  /// View alternatives to the pointer fields above; a non-empty view
+  /// takes precedence over the matching pointer.  The propagation hot
+  /// path uses these to hand techniques workspace-backed waveforms
+  /// without materializing Waveform objects (zero heap traffic).
+  wave::WaveView noisy_in_view;
+  wave::WaveView noiseless_in_view;
+  wave::WaveView noiseless_out_view;
   wave::Polarity in_polarity = wave::Polarity::kRising;
   /// Polarity of the gate *output* transition (inverting gates flip);
   /// used to normalize noiseless_out for the sensitivity computation.
@@ -34,11 +42,38 @@ struct MethodInput {
   /// P — the number of sampling points (the paper's run-time section
   /// uses P = 35).
   int samples = 35;
+  /// Optional per-worker scratch arena.  When set, the techniques draw
+  /// every sampling/normalization buffer from it — a warmed workspace
+  /// makes fit() allocation-free.  Null selects the legacy allocating
+  /// path (each fit uses its own throwaway arena); results are bitwise
+  /// identical either way.
+  wave::Workspace* workspace = nullptr;
 
-  /// Rising-normalized views.
+  /// Rising-normalized owning copies (legacy surface; cold paths).
   [[nodiscard]] wave::Waveform noisy_rising() const;
   [[nodiscard]] wave::Waveform noiseless_in_rising() const;
   [[nodiscard]] wave::Waveform noiseless_out_rising() const;
+
+  /// Rising-normalized views: zero-copy for rising inputs, a flip into
+  /// `ws` for falling.  Bitwise identical to the owning accessors.
+  [[nodiscard]] wave::WaveView noisy_rising_view(wave::Workspace& ws) const;
+  [[nodiscard]] wave::WaveView noiseless_in_rising_view(
+      wave::Workspace& ws) const;
+  [[nodiscard]] wave::WaveView noiseless_out_rising_view(
+      wave::Workspace& ws) const;
+
+  /// The effective (view-or-pointer) waveforms; empty when absent.
+  [[nodiscard]] wave::WaveView noisy_wave() const noexcept;
+  [[nodiscard]] wave::WaveView noiseless_in_wave() const noexcept;
+  [[nodiscard]] wave::WaveView noiseless_out_wave() const noexcept;
+
+  /// The arena a fit should use: the caller-provided per-worker
+  /// workspace, or `local` (the legacy allocating path) when none was
+  /// supplied.
+  [[nodiscard]] wave::Workspace& scratch(
+      wave::Workspace& local) const noexcept {
+    return workspace != nullptr ? *workspace : local;
+  }
 
   /// Validates presence of the required waveforms.
   void require_noisy() const;

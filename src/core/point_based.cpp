@@ -8,13 +8,16 @@ namespace waveletic::core {
 Fit P1Method::fit(const MethodInput& input) const {
   input.require_noisy();
   input.require_noiseless_pair("P1");
-  const auto noisy = input.noisy_rising();
-  const auto clean = input.noiseless_in_rising();
+  wave::Workspace local;
+  wave::Workspace& ws = input.scratch(local);
+  const auto scope = ws.scope();
+  const auto noisy = input.noisy_rising_view(ws);
+  const auto clean = input.noiseless_in_rising_view(ws);
 
   const auto slew =
       wave::slew_clean(clean, wave::Polarity::kRising, input.vdd);
   util::require(slew.has_value(), "P1: noiseless input has no 10-90 slew");
-  const auto arrival = noisy.last_crossing(0.5 * input.vdd);
+  const auto arrival = wave::last_crossing(noisy, 0.5 * input.vdd);
   util::require(arrival.has_value(), "P1: noisy input never crosses 50%");
 
   Fit fit;
@@ -24,13 +27,16 @@ Fit P1Method::fit(const MethodInput& input) const {
 
 Fit P2Method::fit(const MethodInput& input) const {
   input.require_noisy();
-  const auto noisy = input.noisy_rising();
+  wave::Workspace local;
+  wave::Workspace& ws = input.scratch(local);
+  const auto scope = ws.scope();
+  const auto noisy = input.noisy_rising_view(ws);
 
   const auto slew =
       wave::slew_noisy(noisy, wave::Polarity::kRising, input.vdd);
   util::require(slew.has_value(),
                 "P2: noisy input has no first-10% to last-90% span");
-  const auto arrival = noisy.last_crossing(0.5 * input.vdd);
+  const auto arrival = wave::last_crossing(noisy, 0.5 * input.vdd);
   util::require(arrival.has_value(), "P2: noisy input never crosses 50%");
 
   Fit fit;

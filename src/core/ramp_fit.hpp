@@ -19,6 +19,7 @@
 #include <optional>
 #include <span>
 
+#include "util/workspace.hpp"
 #include "wave/ramp.hpp"
 
 namespace waveletic::core {
@@ -35,6 +36,9 @@ struct ClampedRampFit {
   /// only the slope is fitted (used to anchor the arrival at the noisy
   /// waveform's latest 50% crossing when the free fit drifts).
   std::optional<double> pin_time{};
+  /// Scratch arena for the Gauss-Newton refinement; null = a throwaway
+  /// local arena (the legacy allocating path).  Bitwise identical.
+  util::Workspace* ws = nullptr;
 };
 
 /// Gauss-Newton refinement of the saturated-ramp objective.  Returns

@@ -7,24 +7,31 @@
 
 namespace waveletic::core {
 
-SensitivityCurve::SensitivityCurve(wave::Waveform rho_time,
-                                   wave::Waveform rho_voltage,
-                                   wave::CriticalRegion region, double v_lo,
-                                   double v_hi, double delta, bool aligned)
-    : rho_time_(std::move(rho_time)),
-      rho_voltage_(std::move(rho_voltage)),
-      drho_voltage_(rho_voltage_.derivative()),
-      region_(region),
-      v_lo_(v_lo),
-      v_hi_(v_hi),
-      delta_(delta),
-      aligned_(aligned) {}
+using wave::WaveView;
+using wave::Workspace;
+
+SensitivityCurve SensitivityCurve::build(WaveView in_rising,
+                                         WaveView out_rising, double vdd,
+                                         bool align_non_overlapping,
+                                         const Options& opt, Workspace& ws) {
+  SensitivityCurve c;
+  c.init(in_rising, out_rising, vdd, align_non_overlapping, opt, ws);
+  return c;
+}
 
 SensitivityCurve SensitivityCurve::build(const wave::Waveform& in_rising,
                                          const wave::Waveform& out_rising,
                                          double vdd,
                                          bool align_non_overlapping,
                                          const Options& opt) {
+  SensitivityCurve c;
+  c.init(in_rising, out_rising, vdd, align_non_overlapping, opt, c.own_);
+  return c;
+}
+
+void SensitivityCurve::init(WaveView in_rising, WaveView out_rising,
+                            double vdd, bool align_non_overlapping,
+                            const Options& opt, Workspace& ws) {
   const auto in_region = wave::noiseless_critical_region(
       in_rising, wave::Polarity::kRising, vdd, opt.thresholds);
   const auto out_region = wave::noiseless_critical_region(
@@ -34,8 +41,8 @@ SensitivityCurve SensitivityCurve::build(const wave::Waveform& in_rising,
   util::require(out_region.has_value(),
                 "sensitivity: noiseless output never completes a transition");
 
-  const auto t50_in = in_rising.first_crossing(0.5 * vdd);
-  const auto t50_out = out_rising.first_crossing(0.5 * vdd);
+  const auto t50_in = wave::first_crossing(in_rising, 0.5 * vdd);
+  const auto t50_out = wave::first_crossing(out_rising, 0.5 * vdd);
   util::require(t50_in && t50_out, "sensitivity: missing 50% crossings");
   const double delta = *t50_out - *t50_in;
 
@@ -45,66 +52,84 @@ SensitivityCurve SensitivityCurve::build(const wave::Waveform& in_rising,
   const bool disjoint = out_region->t_first > in_region->t_last ||
                         out_region->t_last < in_region->t_first;
   const bool aligned = align_non_overlapping && disjoint;
-  const wave::Waveform out_used =
-      aligned ? out_rising.shifted(-delta) : out_rising;
+  const WaveView out_used =
+      aligned ? wave::shift_into(out_rising, -delta, ws) : out_rising;
 
-  const wave::Waveform din = in_rising.derivative();
-  const wave::Waveform dout = out_used.derivative();
+  const auto din_buf = ws.alloc(in_rising.size());
+  wave::derivative_into(in_rising, din_buf);
+  const WaveView din(in_rising.time, din_buf);
+  const auto dout_buf = ws.alloc(out_used.size());
+  wave::derivative_into(out_used, dout_buf);
+  const WaveView dout(out_used.time, dout_buf);
 
-  // Sample ρ across the input critical region.
+  // Sample ρ across the input critical region: both derivatives are
+  // evaluated on the uniform grid with one merge scan each, then the
+  // ratio loop runs over contiguous buffers.
   const size_t n = std::max<size_t>(opt.resolution, 16);
   const double t0 = in_region->t_first;
   const double t1 = in_region->t_last;
-  std::vector<double> times(n), rho(n);
-  const double dt = (t1 - t0) / static_cast<double>(n - 1);
+  const auto times = ws.alloc(n);
+  wave::sample_times_into(t0, t1, times);
+  const auto din_at = ws.alloc(n);
+  const auto dout_at = ws.alloc(n);
+  wave::sample_into(din, times, din_at);
+  wave::sample_into(dout, times, dout_at);
   // Slope floor: a fraction of the mean transition slope, guarding the
   // ratio where the input flattens near the thresholds.
   const double mean_slope =
       (opt.thresholds.high - opt.thresholds.low) * vdd / (t1 - t0);
   const double slope_floor = 1e-3 * mean_slope;
+  const auto rho_raw = ws.alloc(n);
   for (size_t i = 0; i < n; ++i) {
-    const double t = t0 + dt * static_cast<double>(i);
-    times[i] = t;
-    const double vi = std::max(din.at(t), slope_floor);
-    const double r = dout.at(t) / vi;
-    rho[i] = std::clamp(r, -opt.rho_clamp, opt.rho_clamp);
+    const double vi = std::max(din_at[i], slope_floor);
+    const double r = dout_at[i] / vi;
+    rho_raw[i] = std::clamp(r, -opt.rho_clamp, opt.rho_clamp);
   }
-  wave::Waveform rho_time(times, rho);
-  rho_time = rho_time.smoothed(opt.smooth);
+  const auto prefix = ws.alloc(n + 1);
+  const auto rho_sm = ws.alloc(n);
+  wave::smoothed_into(WaveView(times, rho_raw), opt.smooth, prefix, rho_sm);
 
   // Voltage re-indexing (SGDP Step 2): walk the input voltage through
   // the region and pair it with ρ at the same instant.  The noiseless
   // input is monotone in its critical region; enforce strict increase
   // to build a valid abscissa.
-  std::vector<double> volts, rho_v;
-  volts.reserve(n);
-  rho_v.reserve(n);
+  const auto vin_at = ws.alloc(n);
+  wave::sample_into(in_rising, times, vin_at);
+  const auto volts = ws.alloc(n);
+  const auto rho_v = ws.alloc(n);
+  size_t m = 0;
   double last_v = -1e300;
   for (size_t i = 0; i < n; ++i) {
-    const double v = in_rising.at(times[i]);
+    const double v = vin_at[i];
     if (v <= last_v + 1e-9) continue;  // skip non-monotone wiggles
-    volts.push_back(v);
-    rho_v.push_back(rho_time.value(i));
+    volts[m] = v;
+    rho_v[m] = rho_sm[i];
+    ++m;
     last_v = v;
   }
-  util::require(volts.size() >= 4,
+  util::require(m >= 4,
                 "sensitivity: noiseless input not monotone enough to index "
                 "rho by voltage");
-  wave::Waveform rho_voltage(std::move(volts), std::move(rho_v));
-
-  return SensitivityCurve(std::move(rho_time), std::move(rho_voltage),
-                          *in_region, opt.thresholds.low * vdd,
-                          opt.thresholds.high * vdd, delta, aligned);
+  rho_time_ = WaveView(times, rho_sm);
+  rho_voltage_ = WaveView(volts.subspan(0, m), rho_v.subspan(0, m));
+  const auto drho = ws.alloc(m);
+  wave::derivative_into(rho_voltage_, drho);
+  drho_voltage_ = WaveView(rho_voltage_.time, drho);
+  region_ = *in_region;
+  v_lo_ = opt.thresholds.low * vdd;
+  v_hi_ = opt.thresholds.high * vdd;
+  delta_ = delta;
+  aligned_ = aligned;
 }
 
 double SensitivityCurve::peak_voltage() const noexcept {
-  double best_v = rho_voltage_.time(0);
+  double best_v = rho_voltage_.time[0];
   double best = 0.0;
   for (size_t i = 0; i < rho_voltage_.size(); ++i) {
-    const double mag = std::fabs(rho_voltage_.value(i));
+    const double mag = std::fabs(rho_voltage_.value[i]);
     if (mag > best) {
       best = mag;
-      best_v = rho_voltage_.time(i);
+      best_v = rho_voltage_.time[i];
     }
   }
   return best_v;
@@ -114,14 +139,14 @@ double SensitivityCurve::band_low_edge(double frac) const noexcept {
   const double peak_v = peak_voltage();
   double peak_mag = 0.0;
   for (size_t i = 0; i < rho_voltage_.size(); ++i) {
-    peak_mag = std::max(peak_mag, std::fabs(rho_voltage_.value(i)));
+    peak_mag = std::max(peak_mag, std::fabs(rho_voltage_.value[i]));
   }
   const double threshold = frac * peak_mag;
-  double edge = rho_voltage_.time(0);  // abscissa carries voltage
+  double edge = rho_voltage_.time[0];  // abscissa carries voltage
   for (size_t i = 0; i < rho_voltage_.size(); ++i) {
-    const double v = rho_voltage_.time(i);
+    const double v = rho_voltage_.time[i];
     if (v >= peak_v) break;
-    if (std::fabs(rho_voltage_.value(i)) <= threshold) edge = v;
+    if (std::fabs(rho_voltage_.value[i]) <= threshold) edge = v;
   }
   return edge;
 }

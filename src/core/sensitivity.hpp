@@ -11,6 +11,7 @@
 /// *input voltage* (its Step 2), which is what lets it track noise that
 /// falls outside the noiseless window.  Both views live here.
 
+#include "wave/kernels.hpp"
 #include "wave/metrics.hpp"
 #include "wave/waveform.hpp"
 
@@ -18,7 +19,14 @@ namespace waveletic::core {
 
 /// Sensitivity of one gate/stage computed from its noiseless input and
 /// output waveforms.  Inputs must be rising-normalized (callers flip
-/// falling transitions with Waveform::normalized_rising).
+/// falling transitions with Waveform::normalized_rising or build from
+/// views produced by wave::normalized_rising_view).
+///
+/// Storage: the sampled ρ curves live either in the caller's
+/// wave::Workspace (the allocation-free hot path — the curve must then
+/// not outlive the enclosing workspace scope) or in a private arena
+/// (the self-owning builds below).  The numerical results are bitwise
+/// identical either way.  Move-only.
 class SensitivityCurve {
  public:
   struct Options {
@@ -38,6 +46,18 @@ class SensitivityCurve {
   /// shifted back by δ = t50(out) − t50(in) (SGDP's additional step).
   /// Throws util::Error when either waveform never completes its
   /// transition.
+  ///
+  /// The primary overload samples every internal curve into `ws` — a
+  /// warmed workspace makes the build heap-allocation-free.  The curve
+  /// must not outlive the enclosing workspace scope.
+  [[nodiscard]] static SensitivityCurve build(wave::WaveView in_rising,
+                                              wave::WaveView out_rising,
+                                              double vdd,
+                                              bool align_non_overlapping,
+                                              const Options& opt,
+                                              wave::Workspace& ws);
+  /// Self-owning builds (legacy surface): storage lives inside the
+  /// returned curve.
   [[nodiscard]] static SensitivityCurve build(const wave::Waveform& in_rising,
                                               const wave::Waveform& out_rising,
                                               double vdd,
@@ -86,23 +106,33 @@ class SensitivityCurve {
     return region_;
   }
 
-  /// Sampled ρ(t) (for the Figure 2a reproduction).
-  [[nodiscard]] const wave::Waveform& rho_time() const noexcept {
-    return rho_time_;
+  /// Sampled ρ(t), as an owning copy (for the Figure 2a reproduction).
+  [[nodiscard]] wave::Waveform rho_time() const {
+    return rho_time_.to_waveform();
   }
   /// Sampled ρ(v): time axis carries voltage (for Figure 2b dumps).
-  [[nodiscard]] const wave::Waveform& rho_voltage() const noexcept {
-    return rho_voltage_;
+  [[nodiscard]] wave::Waveform rho_voltage() const {
+    return rho_voltage_.to_waveform();
   }
 
- private:
-  SensitivityCurve(wave::Waveform rho_time, wave::Waveform rho_voltage,
-                   wave::CriticalRegion region, double v_lo, double v_hi,
-                   double delta, bool aligned);
+  SensitivityCurve(SensitivityCurve&&) noexcept = default;
+  SensitivityCurve& operator=(SensitivityCurve&&) noexcept = default;
+  SensitivityCurve(const SensitivityCurve&) = delete;
+  SensitivityCurve& operator=(const SensitivityCurve&) = delete;
 
-  wave::Waveform rho_time_;     // ρ vs t
-  wave::Waveform rho_voltage_;  // ρ vs v (abscissa = voltage)
-  wave::Waveform drho_voltage_; // dρ/dv vs v
+ private:
+  SensitivityCurve() = default;
+  void init(wave::WaveView in_rising, wave::WaveView out_rising, double vdd,
+            bool align_non_overlapping, const Options& opt,
+            wave::Workspace& ws);
+
+  /// Backing arena of the self-owning builds; empty when the curve was
+  /// built into a caller workspace.  Slab addresses are stable under
+  /// moves, so the views below survive moving the curve.
+  wave::Workspace own_;
+  wave::WaveView rho_time_;      // ρ vs t
+  wave::WaveView rho_voltage_;   // ρ vs v (abscissa = voltage)
+  wave::WaveView drho_voltage_;  // dρ/dv vs v
   wave::CriticalRegion region_{};
   double v_lo_ = 0.0;
   double v_hi_ = 0.0;

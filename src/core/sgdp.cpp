@@ -13,24 +13,32 @@
 namespace waveletic::core {
 namespace {
 
+using wave::WaveView;
+using wave::Workspace;
+
 struct SampleSet {
-  std::vector<double> t;     // sample times (noisy critical region)
-  std::vector<double> v;     // noisy voltages at t
-  std::vector<double> rho;   // ρ_eff(t_k) (Step 2 remap)
-  std::vector<double> drho;  // dρ_eff/dv at v_k
+  std::span<double> t;     // sample times (noisy critical region)
+  std::span<double> v;     // noisy voltages at t
+  std::span<double> rho;   // ρ_eff(t_k) (Step 2 remap)
+  std::span<double> drho;  // dρ_eff/dv at v_k
   double weight_sum = 0.0;
 };
 
-SampleSet collect_samples(const wave::Waveform& noisy,
-                          const SensitivityCurve& rho, double vdd,
-                          int samples, double t_lo, double t_hi) {
+SampleSet collect_samples(WaveView noisy, const SensitivityCurve& rho,
+                          int samples, double t_lo, double t_hi,
+                          Workspace& ws) {
   SampleSet set;
-  set.t = sample_times(t_lo, t_hi, samples);
-  set.v.resize(set.t.size());
-  set.rho.resize(set.t.size());
-  set.drho.resize(set.t.size());
+  util::require(samples >= 2, "sample_times: need >= 2 samples");
+  set.t = ws.alloc(static_cast<size_t>(samples));
+  wave::sample_times_into(t_lo, t_hi, set.t);
+  set.v = ws.alloc(set.t.size());
+  // The time grid is monotone, so the noisy voltages arrive via one
+  // merge scan; the ρ remap is indexed by *voltage* (non-monotone), so
+  // it stays a per-point interpolation.
+  wave::sample_into(noisy, set.t, set.v);
+  set.rho = ws.alloc(set.t.size());
+  set.drho = ws.alloc(set.t.size());
   for (size_t k = 0; k < set.t.size(); ++k) {
-    set.v[k] = noisy.at(set.t[k]);
     // Step 2: voltage-level matching.
     set.rho[k] = rho.rho_at_voltage(set.v[k]);
     set.drho[k] = rho.drho_dv(set.v[k]);
@@ -52,22 +60,23 @@ struct OperativeCrossing {
   double t_cap = std::numeric_limits<double>::infinity();
 };
 
-OperativeCrossing operative_crossing(const wave::Waveform& noisy, double vdd,
+OperativeCrossing operative_crossing(WaveView noisy, double vdd,
                                      double rho_band_low_edge,
-                                     double max_dwell) {
-  auto mids = noisy.crossings(0.5 * vdd);
+                                     double max_dwell, Workspace& ws) {
+  auto mids = wave::crossings_into(noisy, 0.5 * vdd, ws);
   util::require(!mids.empty(), "SGDP: noisy input never crosses 50%");
   OperativeCrossing out;
-  while (mids.size() >= 3) {
+  size_t count = mids.size();
+  while (count >= 3) {
     // The last dip lies between the downward crossing mids[n-2] and the
     // final upward crossing mids[n-1]; measure how deep it goes and how
     // long it lingers.
-    const double t_a = mids[mids.size() - 2];
-    const double t_b = mids[mids.size() - 1];
+    const double t_a = mids[count - 2];
+    const double t_b = mids[count - 1];
     double v_min = 0.5 * vdd;
     for (size_t i = 0; i < noisy.size(); ++i) {
-      if (noisy.time(i) <= t_a || noisy.time(i) >= t_b) continue;
-      v_min = std::min(v_min, noisy.value(i));
+      if (noisy.time[i] <= t_a || noisy.time[i] >= t_b) continue;
+      v_min = std::min(v_min, noisy.value[i]);
     }
     // A dip is inoperative only when it is both *shallow* (never
     // reaching the sensitivity band's lower edge) and *brief* (shorter
@@ -77,13 +86,12 @@ OperativeCrossing operative_crossing(const wave::Waveform& noisy, double vdd,
     const bool brief = (t_b - t_a) < max_dwell;
     if (shallow && brief) {
       out.t_cap = t_a;
-      mids.pop_back();
-      mids.pop_back();
+      count -= 2;
     } else {
       break;
     }
   }
-  out.t_cross = mids.back();
+  out.t_cross = mids[count - 1];
   return out;
 }
 
@@ -92,13 +100,17 @@ OperativeCrossing operative_crossing(const wave::Waveform& noisy, double vdd,
 Fit SgdpMethod::fit(const MethodInput& input) const {
   input.require_noisy();
   input.require_noiseless_pair("SGDP");
-  const auto noisy = input.noisy_rising();
-  const auto clean_in = input.noiseless_in_rising();
-  const auto clean_out = input.noiseless_out_rising();
+  Workspace local;
+  Workspace& ws = input.scratch(local);
+  const auto scope = ws.scope();
+  const auto noisy = input.noisy_rising_view(ws);
+  const auto clean_in = input.noiseless_in_rising_view(ws);
+  const auto clean_out = input.noiseless_out_rising_view(ws);
 
   // Step 1 (+ additional alignment step when transitions are disjoint).
   const auto rho = SensitivityCurve::build(clean_in, clean_out, input.vdd,
-                                           opt_.align_non_overlapping);
+                                           opt_.align_non_overlapping, {},
+                                           ws);
 
   // P samples across the arrival event: from the low crossing before
   // the operative 50% crossing up to the completion level after it (the
@@ -111,9 +123,9 @@ Fit SgdpMethod::fit(const MethodInput& input) const {
         wave::slew_clean(clean_out, wave::Polarity::kRising, input.vdd);
     const double max_dwell = out_slew ? 2.0 * *out_slew : 0.0;
     oc = operative_crossing(noisy, input.vdd, rho.band_low_edge(),
-                            max_dwell);
+                            max_dwell, ws);
   } else {
-    oc.t_cross = *noisy.last_crossing(0.5 * input.vdd);
+    oc.t_cross = *wave::last_crossing(noisy, 0.5 * input.vdd);
   }
   const double anchor = oc.t_cross;
   const auto event =
@@ -125,24 +137,24 @@ Fit SgdpMethod::fit(const MethodInput& input) const {
     // The operative crossing belongs to an earlier event than the last
     // one: truncate at its own completion crossing instead.
     t_hi = noisy.t_end();
-    for (double t : noisy.crossings(0.8 * input.vdd)) {
+    wave::scan_crossings(noisy, 0.8 * input.vdd, [&](double t) {
       if (t >= anchor) {
         t_hi = t;
-        break;
+        return false;
       }
-    }
+      return true;
+    });
   }
   // Never sample into a rejected dip.
   t_hi = std::min(t_hi, oc.t_cap);
   const double t_lo = std::min(event->t_first, anchor - 1e-15);
   util::require(t_hi > t_lo, "SGDP: empty sampling window");
 
-  const auto set =
-      collect_samples(noisy, rho, input.vdd, input.samples, t_lo, t_hi);
+  const auto set = collect_samples(noisy, rho, input.samples, t_lo, t_hi, ws);
   if (set.weight_sum < 1e-12) {
     // Even the remapped sensitivity found no overlap with the noisy
     // voltages (e.g. rail-to-rail glitch only): honest fallback.
-    Fit fit = lsf3_fit(noisy, input.vdd, input.samples);
+    Fit fit = lsf3_fit(noisy, input.vdd, input.samples, ws);
     fit.degenerate_fallback = true;
     return fit;
   }
@@ -162,6 +174,7 @@ Fit SgdpMethod::fit(const MethodInput& input) const {
   first.vdd = input.vdd;
   first.init = start;
   first.iterations = opt_.gauss_newton_iterations;
+  first.ws = &ws;
   wave::Ramp ramp = fit_clamped_ramp(first);
 
   if (opt_.second_order) {
@@ -182,7 +195,7 @@ Fit SgdpMethod::fit(const MethodInput& input) const {
     // the waveform's own first-10% to last-90% span — the most
     // pessimistic physical slew measure (P2's definition); beyond it
     // the ramp no longer describes the transition at all.
-    const double first05 = *noisy.first_crossing(0.5 * input.vdd);
+    const double first05 = *wave::first_crossing(noisy, 0.5 * input.vdd);
     const double slack = 0.15 * span;
     if (ramp.t50() < first05 - slack || ramp.t50() > anchor + slack) {
       ClampedRampFit pinned = first;
@@ -210,18 +223,21 @@ wave::Waveform SgdpMethod::effective_sensitivity(
     const MethodInput& input) const {
   input.require_noisy();
   input.require_noiseless_pair("SGDP");
-  const auto noisy = input.noisy_rising();
-  const auto rho =
-      SensitivityCurve::build(input.noiseless_in_rising(),
-                              input.noiseless_out_rising(), input.vdd,
-                              opt_.align_non_overlapping);
+  Workspace local;
+  Workspace& ws = input.scratch(local);
+  const auto scope = ws.scope();
+  const auto noisy = input.noisy_rising_view(ws);
+  const auto rho = SensitivityCurve::build(
+      input.noiseless_in_rising_view(ws),
+      input.noiseless_out_rising_view(ws), input.vdd,
+      opt_.align_non_overlapping, {}, ws);
   const auto event =
       wave::arrival_event_region(noisy, wave::Polarity::kRising, input.vdd);
   util::require(event.has_value(),
                 "SGDP: noisy input never completes a transition");
-  const auto set = collect_samples(noisy, rho, input.vdd, input.samples,
-                                   event->t_first, event->t_last);
-  return wave::Waveform(set.t, set.rho);
+  const auto set = collect_samples(noisy, rho, input.samples,
+                                   event->t_first, event->t_last, ws);
+  return WaveView(set.t, set.rho).to_waveform();
 }
 
 }  // namespace waveletic::core

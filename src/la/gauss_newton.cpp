@@ -1,5 +1,6 @@
 #include "la/gauss_newton.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "la/lu.hpp"
@@ -8,7 +9,7 @@
 namespace waveletic::la {
 namespace {
 
-double objective_of(const Vector& r) noexcept {
+double objective_of(std::span<const double> r) noexcept {
   double acc = 0.0;
   for (double v : r) acc += v * v;
   return acc;
@@ -16,28 +17,44 @@ double objective_of(const Vector& r) noexcept {
 
 }  // namespace
 
-GaussNewtonResult gauss_newton(const ResidualFn& fn, Vector x0,
-                               size_t residuals,
-                               const GaussNewtonOptions& opt) {
-  const size_t m = x0.size();
+GaussNewtonStats gauss_newton_into(ResidualRef fn, std::span<double> x,
+                                   size_t residuals,
+                                   const GaussNewtonOptions& opt,
+                                   util::Workspace& ws) {
+  const size_t m = x.size();
   util::require(m > 0, "gauss_newton: empty parameter vector");
   util::require(residuals >= m, "gauss_newton: fewer residuals (", residuals,
                 ") than parameters (", m, ")");
 
-  GaussNewtonResult result;
-  result.x = std::move(x0);
+  const auto scope = ws.scope();
+  const auto r = ws.alloc(residuals);
+  const auto jac_buf = ws.alloc(residuals * m);
+  const MatrixRef jac(jac_buf.data(), residuals, m);
+  std::fill(r.begin(), r.end(), 0.0);
+  std::fill(jac_buf.begin(), jac_buf.end(), 0.0);
 
-  Vector r(residuals, 0.0);
-  Matrix jac(residuals, m);
-  fn(result.x, r, jac);
-  result.objective = objective_of(r);
+  GaussNewtonStats stats;
+  fn(x, r, jac);
+  stats.objective = objective_of(r);
+
+  const auto normal_buf = ws.alloc(m * m);
+  const MatrixRef normal(normal_buf.data(), m, m);
+  const auto rhs = ws.alloc(m);
+  const auto dx = ws.alloc(m);
+  const auto trial = ws.alloc(m);
+  const auto r_trial = ws.alloc(residuals);
+  const auto jac_trial_buf = ws.alloc(residuals * m);
+  const MatrixRef jac_trial(jac_trial_buf.data(), residuals, m);
+  std::fill(trial.begin(), trial.end(), 0.0);
+  std::fill(r_trial.begin(), r_trial.end(), 0.0);
+  std::fill(jac_trial_buf.begin(), jac_trial_buf.end(), 0.0);
 
   for (int it = 0; it < opt.max_iterations; ++it) {
-    result.iterations = it + 1;
+    stats.iterations = it + 1;
 
     // Normal equations Jᵀ J dx = -Jᵀ r with Levenberg damping.
-    Matrix normal(m, m);
-    Vector rhs(m, 0.0);
+    std::fill(normal_buf.begin(), normal_buf.end(), 0.0);
+    std::fill(rhs.begin(), rhs.end(), 0.0);
     for (size_t k = 0; k < residuals; ++k) {
       const auto row = jac.row(k);
       for (size_t i = 0; i < m; ++i) {
@@ -53,9 +70,8 @@ GaussNewtonResult gauss_newton(const ResidualFn& fn, Vector x0,
       for (size_t j = 0; j < i; ++j) normal(i, j) = normal(j, i);
     }
 
-    Vector dx;
     try {
-      dx = lu_solve(normal, rhs);
+      lu_solve_in_place(normal, rhs, dx);
     } catch (const util::Error&) {
       break;  // singular normal matrix: keep best iterate found so far
     }
@@ -64,31 +80,61 @@ GaussNewtonResult gauss_newton(const ResidualFn& fn, Vector x0,
     // the objective.
     double step = 1.0;
     bool accepted = false;
-    Vector trial(m, 0.0);
-    Vector r_trial(residuals, 0.0);
-    Matrix jac_trial(residuals, m);
     for (int attempt = 0; attempt < 6; ++attempt, step *= 0.5) {
-      for (size_t i = 0; i < m; ++i) trial[i] = result.x[i] + step * dx[i];
+      for (size_t i = 0; i < m; ++i) trial[i] = x[i] + step * dx[i];
       fn(trial, r_trial, jac_trial);
       const double obj = objective_of(r_trial);
-      if (obj <= result.objective) {
-        result.x = trial;
-        result.objective = obj;
-        r = r_trial;
-        jac = jac_trial;
+      if (obj <= stats.objective) {
+        std::copy(trial.begin(), trial.end(), x.begin());
+        stats.objective = obj;
+        std::copy(r_trial.begin(), r_trial.end(), r.begin());
+        std::copy(jac_trial_buf.begin(), jac_trial_buf.end(),
+                  jac_buf.begin());
         accepted = true;
         break;
       }
     }
     if (!accepted) break;
 
-    double scale = norm_inf(result.x);
+    double scale = norm_inf(x);
     if (scale == 0.0) scale = 1.0;
     if (norm_inf(dx) * step <= opt.step_tolerance * scale) {
-      result.converged = true;
+      stats.converged = true;
       break;
     }
   }
+  return stats;
+}
+
+GaussNewtonResult gauss_newton(const ResidualFn& fn, Vector x0,
+                               size_t residuals,
+                               const GaussNewtonOptions& opt) {
+  const size_t m = x0.size();
+  util::require(m > 0, "gauss_newton: empty parameter vector");
+  util::require(residuals >= m, "gauss_newton: fewer residuals (", residuals,
+                ") than parameters (", m, ")");
+
+  // Adapter over the span core: the legacy callback writes Vector /
+  // Matrix buffers which are copied into the core's spans — identical
+  // values, one shared algorithm.
+  Vector r_vec(residuals, 0.0);
+  Matrix jac_mat(residuals, m);
+  auto adapter = [&](std::span<const double> x, std::span<double> r,
+                     MatrixRef jac) {
+    fn(x, r_vec, jac_mat);
+    std::copy(r_vec.begin(), r_vec.end(), r.begin());
+    const auto flat = jac_mat.row(0);
+    std::copy(flat.data(), flat.data() + residuals * m, jac.data);
+  };
+
+  GaussNewtonResult result;
+  result.x = std::move(x0);
+  util::Workspace ws;
+  const auto stats =
+      gauss_newton_into(ResidualRef(adapter), result.x, residuals, opt, ws);
+  result.objective = stats.objective;
+  result.iterations = stats.iterations;
+  result.converged = stats.converged;
   return result;
 }
 

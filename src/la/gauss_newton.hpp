@@ -7,8 +7,10 @@
 
 #include <functional>
 #include <span>
+#include <type_traits>
 
 #include "la/matrix.hpp"
+#include "util/workspace.hpp"
 
 namespace waveletic::la {
 
@@ -34,10 +36,56 @@ struct GaussNewtonResult {
 using ResidualFn =
     std::function<void(std::span<const double> x, Vector& r, Matrix& jac)>;
 
+/// Non-owning residual callback for the allocation-free driver below —
+/// a function_ref: no heap, no copy, the referenced callable must
+/// outlive the call.  Fills r (size n) and the row-major Jacobian
+/// (n×m) for the current x.
+class ResidualRef {
+ public:
+  template <class F,
+            class = std::enable_if_t<!std::is_same_v<std::decay_t<F>,
+                                                     ResidualRef>>>
+  /*implicit*/ ResidualRef(F& f) noexcept
+      : ctx_(const_cast<void*>(static_cast<const void*>(&f))),
+        fn_([](void* c, std::span<const double> x, std::span<double> r,
+               MatrixRef jac) { (*static_cast<F*>(c))(x, r, jac); }) {}
+
+  void operator()(std::span<const double> x, std::span<double> r,
+                  MatrixRef jac) const {
+    fn_(ctx_, x, r, jac);
+  }
+
+ private:
+  using Raw = void (*)(void*, std::span<const double>, std::span<double>,
+                       MatrixRef);
+  void* ctx_;
+  Raw fn_;
+};
+
+/// Scalar outcome of the allocation-free driver (the solution lands in
+/// the caller's x buffer).
+struct GaussNewtonStats {
+  double objective = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
 /// Minimizes Σ r_k(x)² starting from x0.  Accepts a step only when it
 /// does not increase the objective (backtracking halving, 6 attempts).
 [[nodiscard]] GaussNewtonResult gauss_newton(const ResidualFn& fn, Vector x0,
                                              size_t residuals,
                                              const GaussNewtonOptions& opt = {});
+
+/// Allocation-free variant: `x` holds x0 on entry and the solution on
+/// exit; every scratch buffer (residuals, Jacobians, normal equations,
+/// line-search trials) comes from `ws`, and the inner linear solve runs
+/// in place — a warmed workspace makes the whole refinement heap-free.
+/// Same algorithm and same per-element arithmetic as gauss_newton()
+/// (which is implemented on top of this), so results are bitwise
+/// identical.
+GaussNewtonStats gauss_newton_into(ResidualRef fn, std::span<double> x,
+                                   size_t residuals,
+                                   const GaussNewtonOptions& opt,
+                                   util::Workspace& ws);
 
 }  // namespace waveletic::la

@@ -5,21 +5,20 @@
 #include "util/error.hpp"
 
 namespace waveletic::la {
+namespace {
 
-void LuFactorization::factor(const Matrix& a, double pivot_tol) {
-  util::require(a.rows() == a.cols(), "LU needs a square matrix, got ",
-                a.rows(), "x", a.cols());
-  n_ = a.rows();
-  lu_ = a;
-  perm_.resize(n_);
-  for (size_t i = 0; i < n_; ++i) perm_[i] = i;
-
-  for (size_t k = 0; k < n_; ++k) {
+/// The one partial-pivot factorization, shared by the owning and the
+/// in-place paths so both are bitwise identical by construction.
+/// `lu` is destroyed (L below / U on+above the diagonal).
+void factor_in_place(MatrixRef lu, size_t* perm, double pivot_tol) {
+  const size_t n = lu.rows;
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  for (size_t k = 0; k < n; ++k) {
     // Partial pivot: largest magnitude in column k at/below the diagonal.
     size_t pivot_row = k;
-    double pivot_mag = std::fabs(lu_(k, k));
-    for (size_t r = k + 1; r < n_; ++r) {
-      const double mag = std::fabs(lu_(r, k));
+    double pivot_mag = std::fabs(lu(k, k));
+    for (size_t r = k + 1; r < n; ++r) {
+      const double mag = std::fabs(lu(r, k));
       if (mag > pivot_mag) {
         pivot_mag = mag;
         pivot_row = r;
@@ -29,21 +28,49 @@ void LuFactorization::factor(const Matrix& a, double pivot_tol) {
                   "LU: singular matrix (pivot ", pivot_mag, " at column ", k,
                   ")");
     if (pivot_row != k) {
-      std::swap(perm_[k], perm_[pivot_row]);
-      for (size_t c = 0; c < n_; ++c) {
-        std::swap(lu_(k, c), lu_(pivot_row, c));
+      std::swap(perm[k], perm[pivot_row]);
+      for (size_t c = 0; c < n; ++c) {
+        std::swap(lu(k, c), lu(pivot_row, c));
       }
     }
-    const double inv_pivot = 1.0 / lu_(k, k);
-    for (size_t r = k + 1; r < n_; ++r) {
-      const double factor = lu_(r, k) * inv_pivot;
-      lu_(r, k) = factor;  // store L below the diagonal
+    const double inv_pivot = 1.0 / lu(k, k);
+    for (size_t r = k + 1; r < n; ++r) {
+      const double factor = lu(r, k) * inv_pivot;
+      lu(r, k) = factor;  // store L below the diagonal
       if (factor == 0.0) continue;
-      for (size_t c = k + 1; c < n_; ++c) {
-        lu_(r, c) -= factor * lu_(k, c);
+      for (size_t c = k + 1; c < n; ++c) {
+        lu(r, c) -= factor * lu(k, c);
       }
     }
   }
+}
+
+/// Forward/back substitution on a factored matrix.
+void solve_factored(const double* lu, size_t n, const size_t* perm,
+                    std::span<const double> b, std::span<double> x) {
+  // Forward substitution with the permutation applied on the fly.
+  for (size_t i = 0; i < n; ++i) {
+    double acc = b[perm[i]];
+    for (size_t j = 0; j < i; ++j) acc -= lu[i * n + j] * x[j];
+    x[i] = acc;
+  }
+  // Back substitution.
+  for (size_t i = n; i-- > 0;) {
+    double acc = x[i];
+    for (size_t j = i + 1; j < n; ++j) acc -= lu[i * n + j] * x[j];
+    x[i] = acc / lu[i * n + i];
+  }
+}
+
+}  // namespace
+
+void LuFactorization::factor(const Matrix& a, double pivot_tol) {
+  util::require(a.rows() == a.cols(), "LU needs a square matrix, got ",
+                a.rows(), "x", a.cols());
+  n_ = a.rows();
+  lu_ = a;
+  perm_.resize(n_);
+  factor_in_place(MatrixRef(lu_), perm_.data(), pivot_tol);
 }
 
 void LuFactorization::solve(std::span<const double> b,
@@ -51,18 +78,7 @@ void LuFactorization::solve(std::span<const double> b,
   util::require(factored(), "LU: solve before factor");
   util::require(b.size() == n_ && x.size() == n_,
                 "LU: rhs size mismatch (n=", n_, ")");
-  // Forward substitution with the permutation applied on the fly.
-  for (size_t i = 0; i < n_; ++i) {
-    double acc = b[perm_[i]];
-    for (size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
-    x[i] = acc;
-  }
-  // Back substitution.
-  for (size_t i = n_; i-- > 0;) {
-    double acc = x[i];
-    for (size_t j = i + 1; j < n_; ++j) acc -= lu_(i, j) * x[j];
-    x[i] = acc / lu_(i, i);
-  }
+  solve_factored(lu_.row(0).data(), n_, perm_.data(), b, x);
 }
 
 Vector LuFactorization::solve(std::span<const double> b) const {
@@ -81,6 +97,20 @@ Vector lu_solve(const Matrix& a, std::span<const double> b) {
   LuFactorization lu;
   lu.factor(a);
   return lu.solve(b);
+}
+
+void lu_solve_in_place(MatrixRef a, std::span<const double> b,
+                       std::span<double> x, double pivot_tol) {
+  constexpr size_t kMaxN = 64;
+  const size_t n = a.rows;
+  util::require(a.cols == n, "LU: needs a square matrix, got ", a.rows, "x",
+                a.cols);
+  util::require(n <= kMaxN, "lu_solve_in_place: system too large (", n, ")");
+  util::require(b.size() == n && x.size() == n,
+                "LU: rhs size mismatch (n=", n, ")");
+  size_t perm[kMaxN];
+  factor_in_place(a, perm, pivot_tol);
+  solve_factored(a.data, n, perm, b, x);
 }
 
 }  // namespace waveletic::la

@@ -42,4 +42,12 @@ class LuFactorization {
 /// One-shot convenience: solve A x = b.
 [[nodiscard]] Vector lu_solve(const Matrix& a, std::span<const double> b);
 
+/// Allocation-free one-shot solve for small systems (n ≤ 64): factors
+/// `a` IN PLACE (destroying it) with the same partial-pivot arithmetic
+/// as LuFactorization and writes the solution into `x`.  Bitwise
+/// identical to lu_solve on the same inputs.  Throws util::Error on
+/// singular/oversized systems.
+void lu_solve_in_place(MatrixRef a, std::span<const double> b,
+                       std::span<double> x, double pivot_tol = 1e-14);
+
 }  // namespace waveletic::la

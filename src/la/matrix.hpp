@@ -69,6 +69,31 @@ class Matrix {
   std::vector<double> data_;
 };
 
+/// Non-owning row-major matrix view over caller storage (e.g. a
+/// util::Workspace span) — the allocation-free twin of Matrix for the
+/// hot fitting paths.
+struct MatrixRef {
+  double* data = nullptr;
+  size_t rows = 0;
+  size_t cols = 0;
+
+  MatrixRef() = default;
+  MatrixRef(double* d, size_t r, size_t c) noexcept
+      : data(d), rows(r), cols(c) {}
+  /*implicit*/ MatrixRef(Matrix& m) noexcept
+      : data(&m(0, 0)), rows(m.rows()), cols(m.cols()) {}
+
+  [[nodiscard]] double& operator()(size_t r, size_t c) const noexcept {
+    return data[r * cols + c];
+  }
+  [[nodiscard]] std::span<double> row(size_t r) const noexcept {
+    return {data + r * cols, cols};
+  }
+  [[nodiscard]] std::span<double> flat() const noexcept {
+    return {data, rows * cols};
+  }
+};
+
 /// Euclidean norm of a vector.
 [[nodiscard]] double norm2(std::span<const double> v) noexcept;
 

@@ -49,23 +49,40 @@ LineFit fit_line(std::span<const double> t, std::span<const double> v,
 
   // Closed-form 2x2 weighted normal equations, centered for stability
   // (t values are absolute circuit times ~1e-9; centering avoids
-  // catastrophic cancellation in sum(t²)).
+  // catastrophic cancellation in sum(t²)).  The weighted/unweighted
+  // split hoists the per-sample weight check out of the accumulation
+  // loops; 1.0·x is bitwise x, so both variants fold identically to the
+  // historical single loop.
   double sw = 0.0, st = 0.0, sv = 0.0;
-  for (size_t k = 0; k < n; ++k) {
-    const double wk = w.empty() ? 1.0 : w[k];
-    sw += wk;
-    st += wk * t[k];
-    sv += wk * v[k];
+  if (w.empty()) {
+    for (size_t k = 0; k < n; ++k) {
+      sw += 1.0;
+      st += t[k];
+      sv += v[k];
+    }
+  } else {
+    for (size_t k = 0; k < n; ++k) {
+      sw += w[k];
+      st += w[k] * t[k];
+      sv += w[k] * v[k];
+    }
   }
   util::require(sw > 0.0, "fit_line: all weights are zero");
   const double tbar = st / sw;
   const double vbar = sv / sw;
   double stt = 0.0, stv = 0.0;
-  for (size_t k = 0; k < n; ++k) {
-    const double wk = w.empty() ? 1.0 : w[k];
-    const double dt = t[k] - tbar;
-    stt += wk * dt * dt;
-    stv += wk * dt * (v[k] - vbar);
+  if (w.empty()) {
+    for (size_t k = 0; k < n; ++k) {
+      const double dt = t[k] - tbar;
+      stt += dt * dt;
+      stv += dt * (v[k] - vbar);
+    }
+  } else {
+    for (size_t k = 0; k < n; ++k) {
+      const double dt = t[k] - tbar;
+      stt += w[k] * dt * dt;
+      stv += w[k] * dt * (v[k] - vbar);
+    }
   }
   util::require(stt > 0.0, "fit_line: degenerate abscissae (all t equal)");
   LineFit fit;

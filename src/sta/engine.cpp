@@ -647,7 +647,6 @@ void StaEngine::propagate_net_edge(size_t edge_index, TimingState& state,
           const double vdd = library_->nom_voltage;
           const auto clean_ramp =
               wave::Ramp::from_arrival_slew(arrival, slew, vdd);
-          const wave::Waveform clean_in = clean_ramp.denormalized(pol, 192);
 
           const auto out_pol =
               arc->sense == liberty::TimingSense::kNegativeUnate ? flip(pol)
@@ -658,15 +657,36 @@ void StaEngine::propagate_net_edge(size_t edge_index, TimingState& state,
           const auto out_ramp = wave::Ramp::from_arrival_slew(
               arrival + lk.delay * delay_scale, lk.out_slew * slew_scale,
               vdd);
-          const wave::Waveform clean_out = out_ramp.denormalized(out_pol, 192);
 
           core::MethodInput mi;
           mi.noisy_in = &noisy->waveform;
-          mi.noiseless_in = &clean_in;
-          mi.noiseless_out = &clean_out;
           mi.in_polarity = pol;
           mi.out_polarity = out_pol;
           mi.vdd = vdd;
+          mi.workspace = ctx.workspace;
+          // The noiseless pair is synthesized into the worker's arena
+          // when one is available (zero heap traffic); the legacy path
+          // materializes owning Waveforms.  Same formulas either way.
+          constexpr size_t kCleanSamples = 192;
+          std::optional<wave::Workspace::Scope> ws_scope;
+          wave::Waveform clean_in_owned, clean_out_owned;
+          if (ctx.workspace != nullptr) {
+            auto& ws = *ctx.workspace;
+            ws_scope.emplace(ws);
+            const auto t_in = ws.alloc(kCleanSamples);
+            const auto v_in = ws.alloc(kCleanSamples);
+            clean_ramp.denormalized_into(pol, t_in, v_in);
+            mi.noiseless_in_view = wave::WaveView(t_in, v_in);
+            const auto t_out = ws.alloc(kCleanSamples);
+            const auto v_out = ws.alloc(kCleanSamples);
+            out_ramp.denormalized_into(out_pol, t_out, v_out);
+            mi.noiseless_out_view = wave::WaveView(t_out, v_out);
+          } else {
+            clean_in_owned = clean_ramp.denormalized(pol, kCleanSamples);
+            clean_out_owned = out_ramp.denormalized(out_pol, kCleanSamples);
+            mi.noiseless_in = &clean_in_owned;
+            mi.noiseless_out = &clean_out_owned;
+          }
           const auto fit = ctx.method->fit(mi);
           arrival = fit.ramp.t50();
           slew = fit.ramp.slew();
@@ -713,16 +733,32 @@ void StaEngine::backward_vertex(int v, TimingState& state) const {
 }
 
 void StaEngine::evaluate(TimingState& state, const EvalContext& ctx,
-                         util::ThreadPool* pool) const {
+                         util::ThreadPool* pool,
+                         std::span<wave::Workspace> worker_workspaces) const {
   util::require(ctx.method != nullptr, "evaluate: null noise method");
+  const size_t pool_workers =
+      pool != nullptr && pool->size() > 1 ? pool->size() : 1;
+  util::require(worker_workspaces.empty() ||
+                    worker_workspaces.size() >= pool_workers,
+                "evaluate: need one workspace per pool worker (",
+                worker_workspaces.size(), " < ", pool_workers, ")");
+  // Serial fallbacks run as "worker 0".
+  EvalContext serial_ctx = ctx;
+  if (!worker_workspaces.empty()) {
+    serial_ctx.workspace = &worker_workspaces[0];
+  }
   init_state(state);
   for (const auto& level : levels_) {
     if (pool != nullptr && pool->size() > 1 && level.size() > 1) {
-      pool->parallel_for(level.size(), [&](size_t i) {
-        forward_vertex(level[i], state, ctx);
+      pool->parallel_for(level.size(), [&](size_t worker, size_t i) {
+        EvalContext task_ctx = ctx;
+        if (!worker_workspaces.empty()) {
+          task_ctx.workspace = &worker_workspaces[worker];
+        }
+        forward_vertex(level[i], state, task_ctx);
       });
     } else {
-      for (const int v : level) forward_vertex(v, state, ctx);
+      for (const int v : level) forward_vertex(v, state, serial_ctx);
     }
   }
   for (auto it = levels_.rbegin(); it != levels_.rend(); ++it) {
@@ -752,7 +788,13 @@ void StaEngine::run() {
                    pool_->size() != static_cast<size_t>(want))) {
     pool_ = std::make_unique<util::ThreadPool>(want);
   }
-  evaluate(state_, ctx, want > 1 ? pool_.get() : nullptr);
+  // One scratch arena per pool worker, retained across runs: the first
+  // run warms the slabs, every later run propagates allocation-free.
+  const size_t want_ws = want > 1 ? static_cast<size_t>(want) : 1;
+  if (workspaces_.size() < want_ws) {
+    workspaces_.resize(want_ws);
+  }
+  evaluate(state_, ctx, want > 1 ? pool_.get() : nullptr, workspaces_);
   analyzed_ = true;
 }
 

@@ -54,6 +54,7 @@
 #include "netlist/netlist.hpp"
 #include "sta/ids.hpp"
 #include "util/error.hpp"
+#include "wave/kernels.hpp"
 #include "wave/waveform.hpp"
 
 namespace waveletic::util {
@@ -249,13 +250,20 @@ class StaEngine {
   /// `corner` is the derate point (null = nominal) and `corner_key` its
   /// Corner::key() (0 when null), folded into Γeff memo keys; `method`
   /// is the Γeff technique (must be reentrant — all built-in techniques
-  /// are); `cache` optionally memoizes Γeff fits across points/threads.
+  /// are); `cache` optionally memoizes Γeff fits across points/threads;
+  /// `workspace` is the scratch arena of the worker running this
+  /// evaluation — Γeff fits draw their sampling buffers from it, so a
+  /// warmed workspace makes the propagation hot path allocation-free.
+  /// MUST be owned by exactly one worker (run()/sweep() keep one per
+  /// ThreadPool worker and patch it per task); null selects the legacy
+  /// allocating path.  Results are bitwise identical either way.
   struct EvalContext {
     const NoiseAnnotation* const* edge_noise = nullptr;
     const Corner* corner = nullptr;
     uint64_t corner_key = 0;
     const core::EquivalentWaveformMethod* method = nullptr;
     GammaCache* cache = nullptr;
+    wave::Workspace* workspace = nullptr;
   };
 
   /// Compiles the effective annotation of every net edge into a dense
@@ -286,8 +294,13 @@ class StaEngine {
   void backward_vertex(int v, TimingState& state) const;
   /// Full forward + backward sweep of one point into `state`,
   /// level-parallel when `pool` is given.  prepare() must have run.
+  /// When `worker_workspaces` is non-empty (it must then hold at least
+  /// pool->size() arenas, or 1 without a pool), every task runs with
+  /// ctx.workspace pointed at its worker's arena; empty leaves
+  /// ctx.workspace untouched (legacy path).
   void evaluate(TimingState& state, const EvalContext& ctx,
-                util::ThreadPool* pool = nullptr) const;
+                util::ThreadPool* pool = nullptr,
+                std::span<wave::Workspace> worker_workspaces = {}) const;
 
   /// Result accessors against an external state (sweep/batch results).
   [[nodiscard]] const PinTiming& timing_in(const TimingState& state,
@@ -383,6 +396,10 @@ class StaEngine {
   TimingState state_;  ///< default state written by run()
   int threads_ = 1;
   std::unique_ptr<util::ThreadPool> pool_;
+  /// Per-ThreadPool-worker scratch arenas reused across run()/sweep()
+  /// calls; slabs warm up once and every later propagation is
+  /// allocation-free.  workspaces_[w] belongs to pool worker w.
+  std::vector<wave::Workspace> workspaces_;
   bool analyzed_ = false;
 };
 

@@ -245,15 +245,27 @@ SweepResult StaEngine::sweep(const SweepSpec& spec) {
     pool = owned_pool.get();
   }
 
+  // One scratch arena per pool worker: Γeff fits draw their sampling
+  // buffers from the running worker's arena, so after the slabs warm up
+  // the whole sweep propagates without touching the heap.  Arenas are
+  // pure scratch — results are bitwise independent of which worker
+  // evaluates which (point, vertex) task.
+  if (workspaces_.size() < pool->size()) {
+    workspaces_.resize(pool->size());
+  }
+  std::span<wave::Workspace> wss(workspaces_.data(), pool->size());
+
   // ONE levelized pass for all points: per level, every (point, vertex)
   // pair is independent — points write disjoint states and vertices of
   // one level only read lower levels.
   for (const auto& level : levels_) {
     const size_t m = level.size();
-    pool->parallel_for(m * n_points, [&](size_t idx) {
+    pool->parallel_for(m * n_points, [&](size_t worker, size_t idx) {
       const size_t p = idx / m;
       const int v = level[idx % m];
-      forward_vertex(v, r.states_[p], contexts[p]);
+      EvalContext task_ctx = contexts[p];
+      task_ctx.workspace = &wss[worker];
+      forward_vertex(v, r.states_[p], task_ctx);
     });
   }
   for (auto it = levels_.rbegin(); it != levels_.rend(); ++it) {

@@ -35,7 +35,13 @@ void ThreadPool::run_chunk(size_t worker_index, const Job& job) noexcept {
   const size_t begin = std::min(worker_index * per, job.n);
   const size_t end = std::min(begin + per, job.n);
   try {
-    for (size_t i = begin; i < end; ++i) (*job.body)(i);
+    if (job.body_worker != nullptr) {
+      for (size_t i = begin; i < end; ++i) {
+        (*job.body_worker)(worker_index, i);
+      }
+    } else {
+      for (size_t i = begin; i < end; ++i) (*job.body)(i);
+    }
   } catch (...) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!first_error_) first_error_ = std::current_exception();
@@ -70,9 +76,24 @@ void ThreadPool::parallel_for(size_t n,
     for (size_t i = 0; i < n; ++i) body(i);
     return;
   }
+  dispatch(Job{&body, nullptr, n});
+}
+
+void ThreadPool::parallel_for(
+    size_t n, const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  if (size_ == 1 || n == 1) {
+    // Chunk 0 always runs on the calling thread.
+    for (size_t i = 0; i < n; ++i) body(0, i);
+    return;
+  }
+  dispatch(Job{nullptr, &body, n});
+}
+
+void ThreadPool::dispatch(const Job& job) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    job_ = Job{&body, n};
+    job_ = job;
     first_error_ = nullptr;
     pending_ = size_ - 1;  // helper chunks; chunk 0 runs here
     ++generation_;

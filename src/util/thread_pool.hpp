@@ -40,17 +40,27 @@ class ThreadPool {
   /// Reentrant calls from inside a body are not supported.
   void parallel_for(size_t n, const std::function<void(size_t)>& body);
 
+  /// Worker-indexed variant: body(worker, i) where `worker` identifies
+  /// the chunk owner (0 ≤ worker < size(), worker 0 = calling thread).
+  /// Because the partition is static, the (worker, i) pairing is a pure
+  /// function of (n, size()) — callers use it to hand each worker its
+  /// own scratch arena (e.g. wave::Workspace) without synchronization.
+  void parallel_for(size_t n,
+                    const std::function<void(size_t, size_t)>& body);
+
   /// std::thread::hardware_concurrency with a sane floor of 1.
   [[nodiscard]] static size_t hardware_threads() noexcept;
 
  private:
   struct Job {
     const std::function<void(size_t)>* body = nullptr;
+    const std::function<void(size_t, size_t)>* body_worker = nullptr;
     size_t n = 0;
   };
 
   void worker_loop(size_t worker_index);
   void run_chunk(size_t worker_index, const Job& job) noexcept;
+  void dispatch(const Job& job);
 
   size_t size_ = 1;
   std::vector<std::thread> workers_;

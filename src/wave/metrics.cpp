@@ -11,29 +11,47 @@ double level_for(Polarity p, double frac, double vdd) noexcept {
   return p == Polarity::kRising ? frac * vdd : (1.0 - frac) * vdd;
 }
 
+std::optional<double> arrival_50(WaveView w, Polarity p, double vdd) {
+  return last_crossing(w, level_for(p, 0.5, vdd));
+}
+
 std::optional<double> arrival_50(const Waveform& w, Polarity p, double vdd) {
-  return w.last_crossing(level_for(p, 0.5, vdd));
+  return arrival_50(WaveView(w), p, vdd);
+}
+
+std::optional<double> first_arrival_50(WaveView w, Polarity p, double vdd) {
+  return first_crossing(w, level_for(p, 0.5, vdd));
 }
 
 std::optional<double> first_arrival_50(const Waveform& w, Polarity p,
                                        double vdd) {
-  return w.first_crossing(level_for(p, 0.5, vdd));
+  return first_arrival_50(WaveView(w), p, vdd);
+}
+
+std::optional<double> slew_noisy(WaveView w, Polarity p, double vdd,
+                                 const Thresholds& th) {
+  const auto lo = first_crossing(w, level_for(p, th.low, vdd));
+  const auto hi = last_crossing(w, level_for(p, th.high, vdd));
+  if (!lo || !hi || *hi <= *lo) return std::nullopt;
+  return *hi - *lo;
 }
 
 std::optional<double> slew_noisy(const Waveform& w, Polarity p, double vdd,
                                  const Thresholds& th) {
-  const auto lo = w.first_crossing(level_for(p, th.low, vdd));
-  const auto hi = w.last_crossing(level_for(p, th.high, vdd));
+  return slew_noisy(WaveView(w), p, vdd, th);
+}
+
+std::optional<double> slew_clean(WaveView w, Polarity p, double vdd,
+                                 const Thresholds& th) {
+  const auto lo = first_crossing(w, level_for(p, th.low, vdd));
+  const auto hi = first_crossing(w, level_for(p, th.high, vdd));
   if (!lo || !hi || *hi <= *lo) return std::nullopt;
   return *hi - *lo;
 }
 
 std::optional<double> slew_clean(const Waveform& w, Polarity p, double vdd,
                                  const Thresholds& th) {
-  const auto lo = w.first_crossing(level_for(p, th.low, vdd));
-  const auto hi = w.first_crossing(level_for(p, th.high, vdd));
-  if (!lo || !hi || *hi <= *lo) return std::nullopt;
-  return *hi - *lo;
+  return slew_clean(WaveView(w), p, vdd, th);
 }
 
 std::optional<double> gate_delay_50(const Waveform& input, Polarity in_pol,
@@ -46,7 +64,7 @@ std::optional<double> gate_delay_50(const Waveform& input, Polarity in_pol,
 }
 
 size_t crossing_count_50(const Waveform& w, double vdd) {
-  return w.crossings(0.5 * vdd).size();
+  return crossing_count(WaveView(w), 0.5 * vdd);
 }
 
 Excursions rail_excursions(const Waveform& w, double vdd) {
@@ -59,21 +77,40 @@ Excursions rail_excursions(const Waveform& w, double vdd) {
 double rms_difference(const Waveform& a, const Waveform& b, double t0,
                       double t1, size_t n) {
   util::require(t1 > t0 && n >= 2, "rms_difference: bad window");
+  // Two merge scans instead of 2·n binary searches; the accumulation
+  // keeps the scalar fold order.
+  std::vector<double> t(n), va(n), vb(n);
+  sample_times_into(t0, t1, t);
+  sample_into(a, t, va);
+  sample_into(b, t, vb);
   double acc = 0.0;
-  const double dt = (t1 - t0) / static_cast<double>(n - 1);
   for (size_t i = 0; i < n; ++i) {
-    const double t = t0 + dt * static_cast<double>(i);
-    const double d = a.at(t) - b.at(t);
+    const double d = va[i] - vb[i];
     acc += d * d;
   }
   return std::sqrt(acc / static_cast<double>(n));
 }
 
+std::optional<CriticalRegion> noisy_critical_region(WaveView w, Polarity p,
+                                                    double vdd,
+                                                    const Thresholds& th) {
+  const auto lo = first_crossing(w, level_for(p, th.low, vdd));
+  const auto hi = last_crossing(w, level_for(p, th.high, vdd));
+  if (!lo || !hi || *hi <= *lo) return std::nullopt;
+  return CriticalRegion{*lo, *hi};
+}
+
 std::optional<CriticalRegion> noisy_critical_region(const Waveform& w,
                                                     Polarity p, double vdd,
                                                     const Thresholds& th) {
-  const auto lo = w.first_crossing(level_for(p, th.low, vdd));
-  const auto hi = w.last_crossing(level_for(p, th.high, vdd));
+  return noisy_critical_region(WaveView(w), p, vdd, th);
+}
+
+std::optional<CriticalRegion> noiseless_critical_region(WaveView w,
+                                                        Polarity p, double vdd,
+                                                        const Thresholds& th) {
+  const auto lo = first_crossing(w, level_for(p, th.low, vdd));
+  const auto hi = first_crossing(w, level_for(p, th.high, vdd));
   if (!lo || !hi || *hi <= *lo) return std::nullopt;
   return CriticalRegion{*lo, *hi};
 }
@@ -81,27 +118,36 @@ std::optional<CriticalRegion> noisy_critical_region(const Waveform& w,
 std::optional<CriticalRegion> noiseless_critical_region(const Waveform& w,
                                                         Polarity p, double vdd,
                                                         const Thresholds& th) {
-  const auto lo = w.first_crossing(level_for(p, th.low, vdd));
-  const auto hi = w.first_crossing(level_for(p, th.high, vdd));
-  if (!lo || !hi || *hi <= *lo) return std::nullopt;
-  return CriticalRegion{*lo, *hi};
+  return noiseless_critical_region(WaveView(w), p, vdd, th);
 }
 
-std::optional<CriticalRegion> arrival_event_region(const Waveform& w,
-                                                   Polarity p, double vdd,
+std::optional<CriticalRegion> arrival_event_region(WaveView w, Polarity p,
+                                                   double vdd,
                                                    const Thresholds& th,
                                                    double completion_frac) {
-  const auto mids = w.crossings(level_for(p, 0.5, vdd));
-  if (mids.empty()) return std::nullopt;
-  const double mid = mids.back();
+  const auto mid_opt = last_crossing(w, level_for(p, 0.5, vdd));
+  if (!mid_opt) return std::nullopt;
+  const double mid = *mid_opt;
 
-  const auto lows = w.crossings(level_for(p, th.low, vdd));
-  if (lows.empty()) return std::nullopt;
-  double t_lo = lows.front();
-  for (double t : lows) {
-    if (t <= mid) t_lo = t;  // last low crossing before the event
-  }
-  if (t_lo > mid) t_lo = lows.front();
+  // Last low crossing at or before the event; the first low crossing
+  // overall when the waveform never returns below the low threshold.
+  bool any_low = false;
+  double first_low = 0.0;
+  bool has_le_mid = false;
+  double last_le_mid = 0.0;
+  scan_crossings(w, level_for(p, th.low, vdd), [&](double t) {
+    if (!any_low) {
+      any_low = true;
+      first_low = t;
+    }
+    if (t <= mid) {
+      has_le_mid = true;
+      last_le_mid = t;
+    }
+    return true;
+  });
+  if (!any_low) return std::nullopt;
+  const double t_lo = has_le_mid ? last_le_mid : first_low;
 
   // Note on re-crossing waveforms: when the record holds several 50%
   // crossings the window deliberately spans *all* of them (from the low
@@ -112,14 +158,22 @@ std::optional<CriticalRegion> arrival_event_region(const Waveform& w,
   // rather than decided geometrically here.
 
   double t_hi = w.t_end();
-  for (double t : w.crossings(level_for(p, completion_frac, vdd))) {
+  scan_crossings(w, level_for(p, completion_frac, vdd), [&](double t) {
     if (t >= mid) {  // first completion crossing after the event
       t_hi = t;
-      break;
+      return false;
     }
-  }
+    return true;
+  });
   if (t_hi <= t_lo) return std::nullopt;
   return CriticalRegion{t_lo, t_hi};
+}
+
+std::optional<CriticalRegion> arrival_event_region(const Waveform& w,
+                                                   Polarity p, double vdd,
+                                                   const Thresholds& th,
+                                                   double completion_frac) {
+  return arrival_event_region(WaveView(w), p, vdd, th, completion_frac);
 }
 
 }  // namespace waveletic::wave

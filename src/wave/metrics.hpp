@@ -7,6 +7,7 @@
 
 #include <optional>
 
+#include "wave/kernels.hpp"
 #include "wave/waveform.hpp"
 
 namespace waveletic::wave {
@@ -99,6 +100,31 @@ struct CriticalRegion {
 /// begins.
 [[nodiscard]] std::optional<CriticalRegion> arrival_event_region(
     const Waveform& w, Polarity p, double vdd, const Thresholds& th = {},
+    double completion_frac = 0.8);
+
+// ---------------------------------------------------------------------------
+// WaveView overloads — allocation-free primaries.  The Waveform
+// overloads above are thin forwarding wrappers, so both produce bitwise
+// identical results (kernels.hpp's scan_crossings is the single
+// crossing algorithm).
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] std::optional<double> arrival_50(WaveView w, Polarity p,
+                                               double vdd);
+[[nodiscard]] std::optional<double> first_arrival_50(WaveView w, Polarity p,
+                                                     double vdd);
+[[nodiscard]] std::optional<double> slew_noisy(WaveView w, Polarity p,
+                                               double vdd,
+                                               const Thresholds& th = {});
+[[nodiscard]] std::optional<double> slew_clean(WaveView w, Polarity p,
+                                               double vdd,
+                                               const Thresholds& th = {});
+[[nodiscard]] std::optional<CriticalRegion> noisy_critical_region(
+    WaveView w, Polarity p, double vdd, const Thresholds& th = {});
+[[nodiscard]] std::optional<CriticalRegion> noiseless_critical_region(
+    WaveView w, Polarity p, double vdd, const Thresholds& th = {});
+[[nodiscard]] std::optional<CriticalRegion> arrival_event_region(
+    WaveView w, Polarity p, double vdd, const Thresholds& th = {},
     double completion_frac = 0.8);
 
 }  // namespace waveletic::wave

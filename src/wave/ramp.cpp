@@ -36,16 +36,30 @@ double Ramp::slew(double frac_lo, double frac_hi) const noexcept {
 }
 
 Waveform Ramp::sampled(size_t n) const {
+  std::vector<double> t(n), v(n);
+  sampled_into(t, v);
+  return Waveform(std::move(t), std::move(v));
+}
+
+void Ramp::sampled_into(std::span<double> t,
+                        std::span<double> v) const noexcept {
+  const size_t n = t.size();
   const double span = vdd_ / a_;
   const double t0 = t_start() - span;
   const double t1 = t_full() + span;
-  std::vector<double> t(n), v(n);
   const double dt = (t1 - t0) / static_cast<double>(n - 1);
   for (size_t i = 0; i < n; ++i) {
     t[i] = t0 + dt * static_cast<double>(i);
     v[i] = at(t[i]);
   }
-  return Waveform(std::move(t), std::move(v));
+}
+
+void Ramp::denormalized_into(Polarity p, std::span<double> t,
+                             std::span<double> v) const noexcept {
+  sampled_into(t, v);
+  if (p == Polarity::kFalling) {
+    for (double& x : v) x = vdd_ - x;
+  }
 }
 
 Waveform Ramp::denormalized(Polarity p, size_t n) const {

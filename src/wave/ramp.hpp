@@ -57,6 +57,17 @@ class Ramp {
   /// driving the transient simulator.
   [[nodiscard]] Waveform sampled(size_t n = 128) const;
 
+  /// Destination-buffer variant of sampled(): writes the grid/values
+  /// into `t`/`v` (equal length ≥ 2) without allocating.  Bitwise
+  /// identical to sampled(t.size()).
+  void sampled_into(std::span<double> t, std::span<double> v) const noexcept;
+
+  /// Destination-buffer variant of denormalized(): sampled_into plus an
+  /// in-place polarity flip for falling.  Bitwise identical to
+  /// denormalized(p, t.size()).
+  void denormalized_into(Polarity p, std::span<double> t,
+                         std::span<double> v) const noexcept;
+
   /// Time-shifted copy (t50 moves by dt).
   [[nodiscard]] Ramp shifted(double dt) const { return {a_, b_ - a_ * dt, vdd_}; }
 

@@ -8,6 +8,7 @@
 #include "util/error.hpp"
 #include "util/strings.hpp"
 #include "util/units.hpp"
+#include "wave/kernels.hpp"
 
 namespace waveletic::wave {
 
@@ -33,79 +34,57 @@ double Waveform::at(double t) const noexcept {
   // Binary search for the segment containing t.
   const auto it = std::upper_bound(time_.begin(), time_.end(), t);
   const size_t hi = static_cast<size_t>(it - time_.begin());
-  const size_t lo = hi - 1;
-  const double frac = (t - time_[lo]) / (time_[hi] - time_[lo]);
-  return value_[lo] + frac * (value_[hi] - value_[lo]);
+  return detail::lerp_segment(time_.data(), value_.data(), hi - 1, hi, t);
 }
 
 Waveform Waveform::derivative() const {
-  const size_t n = size();
-  std::vector<double> d(n, 0.0);
-  if (n == 1) return Waveform(time_, d);
-  d[0] = (value_[1] - value_[0]) / (time_[1] - time_[0]);
-  d[n - 1] = (value_[n - 1] - value_[n - 2]) / (time_[n - 1] - time_[n - 2]);
-  for (size_t i = 1; i + 1 < n; ++i) {
-    d[i] = (value_[i + 1] - value_[i - 1]) / (time_[i + 1] - time_[i - 1]);
-  }
+  std::vector<double> d(size());
+  derivative_into(*this, d);
   return Waveform(time_, std::move(d));
 }
 
 std::vector<double> Waveform::crossings(double level) const {
   std::vector<double> out;
-  const size_t n = size();
-  for (size_t i = 0; i + 1 < n; ++i) {
-    const double a = value_[i] - level;
-    const double b = value_[i + 1] - level;
-    if (a == 0.0) {
-      // Count a touching sample once (skip if the previous segment
-      // already emitted this time).
-      if (out.empty() || out.back() != time_[i]) out.push_back(time_[i]);
-      continue;
-    }
-    if ((a < 0.0 && b > 0.0) || (a > 0.0 && b < 0.0)) {
-      const double frac = a / (a - b);
-      out.push_back(time_[i] + frac * (time_[i + 1] - time_[i]));
-    }
-  }
-  if (n >= 2 && value_[n - 1] == level) out.push_back(time_[n - 1]);
-  if (n == 1 && value_[0] == level) out.push_back(time_[0]);
+  out.reserve(8);  // typical noisy records cross a few times
+  scan_crossings(*this, level, [&](double t) {
+    out.push_back(t);
+    return true;
+  });
   return out;
 }
 
 std::optional<double> Waveform::first_crossing(double level) const {
-  const auto all = crossings(level);
-  if (all.empty()) return std::nullopt;
-  return all.front();
+  return wave::first_crossing(WaveView(*this), level);
 }
 
 std::optional<double> Waveform::last_crossing(double level) const {
-  const auto all = crossings(level);
-  if (all.empty()) return std::nullopt;
-  return all.back();
+  return wave::last_crossing(WaveView(*this), level);
 }
 
 Waveform Waveform::resampled(double t0, double t1, size_t n) const {
   util::require(n >= 2, "resampled: need at least 2 points");
   util::require(t1 > t0, "resampled: empty interval [", t0, ", ", t1, "]");
   std::vector<double> t(n), v(n);
-  const double dt = (t1 - t0) / static_cast<double>(n - 1);
-  for (size_t i = 0; i < n; ++i) {
-    t[i] = t0 + dt * static_cast<double>(i);
-    v[i] = at(t[i]);
-  }
+  resample_into(*this, t0, t1, t, v);
   return Waveform(std::move(t), std::move(v));
 }
 
 Waveform Waveform::window(double t0, double t1) const {
   util::require(t1 > t0, "window: empty interval");
+  // Interior samples are exactly those in (t0, t1): locate the range
+  // with binary searches instead of scanning the whole record.
+  const auto lo = std::upper_bound(time_.begin(), time_.end(), t0);
+  const auto hi = std::lower_bound(lo, time_.end(), t1);
+  const size_t interior = static_cast<size_t>(hi - lo);
   std::vector<double> t, v;
+  t.reserve(interior + 2);
+  v.reserve(interior + 2);
   t.push_back(t0);
   v.push_back(at(t0));
-  for (size_t i = 0; i < size(); ++i) {
-    if (time_[i] > t0 && time_[i] < t1) {
-      t.push_back(time_[i]);
-      v.push_back(value_[i]);
-    }
+  const size_t first = static_cast<size_t>(lo - time_.begin());
+  for (size_t i = first; i < first + interior; ++i) {
+    t.push_back(time_[i]);
+    v.push_back(value_[i]);
   }
   if (t1 > t.back()) {
     t.push_back(t1);
@@ -133,14 +112,9 @@ Waveform Waveform::normalized_rising(Polarity p, double vdd) const {
 Waveform Waveform::smoothed(size_t half_width) const {
   if (half_width == 0) return *this;
   const size_t n = size();
-  std::vector<double> v(n, 0.0);
-  for (size_t i = 0; i < n; ++i) {
-    const size_t lo = (i >= half_width) ? i - half_width : 0;
-    const size_t hi = std::min(n - 1, i + half_width);
-    double acc = 0.0;
-    for (size_t j = lo; j <= hi; ++j) acc += value_[j];
-    v[i] = acc / static_cast<double>(hi - lo + 1);
-  }
+  std::vector<double> prefix(n + 1);
+  std::vector<double> v(n);
+  smoothed_into(*this, half_width, prefix, v);
   return Waveform(time_, std::move(v));
 }
 
@@ -225,15 +199,17 @@ Waveform Waveform::read_csv(const std::string& path) {
 }
 
 Waveform combine(const Waveform& a, double ca, const Waveform& b, double cb) {
-  std::vector<double> grid;
-  grid.reserve(a.size() + b.size());
-  grid.insert(grid.end(), a.times().begin(), a.times().end());
-  grid.insert(grid.end(), b.times().begin(), b.times().end());
-  std::sort(grid.begin(), grid.end());
-  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  // Union grid by linear two-pointer merge (both inputs are strictly
+  // increasing) instead of concatenate + sort + unique, then one merge
+  // scan per operand instead of two binary searches per grid point.
+  std::vector<double> grid(a.size() + b.size());
+  grid.resize(merge_grids(a.times(), b.times(), grid));
+  std::vector<double> va(grid.size()), vb(grid.size());
+  sample_into(a, grid, va);
+  sample_into(b, grid, vb);
   std::vector<double> v(grid.size());
   for (size_t i = 0; i < grid.size(); ++i) {
-    v[i] = ca * a.at(grid[i]) + cb * b.at(grid[i]);
+    v[i] = ca * va[i] + cb * vb[i];
   }
   return Waveform(std::move(grid), std::move(v));
 }

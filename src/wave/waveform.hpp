@@ -59,8 +59,12 @@ class Waveform {
   [[nodiscard]] Waveform derivative() const;
 
   /// All times where the waveform crosses `level`, in increasing order.
-  /// A sample exactly equal to `level` counts once.  Linear
-  /// interpolation inside segments.
+  /// A sample exactly equal to `level` counts once — including a record
+  /// that *ends* on the level: the final sample is only emitted when
+  /// the penultimate sample sits off-level (a flat tail resting on the
+  /// level is one touch, not two).  Linear interpolation inside
+  /// segments.  Implemented on wave::scan_crossings (kernels.hpp), the
+  /// single shared crossing walk.
   [[nodiscard]] std::vector<double> crossings(double level) const;
 
   /// First/last crossing of `level`; nullopt when never crossed.

@@ -1,0 +1,445 @@
+// Batched waveform kernels: bitwise identity of the merge-scan and
+// destination-buffer kernels against the scalar Waveform reference,
+// Workspace arena reuse semantics, workspace-vs-legacy bitwise equality
+// of every Γeff technique, and a threaded sweep with per-worker
+// workspaces staying bitwise-equal to the legacy allocating evaluation.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "charlib/characterize.hpp"
+#include "core/method.hpp"
+#include "core/sgdp.hpp"
+#include "netlist/generators.hpp"
+#include "sta/engine.hpp"
+#include "sta/gamma_cache.hpp"
+#include "sta/sweep.hpp"
+#include "util/thread_pool.hpp"
+#include "wave/kernels.hpp"
+#include "wave/metrics.hpp"
+#include "wave/ramp.hpp"
+#include "wave/waveform.hpp"
+
+namespace cl = waveletic::charlib;
+namespace co = waveletic::core;
+namespace lb = waveletic::liberty;
+namespace nl = waveletic::netlist;
+namespace st = waveletic::sta;
+namespace wu = waveletic::util;
+namespace wv = waveletic::wave;
+
+namespace {
+
+/// Bitwise double comparison (== also equates +0/−0 and fails NaN).
+::testing::AssertionResult BitEq(double a, double b) {
+  if (std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " != " << b << " (bitwise)";
+}
+
+/// Random strictly increasing time grid + arbitrary values.
+wv::Waveform random_waveform(std::mt19937_64& rng, size_t n) {
+  std::uniform_real_distribution<double> step(1e-13, 5e-12);
+  std::uniform_real_distribution<double> volt(-0.3, 1.5);
+  std::vector<double> t(n), v(n);
+  double acc = -1e-9;
+  for (size_t i = 0; i < n; ++i) {
+    acc += step(rng);
+    t[i] = acc;
+    v[i] = volt(rng);
+  }
+  return wv::Waveform(std::move(t), std::move(v));
+}
+
+/// Random non-decreasing query grid spanning past both record ends so
+/// the clamp regions are exercised.
+std::vector<double> random_sorted_grid(std::mt19937_64& rng,
+                                       const wv::Waveform& w, size_t m) {
+  const double span = w.t_end() - w.t_begin();
+  std::uniform_real_distribution<double> u(w.t_begin() - 0.3 * span,
+                                           w.t_end() + 0.3 * span);
+  std::vector<double> ts(m);
+  for (auto& x : ts) x = u(rng);
+  std::sort(ts.begin(), ts.end());
+  // Exact grid hits and exact end points are the interesting corners.
+  if (m >= 4) {
+    ts[0] = w.t_begin();
+    ts[m - 1] = w.t_end();
+    ts[m / 2] = w.time(w.size() / 2);
+    std::sort(ts.begin(), ts.end());
+  }
+  return ts;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// sample_into / resample_into / combine_into bitwise identity
+// ---------------------------------------------------------------------------
+
+TEST(Kernels, SampleIntoMatchesScalarAtBitwise) {
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 50; ++round) {
+    const size_t n = 1 + static_cast<size_t>(rng() % 300);
+    const size_t m = 1 + static_cast<size_t>(rng() % 200);
+    const auto w = random_waveform(rng, n);
+    const auto ts = random_sorted_grid(rng, w, m);
+    std::vector<double> out(m);
+    wv::sample_into(w, ts, out);
+    for (size_t k = 0; k < m; ++k) {
+      EXPECT_TRUE(BitEq(out[k], w.at(ts[k])))
+          << "round " << round << " query " << k;
+    }
+  }
+}
+
+TEST(Kernels, SampleIntoSingleSampleWaveform) {
+  const wv::Waveform w({1.0}, {0.7});
+  const std::vector<double> ts = {0.0, 1.0, 2.0};
+  std::vector<double> out(3);
+  wv::sample_into(w, ts, out);
+  for (double x : out) EXPECT_TRUE(BitEq(x, 0.7));
+}
+
+TEST(Kernels, ResampleIntoMatchesResampledBitwise) {
+  std::mt19937_64 rng(11);
+  for (int round = 0; round < 20; ++round) {
+    const auto w = random_waveform(rng, 2 + rng() % 200);
+    const size_t m = 2 + rng() % 100;
+    const double span = w.t_end() - w.t_begin();
+    const double t0 = w.t_begin() - 0.1 * span;
+    const double t1 = w.t_end() + 0.1 * span;
+    const auto ref = w.resampled(t0, t1, m);
+    std::vector<double> t(m), v(m);
+    wv::resample_into(w, t0, t1, t, v);
+    for (size_t i = 0; i < m; ++i) {
+      EXPECT_TRUE(BitEq(t[i], ref.time(i)));
+      EXPECT_TRUE(BitEq(v[i], ref.value(i)));
+    }
+  }
+}
+
+TEST(Kernels, MergeGridsMatchesSortUnique) {
+  std::mt19937_64 rng(13);
+  for (int round = 0; round < 20; ++round) {
+    const auto a = random_waveform(rng, 1 + rng() % 100);
+    auto b = random_waveform(rng, 1 + rng() % 100);
+    // Force duplicates: graft some of a's grid points into b.
+    std::vector<double> bt(b.times().begin(), b.times().end());
+    std::vector<double> bv(b.values().begin(), b.values().end());
+    bt.insert(bt.end(), a.times().begin(), a.times().end());
+    std::sort(bt.begin(), bt.end());
+    bt.erase(std::unique(bt.begin(), bt.end()), bt.end());
+    bv.resize(bt.size(), 0.5);
+    b = wv::Waveform(bt, bv);
+
+    std::vector<double> ref(a.size() + b.size());
+    {
+      std::vector<double> cat;
+      cat.insert(cat.end(), a.times().begin(), a.times().end());
+      cat.insert(cat.end(), b.times().begin(), b.times().end());
+      std::sort(cat.begin(), cat.end());
+      cat.erase(std::unique(cat.begin(), cat.end()), cat.end());
+      ref = cat;
+    }
+    std::vector<double> merged(a.size() + b.size());
+    merged.resize(wv::merge_grids(a.times(), b.times(), merged));
+    ASSERT_EQ(merged.size(), ref.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_TRUE(BitEq(merged[i], ref[i]));
+    }
+  }
+}
+
+TEST(Kernels, CombineIntoMatchesCombineBitwise) {
+  std::mt19937_64 rng(17);
+  wv::Workspace ws;
+  for (int round = 0; round < 20; ++round) {
+    const auto a = random_waveform(rng, 1 + rng() % 150);
+    const auto b = random_waveform(rng, 1 + rng() % 150);
+    const auto ref = wv::combine(a, 0.75, b, -1.25);
+    const auto scope = ws.scope();
+    const auto got = wv::combine_into(a, 0.75, b, -1.25, ws);
+    ASSERT_EQ(got.size(), ref.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_TRUE(BitEq(got.time[i], ref.time(i)));
+      EXPECT_TRUE(BitEq(got.value[i], ref.value(i)));
+    }
+  }
+}
+
+TEST(Kernels, DerivativeIntoMatchesDerivativeBitwise) {
+  std::mt19937_64 rng(19);
+  const auto w = random_waveform(rng, 64);
+  const auto ref = w.derivative();
+  std::vector<double> out(w.size());
+  wv::derivative_into(w, out);
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_TRUE(BitEq(out[i], ref.value(i)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// smoothed: prefix-sum vs the naive O(n·w) reference
+// ---------------------------------------------------------------------------
+
+TEST(Kernels, SmoothedMatchesNaiveReference) {
+  std::mt19937_64 rng(23);
+  const auto w = random_waveform(rng, 257);
+  for (const size_t half : {size_t{0}, size_t{1}, size_t{5}, size_t{300}}) {
+    const auto s = w.smoothed(half);
+    ASSERT_EQ(s.size(), w.size());
+    for (size_t i = 0; i < w.size(); ++i) {
+      const size_t lo = (i >= half) ? i - half : 0;
+      const size_t hi = std::min(w.size() - 1, i + half);
+      double acc = 0.0;
+      for (size_t j = lo; j <= hi; ++j) acc += w.value(j);
+      const double ref = acc / static_cast<double>(hi - lo + 1);
+      // The prefix-sum refactor changes the fold order, so tolerance
+      // rather than bitwise; the clamped end windows must agree.
+      EXPECT_NEAR(s.value(i), ref, 1e-12) << "i=" << i << " half=" << half;
+    }
+  }
+  // half_width = 0 is an exact copy.
+  const auto copy = w.smoothed(0);
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_TRUE(BitEq(copy.value(i), w.value(i)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crossings: dedup fix + scan equivalence
+// ---------------------------------------------------------------------------
+
+TEST(Kernels, FinalSampleOnLevelAfterTouchingPenultimateCountsOnce) {
+  // ... 0.2, 0.5, 0.5 — the flat tail touches the level once, not twice.
+  const wv::Waveform w({0.0, 1.0, 2.0}, {0.2, 0.5, 0.5});
+  const auto c = w.crossings(0.5);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_TRUE(BitEq(c[0], 1.0));
+  // A record ending on the level after an off-level sample still counts.
+  const wv::Waveform w2({0.0, 1.0}, {0.2, 0.5});
+  ASSERT_EQ(w2.crossings(0.5).size(), 1u);
+  EXPECT_TRUE(BitEq(w2.crossings(0.5)[0], 1.0));
+}
+
+TEST(Kernels, CrossingScansMatchCrossingsList) {
+  std::mt19937_64 rng(29);
+  wv::Workspace ws;
+  for (int round = 0; round < 40; ++round) {
+    const auto w = random_waveform(rng, 1 + rng() % 120);
+    const double level = 0.5;
+    const auto list = w.crossings(level);
+    const auto first = wv::first_crossing(wv::WaveView(w), level);
+    const auto last = wv::last_crossing(wv::WaveView(w), level);
+    EXPECT_EQ(wv::crossing_count(w, level), list.size());
+    if (list.empty()) {
+      EXPECT_FALSE(first.has_value());
+      EXPECT_FALSE(last.has_value());
+    } else {
+      ASSERT_TRUE(first.has_value());
+      ASSERT_TRUE(last.has_value());
+      EXPECT_TRUE(BitEq(*first, list.front()));
+      EXPECT_TRUE(BitEq(*last, list.back()));
+    }
+    const auto scope = ws.scope();
+    const auto collected = wv::crossings_into(w, level, ws);
+    ASSERT_EQ(collected.size(), list.size());
+    for (size_t i = 0; i < list.size(); ++i) {
+      EXPECT_TRUE(BitEq(collected[i], list[i]));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workspace arena semantics
+// ---------------------------------------------------------------------------
+
+TEST(Workspace, ScopeRewindReusesSlabsWithoutNewAllocations) {
+  wv::Workspace ws;
+  {
+    const auto scope = ws.scope();
+    (void)ws.alloc(1000);
+    (void)ws.alloc(2000);
+  }
+  const uint64_t warm = ws.heap_allocations();
+  EXPECT_GE(warm, 1u);
+  for (int i = 0; i < 100; ++i) {
+    const auto scope = ws.scope();
+    const auto a = ws.alloc(1000);
+    const auto b = ws.alloc(2000);
+    EXPECT_EQ(a.size(), 1000u);
+    EXPECT_EQ(b.size(), 2000u);
+  }
+  EXPECT_EQ(ws.heap_allocations(), warm)
+      << "warmed workspace must not touch the heap again";
+}
+
+TEST(Workspace, LargeRequestGetsOwnSlabAndSurvivesMove) {
+  wv::Workspace ws;
+  auto big = ws.alloc(100000);
+  big[0] = 42.0;
+  big[99999] = 7.0;
+  wv::Workspace moved = std::move(ws);
+  // Slab addresses are stable under moves: the span stays valid.
+  EXPECT_EQ(big[0], 42.0);
+  EXPECT_EQ(big[99999], 7.0);
+  EXPECT_GE(moved.heap_allocations(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Methods: workspace path vs legacy allocating path, bitwise
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct MethodFixture {
+  wv::Waveform noisy;
+  wv::Waveform clean_in;
+  wv::Waveform clean_out;
+
+  MethodFixture() {
+    // A rising victim with a mid-transition dip (re-crosses 50%), the
+    // canonical noisy shape of the paper.
+    const double vdd = 1.2;
+    const auto ramp = wv::Ramp::from_arrival_slew(1.0e-9, 150e-12, vdd);
+    clean_in = ramp.sampled(256);
+    clean_out = wv::Ramp::from_arrival_slew(1.12e-9, 180e-12, vdd)
+                    .sampled(256);
+    std::vector<double> t(clean_in.times().begin(), clean_in.times().end());
+    std::vector<double> v(clean_in.values().begin(),
+                          clean_in.values().end());
+    for (size_t i = 0; i < t.size(); ++i) {
+      v[i] -= 0.45 * std::exp(-std::pow((t[i] - 1.03e-9) / 40e-12, 2.0));
+    }
+    noisy = wv::Waveform(std::move(t), std::move(v));
+  }
+
+  [[nodiscard]] co::MethodInput input(wv::Workspace* ws) const {
+    co::MethodInput mi;
+    mi.noisy_in = &noisy;
+    mi.noiseless_in = &clean_in;
+    mi.noiseless_out = &clean_out;
+    mi.in_polarity = wv::Polarity::kRising;
+    mi.out_polarity = wv::Polarity::kRising;
+    mi.vdd = 1.2;
+    mi.workspace = ws;
+    return mi;
+  }
+};
+
+}  // namespace
+
+TEST(Kernels, AllMethodsBitwiseIdenticalWithAndWithoutWorkspace) {
+  const MethodFixture f;
+  wv::Workspace ws;
+  for (const auto& method : co::all_methods()) {
+    const auto legacy = method->fit(f.input(nullptr));
+    const auto pooled = method->fit(f.input(&ws));
+    EXPECT_TRUE(BitEq(legacy.ramp.a(), pooled.ramp.a()))
+        << method->name() << " slope";
+    EXPECT_TRUE(BitEq(legacy.ramp.b(), pooled.ramp.b()))
+        << method->name() << " intercept";
+    EXPECT_EQ(legacy.degenerate_fallback, pooled.degenerate_fallback)
+        << method->name();
+  }
+}
+
+TEST(Kernels, WarmedWorkspaceMakesFitsHeapFree) {
+  const MethodFixture f;
+  const co::SgdpMethod method;
+  wv::Workspace ws;
+  (void)method.fit(f.input(&ws));  // warm the slabs
+  const uint64_t warm = ws.heap_allocations();
+  for (int i = 0; i < 10; ++i) (void)method.fit(f.input(&ws));
+  EXPECT_EQ(ws.heap_allocations(), warm)
+      << "repeated fits must reuse the warmed arena";
+}
+
+TEST(Kernels, FallingPolarityBitwiseWithAndWithoutWorkspace) {
+  const MethodFixture rising;
+  // Flip everything to falling so normalized_rising_view takes the
+  // flip-into-workspace path.
+  const double vdd = 1.2;
+  const auto noisy_f = rising.noisy.flipped(vdd);
+  const auto in_f = rising.clean_in.flipped(vdd);
+  const auto out_f = rising.clean_out.flipped(vdd);
+  co::MethodInput mi;
+  mi.noisy_in = &noisy_f;
+  mi.noiseless_in = &in_f;
+  mi.noiseless_out = &out_f;
+  mi.in_polarity = wv::Polarity::kFalling;
+  mi.out_polarity = wv::Polarity::kFalling;
+  mi.vdd = vdd;
+  const co::SgdpMethod method;
+  const auto legacy = method.fit(mi);
+  wv::Workspace ws;
+  mi.workspace = &ws;
+  const auto pooled = method.fit(mi);
+  EXPECT_TRUE(BitEq(legacy.ramp.a(), pooled.ramp.a()));
+  EXPECT_TRUE(BitEq(legacy.ramp.b(), pooled.ramp.b()));
+}
+
+// ---------------------------------------------------------------------------
+// Threaded sweep with per-worker workspaces == legacy allocating path
+// ---------------------------------------------------------------------------
+
+TEST(Kernels, ThreadedSweepWithWorkspacesBitwiseEqualsLegacyEvaluate) {
+  const lb::Library lib = cl::build_vcl013_library_fast();
+  const auto netlist = nl::make_chain_tree(8);
+  st::StaEngine sta(netlist, lib);
+  for (int i = 0; i < 8; ++i) {
+    sta.set_input("a" + std::to_string(i), 0.01e-9 * i,
+                  (80 + 7 * i) * 1e-12);
+  }
+  sta.set_output_load("y", 6e-15);
+  sta.set_required("y", 2e-9);
+  sta.run();
+
+  // Scenarios: aggressor bumps on two chains.
+  std::vector<st::NoiseScenario> scenarios;
+  for (int s = 0; s < 6; ++s) {
+    const int chain = s % 2;
+    const auto& t = sta.timing("inv" + std::to_string(chain) + "_2/A",
+                               st::RiseFall::kFall);
+    scenarios.push_back(st::make_aggressor_scenario(
+        "c" + std::to_string(chain) + "_1", t.arrival, t.slew,
+        lib.nom_voltage, wv::Polarity::kFalling, (s - 3) * 10e-12,
+        0.25 + 0.05 * s));
+  }
+
+  // Threaded sweep: per-worker workspaces, shared Γeff memo.
+  st::SweepSpec spec;
+  spec.scenarios = scenarios;
+  spec.threads = 4;
+  auto result = sta.sweep(spec);
+
+  // Legacy path: serial evaluate() with NO workspace anywhere.
+  sta.prepare();
+  for (size_t s = 0; s < scenarios.size(); ++s) {
+    const auto table = sta.compile_edge_annotations(&scenarios[s]);
+    st::StaEngine::EvalContext ctx;
+    ctx.edge_noise = table.data();
+    ctx.method = &sta.noise_method();
+    ctx.workspace = nullptr;
+    st::TimingState state;
+    sta.evaluate(state, ctx);
+    for (size_t vtx = 0; vtx < state.size(); ++vtx) {
+      for (int rf = 0; rf < 2; ++rf) {
+        const auto& legacy = state[vtx].timing[rf];
+        const auto& pooled = result.state(s)[vtx].timing[rf];
+        EXPECT_EQ(legacy.valid, pooled.valid);
+        EXPECT_TRUE(BitEq(legacy.arrival, pooled.arrival))
+            << "scenario " << s << " vertex " << vtx;
+        EXPECT_TRUE(BitEq(legacy.slew, pooled.slew));
+        EXPECT_TRUE(BitEq(legacy.required, pooled.required));
+      }
+    }
+  }
+}
