@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <new>
 #include <sstream>
@@ -352,9 +353,10 @@ void sta_sweep_looped(benchmark::State& state) {
   }
 }
 
-/// Batched sweep: ScenarioBatch, one levelized pass, shared Γeff memo.
-/// Construction and scenario loading happen outside the timed loop;
-/// run() itself clears the memo, so every iteration is a cold sweep.
+/// Batched sweep: ScenarioBatch, one pass, shared Γeff memo (default
+/// partition-sharded scheduling).  Construction and scenario loading
+/// happen outside the timed loop; run() itself clears the memo, so
+/// every iteration is a cold sweep.
 void sta_sweep_batched(benchmark::State& state) {
   const auto& f = sta_fixture();
   const auto scenarios = f.scenarios(static_cast<int>(state.range(0)));
@@ -370,6 +372,33 @@ void sta_sweep_batched(benchmark::State& state) {
     for (size_t i = 0; i < batch.size(); ++i) acc += batch.worst_slack(i);
     benchmark::DoNotOptimize(acc);
   }
+}
+
+/// Scheduling A/B: the same sweep under (point × partition) coarse
+/// tasks (sharded) vs the legacy per-level (point × vertex) fan-out.
+void sta_sweep_scheduled(benchmark::State& state, bool shard) {
+  const auto& f = sta_fixture();
+  const auto scenarios = f.scenarios(static_cast<int>(state.range(0)));
+  st::StaEngine sta(f.netlist, f.lib);
+  f.constrain(sta);
+  st::SweepSpec spec;
+  spec.scenarios = scenarios;
+  spec.threads = static_cast<int>(state.range(1));
+  spec.shard = shard;
+  for (auto _ : state) {
+    auto result = sta.sweep(spec);
+    double acc = 0.0;
+    for (size_t i = 0; i < result.size(); ++i) acc += result.worst_slack(i);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+
+void sta_sweep_sharded(benchmark::State& state) {
+  sta_sweep_scheduled(state, true);
+}
+
+void sta_sweep_levels(benchmark::State& state) {
+  sta_sweep_scheduled(state, false);
 }
 
 }  // namespace
@@ -393,6 +422,20 @@ BENCHMARK(sta_sweep_batched)
     ->ArgNames({"scenarios", "threads"})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+BENCHMARK(sta_sweep_sharded)
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({64, 4})
+    ->ArgNames({"scenarios", "threads"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(sta_sweep_levels)
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({64, 4})
+    ->ArgNames({"scenarios", "threads"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 // ---------------------------------------------------------------------------
 // Summary: measured speedups + result-identity check
@@ -410,6 +453,8 @@ double wall_seconds(const std::function<void()>& fn) {
 struct SweepFigures {
   double scenarios_per_sec = 0.0;
   double speedup_vs_looped = 0.0;
+  double sharded_scenarios_per_sec = 0.0;
+  double levels_scenarios_per_sec = 0.0;
   bool bitwise = false;
 };
 
@@ -459,10 +504,90 @@ SweepFigures report_sweep_speedups() {
   const double t_batchedN =
       run_batched(static_cast<int>(hw), batchedN_slack, statsN);
 
-  bool identical = true;
+  // Scheduling A/B on the same workload: (point × partition) coarse
+  // tasks vs the legacy per-level fan-out.  Run with ≥ 4 workers — at
+  // 1 thread both schedules degenerate to the same serial loop, the
+  // difference being measured is barrier overhead vs dependency-
+  // ordered tasks, which only exists with workers.  Best-of-5
+  // interleaved — single wall samples of a ~3 ms sweep are noisier
+  // than the few-percent difference being measured.
+  const size_t ab_threads = std::max<size_t>(hw, 4);
+  std::vector<double> sharded_slack, levels_slack;
+  double t_sharded = std::numeric_limits<double>::infinity();
+  double t_levels = std::numeric_limits<double>::infinity();
+  {
+    st::StaEngine sta(f.netlist, f.lib);
+    f.constrain(sta);
+    st::SweepSpec spec;
+    spec.scenarios = scenarios;
+    spec.threads = static_cast<int>(ab_threads);
+    auto one = [&](bool shard, std::vector<double>& slack) {
+      spec.shard = shard;
+      st::SweepResult result;
+      const double t = wall_seconds([&] { result = sta.sweep(spec); });
+      if (slack.empty()) {
+        for (size_t i = 0; i < result.size(); ++i) {
+          slack.push_back(result.worst_slack(i));
+        }
+      }
+      return t;
+    };
+    // Interleaved reps so clock/cache drift hits both variants equally.
+    for (int rep = 0; rep < 5; ++rep) {
+      t_levels = std::min(t_levels, one(false, levels_slack));
+      t_sharded = std::min(t_sharded, one(true, sharded_slack));
+    }
+  }
+
+  // Endpoint-only result storage at sweep scale: 10k points (50
+  // distinct bumps cycled — the Γeff memo absorbs the repeats), chunked
+  // evaluation, per-point memory vs full mode.
+  const int kEndpointPoints = 10000;
+  double t_endpoint = 0.0;
+  size_t endpoint_bytes = 0;
+  size_t full_bytes = 0;
+  double endpoint_worst = 0.0;
+  bool endpoint_matches_full = true;
+  {
+    const auto distinct = f.scenarios(50);
+    st::SweepSpec spec;
+    spec.scenarios.reserve(kEndpointPoints);
+    for (int i = 0; i < kEndpointPoints; ++i) {
+      spec.scenarios.push_back(distinct[static_cast<size_t>(i) % 50]);
+    }
+    spec.threads = static_cast<int>(hw);
+    spec.endpoint_only = true;
+    st::StaEngine sta(f.netlist, f.lib);
+    f.constrain(sta);
+    st::SweepResult result;
+    t_endpoint = wall_seconds([&] { result = sta.sweep(spec); });
+    endpoint_bytes = result.result_bytes_per_point();
+    endpoint_worst = result.worst_point().slack;
+    // Full-mode bytes/point are per-point constant; measure on a small
+    // full-state sweep of the same engine.
+    st::SweepSpec small;
+    small.scenarios.assign(spec.scenarios.begin(),
+                           spec.scenarios.begin() + 8);
+    small.threads = static_cast<int>(hw);
+    const auto full = sta.sweep(small);
+    full_bytes = full.result_bytes_per_point();
+    // Cross-check: the stored endpoint summaries match full mode
+    // bitwise (folded into the reported bitwise_identical flag).
+    for (size_t i = 0; i < full.size(); ++i) {
+      endpoint_matches_full = endpoint_matches_full &&
+                              result.worst_slack(i) == full.worst_slack(i);
+    }
+    if (!endpoint_matches_full) {
+      std::printf("ENDPOINT-ONLY MISMATCH — BUG\n");
+    }
+  }
+
+  bool identical = endpoint_matches_full;
   for (int i = 0; i < kScenarios; ++i) {
     identical = identical && looped_slack[i] == batched1_slack[i] &&
-                looped_slack[i] == batchedN_slack[i];
+                looped_slack[i] == batchedN_slack[i] &&
+                looped_slack[i] == sharded_slack[i] &&
+                looped_slack[i] == levels_slack[i];
   }
 
   // Single-run thread scaling.
@@ -484,10 +609,28 @@ SweepFigures report_sweep_speedups() {
   std::printf("batched sweep, %2zu threads:       %8.1f ms  (%.2fx vs "
               "looped)\n",
               hw, t_batchedN * 1e3, t_looped / t_batchedN);
+  std::printf("per-level fan-out, %2zu threads:   %8.1f ms  (%.1f "
+              "scenarios/sec)\n",
+              ab_threads, t_levels * 1e3, kScenarios / t_levels);
+  std::printf("partition-sharded, %2zu threads:   %8.1f ms  (%.1f "
+              "scenarios/sec, %.2fx vs per-level)%s\n",
+              ab_threads, t_sharded * 1e3, kScenarios / t_sharded,
+              t_levels / t_sharded,
+              t_sharded <= t_levels ? "" : "  [slower than per-level]");
   std::printf("single run 1 thread -> %zu threads: %.2f ms -> %.2f ms "
               "(%.2fx)\n",
               hw, t_run1 * 1e3, t_runN * 1e3, t_run1 / t_runN);
-  std::printf("timing results identical across looped/batched: %s\n",
+  std::printf("endpoint-only 10k-point sweep:   %8.1f ms  (%.1f points/sec)\n",
+              t_endpoint * 1e3, kEndpointPoints / t_endpoint);
+  std::printf("result memory per point: full %zu B -> endpoint-only %zu B "
+              "(%.1fx reduction)%s  [worst slack %.4g]\n",
+              full_bytes, endpoint_bytes,
+              static_cast<double>(full_bytes) /
+                  static_cast<double>(endpoint_bytes),
+              full_bytes >= 10 * endpoint_bytes ? "" : "  [below 10x target]",
+              endpoint_worst);
+  std::printf("timing results identical across looped/batched/sharded/"
+              "per-level: %s\n",
               identical ? "yes" : "NO — BUG");
 
   // Machine-readable summary for CI trend tracking.
@@ -507,6 +650,14 @@ SweepFigures report_sweep_speedups() {
                  "  \"batched_ms\": %.3f,\n"
                  "  \"scenarios_per_sec\": %.1f,\n"
                  "  \"speedup_vs_looped\": %.2f,\n"
+                 "  \"sharded_scenarios_per_sec\": %.1f,\n"
+                 "  \"levelfanout_scenarios_per_sec\": %.1f,\n"
+                 "  \"sharding_speedup_vs_levels\": %.3f,\n"
+                 "  \"endpoint_points\": %d,\n"
+                 "  \"endpoint_points_per_sec\": %.1f,\n"
+                 "  \"endpoint_bytes_per_point\": %zu,\n"
+                 "  \"full_bytes_per_point\": %zu,\n"
+                 "  \"endpoint_memory_reduction\": %.1f,\n"
                  "  \"cache_hits\": %llu,\n"
                  "  \"cache_misses\": %llu,\n"
                  "  \"cache_hit_rate\": %.4f,\n"
@@ -514,7 +665,12 @@ SweepFigures report_sweep_speedups() {
                  "}\n",
                  kScenarios, hw, t_looped * 1e3, t_batched1 * 1e3,
                  t_batchedN * 1e3, kScenarios / t_batchedN,
-                 t_looped / t_batchedN,
+                 t_looped / t_batchedN, kScenarios / t_sharded,
+                 kScenarios / t_levels, t_levels / t_sharded,
+                 kEndpointPoints, kEndpointPoints / t_endpoint,
+                 endpoint_bytes, full_bytes,
+                 static_cast<double>(full_bytes) /
+                     static_cast<double>(endpoint_bytes),
                  static_cast<unsigned long long>(statsN.hits),
                  static_cast<unsigned long long>(statsN.misses), hit_rate,
                  identical ? "true" : "false");
@@ -524,6 +680,8 @@ SweepFigures report_sweep_speedups() {
   SweepFigures figures;
   figures.scenarios_per_sec = kScenarios / t_batchedN;
   figures.speedup_vs_looped = t_looped / t_batchedN;
+  figures.sharded_scenarios_per_sec = kScenarios / t_sharded;
+  figures.levels_scenarios_per_sec = kScenarios / t_levels;
   figures.bitwise = identical;
   return figures;
 }
@@ -637,12 +795,16 @@ void report_kernel_summary(const SweepFigures& sweep) {
                  "  \"propagate_allocs_workspace\": %.1f,\n"
                  "  \"sweep_scenarios_per_sec\": %.1f,\n"
                  "  \"sweep_speedup_vs_looped\": %.2f,\n"
+                 "  \"sweep_sharded_scenarios_per_sec\": %.1f,\n"
+                 "  \"sweep_levelfanout_scenarios_per_sec\": %.1f,\n"
                  "  \"bitwise_identical\": %s\n"
                  "}\n",
                  grid_n, kf.wave.size(), scalar_ns, batched_ns,
                  sample_speedup, fit_allocs_legacy, fit_allocs_ws,
                  prop_allocs_legacy, prop_allocs_ws,
                  sweep.scenarios_per_sec, sweep.speedup_vs_looped,
+                 sweep.sharded_scenarios_per_sec,
+                 sweep.levels_scenarios_per_sec,
                  sweep.bitwise ? "true" : "false");
     std::fclose(f_json);
     std::printf("wrote %s\n", json_path);

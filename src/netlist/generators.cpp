@@ -1,7 +1,10 @@
 #include "netlist/generators.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "netlist/verilog.hpp"
 #include "util/error.hpp"
@@ -58,6 +61,92 @@ Netlist make_chain_tree(int width) {
   }
   os << "endmodule\n";
   return parse_verilog(os.str());
+}
+
+namespace {
+
+/// Minimal SplitMix64 — platform-independent, unlike the standard
+/// distributions (libstdc++ and libc++ produce different streams).
+struct Rng {
+  uint64_t state;
+  uint64_t next() {
+    state += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in [0, n).
+  size_t below(size_t n) { return static_cast<size_t>(next() % n); }
+};
+
+}  // namespace
+
+Netlist make_random_dag(uint64_t seed, int inputs, int layers,
+                        int layer_width) {
+  util::require(inputs >= 1 && layers >= 1 && layer_width >= 1,
+                "make_random_dag: inputs/layers/layer_width must be >= 1");
+  Rng rng{seed * 0x2545f4914f6cdd1dull + 1};
+  Netlist nl;
+  nl.name = "rand" + std::to_string(seed);
+
+  std::vector<std::string> signals;
+  for (int i = 0; i < inputs; ++i) {
+    const std::string name = "a" + std::to_string(i);
+    nl.add_port(name, PortDirection::kInput);
+    signals.push_back(name);
+  }
+  std::vector<bool> consumed(signals.size(), false);
+
+  // The fast-characterized VCL013 subset every suite shares.
+  static const char* kCells[] = {"INVX1", "INVX4", "NAND2X1"};
+  int gate_id = 0;
+  for (int l = 0; l < layers; ++l) {
+    const size_t layer_base = signals.size();
+    for (int g = 0; g < layer_width; ++g) {
+      const char* cell = kCells[rng.below(3)];
+      // NAND2X1 is the only two-input cell in the set.
+      const bool two_inputs = cell[0] == 'N';
+      // Bias sources towards the most recent signals so the DAG gets
+      // deep; unconsumed primary inputs are drained first so every
+      // input reaches a gate.
+      auto pick = [&]() -> size_t {
+        for (size_t i = 0; i < consumed.size() &&
+                           i < static_cast<size_t>(inputs);
+             ++i) {
+          if (!consumed[i]) return i;
+        }
+        const size_t pool = layer_base;
+        const size_t window =
+            rng.below(2) == 0 ? pool : std::min<size_t>(pool, 8);
+        return pool - 1 - rng.below(window);
+      };
+      const std::string out =
+          "n" + std::to_string(l) + "_" + std::to_string(g);
+      Instance inst;
+      inst.name = "g" + std::to_string(gate_id++);
+      inst.cell = cell;
+      const size_t s0 = pick();
+      consumed[s0] = true;
+      if (two_inputs) {
+        size_t s1 = pick();
+        if (s1 == s0) s1 = layer_base - 1 - rng.below(layer_base);
+        consumed[s1] = true;
+        inst.pins = {{"A", signals[s0]}, {"B", signals[s1]}, {"Y", out}};
+      } else {
+        inst.pins = {{"A", signals[s0]}, {"Y", out}};
+      }
+      nl.add_instance(std::move(inst));
+      signals.push_back(out);
+      consumed.push_back(false);
+    }
+  }
+  // Everything nothing consumed becomes an observable output port.
+  for (size_t i = static_cast<size_t>(inputs); i < signals.size(); ++i) {
+    if (!consumed[i]) nl.add_port(signals[i], PortDirection::kOutput);
+  }
+  nl.validate();
+  return nl;
 }
 
 }  // namespace waveletic::netlist

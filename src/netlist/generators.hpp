@@ -14,4 +14,16 @@ namespace waveletic::netlist {
 /// exercises multi-input relax ordering.  Requires the VCL013 cell set.
 [[nodiscard]] Netlist make_chain_tree(int width);
 
+/// Seed-deterministic random layered DAG over the fast VCL013 cell set
+/// (INVX1/INVX4/NAND2X1): `inputs` primary inputs feed
+/// `layers` layers of `layer_width` random gates; each gate draws its
+/// 1–2 source signals from the already-created ones (biased towards
+/// recent layers, so the graph is deep), every input is consumed at
+/// least once, and every signal nothing consumes becomes an output
+/// port.  Varied fanouts, reconvergence and multiple output cones make
+/// this the partitioner/determinism torture shape.  Uses a private LCG
+/// — the same seed builds the same netlist on every platform.
+[[nodiscard]] Netlist make_random_dag(uint64_t seed, int inputs, int layers,
+                                      int layer_width);
+
 }  // namespace waveletic::netlist

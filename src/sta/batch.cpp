@@ -27,6 +27,9 @@ void ScenarioBatch::run() {
   spec_.threads = options_.threads;
   spec_.share_gamma_cache = options_.share_gamma_cache;
   spec_.method = options_.method;
+  spec_.shard = options_.shard;
+  spec_.wide_partition_threshold = options_.wide_partition_threshold;
+  spec_.endpoint_only = options_.endpoint_only;
   spec_.pool = pool_.get();
   // corners stays empty: one point per scenario, at the engine corner.
   result_ = engine_->sweep(spec_);
@@ -56,7 +59,11 @@ const PinTiming& ScenarioBatch::timing(size_t scenario,
 }
 
 double ScenarioBatch::worst_slack(size_t scenario) const {
-  return engine_->worst_slack_in(state(scenario));
+  util::require(result_.has_value(), "ScenarioBatch: run() first");
+  util::require(scenario < spec_.scenarios.size(),
+                "ScenarioBatch: scenario ", scenario, " out of range");
+  // Via the SweepResult so endpoint-only batches work too.
+  return result_->worst_slack(scenario);
 }
 
 const NoiseScenario& ScenarioBatch::scenario(size_t i) const {

@@ -35,14 +35,23 @@ class ThreadPool;
 namespace waveletic::sta {
 
 struct BatchOptions {
-  /// Worker threads for the (scenario × vertex) fan-out; ≤ 0 selects
-  /// the hardware concurrency.
+  /// Worker threads for the scenario fan-out; ≤ 0 selects the hardware
+  /// concurrency.
   int threads = 0;
   /// Share one Γeff memo across all scenarios (recommended; results
   /// are bitwise-identical either way).
   bool share_gamma_cache = true;
   /// Technique override; null uses the engine's configured method.
   const core::EquivalentWaveformMethod* method = nullptr;
+  /// Forwarded to SweepSpec::shard — partition-sharded (scenario ×
+  /// partition) coarse tasks (default) vs legacy per-level fan-out.
+  bool shard = true;
+  /// Forwarded to SweepSpec::wide_partition_threshold.
+  size_t wide_partition_threshold = kDefaultWidePartitionThreshold;
+  /// Forwarded to SweepSpec::endpoint_only: keep only {worst slack,
+  /// critical endpoint, endpoint arrivals} per scenario; state() and
+  /// timing() then throw.
+  bool endpoint_only = false;
 };
 
 /// Sweeps N noise scenarios over one engine in a single levelized pass.

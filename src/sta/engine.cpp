@@ -292,6 +292,34 @@ void StaEngine::build_graph() {
   sorted_vertex_names_ = vertex_names_;
   std::sort(sorted_vertex_names_.begin(), sorted_vertex_names_.end());
   levelize();
+  for (size_t p = 0; p < ports_.size(); ++p) {
+    if (ports_[p].direction == netlist::PortDirection::kOutput) {
+      endpoint_ports_.push_back(static_cast<int32_t>(p));
+    }
+  }
+  // Partition cover for coarse-task sharding: cell arcs always bind
+  // their endpoints; arcs of low-fanout nets are the cut candidates
+  // (cheap boundaries between cones).  Pure function of the graph.
+  const PartitionOptions popt;
+  std::vector<PartitionEdge> pedges;
+  pedges.reserve(cell_edges_.size() + net_edges_.size());
+  for (const auto& e : cell_edges_) {
+    pedges.push_back({e.from, e.to, false});
+  }
+  for (const auto& e : net_edges_) {
+    // net_degree counts the driver too; `cut_fanout` is in sinks.
+    const bool cut = popt.cut_fanout >= 0 &&
+                     netlist_->net_degree(e.net) <= popt.cut_fanout + 1;
+    pedges.push_back({e.from, e.to, cut});
+  }
+  partitions_ =
+      PartitionSet::build(vertex_names_.size(), vertex_level_, pedges, popt);
+  // Eagerly build the default-threshold schedule so the common
+  // run()/sweep() path never takes the lazy-build lock contended.
+  shard_schedules_.emplace(
+      kDefaultWidePartitionThreshold,
+      PartitionSchedule::build(partitions_, vertex_level_,
+                               kDefaultWidePartitionThreshold));
 }
 
 void StaEngine::levelize() {
@@ -328,6 +356,24 @@ void StaEngine::levelize() {
   for (size_t v = 0; v < n; ++v) {
     levels_[static_cast<size_t>(level[v])].push_back(static_cast<int>(v));
   }
+  vertex_level_ = std::move(level);
+}
+
+const PartitionSchedule& StaEngine::shard_schedule(
+    size_t wide_threshold) const {
+  // Map nodes are address-stable, so the reference stays valid after
+  // the lock drops; the lock only guards the lazy build against
+  // concurrent const evaluations.
+  std::lock_guard<std::mutex> lock(shard_schedules_mutex_);
+  auto it = shard_schedules_.find(wide_threshold);
+  if (it == shard_schedules_.end()) {
+    it = shard_schedules_
+             .emplace(wide_threshold,
+                      PartitionSchedule::build(partitions_, vertex_level_,
+                                               wide_threshold))
+             .first;
+  }
+  return it->second;
 }
 
 void StaEngine::compute_loads() {
@@ -772,6 +818,122 @@ void StaEngine::evaluate(TimingState& state, const EvalContext& ctx,
   }
 }
 
+void StaEngine::evaluate_points(std::span<TimingState> states,
+                                std::span<const EvalContext> contexts,
+                                util::ThreadPool* pool,
+                                std::span<wave::Workspace> worker_workspaces,
+                                bool shard, size_t wide_threshold) const {
+  util::require(states.size() == contexts.size(),
+                "evaluate_points: ", states.size(), " states vs ",
+                contexts.size(), " contexts");
+  const size_t n_points = states.size();
+  if (n_points == 0) return;
+  for (const auto& ctx : contexts) {
+    util::require(ctx.method != nullptr, "evaluate_points: null noise method");
+  }
+  const size_t pool_workers =
+      pool != nullptr && pool->size() > 1 ? pool->size() : 1;
+  util::require(worker_workspaces.empty() ||
+                    worker_workspaces.size() >= pool_workers,
+                "evaluate_points: need one workspace per pool worker (",
+                worker_workspaces.size(), " < ", pool_workers, ")");
+  for (size_t p = 0; p < n_points; ++p) init_state(states[p]);
+
+  const bool threaded = pool != nullptr && pool->size() > 1;
+
+  if (!shard) {
+    // Legacy per-level (point × vertex) fan-out: a barrier per level.
+    for (const auto& level : levels_) {
+      const size_t m = level.size();
+      auto body = [&](size_t worker, size_t idx) {
+        const size_t p = idx / m;
+        const int v = level[idx % m];
+        EvalContext task_ctx = contexts[p];
+        if (!worker_workspaces.empty()) {
+          task_ctx.workspace = &worker_workspaces[worker];
+        }
+        forward_vertex(v, states[p], task_ctx);
+      };
+      if (threaded) {
+        pool->parallel_for(m * n_points, body);
+      } else {
+        for (size_t i = 0; i < m * n_points; ++i) body(0, i);
+      }
+    }
+    for (auto it = levels_.rbegin(); it != levels_.rend(); ++it) {
+      const auto& level = *it;
+      const size_t m = level.size();
+      auto body = [&](size_t idx) {
+        backward_vertex(level[idx % m], states[idx / m]);
+      };
+      if (threaded) {
+        pool->parallel_for(m * n_points, body);
+      } else {
+        for (size_t i = 0; i < m * n_points; ++i) body(i);
+      }
+    }
+    return;
+  }
+
+  // Partition-sharded: one coarse task per (point, partition chunk),
+  // dependency-ordered — no level barriers, no per-point barriers.  A
+  // point can be finishing its cone while another is still at the
+  // inputs; narrow shards no longer starve the pool.
+  const PartitionSchedule& sched = shard_schedule(wide_threshold);
+  const auto& order = sched.order();
+  const auto& tasks = sched.tasks();
+  const size_t n_tasks = tasks.size();
+  auto forward_task = [&](size_t worker, size_t task) {
+    const size_t p = task / n_tasks;
+    const ShardTask& t = tasks[task % n_tasks];
+    EvalContext task_ctx = contexts[p];
+    if (!worker_workspaces.empty()) {
+      task_ctx.workspace = &worker_workspaces[worker];
+    }
+    for (uint32_t i = t.begin; i < t.end; ++i) {
+      forward_vertex(order[i], states[p], task_ctx);
+    }
+  };
+  auto backward_task = [&](size_t, size_t task) {
+    const size_t p = task / n_tasks;
+    const ShardTask& t = tasks[task % n_tasks];
+    for (uint32_t i = t.end; i > t.begin; --i) {
+      backward_vertex(order[i - 1], states[p]);
+    }
+  };
+  if (threaded) {
+    pool->run_graph({sched.indegree(), sched.successors(), n_points},
+                    forward_task);
+    pool->run_graph({sched.rev_indegree(), sched.rev_successors(), n_points},
+                    backward_task);
+  } else {
+    // Serial: the precomputed topological task order forwards, its
+    // reverse backwards (both valid; order never changes results).
+    // One context per point, hoisted out of the task loop.
+    const auto& so = sched.serial_order();
+    for (size_t p = 0; p < n_points; ++p) {
+      EvalContext point_ctx = contexts[p];
+      if (!worker_workspaces.empty()) {
+        point_ctx.workspace = &worker_workspaces[0];
+      }
+      for (const uint32_t t : so) {
+        const ShardTask& task = tasks[t];
+        for (uint32_t i = task.begin; i < task.end; ++i) {
+          forward_vertex(order[i], states[p], point_ctx);
+        }
+      }
+    }
+    for (size_t p = 0; p < n_points; ++p) {
+      for (auto it = so.rbegin(); it != so.rend(); ++it) {
+        const ShardTask& task = tasks[*it];
+        for (uint32_t i = task.end; i > task.begin; --i) {
+          backward_vertex(order[i - 1], states[p]);
+        }
+      }
+    }
+  }
+}
+
 void StaEngine::run() {
   prepare();
   const auto edge_noise = compile_edge_annotations();
@@ -794,7 +956,11 @@ void StaEngine::run() {
   if (workspaces_.size() < want_ws) {
     workspaces_.resize(want_ws);
   }
-  evaluate(state_, ctx, want > 1 ? pool_.get() : nullptr, workspaces_);
+  // Even the single run() point schedules (point × partition) coarse
+  // tasks: independent cones propagate concurrently with no level
+  // barriers (bitwise identical to the per-level path).
+  evaluate_points({&state_, 1}, {&ctx, 1},
+                  want > 1 ? pool_.get() : nullptr, workspaces_);
   analyzed_ = true;
 }
 
@@ -846,18 +1012,17 @@ double StaEngine::worst_slack() const {
   return worst_slack_in(state_);
 }
 
-std::vector<PathStep> StaEngine::worst_path_in(
+StaEngine::WorstEndpoint StaEngine::worst_endpoint_in(
     const TimingState& state) const {
   util::require(state.size() == vertex_names_.size(),
-                "worst_path_in: state size does not match this engine "
+                "worst_endpoint_in: state size does not match this engine "
                 "(init_state/evaluate it first)");
   // Endpoint: worst slack when constrained, else latest arrival.
-  int best_v = -1;
-  int best_rf = 0;
+  WorstEndpoint best;
   double best_metric = std::numeric_limits<double>::infinity();
   bool use_slack = false;
-  for (const auto& port : ports_) {
-    if (port.direction != netlist::PortDirection::kOutput) continue;
+  for (size_t e = 0; e < endpoint_ports_.size(); ++e) {
+    const auto& port = ports_[static_cast<size_t>(endpoint_ports_[e])];
     const auto& v = state[static_cast<size_t>(port.vertex)];
     for (int rf = 0; rf < 2; ++rf) {
       const auto& t = v.timing[rf];
@@ -870,14 +1035,26 @@ std::vector<PathStep> StaEngine::worst_path_in(
       }
       if (constrained == use_slack && metric < best_metric) {
         best_metric = metric;
-        best_v = port.vertex;
-        best_rf = rf;
+        best.endpoint = static_cast<int32_t>(e);
+        best.rf = static_cast<RiseFall>(rf);
+        best.constrained = constrained;
+        best.slack = t.slack();
+        best.arrival = t.arrival;
       }
     }
   }
+  return best;
+}
+
+std::vector<PathStep> StaEngine::worst_path_in(
+    const TimingState& state) const {
+  const WorstEndpoint we = worst_endpoint_in(state);
   std::vector<PathStep> path;
-  int v = best_v;
-  int rf = best_rf;
+  int v = we.endpoint >= 0
+              ? ports_[static_cast<size_t>(endpoint_ports_[we.endpoint])]
+                    .vertex
+              : -1;
+  int rf = static_cast<int>(we.rf);
   while (v >= 0) {
     const auto& vert = state[static_cast<size_t>(v)];
     path.push_back({vertex_names_[static_cast<size_t>(v)],

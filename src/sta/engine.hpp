@@ -44,6 +44,7 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -53,6 +54,7 @@
 #include "liberty/library.hpp"
 #include "netlist/netlist.hpp"
 #include "sta/ids.hpp"
+#include "sta/partition.hpp"
 #include "util/error.hpp"
 #include "wave/kernels.hpp"
 #include "wave/waveform.hpp"
@@ -232,6 +234,10 @@ class StaEngine {
   [[nodiscard]] size_t vertex_count() const noexcept {
     return vertex_names_.size();
   }
+  /// Name of vertex `v` (diagnostics; 0 ≤ v < vertex_count()).
+  [[nodiscard]] const std::string& vertex_name(size_t v) const {
+    return vertex_names_.at(v);
+  }
   /// Number of net arcs in the prepared graph (the length of a compiled
   /// per-edge annotation table).
   [[nodiscard]] size_t net_edge_count() const noexcept {
@@ -283,6 +289,27 @@ class StaEngine {
   [[nodiscard]] const std::vector<std::vector<int>>& levels() const noexcept {
     return levels_;
   }
+  /// Topological level of each vertex (levels() flattened per vertex).
+  [[nodiscard]] const std::vector<int>& vertex_levels() const noexcept {
+    return vertex_level_;
+  }
+
+  /// The partition cover of the timing graph, computed once at
+  /// construction: the graph cut at low-fanout net boundaries
+  /// (union-find over the edge list) into independent shards with a
+  /// partition-level dependency DAG and a frontier-interface vertex
+  /// set.  Partitioning is a pure function of the graph — it never
+  /// affects results, only scheduling.
+  [[nodiscard]] const PartitionSet& partitions() const noexcept {
+    return partitions_;
+  }
+  /// The per-point shard schedule for a given wide-partition threshold
+  /// (partitions wider than it fall back to per-level chunk tasks).
+  /// The default threshold's schedule is built at construction;
+  /// other thresholds are built lazily, cached per threshold, under a
+  /// lock — safe from concurrent const evaluations.
+  [[nodiscard]] const PartitionSchedule& shard_schedule(
+      size_t wide_threshold = kDefaultWidePartitionThreshold) const;
 
   /// Resets `state` and applies the input/required constraints.
   void init_state(TimingState& state) const;
@@ -302,6 +329,22 @@ class StaEngine {
                 util::ThreadPool* pool = nullptr,
                 std::span<wave::Workspace> worker_workspaces = {}) const;
 
+  /// Evaluates many points concurrently over the same prepared graph.
+  /// contexts[p] describes point p and states[p] receives its result
+  /// (init_state is applied here).  With `shard` set, (point ×
+  /// partition) coarse tasks run dependency-ordered on the pool
+  /// (ThreadPool::run_graph) with per-level chunking only inside
+  /// partitions wider than `wide_threshold`; without it, the legacy
+  /// per-level (point × vertex) fan-out runs instead.  Both paths are
+  /// bitwise identical to each other and to serial evaluate() loops:
+  /// every vertex folds its in-edges exactly once, in the same fixed
+  /// order, after all of its predecessors.
+  void evaluate_points(
+      std::span<TimingState> states, std::span<const EvalContext> contexts,
+      util::ThreadPool* pool = nullptr,
+      std::span<wave::Workspace> worker_workspaces = {}, bool shard = true,
+      size_t wide_threshold = kDefaultWidePartitionThreshold) const;
+
   /// Result accessors against an external state (sweep/batch results).
   [[nodiscard]] const PinTiming& timing_in(const TimingState& state,
                                            PinId pin, RiseFall rf) const;
@@ -310,6 +353,29 @@ class StaEngine {
                                            RiseFall rf) const;
   [[nodiscard]] double worst_slack_in(const TimingState& state) const;
   [[nodiscard]] std::vector<PathStep> worst_path_in(
+      const TimingState& state) const;
+
+  // -- endpoints -----------------------------------------------------------
+  /// Output-port ordinals in port order: the endpoint axis that
+  /// endpoint-only sweep results summarize over.
+  [[nodiscard]] const std::vector<int32_t>& endpoint_ports() const noexcept {
+    return endpoint_ports_;
+  }
+
+  /// The critical endpoint of a state: worst slack over constrained
+  /// output-port transitions, or (when nothing is constrained) the
+  /// latest arrival.  `endpoint` indexes endpoint_ports(); -1 when no
+  /// endpoint transition is valid.  Deterministic: ties keep the first
+  /// endpoint in port order.  worst_path_in() backtracks from exactly
+  /// this endpoint.
+  struct WorstEndpoint {
+    int32_t endpoint = -1;
+    RiseFall rf = RiseFall::kRise;
+    bool constrained = false;
+    double slack = std::numeric_limits<double>::infinity();
+    double arrival = -std::numeric_limits<double>::infinity();
+  };
+  [[nodiscard]] WorstEndpoint worst_endpoint_in(
       const TimingState& state) const;
 
  private:
@@ -382,6 +448,14 @@ class StaEngine {
   std::vector<std::vector<std::pair<bool, uint32_t>>> in_edges_;
   std::vector<std::vector<std::pair<bool, uint32_t>>> out_edges_;
   std::vector<std::vector<int>> levels_;
+  std::vector<int> vertex_level_;  ///< per-vertex topological level
+  std::vector<int32_t> endpoint_ports_;  ///< output-port ordinals
+  /// Partition cover of the graph (built right after levelize()) and
+  /// the per-point shard schedules keyed by wide-partition threshold
+  /// (default threshold built eagerly; others lazily under the lock).
+  PartitionSet partitions_;
+  mutable std::map<size_t, PartitionSchedule> shard_schedules_;
+  mutable std::mutex shard_schedules_mutex_;
 
   std::map<int, std::array<InputConstraint, 2>> input_constraints_;
   std::map<int, double> required_;

@@ -1,0 +1,319 @@
+#include "sta/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace waveletic::sta {
+namespace {
+
+/// Union-find with union-by-size and path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int find(int v) {
+    auto x = static_cast<size_t>(v);
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return static_cast<int>(x);
+  }
+
+  [[nodiscard]] size_t set_size(int root) const {
+    return size_[static_cast<size_t>(root)];
+  }
+
+  /// Unites the sets of a and b; returns false when already united.
+  bool unite(int a, int b) {
+    int ra = find(a);
+    int rb = find(b);
+    if (ra == rb) return false;
+    // Deterministic tie-break: keep the smaller root id as the
+    // representative when sizes tie, so the result is a pure function
+    // of the input order.
+    if (size_[static_cast<size_t>(ra)] < size_[static_cast<size_t>(rb)] ||
+        (size_[static_cast<size_t>(ra)] == size_[static_cast<size_t>(rb)] &&
+         rb < ra)) {
+      std::swap(ra, rb);
+    }
+    parent_[static_cast<size_t>(rb)] = static_cast<size_t>(ra);
+    size_[static_cast<size_t>(ra)] += size_[static_cast<size_t>(rb)];
+    return true;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> size_;
+};
+
+void push_unique_sorted(std::vector<uint32_t>& v, uint32_t x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it == v.end() || *it != x) v.insert(it, x);
+}
+
+}  // namespace
+
+PartitionSet PartitionSet::build(size_t num_vertices,
+                                 std::span<const int> level,
+                                 std::span<const PartitionEdge> edges,
+                                 const PartitionOptions& options) {
+  util::require(level.size() == num_vertices,
+                "PartitionSet: level array size ", level.size(),
+                " does not match ", num_vertices, " vertices");
+  const size_t max_size =
+      options.max_partition_vertices != 0
+          ? options.max_partition_vertices
+          : std::max<size_t>(32, num_vertices / 16);
+
+  UnionFind uf(num_vertices);
+  // Pass 1: every non-candidate edge binds its endpoints.
+  for (const auto& e : edges) {
+    if (!e.cut_candidate) uf.unite(e.from, e.to);
+  }
+  // Pass 2: greedy re-merge across cut candidates while the merged
+  // block stays under the cap (deterministic edge order).
+  for (const auto& e : edges) {
+    if (!e.cut_candidate) continue;
+    const int ra = uf.find(e.from);
+    const int rb = uf.find(e.to);
+    if (ra == rb) continue;
+    if (uf.set_size(ra) + uf.set_size(rb) <= max_size) uf.unite(ra, rb);
+  }
+
+  // Preliminary blocks, numbered by first (smallest) member vertex.
+  std::vector<int> block_of(num_vertices, -1);
+  std::vector<int> root_to_block(num_vertices, -1);
+  int n_blocks = 0;
+  for (size_t v = 0; v < num_vertices; ++v) {
+    const int root = uf.find(static_cast<int>(v));
+    int& block = root_to_block[static_cast<size_t>(root)];
+    if (block < 0) block = n_blocks++;
+    block_of[v] = block;
+  }
+
+  // Pass 3: the union-find quotient need not be acyclic — block A can
+  // feed block B at one level and be fed by it at another, which would
+  // deadlock coarse (one-task-per-partition) scheduling.  Collapse
+  // strongly-connected components of the quotient (iterative Tarjan,
+  // deterministic) so the final partition graph is a DAG (each
+  // partition is "convex": no path leaves it and comes back).
+  std::vector<std::vector<int>> block_adj(static_cast<size_t>(n_blocks));
+  for (const auto& e : edges) {
+    const int a = block_of[static_cast<size_t>(e.from)];
+    const int b = block_of[static_cast<size_t>(e.to)];
+    if (a != b) block_adj[static_cast<size_t>(a)].push_back(b);
+  }
+  std::vector<int> scc_of(static_cast<size_t>(n_blocks), -1);
+  {
+    std::vector<int> index(static_cast<size_t>(n_blocks), -1);
+    std::vector<int> low(static_cast<size_t>(n_blocks), 0);
+    std::vector<char> on_stack(static_cast<size_t>(n_blocks), 0);
+    std::vector<int> stack;
+    std::vector<std::pair<int, size_t>> dfs;  // (block, next child)
+    int next_index = 0;
+    int scc_count = 0;
+    for (int s = 0; s < n_blocks; ++s) {
+      if (index[static_cast<size_t>(s)] != -1) continue;
+      dfs.emplace_back(s, 0);
+      while (!dfs.empty()) {
+        const int u = dfs.back().first;
+        size_t& ci = dfs.back().second;
+        if (ci == 0) {
+          index[static_cast<size_t>(u)] = low[static_cast<size_t>(u)] =
+              next_index++;
+          stack.push_back(u);
+          on_stack[static_cast<size_t>(u)] = 1;
+        }
+        if (ci < block_adj[static_cast<size_t>(u)].size()) {
+          const int child = block_adj[static_cast<size_t>(u)][ci++];
+          if (index[static_cast<size_t>(child)] == -1) {
+            dfs.emplace_back(child, 0);
+          } else if (on_stack[static_cast<size_t>(child)]) {
+            low[static_cast<size_t>(u)] =
+                std::min(low[static_cast<size_t>(u)],
+                         index[static_cast<size_t>(child)]);
+          }
+          continue;
+        }
+        if (low[static_cast<size_t>(u)] == index[static_cast<size_t>(u)]) {
+          for (;;) {
+            const int w = stack.back();
+            stack.pop_back();
+            on_stack[static_cast<size_t>(w)] = 0;
+            scc_of[static_cast<size_t>(w)] = scc_count;
+            if (w == u) break;
+          }
+          ++scc_count;
+        }
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          const int parent = dfs.back().first;
+          low[static_cast<size_t>(parent)] =
+              std::min(low[static_cast<size_t>(parent)],
+                       low[static_cast<size_t>(u)]);
+        }
+      }
+    }
+  }
+
+  PartitionSet out;
+  out.partition_of_.assign(num_vertices, -1);
+  // Final partitions = SCC groups, renumbered by first member vertex.
+  std::vector<int> scc_to_part(static_cast<size_t>(n_blocks), -1);
+  for (size_t v = 0; v < num_vertices; ++v) {
+    const int scc = scc_of[static_cast<size_t>(block_of[v])];
+    int& part = scc_to_part[static_cast<size_t>(scc)];
+    if (part < 0) {
+      part = static_cast<int>(out.parts_.size());
+      out.parts_.emplace_back();
+    }
+    out.partition_of_[v] = part;
+    out.parts_[static_cast<size_t>(part)].vertices.push_back(
+        static_cast<int>(v));
+  }
+  // Level-sort each partition's vertices (vertex id is already the
+  // secondary key: stable sort of an ascending sequence by level).
+  for (auto& p : out.parts_) {
+    std::stable_sort(p.vertices.begin(), p.vertices.end(),
+                     [&](int a, int b) {
+                       return level[static_cast<size_t>(a)] <
+                              level[static_cast<size_t>(b)];
+                     });
+    size_t run = 0;
+    int run_level = -1;
+    for (const int v : p.vertices) {
+      const int l = level[static_cast<size_t>(v)];
+      run = l == run_level ? run + 1 : 1;
+      run_level = l;
+      p.width = std::max(p.width, run);
+    }
+  }
+  // Cross edges → partition DAG + interface set.
+  out.is_interface_.assign(num_vertices, 0);
+  for (const auto& e : edges) {
+    const int pa = out.partition_of_[static_cast<size_t>(e.from)];
+    const int pb = out.partition_of_[static_cast<size_t>(e.to)];
+    if (pa == pb) continue;
+    out.cross_edges_.emplace_back(e.from, e.to);
+    out.is_interface_[static_cast<size_t>(e.from)] = 1;
+    out.is_interface_[static_cast<size_t>(e.to)] = 1;
+    push_unique_sorted(out.parts_[static_cast<size_t>(pb)].predecessors,
+                       static_cast<uint32_t>(pa));
+    push_unique_sorted(out.parts_[static_cast<size_t>(pa)].successors,
+                       static_cast<uint32_t>(pb));
+  }
+  for (size_t v = 0; v < num_vertices; ++v) {
+    if (out.is_interface_[v]) {
+      out.interface_vertices_.push_back(static_cast<int>(v));
+    }
+  }
+  return out;
+}
+
+PartitionSchedule PartitionSchedule::build(const PartitionSet& partitions,
+                                           std::span<const int> level,
+                                           size_t wide_threshold) {
+  util::require(wide_threshold >= 1,
+                "PartitionSchedule: wide_threshold must be >= 1");
+  PartitionSchedule out;
+  out.wide_threshold_ = wide_threshold;
+  out.order_.reserve(partitions.num_vertices());
+
+  // task_of_vertex: the chunk task folding each vertex.
+  std::vector<uint32_t> task_of_vertex(partitions.num_vertices(), 0);
+  // Intra-partition chaining: remember each partition's task groups per
+  // local level so consecutive levels can be chained all-to-all.
+  std::vector<std::pair<uint32_t, uint32_t>> intra_edges;
+
+  for (size_t k = 0; k < partitions.size(); ++k) {
+    const auto& verts = partitions.vertices(k);
+    if (partitions.width(k) <= wide_threshold) {
+      // Narrow: one end-to-end task in level order.
+      const auto begin = static_cast<uint32_t>(out.order_.size());
+      for (const int v : verts) {
+        task_of_vertex[static_cast<size_t>(v)] =
+            static_cast<uint32_t>(out.tasks_.size());
+        out.order_.push_back(v);
+      }
+      out.tasks_.push_back({static_cast<uint32_t>(k), begin,
+                            static_cast<uint32_t>(out.order_.size())});
+      continue;
+    }
+    // Wide: per-level fan-out fallback — split each local level into
+    // chunks of ≤ wide_threshold vertices and chain consecutive levels.
+    size_t i = 0;
+    std::vector<uint32_t> prev_level_tasks;
+    while (i < verts.size()) {
+      const int l = level[static_cast<size_t>(verts[i])];
+      size_t j = i;
+      while (j < verts.size() && level[static_cast<size_t>(verts[j])] == l) {
+        ++j;
+      }
+      std::vector<uint32_t> level_tasks;
+      for (size_t c = i; c < j; c += wide_threshold) {
+        const size_t ce = std::min(j, c + wide_threshold);
+        const auto begin = static_cast<uint32_t>(out.order_.size());
+        const auto task = static_cast<uint32_t>(out.tasks_.size());
+        for (size_t x = c; x < ce; ++x) {
+          task_of_vertex[static_cast<size_t>(verts[x])] = task;
+          out.order_.push_back(verts[x]);
+        }
+        out.tasks_.push_back({static_cast<uint32_t>(k), begin,
+                              static_cast<uint32_t>(out.order_.size())});
+        level_tasks.push_back(task);
+      }
+      for (const uint32_t a : prev_level_tasks) {
+        for (const uint32_t b : level_tasks) intra_edges.emplace_back(a, b);
+      }
+      prev_level_tasks = std::move(level_tasks);
+      i = j;
+    }
+  }
+
+  const size_t n_tasks = out.tasks_.size();
+  out.successors_.assign(n_tasks, {});
+  out.rev_successors_.assign(n_tasks, {});
+  auto add_edge = [&](uint32_t a, uint32_t b) {
+    push_unique_sorted(out.successors_[a], b);
+    push_unique_sorted(out.rev_successors_[b], a);
+  };
+  for (const auto& [a, b] : intra_edges) add_edge(a, b);
+  // Cross-partition edges at chunk granularity: the task folding the
+  // sink vertex waits for the task folding the source vertex.
+  for (const auto& [from, to] : partitions.cross_edges()) {
+    const uint32_t a = task_of_vertex[static_cast<size_t>(from)];
+    const uint32_t b = task_of_vertex[static_cast<size_t>(to)];
+    if (a != b) add_edge(a, b);
+  }
+  out.indegree_.assign(n_tasks, 0);
+  out.rev_indegree_.assign(n_tasks, 0);
+  for (size_t t = 0; t < n_tasks; ++t) {
+    for (const uint32_t s : out.successors_[t]) ++out.indegree_[s];
+    for (const uint32_t s : out.rev_successors_[t]) ++out.rev_indegree_[s];
+  }
+  // Serial topological order (Kahn, ascending-seeded LIFO).
+  std::vector<uint32_t> pending = out.indegree_;
+  std::vector<uint32_t> ready;
+  for (size_t t = n_tasks; t > 0; --t) {
+    if (pending[t - 1] == 0) ready.push_back(static_cast<uint32_t>(t - 1));
+  }
+  out.serial_order_.reserve(n_tasks);
+  while (!ready.empty()) {
+    const uint32_t t = ready.back();
+    ready.pop_back();
+    out.serial_order_.push_back(t);
+    for (const uint32_t s : out.successors_[t]) {
+      if (--pending[s] == 0) ready.push_back(s);
+    }
+  }
+  util::require(out.serial_order_.size() == n_tasks,
+                "PartitionSchedule: task dependency cycle");
+  return out;
+}
+
+}  // namespace waveletic::sta

@@ -1,0 +1,221 @@
+#pragma once
+
+/// \file partition.hpp
+/// Netlist partitioning for coarse-grained sweep sharding.
+///
+/// The paper's noisy-waveform propagation is embarrassingly parallel
+/// across independent cones of logic, but per-level (point × vertex)
+/// fan-out starves the thread pool on narrow levels and serializes at
+/// every level barrier.  This file cuts the levelized timing graph at
+/// low-fanout net boundaries into *partitions* — groups of vertices a
+/// worker can propagate end-to-end as ONE task — and compiles them into
+/// a per-point task schedule the ThreadPool executes dependency-ordered
+/// (util::ThreadPool::run_graph), with no level barriers at all.
+///
+/// Construction (PartitionSet::build):
+///  1. union-find over the edge list: every edge that is NOT a cut
+///     candidate (cell arcs, high-fanout net arcs) unites its endpoint
+///     vertices — cones connected by wide nets stay together;
+///  2. cut-candidate edges (arcs of low-fanout nets — the cheap,
+///     registered-output-like boundaries) are then greedily re-merged
+///     in deterministic edge order while the merged partition stays
+///     under a size cap, so chains coalesce into coarse blocks instead
+///     of one-gate fragments;
+///  3. partitions are numbered by their smallest vertex, each
+///     partition's vertices are sorted by (topological level, vertex),
+///     and the surviving cross-partition edges define a partition DAG
+///     plus the frontier-interface vertex set (the pruning-ready
+///     metadata: a scenario whose noisy nets touch no interface of a
+///     partition cannot change anything downstream of it).
+///
+/// Scheduling (PartitionSchedule::build): one task per (point,
+/// partition) — except partitions *wider* than a threshold (many
+/// vertices on one level), which fall back to per-level fan-out
+/// internally: their levels are split into chunk tasks chained
+/// level-to-level, reproducing the fine-grained schedule only where it
+/// pays.  Task execution order never changes results: every vertex is
+/// folded exactly once, after all of its predecessors, in the same
+/// fixed in-edge order as the unsharded path — so sharded propagation
+/// is bitwise identical to per-level fan-out and to serial runs (same
+/// Γeff cache keys, same fold orders).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace waveletic::sta {
+
+/// Default width (max vertices of one partition on one topological
+/// level) above which a partition's schedule falls back to per-level
+/// chunk tasks instead of one serial end-to-end task.
+inline constexpr size_t kDefaultWidePartitionThreshold = 32;
+
+struct PartitionOptions {
+  /// Net arcs whose net drives at most this many sinks are cut
+  /// candidates (low-fanout boundaries); higher-fanout nets always stay
+  /// inside one partition.  Negative disables cutting entirely (the
+  /// whole connected graph becomes one partition).
+  int cut_fanout = 2;
+  /// Size cap for greedy re-merging across cut candidates; 0 selects
+  /// max(32, num_vertices / 16) — a pure function of the graph, so the
+  /// partitioning is machine-independent.
+  size_t max_partition_vertices = 0;
+};
+
+/// One directed timing-graph edge handed to the partitioner.
+struct PartitionEdge {
+  int from = -1;
+  int to = -1;
+  bool cut_candidate = false;
+};
+
+/// The partition cover of a timing graph: disjoint vertex groups, a
+/// partition-level dependency DAG, and the interface (frontier) vertex
+/// set.  Immutable once built.
+class PartitionSet {
+ public:
+  PartitionSet() = default;
+
+  /// Partitions a graph of `num_vertices` vertices with topological
+  /// `level[v]` per vertex and the given edge list.  Deterministic:
+  /// depends only on the arguments (greedy merge walks `edges` in
+  /// order).  Every vertex lands in exactly one partition.
+  [[nodiscard]] static PartitionSet build(size_t num_vertices,
+                                          std::span<const int> level,
+                                          std::span<const PartitionEdge> edges,
+                                          const PartitionOptions& options = {});
+
+  /// Number of partitions.
+  [[nodiscard]] size_t size() const noexcept { return parts_.size(); }
+  [[nodiscard]] size_t num_vertices() const noexcept {
+    return partition_of_.size();
+  }
+
+  /// Partition owning vertex `v`.
+  [[nodiscard]] int partition_of(int v) const {
+    return partition_of_[static_cast<size_t>(v)];
+  }
+  /// Vertices of partition `k`, sorted by (topological level, vertex) —
+  /// iterating them in order is a valid serial propagation order.
+  [[nodiscard]] const std::vector<int>& vertices(size_t k) const {
+    return parts_[k].vertices;
+  }
+  /// Max number of partition-`k` vertices sharing one topological
+  /// level (the "width" the per-level fallback threshold tests).
+  [[nodiscard]] size_t width(size_t k) const { return parts_[k].width; }
+  /// Partitions that must complete before `k` may start (cross-edge
+  /// sources), ascending, deduplicated.
+  [[nodiscard]] const std::vector<uint32_t>& predecessors(size_t k) const {
+    return parts_[k].predecessors;
+  }
+  /// Partitions depending on `k`, ascending, deduplicated.
+  [[nodiscard]] const std::vector<uint32_t>& successors(size_t k) const {
+    return parts_[k].successors;
+  }
+
+  /// Frontier-interface vertices: endpoints of cross-partition edges,
+  /// ascending.  A noise annotation that cannot reach a partition's
+  /// interface cannot affect other partitions — the hook scenario
+  /// pruning builds on.
+  [[nodiscard]] const std::vector<int>& interface_vertices() const noexcept {
+    return interface_vertices_;
+  }
+  [[nodiscard]] bool is_interface(int v) const {
+    return is_interface_[static_cast<size_t>(v)];
+  }
+
+  /// Surviving cross-partition edges (from, to), in input edge order.
+  [[nodiscard]] const std::vector<std::pair<int, int>>& cross_edges()
+      const noexcept {
+    return cross_edges_;
+  }
+
+ private:
+  struct Partition {
+    std::vector<int> vertices;
+    std::vector<uint32_t> predecessors;
+    std::vector<uint32_t> successors;
+    size_t width = 0;
+  };
+
+  std::vector<Partition> parts_;
+  std::vector<int> partition_of_;
+  std::vector<int> interface_vertices_;
+  std::vector<char> is_interface_;
+  std::vector<std::pair<int, int>> cross_edges_;
+};
+
+/// One schedulable chunk of a partition: the vertices at
+/// [begin, end) of PartitionSchedule::order(), already in level order.
+struct ShardTask {
+  uint32_t partition = 0;
+  uint32_t begin = 0;
+  uint32_t end = 0;
+};
+
+/// The per-point task DAG compiled from a PartitionSet: narrow
+/// partitions become one end-to-end task; partitions wider than
+/// `wide_threshold` are split into per-level chunk tasks chained
+/// level-to-level (the per-level fan-out fallback, applied only where
+/// the partition is actually wide).  Cross-partition edges become
+/// task→task dependencies at chunk granularity.
+///
+/// The forward pass runs tasks under indegree()/successors(), each task
+/// folding its vertex range front-to-back; the backward pass runs the
+/// reversed DAG (rev_indegree()/rev_successors()), each task walking
+/// its range back-to-front.  A sweep of N points executes N independent
+/// copies of this DAG (ThreadPool::run_graph `tiles`).
+class PartitionSchedule {
+ public:
+  PartitionSchedule() = default;
+
+  [[nodiscard]] static PartitionSchedule build(
+      const PartitionSet& partitions, std::span<const int> level,
+      size_t wide_threshold = kDefaultWidePartitionThreshold);
+
+  [[nodiscard]] const std::vector<ShardTask>& tasks() const noexcept {
+    return tasks_;
+  }
+  /// Concatenated per-task vertex runs (each run level-sorted).
+  [[nodiscard]] const std::vector<int>& order() const noexcept {
+    return order_;
+  }
+  [[nodiscard]] const std::vector<uint32_t>& indegree() const noexcept {
+    return indegree_;
+  }
+  [[nodiscard]] const std::vector<std::vector<uint32_t>>& successors()
+      const noexcept {
+    return successors_;
+  }
+  [[nodiscard]] const std::vector<uint32_t>& rev_indegree() const noexcept {
+    return rev_indegree_;
+  }
+  /// A deterministic topological order of the tasks, for pool-less
+  /// serial execution of the forward pass; iterating it backwards is a
+  /// valid order for the backward pass.  (Any valid order produces the
+  /// same results.)
+  [[nodiscard]] const std::vector<uint32_t>& serial_order() const noexcept {
+    return serial_order_;
+  }
+  [[nodiscard]] const std::vector<std::vector<uint32_t>>& rev_successors()
+      const noexcept {
+    return rev_successors_;
+  }
+  [[nodiscard]] size_t wide_threshold() const noexcept {
+    return wide_threshold_;
+  }
+
+ private:
+  std::vector<ShardTask> tasks_;
+  std::vector<int> order_;
+  std::vector<uint32_t> indegree_;
+  std::vector<std::vector<uint32_t>> successors_;
+  std::vector<uint32_t> rev_indegree_;
+  std::vector<std::vector<uint32_t>> rev_successors_;
+  std::vector<uint32_t> serial_order_;
+  size_t wide_threshold_ = kDefaultWidePartitionThreshold;
+};
+
+}  // namespace waveletic::sta

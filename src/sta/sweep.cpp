@@ -1,5 +1,6 @@
 #include "sta/sweep.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -88,8 +89,18 @@ size_t SweepResult::point(size_t corner, size_t scenario) const {
   return corner * num_scenarios() + scenario;
 }
 
+void SweepResult::require_full_state(const char* accessor) const {
+  util::require(!endpoint_only_, "SweepResult::", accessor,
+                ": this is an endpoint-only result (SweepSpec::"
+                "endpoint_only) — full TimingStates were not kept.  Use "
+                "worst_slack()/worst_point()/critical_endpoint()/"
+                "endpoint_arrival(), or re-run the sweep with "
+                "endpoint_only = false");
+}
+
 const TimingState& SweepResult::state(size_t point) const {
   util::require(engine_ != nullptr, "SweepResult: empty result");
+  require_full_state("state");
   util::require(point < states_.size(), "SweepResult: point ", point,
                 " out of range (", states_.size(), " points)");
   return states_[point];
@@ -106,7 +117,53 @@ TimingView SweepResult::view(size_t corner, size_t scenario) const {
 }
 
 double SweepResult::worst_slack(size_t point) const {
+  if (endpoint_only_) {
+    util::require(point < worst_slacks_.size(), "SweepResult: point ", point,
+                  " out of range (", worst_slacks_.size(), " points)");
+    return worst_slacks_[point];
+  }
   return engine_->worst_slack_in(state(point));
+}
+
+const std::string& SweepResult::endpoint_name(size_t endpoint) const {
+  util::require(endpoint < endpoint_names_.size(), "SweepResult: endpoint ",
+                endpoint, " out of range (", endpoint_names_.size(),
+                " endpoints)");
+  return endpoint_names_[endpoint];
+}
+
+double SweepResult::endpoint_arrival(size_t point, size_t endpoint,
+                                     RiseFall rf) const {
+  util::require(point < size(), "SweepResult: point ", point,
+                " out of range (", size(), " points)");
+  util::require(endpoint < endpoint_names_.size(), "SweepResult: endpoint ",
+                endpoint, " out of range (", endpoint_names_.size(),
+                " endpoints)");
+  if (endpoint_only_) {
+    return endpoint_arrivals_[(point * endpoint_names_.size() + endpoint) * 2 +
+                              static_cast<size_t>(rf)];
+  }
+  return engine_
+      ->timing_in(states_[point], engine_->pin(endpoint_names_[endpoint]), rf)
+      .arrival;
+}
+
+SweepResult::CriticalEndpoint SweepResult::critical_endpoint(
+    size_t point) const {
+  util::require(point < size(), "SweepResult: point ", point,
+                " out of range (", size(), " points)");
+  if (endpoint_only_) return critical_[point];
+  const auto we = engine_->worst_endpoint_in(states_[point]);
+  return CriticalEndpoint{we.endpoint, we.rf, we.slack};
+}
+
+size_t SweepResult::result_bytes_per_point() const noexcept {
+  if (endpoint_only_) {
+    return sizeof(double)                               // worst slack
+           + sizeof(CriticalEndpoint)                   // critical endpoint
+           + endpoint_names_.size() * 2 * sizeof(double);  // arrivals
+  }
+  return states_.empty() ? 0 : states_[0].size() * sizeof(VertexTiming);
 }
 
 const PinTiming& SweepResult::timing(size_t point, PinId pin,
@@ -124,9 +181,9 @@ std::vector<PathStep> SweepResult::critical_path(size_t point) const {
 }
 
 SweepResult::WorstPoint SweepResult::worst_point() const {
-  util::require(!states_.empty(), "SweepResult: empty result");
+  util::require(size() > 0, "SweepResult: empty result");
   WorstPoint best;
-  for (size_t p = 0; p < states_.size(); ++p) {
+  for (size_t p = 0; p < size(); ++p) {
     const double slack = worst_slack(p);
     if (p == 0 || slack < best.slack) {
       best.point = p;
@@ -176,7 +233,7 @@ std::vector<PathStep> TimingView::critical_path() const {
 }
 
 // ---------------------------------------------------------------------------
-// StaEngine::sweep — the one levelized pass over corners × scenarios
+// StaEngine::sweep — one partition-sharded pass over corners × scenarios
 // ---------------------------------------------------------------------------
 
 SweepResult StaEngine::sweep(const SweepSpec& spec) {
@@ -220,7 +277,6 @@ SweepResult StaEngine::sweep(const SweepSpec& spec) {
   const core::EquivalentWaveformMethod* method =
       spec.method != nullptr ? spec.method : noise_method_.get();
 
-  r.states_.assign(n_points, TimingState{});
   std::vector<EvalContext> contexts(n_points);
   for (size_t c = 0; c < n_corners; ++c) {
     const uint64_t corner_key = r.corners_[c].key();
@@ -231,7 +287,6 @@ SweepResult StaEngine::sweep(const SweepSpec& spec) {
       contexts[p].corner_key = corner_key;
       contexts[p].method = method;
       contexts[p].cache = r.cache_.get();
-      init_state(r.states_[p]);
     }
   }
 
@@ -249,33 +304,62 @@ SweepResult StaEngine::sweep(const SweepSpec& spec) {
   // buffers from the running worker's arena, so after the slabs warm up
   // the whole sweep propagates without touching the heap.  Arenas are
   // pure scratch — results are bitwise independent of which worker
-  // evaluates which (point, vertex) task.
+  // evaluates which shard.
   if (workspaces_.size() < pool->size()) {
     workspaces_.resize(pool->size());
   }
   std::span<wave::Workspace> wss(workspaces_.data(), pool->size());
 
-  // ONE levelized pass for all points: per level, every (point, vertex)
-  // pair is independent — points write disjoint states and vertices of
-  // one level only read lower levels.
-  for (const auto& level : levels_) {
-    const size_t m = level.size();
-    pool->parallel_for(m * n_points, [&](size_t worker, size_t idx) {
-      const size_t p = idx / m;
-      const int v = level[idx % m];
-      EvalContext task_ctx = contexts[p];
-      task_ctx.workspace = &wss[worker];
-      forward_vertex(v, r.states_[p], task_ctx);
-    });
+  // Endpoint axis metadata (both modes).
+  r.endpoint_names_.reserve(endpoint_ports_.size());
+  for (const int32_t p : endpoint_ports_) {
+    r.endpoint_names_.push_back(ports_[static_cast<size_t>(p)].name);
   }
-  for (auto it = levels_.rbegin(); it != levels_.rend(); ++it) {
-    const auto& level = *it;
-    const size_t m = level.size();
-    pool->parallel_for(m * n_points, [&](size_t idx) {
-      const size_t p = idx / m;
-      const int v = level[idx % m];
-      backward_vertex(v, r.states_[p]);
-    });
+
+  if (!spec.endpoint_only) {
+    // Full mode: every point keeps its TimingState, all evaluated in
+    // one pass of (point × partition) coarse tasks.
+    r.states_.assign(n_points, TimingState{});
+    evaluate_points(r.states_, contexts, pool, wss, spec.shard,
+                    spec.wide_partition_threshold);
+    return r;
+  }
+
+  // Endpoint-only mode: evaluate points in bounded chunks, summarize
+  // each state into {worst slack, critical endpoint, endpoint
+  // arrivals}, then reuse the states for the next chunk.  Summaries are
+  // computed with exactly the accessors full mode uses, so both modes
+  // agree bitwise.
+  r.endpoint_only_ = true;
+  const size_t n_endpoints = r.endpoint_names_.size();
+  r.worst_slacks_.resize(n_points);
+  r.critical_.resize(n_points);
+  r.endpoint_arrivals_.resize(n_points * n_endpoints * 2);
+  const size_t chunk =
+      spec.endpoint_chunk != 0
+          ? spec.endpoint_chunk
+          : std::max<size_t>(4 * pool->size(), 64);
+  std::vector<TimingState> states(std::min(chunk, n_points));
+  for (size_t base = 0; base < n_points; base += chunk) {
+    const size_t n = std::min(chunk, n_points - base);
+    evaluate_points(std::span<TimingState>(states.data(), n),
+                    std::span<const EvalContext>(contexts.data() + base, n),
+                    pool, wss, spec.shard, spec.wide_partition_threshold);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t p = base + i;
+      r.worst_slacks_[p] = worst_slack_in(states[i]);
+      const auto we = worst_endpoint_in(states[i]);
+      r.critical_[p] =
+          SweepResult::CriticalEndpoint{we.endpoint, we.rf, we.slack};
+      for (size_t e = 0; e < n_endpoints; ++e) {
+        const int v =
+            ports_[static_cast<size_t>(endpoint_ports_[e])].vertex;
+        for (size_t rf = 0; rf < 2; ++rf) {
+          r.endpoint_arrivals_[(p * n_endpoints + e) * 2 + rf] =
+              states[i][static_cast<size_t>(v)].timing[rf].arrival;
+        }
+      }
+    }
   }
   return r;
 }

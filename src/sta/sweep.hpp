@@ -10,18 +10,29 @@
 /// point as its own engine run repeats the levelized walk N×M times.
 /// StaEngine::sweep(SweepSpec) instead prepares the engine once,
 /// compiles every scenario's annotations into dense per-net-edge
-/// pointer tables, and evaluates all points in ONE levelized pass: the
-/// outer loop walks the stored topological levels, and a
-/// work-stealing-free thread pool processes every (point,
-/// vertex-of-level) pair in parallel.  All points share a thread-safe
-/// Γeff memo (GammaCache) keyed on exact inputs + the corner key, so
-/// fits recur at most once per distinct (net edge, ramp, annotation,
-/// corner).
+/// pointer tables, and evaluates all points in ONE pass.  Scheduling is
+/// partition-sharded by default: the timing graph is cut at low-fanout
+/// net boundaries into independent partitions (sta/partition.hpp) and
+/// every (point, partition) shard runs as one coarse dependency-ordered
+/// task on the thread pool — no level barriers, no per-point barriers;
+/// partitions wider than `wide_partition_threshold` fall back to
+/// per-level chunk tasks internally.  `shard = false` selects the
+/// legacy per-level (point × vertex-of-level) fan-out.  All points
+/// share a thread-safe Γeff memo (GammaCache) keyed on exact inputs +
+/// the corner key, so fits recur at most once per distinct (net edge,
+/// ramp, annotation, corner).
 ///
 /// Determinism: points write disjoint TimingStates, each vertex folds
-/// its in-edges in a fixed order, and cache hits return bitwise what
-/// the fit would produce — so sweep results are bitwise identical to
-/// looped single-thread runs at any thread count.
+/// its in-edges in a fixed order after all of its predecessors, and
+/// cache hits return bitwise what the fit would produce — so sweep
+/// results are bitwise identical between sharded and per-level
+/// schedules, and to looped single-thread runs, at any thread count.
+///
+/// Result storage: the default keeps a full TimingState per point.  For
+/// sweep-scale point counts (10k+), `endpoint_only = true` keeps only
+/// {worst slack, critical endpoint, arrival at endpoints} per point —
+/// ~vertex_count× less memory — and evaluates points in bounded-size
+/// chunks so transient state stays small too.
 ///
 /// ScenarioBatch (batch.hpp) is a compatibility shim over this surface:
 /// a sweep of one nominal corner × N scenarios.
@@ -105,6 +116,21 @@ struct SweepSpec {
   const core::EquivalentWaveformMethod* method = nullptr;
   /// External pool to reuse across sweeps; null lets sweep() build one.
   util::ThreadPool* pool = nullptr;
+  /// Partition-sharded scheduling: (point × partition) coarse tasks,
+  /// dependency-ordered, no level barriers.  false selects the legacy
+  /// per-level fan-out.  Results are bitwise identical either way.
+  bool shard = true;
+  /// Partitions wider than this (max vertices on one topological
+  /// level) fall back to per-level chunk tasks internally.
+  size_t wide_partition_threshold = kDefaultWidePartitionThreshold;
+  /// Keep only {worst slack, critical endpoint, endpoint arrivals} per
+  /// point instead of a full TimingState — ~vertex_count× less result
+  /// memory for 10k+-point sweeps.  Full-state accessors (state(),
+  /// view(), timing(), critical_path()) then throw.
+  bool endpoint_only = false;
+  /// Points evaluated per chunk in endpoint-only mode (bounds transient
+  /// TimingState memory); 0 selects max(4 × threads, 64).
+  size_t endpoint_chunk = 0;
 };
 
 class SweepResult;
@@ -137,9 +163,18 @@ class TimingView {
   const std::string* scenario_name_;
 };
 
-/// All states of one sweep, indexed by flat point (corner-major:
+/// All results of one sweep, indexed by flat point (corner-major:
 /// point = corner * num_scenarios + scenario) or by (corner, scenario).
 /// The engine that produced it must outlive it.
+///
+/// Two storage modes (SweepSpec::endpoint_only):
+///  - full (default): one TimingState per point; every accessor works.
+///  - endpoint-only: per point only {worst slack, critical endpoint,
+///    arrival at every endpoint × transition} — the full-state
+///    accessors (state(), view(), timing(), critical_path()) throw a
+///    clear error; everything endpoint-level (worst_slack(),
+///    worst_point(), critical_endpoint(), endpoint_arrival()) agrees
+///    bitwise with full mode on the same spec.
 class SweepResult {
  public:
   SweepResult() = default;
@@ -151,21 +186,30 @@ class SweepResult {
     return scenario_names_.size();
   }
   /// Total points = corners × scenarios.
-  [[nodiscard]] size_t size() const noexcept { return states_.size(); }
+  [[nodiscard]] size_t size() const noexcept {
+    return corners_.size() * scenario_names_.size();
+  }
+  /// True when the result keeps only endpoint summaries per point.
+  [[nodiscard]] bool endpoint_only() const noexcept {
+    return endpoint_only_;
+  }
 
   /// Flat index of (corner, scenario); throws when out of range.
   [[nodiscard]] size_t point(size_t corner, size_t scenario) const;
 
+  // -- full-state accessors (throw in endpoint-only mode) ------------------
   [[nodiscard]] TimingView view(size_t point) const;
   [[nodiscard]] TimingView view(size_t corner, size_t scenario) const;
 
   [[nodiscard]] const TimingState& state(size_t point) const;
-  [[nodiscard]] double worst_slack(size_t point) const;
   [[nodiscard]] const PinTiming& timing(size_t point, PinId pin,
                                         RiseFall rf) const;
   [[nodiscard]] const PinTiming& timing(size_t point, const std::string& pin,
                                         RiseFall rf) const;
   [[nodiscard]] std::vector<PathStep> critical_path(size_t point) const;
+
+  // -- endpoint-level accessors (work in both modes, bitwise equal) --------
+  [[nodiscard]] double worst_slack(size_t point) const;
 
   /// The point with the smallest worst-slack over all (corner,
   /// scenario) pairs.
@@ -177,6 +221,28 @@ class SweepResult {
   };
   [[nodiscard]] WorstPoint worst_point() const;
 
+  /// Endpoint axis: the engine's output ports, in port order.
+  [[nodiscard]] size_t num_endpoints() const noexcept {
+    return endpoint_names_.size();
+  }
+  [[nodiscard]] const std::string& endpoint_name(size_t endpoint) const;
+  /// Arrival of (endpoint, transition) at `point` (-inf when the
+  /// transition never became valid).
+  [[nodiscard]] double endpoint_arrival(size_t point, size_t endpoint,
+                                        RiseFall rf) const;
+  /// The critical endpoint of a point: argmin slack over constrained
+  /// endpoint transitions (endpoint = -1 when nothing was valid).
+  struct CriticalEndpoint {
+    int32_t endpoint = -1;
+    RiseFall rf = RiseFall::kRise;
+    double slack = std::numeric_limits<double>::infinity();
+  };
+  [[nodiscard]] CriticalEndpoint critical_endpoint(size_t point) const;
+
+  /// Approximate owned bytes of result storage per point — the figure
+  /// endpoint-only mode shrinks by ~vertex_count×.
+  [[nodiscard]] size_t result_bytes_per_point() const noexcept;
+
   [[nodiscard]] const Corner& corner(size_t i) const;
   [[nodiscard]] const std::string& scenario_name(size_t i) const;
 
@@ -186,10 +252,20 @@ class SweepResult {
  private:
   friend class StaEngine;  // sweep() populates the result
 
+  /// Throws util::Error when this is an endpoint-only result.
+  void require_full_state(const char* accessor) const;
+
   const StaEngine* engine_ = nullptr;
   std::vector<Corner> corners_;
   std::vector<std::string> scenario_names_;
-  std::vector<TimingState> states_;  ///< corner-major
+  std::vector<TimingState> states_;  ///< corner-major; empty in
+                                     ///< endpoint-only mode
+  bool endpoint_only_ = false;
+  std::vector<std::string> endpoint_names_;  ///< output ports, port order
+  // Endpoint-only storage, filled per evaluated chunk:
+  std::vector<double> worst_slacks_;              ///< per point
+  std::vector<CriticalEndpoint> critical_;        ///< per point
+  std::vector<double> endpoint_arrivals_;  ///< [point][endpoint][rf]
   std::unique_ptr<GammaCache> cache_;  ///< null when sharing was off
 };
 

@@ -1,0 +1,13 @@
+module golden (a, b, c, y, z);
+  input a, b, c;
+  output y, z;
+  wire n1, n2, n3, n4, n5, n6;
+  INVX1   u1 (.A(a),  .Y(n1));
+  INVX4   u2 (.A(b),  .Y(n2));
+  NAND2X1 u3 (.A(n1), .B(n2), .Y(n3));
+  INVX1   u4 (.A(c),  .Y(n4));
+  NAND2X1 u5 (.A(n3), .B(n4), .Y(n5));
+  INVX4   u6 (.A(n5), .Y(y));
+  NAND2X1 u7 (.A(n3), .B(n5), .Y(n6));
+  INVX1   u8 (.A(n6), .Y(z));
+endmodule

@@ -11,21 +11,21 @@
 #include <random>
 #include <vector>
 
-#include "charlib/characterize.hpp"
 #include "core/method.hpp"
 #include "core/sgdp.hpp"
 #include "netlist/generators.hpp"
 #include "sta/engine.hpp"
 #include "sta/gamma_cache.hpp"
 #include "sta/sweep.hpp"
+#include "sta_test_util.hpp"
 #include "util/thread_pool.hpp"
 #include "wave/kernels.hpp"
 #include "wave/metrics.hpp"
 #include "wave/ramp.hpp"
 #include "wave/waveform.hpp"
 
-namespace cl = waveletic::charlib;
 namespace co = waveletic::core;
+namespace tu = waveletic::statest;
 namespace lb = waveletic::liberty;
 namespace nl = waveletic::netlist;
 namespace st = waveletic::sta;
@@ -391,27 +391,17 @@ TEST(Kernels, FallingPolarityBitwiseWithAndWithoutWorkspace) {
 // ---------------------------------------------------------------------------
 
 TEST(Kernels, ThreadedSweepWithWorkspacesBitwiseEqualsLegacyEvaluate) {
-  const lb::Library lib = cl::build_vcl013_library_fast();
+  const lb::Library& lib = tu::vcl013();
   const auto netlist = nl::make_chain_tree(8);
   st::StaEngine sta(netlist, lib);
-  for (int i = 0; i < 8; ++i) {
-    sta.set_input("a" + std::to_string(i), 0.01e-9 * i,
-                  (80 + 7 * i) * 1e-12);
-  }
-  sta.set_output_load("y", 6e-15);
-  sta.set_required("y", 2e-9);
+  tu::constrain_chain_tree(sta, 8);
   sta.run();
 
   // Scenarios: aggressor bumps on two chains.
   std::vector<st::NoiseScenario> scenarios;
   for (int s = 0; s < 6; ++s) {
-    const int chain = s % 2;
-    const auto& t = sta.timing("inv" + std::to_string(chain) + "_2/A",
-                               st::RiseFall::kFall);
-    scenarios.push_back(st::make_aggressor_scenario(
-        "c" + std::to_string(chain) + "_1", t.arrival, t.slew,
-        lib.nom_voltage, wv::Polarity::kFalling, (s - 3) * 10e-12,
-        0.25 + 0.05 * s));
+    scenarios.push_back(tu::chain_bump_scenario(sta, s % 2, (s - 3) * 10e-12,
+                                                0.25 + 0.05 * s));
   }
 
   // Threaded sweep: per-worker workspaces, shared Γeff memo.

@@ -10,67 +10,42 @@
 #include <sstream>
 #include <vector>
 
-#include "charlib/characterize.hpp"
 #include "netlist/generators.hpp"
 #include "sta/batch.hpp"
 #include "sta/engine.hpp"
 #include "sta/gamma_cache.hpp"
+#include "sta_test_util.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 #include "wave/ramp.hpp"
 
-namespace cl = waveletic::charlib;
 namespace lb = waveletic::liberty;
 namespace nl = waveletic::netlist;
 namespace st = waveletic::sta;
+namespace tu = waveletic::statest;
 namespace wu = waveletic::util;
 namespace wv = waveletic::wave;
 
 namespace {
 
-const lb::Library& lib() {
-  static const lb::Library library = cl::build_vcl013_library_fast();
-  return library;
-}
+// Shared scaffolding lives in sta_test_util.hpp.
+const lb::Library& lib() { return tu::vcl013(); }
 
 nl::Netlist wide_netlist(int width) { return nl::make_chain_tree(width); }
 
 void constrain(st::StaEngine& sta, int width) {
-  for (int i = 0; i < width; ++i) {
-    sta.set_input("a" + std::to_string(i), 0.01e-9 * i, (80 + 7 * i) * 1e-12);
-  }
-  sta.set_output_load("y", 6e-15);
-  sta.set_required("y", 2e-9);
+  tu::constrain_chain_tree(sta, width);
 }
 
-/// Bitwise comparison of two full timing states over all pins.
 void expect_states_identical(const st::StaEngine& sta,
                              const st::TimingState& a,
                              const st::TimingState& b) {
-  ASSERT_EQ(a.size(), b.size());
-  for (size_t v = 0; v < a.size(); ++v) {
-    for (int rf = 0; rf < 2; ++rf) {
-      const auto& ta = a[v].timing[rf];
-      const auto& tb = b[v].timing[rf];
-      EXPECT_EQ(ta.valid, tb.valid) << "vertex " << v;
-      // Bitwise: no tolerance.
-      EXPECT_EQ(ta.arrival, tb.arrival) << "vertex " << v;
-      EXPECT_EQ(ta.slew, tb.slew) << "vertex " << v;
-      EXPECT_EQ(ta.required, tb.required) << "vertex " << v;
-    }
-  }
-  (void)sta;
+  EXPECT_TRUE(tu::states_bitwise_equal(a, b, &sta));
 }
 
 st::NoiseScenario bump_scenario(const st::StaEngine& clean, int chain,
                                 double alignment, double strength) {
-  const std::string net = "c" + std::to_string(chain) + "_1";
-  const auto& t = clean.timing("inv" + std::to_string(chain) + "_2/A",
-                               st::RiseFall::kFall);
-  return st::make_aggressor_scenario(net, t.arrival, t.slew,
-                                     lib().nom_voltage,
-                                     wv::Polarity::kFalling, alignment,
-                                     strength);
+  return tu::chain_bump_scenario(clean, chain, alignment, strength);
 }
 
 }  // namespace

@@ -1,0 +1,340 @@
+// Partition-sharded sweep propagation: partition cover/disjointness
+// invariants, partition-DAG consistency, single-partition ==
+// whole-graph equivalence, and randomized netlists asserting sharded
+// vs unsharded propagation bitwise-identical across 1/2/4 threads and
+// across repeated runs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "netlist/generators.hpp"
+#include "sta/engine.hpp"
+#include "sta/partition.hpp"
+#include "sta/sweep.hpp"
+#include "sta_test_util.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nl = waveletic::netlist;
+namespace st = waveletic::sta;
+namespace tu = waveletic::statest;
+namespace wu = waveletic::util;
+
+namespace {
+
+/// Checks the structural invariants every PartitionSet must satisfy.
+void expect_valid_cover(const st::StaEngine& sta) {
+  const st::PartitionSet& parts = sta.partitions();
+  ASSERT_EQ(parts.num_vertices(), sta.vertex_count());
+  // Cover + disjointness: every vertex in exactly one partition, and
+  // partition_of agrees with the vertex lists.
+  std::vector<int> seen(sta.vertex_count(), 0);
+  for (size_t k = 0; k < parts.size(); ++k) {
+    for (const int v : parts.vertices(k)) {
+      ASSERT_GE(v, 0);
+      ASSERT_LT(static_cast<size_t>(v), sta.vertex_count());
+      ++seen[static_cast<size_t>(v)];
+      EXPECT_EQ(parts.partition_of(v), static_cast<int>(k));
+    }
+    // Vertices are level-sorted (a valid serial propagation order).
+    const auto& verts = parts.vertices(k);
+    for (size_t i = 1; i < verts.size(); ++i) {
+      EXPECT_LE(sta.vertex_levels()[static_cast<size_t>(verts[i - 1])],
+                sta.vertex_levels()[static_cast<size_t>(verts[i])]);
+    }
+    EXPECT_GE(parts.width(k), verts.empty() ? 0u : 1u);
+    EXPECT_LE(parts.width(k), verts.size());
+  }
+  for (size_t v = 0; v < sta.vertex_count(); ++v) {
+    EXPECT_EQ(seen[v], 1) << "vertex " << v << " covered " << seen[v]
+                          << " times";
+  }
+  // Interface set == endpoints of cross edges; cross edges connect
+  // distinct partitions and imply the pred/succ lists.
+  std::set<int> expect_interface;
+  for (const auto& [from, to] : parts.cross_edges()) {
+    EXPECT_NE(parts.partition_of(from), parts.partition_of(to));
+    expect_interface.insert(from);
+    expect_interface.insert(to);
+    const auto pa = static_cast<uint32_t>(parts.partition_of(from));
+    const auto pb = static_cast<uint32_t>(parts.partition_of(to));
+    const auto& preds = parts.predecessors(pb);
+    const auto& succs = parts.successors(pa);
+    EXPECT_TRUE(std::binary_search(preds.begin(), preds.end(), pa));
+    EXPECT_TRUE(std::binary_search(succs.begin(), succs.end(), pb));
+  }
+  std::vector<int> iface(expect_interface.begin(), expect_interface.end());
+  EXPECT_EQ(parts.interface_vertices(), iface);
+  for (size_t v = 0; v < sta.vertex_count(); ++v) {
+    EXPECT_EQ(parts.is_interface(static_cast<int>(v)),
+              expect_interface.count(static_cast<int>(v)) > 0);
+  }
+  // The partition DAG is acyclic (Kahn drains it completely).
+  std::vector<size_t> indeg(parts.size(), 0);
+  for (size_t k = 0; k < parts.size(); ++k) {
+    indeg[k] = parts.predecessors(k).size();
+  }
+  std::vector<uint32_t> ready;
+  for (size_t k = 0; k < parts.size(); ++k) {
+    if (indeg[k] == 0) ready.push_back(static_cast<uint32_t>(k));
+  }
+  size_t drained = 0;
+  while (!ready.empty()) {
+    const uint32_t k = ready.back();
+    ready.pop_back();
+    ++drained;
+    for (const uint32_t s : parts.successors(k)) {
+      if (--indeg[s] == 0) ready.push_back(s);
+    }
+  }
+  EXPECT_EQ(drained, parts.size()) << "partition DAG has a cycle";
+}
+
+}  // namespace
+
+TEST(StaPartition, CoverDisjointAndDagInvariants) {
+  {
+    const auto net = nl::make_chain_tree(12);
+    st::StaEngine sta(net, tu::vcl013());
+    expect_valid_cover(sta);
+    // Chains + fold tree must split into more than one shard.
+    EXPECT_GT(sta.partitions().size(), 1u);
+  }
+  for (const uint64_t seed : {1ull, 7ull, 42ull}) {
+    const auto f = tu::random_engine(seed);
+    expect_valid_cover(*f.sta);
+  }
+}
+
+TEST(StaPartition, ScheduleCoversEveryVertexOnceAtAnyThreshold) {
+  const auto net = nl::make_chain_tree(9);
+  st::StaEngine sta(net, tu::vcl013());
+  for (const size_t threshold : {1ul, 4ul, 32ul, 4096ul}) {
+    const auto& sched = sta.shard_schedule(threshold);
+    ASSERT_EQ(sched.order().size(), sta.vertex_count());
+    std::vector<int> seen(sta.vertex_count(), 0);
+    for (const auto& t : sched.tasks()) {
+      ASSERT_LE(t.begin, t.end);
+      for (uint32_t i = t.begin; i < t.end; ++i) {
+        ++seen[static_cast<size_t>(sched.order()[i])];
+      }
+      // A chunk never exceeds the fallback threshold unless it is a
+      // whole narrow partition.
+      if (sta.partitions().width(t.partition) > threshold) {
+        EXPECT_LE(t.end - t.begin, threshold);
+      }
+    }
+    for (const int c : seen) EXPECT_EQ(c, 1);
+    EXPECT_EQ(sched.serial_order().size(), sched.tasks().size());
+  }
+  // Wider threshold → coarser schedule.
+  EXPECT_GE(sta.shard_schedule(1).tasks().size(),
+            sta.shard_schedule(4096).tasks().size());
+}
+
+TEST(StaPartition, SinglePartitionEqualsWholeGraph) {
+  // Degenerate options on a synthetic diamond graph: whether edges are
+  // all hard (pass-1 unions) or all cut candidates under a huge size
+  // cap (pass-2 remerges), the connected graph collapses to ONE
+  // partition with no cross edges and no interfaces.
+  const std::vector<int> level = {0, 1, 1, 2, 3, 3};
+  for (const bool candidates : {false, true}) {
+    std::vector<st::PartitionEdge> edges = {
+        {0, 1, candidates}, {0, 2, candidates}, {1, 3, candidates},
+        {2, 3, candidates}, {3, 4, candidates}, {3, 5, candidates}};
+    const auto parts = st::PartitionSet::build(6, level, edges, {});
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts.vertices(0).size(), 6u);
+    EXPECT_TRUE(parts.cross_edges().empty());
+    EXPECT_TRUE(parts.interface_vertices().empty());
+    EXPECT_TRUE(parts.predecessors(0).empty());
+    EXPECT_TRUE(parts.successors(0).empty());
+  }
+  // A tiny cap instead fragments the candidate version into shards
+  // with real cross edges — the knob the greedy merge respects.
+  st::PartitionOptions tiny;
+  tiny.max_partition_vertices = 2;
+  std::vector<st::PartitionEdge> edges = {{0, 1, true}, {0, 2, true},
+                                          {1, 3, true}, {2, 3, true},
+                                          {3, 4, true}, {3, 5, true}};
+  const auto parts = st::PartitionSet::build(6, level, edges, tiny);
+  EXPECT_GT(parts.size(), 1u);
+  EXPECT_FALSE(parts.cross_edges().empty());
+
+  // And on a real single-cone netlist the engine's own partitioning
+  // yields one shard whose sharded sweep still equals the per-level
+  // path bitwise (single-partition == whole-graph equivalence).
+  const auto chain = nl::make_chain_tree(1);
+  st::StaEngine single(chain, tu::vcl013());
+  tu::constrain_chain_tree(single, 1);
+  EXPECT_EQ(single.partitions().size(), 1u);
+  st::SweepSpec spec;
+  spec.threads = 2;
+  spec.shard = true;
+  const auto sharded = single.sweep(spec);
+  spec.shard = false;
+  const auto levels = single.sweep(spec);
+  EXPECT_TRUE(tu::states_bitwise_equal(levels.state(0), sharded.state(0),
+                                       &single));
+}
+
+TEST(StaPartition, ShardedBitwiseIdenticalToUnshardedAcrossThreads) {
+  // Randomized netlists: the sharded (point × partition) schedule must
+  // reproduce the legacy per-level fan-out bitwise at 1/2/4 threads.
+  for (const uint64_t seed : {3ull, 11ull}) {
+    const auto f = tu::random_engine(seed);
+    const auto scenarios = tu::random_scenarios(f, 6);
+
+    st::SweepSpec base;
+    base.scenarios = scenarios;
+    base.threads = 1;
+    base.shard = false;  // the unsharded PR 3 oracle
+    const auto oracle = f.sta->sweep(base);
+
+    for (const int threads : {1, 2, 4}) {
+      st::SweepSpec spec;
+      spec.scenarios = scenarios;
+      spec.threads = threads;
+      spec.shard = true;
+      const auto sharded = f.sta->sweep(spec);
+      ASSERT_EQ(sharded.size(), oracle.size());
+      for (size_t p = 0; p < sharded.size(); ++p) {
+        EXPECT_TRUE(tu::states_bitwise_equal(oracle.state(p),
+                                             sharded.state(p), f.sta.get()))
+            << "seed " << seed << " threads " << threads << " point " << p;
+      }
+      // Repeated runs are bitwise stable too.
+      const auto again = f.sta->sweep(spec);
+      for (size_t p = 0; p < sharded.size(); ++p) {
+        EXPECT_TRUE(tu::states_bitwise_equal(sharded.state(p),
+                                             again.state(p), f.sta.get()))
+            << "repeat, seed " << seed << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(StaPartition, WideThresholdFallbackStaysBitwiseIdentical) {
+  // threshold 1 forces per-level chunking everywhere (maximum
+  // fragmentation); a huge threshold forces one task per partition.
+  const auto f = tu::random_engine(5, 8, 4, 10);
+  const auto scenarios = tu::random_scenarios(f, 4);
+  st::SweepSpec spec;
+  spec.scenarios = scenarios;
+  spec.threads = 4;
+  spec.shard = true;
+  spec.wide_partition_threshold = 1;
+  const auto fine = f.sta->sweep(spec);
+  spec.wide_partition_threshold = 1u << 20;
+  const auto coarse = f.sta->sweep(spec);
+  spec.shard = false;
+  const auto levels = f.sta->sweep(spec);
+  for (size_t p = 0; p < fine.size(); ++p) {
+    EXPECT_TRUE(
+        tu::states_bitwise_equal(fine.state(p), coarse.state(p), f.sta.get()));
+    EXPECT_TRUE(tu::states_bitwise_equal(levels.state(p), fine.state(p),
+                                         f.sta.get()));
+  }
+}
+
+TEST(StaPartition, RunUsesShardsAndMatchesLegacyEvaluate) {
+  const int width = 10;
+  const auto net = nl::make_chain_tree(width);
+  st::StaEngine sta(net, tu::vcl013());
+  tu::constrain_chain_tree(sta, width);
+  sta.set_threads(4);
+  sta.run();  // partition-sharded path
+
+  // Legacy oracle: serial evaluate() with no workspace, no shards.
+  sta.prepare();
+  const auto table = sta.compile_edge_annotations();
+  st::StaEngine::EvalContext ctx;
+  ctx.edge_noise = table.data();
+  ctx.method = &sta.noise_method();
+  st::TimingState state;
+  sta.evaluate(state, ctx);
+  for (int rf = 0; rf < 2; ++rf) {
+    const auto r = static_cast<st::RiseFall>(rf);
+    EXPECT_EQ(sta.timing("y", r).arrival,
+              sta.timing_in(state, "y", r).arrival);
+    EXPECT_EQ(sta.timing("y", r).slew, sta.timing_in(state, "y", r).slew);
+    EXPECT_EQ(sta.timing("y", r).required,
+              sta.timing_in(state, "y", r).required);
+  }
+}
+
+TEST(StaPartition, TaskGraphExecutorRunsDagsAndPropagatesErrors) {
+  // A diamond DAG per tile: 0 → {1, 2} → 3.  Records completion order
+  // constraints rather than a fixed schedule.
+  const std::vector<uint32_t> indegree = {0, 1, 1, 2};
+  const std::vector<std::vector<uint32_t>> successors = {
+      {1, 2}, {3}, {3}, {}};
+  for (const int threads : {1, 2, 4}) {
+    wu::ThreadPool pool(threads);
+    const size_t tiles = 5;
+    std::vector<std::atomic<int>> done(4 * tiles);
+    for (auto& d : done) d.store(0);
+    std::atomic<int> violations{0};
+    pool.run_graph(
+        {indegree, successors, tiles}, [&](size_t, size_t task) {
+          const size_t tile = task / 4;
+          const size_t local = task % 4;
+          if (local == 1 || local == 2) {
+            if (done[tile * 4 + 0].load() == 0) violations++;
+          }
+          if (local == 3) {
+            if (done[tile * 4 + 1].load() == 0 ||
+                done[tile * 4 + 2].load() == 0) {
+              violations++;
+            }
+          }
+          done[task].store(1);
+        });
+    for (auto& d : done) EXPECT_EQ(d.load(), 1);
+    EXPECT_EQ(violations.load(), 0);
+
+    // Exceptions cancel the remainder and surface on the caller.
+    EXPECT_THROW(pool.run_graph({indegree, successors, tiles},
+                                [&](size_t, size_t task) {
+                                  if (task == 2) throw wu::Error("boom");
+                                }),
+                 wu::Error);
+    // The pool stays usable afterwards.
+    std::atomic<int> count{0};
+    pool.run_graph({indegree, successors, 1},
+                   [&](size_t, size_t) { count++; });
+    EXPECT_EQ(count.load(), 4);
+  }
+}
+
+TEST(StaPartition, NetlistPartitionQueries) {
+  const auto net = nl::make_chain_tree(4);
+  // Degrees: input net a0 = port + one sink; c0_1 = driver + one sink.
+  EXPECT_EQ(net.net_degree("a0"), 2);
+  EXPECT_EQ(net.net_degree("c0_1"), 2);
+  EXPECT_EQ(net.net_degree(net.net_ordinal("y")), 2);  // driver + port
+  EXPECT_EQ(net.net_degree(-1), 0);
+  EXPECT_TRUE(net.is_interface_net("a0"));
+  EXPECT_TRUE(net.is_interface_net("y"));
+  EXPECT_FALSE(net.is_interface_net("c0_1"));
+  // The chain tree is one connected component; two disjoint trees in
+  // one netlist give two.
+  EXPECT_EQ(net.connected_components().count, 1);
+  nl::Netlist two;
+  two.add_port("a", nl::PortDirection::kInput);
+  two.add_port("b", nl::PortDirection::kInput);
+  two.add_port("x", nl::PortDirection::kOutput);
+  two.add_port("y", nl::PortDirection::kOutput);
+  two.add_instance({"u1", "INVX1", {{"A", "a"}, {"Y", "x"}}});
+  two.add_instance({"u2", "INVX1", {{"A", "b"}, {"Y", "y"}}});
+  const auto comps = two.connected_components();
+  EXPECT_EQ(comps.count, 2);
+  EXPECT_EQ(comps.net_component[static_cast<size_t>(two.net_ordinal("a"))],
+            comps.net_component[static_cast<size_t>(two.net_ordinal("x"))]);
+  EXPECT_NE(comps.net_component[static_cast<size_t>(two.net_ordinal("a"))],
+            comps.net_component[static_cast<size_t>(two.net_ordinal("b"))]);
+}

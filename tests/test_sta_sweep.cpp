@@ -9,45 +9,33 @@
 #include <string>
 #include <vector>
 
-#include "charlib/characterize.hpp"
 #include "netlist/generators.hpp"
 #include "sta/batch.hpp"
 #include "sta/engine.hpp"
 #include "sta/sweep.hpp"
+#include "sta_test_util.hpp"
 #include "util/error.hpp"
 #include "wave/ramp.hpp"
 
-namespace cl = waveletic::charlib;
 namespace lb = waveletic::liberty;
 namespace nl = waveletic::netlist;
 namespace st = waveletic::sta;
+namespace tu = waveletic::statest;
 namespace wu = waveletic::util;
 namespace wv = waveletic::wave;
 
 namespace {
 
-const lb::Library& lib() {
-  static const lb::Library library = cl::build_vcl013_library_fast();
-  return library;
-}
+// Shared scaffolding lives in sta_test_util.hpp.
+const lb::Library& lib() { return tu::vcl013(); }
 
 void constrain(st::StaEngine& sta, int width) {
-  for (int i = 0; i < width; ++i) {
-    sta.set_input("a" + std::to_string(i), 0.01e-9 * i, (80 + 7 * i) * 1e-12);
-  }
-  sta.set_output_load("y", 6e-15);
-  sta.set_required("y", 2e-9);
+  tu::constrain_chain_tree(sta, width);
 }
 
 st::NoiseScenario bump_scenario(const st::StaEngine& clean, int chain,
                                 double alignment, double strength) {
-  const std::string net = "c" + std::to_string(chain) + "_1";
-  const auto& t = clean.timing("inv" + std::to_string(chain) + "_2/A",
-                               st::RiseFall::kFall);
-  return st::make_aggressor_scenario(net, t.arrival, t.slew,
-                                     lib().nom_voltage,
-                                     wv::Polarity::kFalling, alignment,
-                                     strength);
+  return tu::chain_bump_scenario(clean, chain, alignment, strength);
 }
 
 void apply_scenario(st::StaEngine& sta, const st::NoiseScenario& sc) {
@@ -60,18 +48,7 @@ void apply_scenario(st::StaEngine& sta, const st::NoiseScenario& sc) {
 
 void expect_states_identical(const st::TimingState& a,
                              const st::TimingState& b) {
-  ASSERT_EQ(a.size(), b.size());
-  for (size_t v = 0; v < a.size(); ++v) {
-    for (int rf = 0; rf < 2; ++rf) {
-      const auto& ta = a[v].timing[rf];
-      const auto& tb = b[v].timing[rf];
-      EXPECT_EQ(ta.valid, tb.valid) << "vertex " << v;
-      // Bitwise: no tolerance.
-      EXPECT_EQ(ta.arrival, tb.arrival) << "vertex " << v;
-      EXPECT_EQ(ta.slew, tb.slew) << "vertex " << v;
-      EXPECT_EQ(ta.required, tb.required) << "vertex " << v;
-    }
-  }
+  EXPECT_TRUE(tu::states_bitwise_equal(a, b));
 }
 
 std::vector<st::Corner> two_corners() {
@@ -312,6 +289,121 @@ TEST(StaSweep, ScenarioBatchIsAShimOverSweep) {
   // The shim exposes its underlying SweepResult.
   EXPECT_EQ(batch.result().size(), batch.size());
   EXPECT_EQ(batch.result().num_corners(), 1u);
+}
+
+TEST(StaSweep, EndpointOnlyAgreesWithFullStateBitwise) {
+  const int width = 5;
+  const auto net = nl::make_chain_tree(width);
+  st::StaEngine clean(net, lib());
+  constrain(clean, width);
+  clean.run();
+
+  st::SweepSpec spec;
+  spec.corners = two_corners();
+  for (int a = 0; a < 5; ++a) {
+    spec.scenarios.push_back(bump_scenario(clean, a % 2, (a - 2) * 15e-12,
+                                           0.3 + 0.08 * a));
+  }
+  spec.threads = 2;
+
+  st::StaEngine sta(net, lib());
+  constrain(sta, width);
+  const auto full = sta.sweep(spec);
+  spec.endpoint_only = true;
+  spec.endpoint_chunk = 3;  // force multiple chunks over the 10 points
+  const auto summary = sta.sweep(spec);
+
+  ASSERT_EQ(summary.size(), full.size());
+  EXPECT_TRUE(summary.endpoint_only());
+  EXPECT_FALSE(full.endpoint_only());
+  ASSERT_EQ(summary.num_endpoints(), 1u);
+  EXPECT_EQ(summary.endpoint_name(0), "y");
+
+  for (size_t p = 0; p < full.size(); ++p) {
+    // worst slack, critical endpoint and endpoint arrivals agree
+    // bitwise with the full-state accessors on the same spec.
+    EXPECT_EQ(summary.worst_slack(p), full.worst_slack(p)) << "point " << p;
+    const auto ce_s = summary.critical_endpoint(p);
+    const auto ce_f = full.critical_endpoint(p);
+    EXPECT_EQ(ce_s.endpoint, ce_f.endpoint);
+    EXPECT_EQ(ce_s.rf, ce_f.rf);
+    EXPECT_EQ(ce_s.slack, ce_f.slack);
+    for (int rf = 0; rf < 2; ++rf) {
+      EXPECT_EQ(summary.endpoint_arrival(p, 0, static_cast<st::RiseFall>(rf)),
+                full.endpoint_arrival(p, 0, static_cast<st::RiseFall>(rf)));
+    }
+  }
+  const auto wp_full = full.worst_point();
+  const auto wp_sum = summary.worst_point();
+  EXPECT_EQ(wp_sum.point, wp_full.point);
+  EXPECT_EQ(wp_sum.corner, wp_full.corner);
+  EXPECT_EQ(wp_sum.scenario, wp_full.scenario);
+  EXPECT_EQ(wp_sum.slack, wp_full.slack);
+
+  // Memory: the whole point of the mode.
+  EXPECT_LT(summary.result_bytes_per_point() * 10,
+            full.result_bytes_per_point());
+}
+
+TEST(StaSweep, EndpointOnlyFullStateAccessorsThrowClearly) {
+  const int width = 3;
+  const auto net = nl::make_chain_tree(width);
+  st::StaEngine sta(net, lib());
+  constrain(sta, width);
+  st::SweepSpec spec;
+  spec.endpoint_only = true;
+  const auto r = sta.sweep(spec);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_TRUE(std::isfinite(r.worst_slack(0)));
+  auto expect_throws_endpoint_only = [](auto&& fn) {
+    try {
+      fn();
+      FAIL() << "expected util::Error";
+    } catch (const wu::Error& e) {
+      EXPECT_NE(std::string(e.what()).find("endpoint-only"),
+                std::string::npos)
+          << "error should name the mode: " << e.what();
+    }
+  };
+  expect_throws_endpoint_only([&] { (void)r.state(0); });
+  expect_throws_endpoint_only([&] { (void)r.view(0); });
+  expect_throws_endpoint_only(
+      [&] { (void)r.timing(0, "y", st::RiseFall::kFall); });
+  expect_throws_endpoint_only([&] { (void)r.critical_path(0); });
+}
+
+TEST(StaSweep, EndpointOnlyViaScenarioBatchShim) {
+  const int width = 4;
+  const auto net = nl::make_chain_tree(width);
+  st::StaEngine clean(net, lib());
+  constrain(clean, width);
+  clean.run();
+
+  std::vector<st::NoiseScenario> scenarios;
+  for (int a = 0; a < 4; ++a) {
+    scenarios.push_back(bump_scenario(clean, 0, a * 10e-12, 0.4));
+  }
+
+  st::StaEngine sta_full(net, lib());
+  constrain(sta_full, width);
+  st::ScenarioBatch full(sta_full);
+  for (const auto& sc : scenarios) full.add(sc);
+  full.run();
+
+  st::StaEngine sta_ep(net, lib());
+  constrain(sta_ep, width);
+  st::BatchOptions opt;
+  opt.endpoint_only = true;
+  opt.wide_partition_threshold = 8;  // forwarded alongside
+  st::ScenarioBatch batch(sta_ep, opt);
+  for (const auto& sc : scenarios) batch.add(sc);
+  batch.run();
+
+  EXPECT_TRUE(batch.result().endpoint_only());
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    EXPECT_EQ(batch.worst_slack(i), full.worst_slack(i)) << "scenario " << i;
+  }
+  EXPECT_THROW((void)batch.state(0), wu::Error);
 }
 
 TEST(StaSweep, OutOfRangeAccessThrows) {
