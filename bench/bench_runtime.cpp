@@ -376,6 +376,8 @@ void sta_sweep_batched(benchmark::State& state) {
 
 /// Scheduling A/B: the same sweep under (point × partition) coarse
 /// tasks (sharded) vs the legacy per-level (point × vertex) fan-out.
+/// Runs with delta OFF — this benchmark measures full-propagation
+/// scheduling, which baseline+delta would mask.
 void sta_sweep_scheduled(benchmark::State& state, bool shard) {
   const auto& f = sta_fixture();
   const auto scenarios = f.scenarios(static_cast<int>(state.range(0)));
@@ -385,6 +387,7 @@ void sta_sweep_scheduled(benchmark::State& state, bool shard) {
   spec.scenarios = scenarios;
   spec.threads = static_cast<int>(state.range(1));
   spec.shard = shard;
+  spec.delta = false;
   for (auto _ : state) {
     auto result = sta.sweep(spec);
     double acc = 0.0;
@@ -399,6 +402,133 @@ void sta_sweep_sharded(benchmark::State& state) {
 
 void sta_sweep_levels(benchmark::State& state) {
   sta_sweep_scheduled(state, false);
+}
+
+// ---------------------------------------------------------------------------
+// Sparse-scenario sweep on a ~10k-vertex netlist: the baseline+delta
+// workload — 64 scenarios, each annotating ≤ 2 nets, so every cone
+// covers a tiny slice of the graph and full re-propagation wastes
+// almost the whole walk.
+// ---------------------------------------------------------------------------
+
+struct SparseFixture {
+  waveletic::liberty::Library lib;
+  nl::Netlist netlist;
+
+  SparseFixture()
+      : lib(cl::build_vcl013_library_fast()),
+        netlist(nl::make_random_dag(2026, 24, 50, 80)) {}
+
+  void constrain(st::StaEngine& sta) const {
+    int i = 0;
+    int o = 0;
+    for (const auto& port : netlist.ports()) {
+      if (port.direction == nl::PortDirection::kInput) {
+        sta.set_input(port.name, 0.008e-9 * i, (75 + 9 * (i % 13)) * 1e-12);
+        ++i;
+      } else {
+        sta.set_output_load(port.name, (4 + (o % 3)) * 1e-15);
+        sta.set_required(port.name, 4e-9);
+        ++o;
+      }
+    }
+  }
+
+  /// `count` scenarios, alternating one and two annotated victim nets,
+  /// aggressor alignment cycling from dead-on to far-late.
+  [[nodiscard]] std::vector<st::NoiseScenario> scenarios(int count) const {
+    st::StaEngine clean(netlist, lib);
+    constrain(clean);
+    clean.set_threads(
+        static_cast<int>(wu::ThreadPool::hardware_threads()));
+    clean.run();
+    struct Victim {
+      std::string net;
+      double arrival;
+      double slew;
+    };
+    // Walk instances from the END: the generator appends layer by
+    // layer, so late instances sit near the outputs and their fanout
+    // cones are small — the realistic crosstalk-victim shape (an early-
+    // layer victim's cone covers most of a deep DAG, which is full
+    // re-propagation territory, not the sparse workload).
+    std::vector<Victim> victims;
+    const auto& instances = netlist.instances();
+    for (size_t i = instances.size(); i > 0; --i) {
+      const auto& inst = instances[i - 1];
+      const auto& t = clean.timing(inst.name + "/A", st::RiseFall::kFall);
+      if (!t.valid || t.slew <= 0.0) continue;
+      victims.push_back({inst.pins.at("A"), t.arrival, t.slew});
+      if (victims.size() >= 4 * static_cast<size_t>(count)) break;
+    }
+    // A few aggressors sit right on the clean critical path (dead-on
+    // alignment: these decide the worst slack), the rest are the
+    // long tail of far-offset / off-path bumps a sign-off sweep grinds
+    // through — prune=safe's prey.
+    std::vector<Victim> critical;
+    for (const auto& step : clean.worst_path()) {
+      const auto slash = step.pin.find('/');
+      if (slash == std::string::npos) continue;
+      const auto* inst = netlist.find_instance(step.pin.substr(0, slash));
+      const auto& t = clean.timing(step.pin, st::RiseFall::kFall);
+      if (!t.valid || t.slew <= 0.0) continue;
+      critical.push_back(
+          {inst->pins.at(step.pin.substr(slash + 1)), t.arrival, t.slew});
+    }
+    std::vector<st::NoiseScenario> out;
+    size_t v = 0;
+    for (int i = 0; i < count; ++i) {
+      const bool on_path = i < 4 && !critical.empty();
+      const int nets = on_path ? 1 : 1 + (i % 2);  // ≤ 2 nets each
+      st::NoiseScenario sc;
+      for (int n = 0; n < nets; ++n) {
+        const auto& vic = on_path
+                              ? critical[static_cast<size_t>(i) %
+                                         critical.size()]
+                              : victims[v++ % victims.size()];
+        auto one = st::make_aggressor_scenario(
+            vic.net, vic.arrival, vic.slew, lib.nom_voltage,
+            wv::Polarity::kFalling, on_path ? 0.0 : (i % 8) * 120e-12,
+            on_path ? 0.45 : 0.25 + 0.05 * (i % 4));
+        if (sc.name.empty()) sc.name = one.name;
+        sc.annotate(vic.net, one.entries[0].annotation.waveform,
+                    one.entries[0].annotation.polarity);
+      }
+      out.push_back(std::move(sc));
+    }
+    return out;
+  }
+};
+
+const SparseFixture& sparse_fixture() {
+  static const SparseFixture f;
+  return f;
+}
+
+/// One sparse sweep per iteration, delta on/off.
+void sta_sweep_sparse(benchmark::State& state, bool delta) {
+  const auto& f = sparse_fixture();
+  const auto scenarios = f.scenarios(static_cast<int>(state.range(0)));
+  st::StaEngine sta(f.netlist, f.lib);
+  f.constrain(sta);
+  st::SweepSpec spec;
+  spec.scenarios = scenarios;
+  spec.threads = static_cast<int>(state.range(1));
+  spec.delta = delta;
+  for (auto _ : state) {
+    auto result = sta.sweep(spec);
+    double acc = 0.0;
+    for (size_t i = 0; i < result.size(); ++i) acc += result.worst_slack(i);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+
+void sta_sweep_sparse_delta(benchmark::State& state) {
+  sta_sweep_sparse(state, true);
+}
+
+void sta_sweep_sparse_full(benchmark::State& state) {
+  sta_sweep_sparse(state, false);
 }
 
 }  // namespace
@@ -432,6 +562,16 @@ BENCHMARK(sta_sweep_sharded)
 BENCHMARK(sta_sweep_levels)
     ->Args({64, 1})
     ->Args({64, 2})
+    ->Args({64, 4})
+    ->ArgNames({"scenarios", "threads"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(sta_sweep_sparse_delta)
+    ->Args({64, 4})
+    ->ArgNames({"scenarios", "threads"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(sta_sweep_sparse_full)
     ->Args({64, 4})
     ->ArgNames({"scenarios", "threads"})
     ->Unit(benchmark::kMillisecond)
@@ -521,6 +661,7 @@ SweepFigures report_sweep_speedups() {
     st::SweepSpec spec;
     spec.scenarios = scenarios;
     spec.threads = static_cast<int>(ab_threads);
+    spec.delta = false;  // the A/B measures full-propagation scheduling
     auto one = [&](bool shard, std::vector<double>& slack) {
       spec.shard = shard;
       st::SweepResult result;
@@ -582,7 +723,58 @@ SweepFigures report_sweep_speedups() {
     }
   }
 
-  bool identical = endpoint_matches_full;
+  // Sparse-scenario baseline+delta A/B on the ~10k-vertex random DAG:
+  // 64 scenarios, ≤ 2 annotated nets each, so full re-propagation
+  // walks the whole graph per point while delta touches only the tiny
+  // cones.  Best-of-3 interleaved; per-point worst slacks must match
+  // bitwise and prune=safe must keep the exact worst point.
+  const int kSparse = 64;
+  double t_sparse_full = std::numeric_limits<double>::infinity();
+  double t_sparse_delta = std::numeric_limits<double>::infinity();
+  double t_sparse_pruned = std::numeric_limits<double>::infinity();
+  size_t sparse_vertices = 0;
+  waveletic::sta::PruneStats sparse_stats{};
+  bool sparse_identical = true;
+  {
+    const auto& sf = sparse_fixture();
+    const auto sparse_scens = sf.scenarios(kSparse);
+    st::StaEngine sta(sf.netlist, sf.lib);
+    sf.constrain(sta);
+    sparse_vertices = sta.vertex_count();
+    st::SweepSpec spec;
+    spec.scenarios = sparse_scens;
+    spec.threads = static_cast<int>(hw);
+    st::SweepResult r_full, r_delta, r_pruned;
+    for (int rep = 0; rep < 3; ++rep) {
+      spec.delta = false;
+      spec.prune = st::PruneMode::kOff;
+      t_sparse_full = std::min(
+          t_sparse_full, wall_seconds([&] { r_full = sta.sweep(spec); }));
+      spec.delta = true;
+      t_sparse_delta = std::min(
+          t_sparse_delta, wall_seconds([&] { r_delta = sta.sweep(spec); }));
+      spec.prune = st::PruneMode::kSafe;
+      t_sparse_pruned = std::min(
+          t_sparse_pruned, wall_seconds([&] { r_pruned = sta.sweep(spec); }));
+      spec.prune = st::PruneMode::kOff;
+    }
+    for (size_t p = 0; p < r_full.size(); ++p) {
+      sparse_identical =
+          sparse_identical && r_full.worst_slack(p) == r_delta.worst_slack(p);
+    }
+    const auto wp_full = r_full.worst_point();
+    const auto wp_pruned = r_pruned.worst_point();
+    sparse_identical = sparse_identical && wp_full.point == wp_pruned.point &&
+                       wp_full.slack == wp_pruned.slack;
+    sparse_stats = r_pruned.prune_stats();
+    if (!sparse_identical) std::printf("SPARSE DELTA MISMATCH — BUG\n");
+  }
+  const double sparse_delta_speedup = t_sparse_full / t_sparse_delta;
+  const double sparse_pruned_fraction =
+      static_cast<double>(sparse_stats.pruned) /
+      static_cast<double>(std::max<size_t>(sparse_stats.points, 1));
+
+  bool identical = endpoint_matches_full && sparse_identical;
   for (int i = 0; i < kScenarios; ++i) {
     identical = identical && looped_slack[i] == batched1_slack[i] &&
                 looped_slack[i] == batchedN_slack[i] &&
@@ -622,6 +814,21 @@ SweepFigures report_sweep_speedups() {
               hw, t_run1 * 1e3, t_runN * 1e3, t_run1 / t_runN);
   std::printf("endpoint-only 10k-point sweep:   %8.1f ms  (%.1f points/sec)\n",
               t_endpoint * 1e3, kEndpointPoints / t_endpoint);
+  std::printf("sparse sweep (%zu vertices, %d scenarios, <=2 nets each):\n",
+              sparse_vertices, kSparse);
+  std::printf("  full re-propagation:           %8.1f ms  (%.1f "
+              "scenarios/sec)\n",
+              t_sparse_full * 1e3, kSparse / t_sparse_full);
+  std::printf("  baseline + delta:              %8.1f ms  (%.1f "
+              "scenarios/sec, %.2fx vs full)%s\n",
+              t_sparse_delta * 1e3, kSparse / t_sparse_delta,
+              sparse_delta_speedup,
+              sparse_delta_speedup >= 2.0 ? "" : "  [below 2x target]");
+  std::printf("  delta + prune=safe:            %8.1f ms  (%.1f "
+              "scenarios/sec, %.0f%% pruned, dirty cone %.1f%%)\n",
+              t_sparse_pruned * 1e3, kSparse / t_sparse_pruned,
+              sparse_pruned_fraction * 100.0,
+              sparse_stats.dirty_vertex_fraction * 100.0);
   std::printf("result memory per point: full %zu B -> endpoint-only %zu B "
               "(%.1fx reduction)%s  [worst slack %.4g]\n",
               full_bytes, endpoint_bytes,
@@ -658,6 +865,19 @@ SweepFigures report_sweep_speedups() {
                  "  \"endpoint_bytes_per_point\": %zu,\n"
                  "  \"full_bytes_per_point\": %zu,\n"
                  "  \"endpoint_memory_reduction\": %.1f,\n"
+                 "  \"sparse_vertices\": %zu,\n"
+                 "  \"sparse_scenarios\": %d,\n"
+                 "  \"sparse_full_scenarios_per_sec\": %.1f,\n"
+                 "  \"sparse_delta_scenarios_per_sec\": %.1f,\n"
+                 "  \"sparse_delta_speedup\": %.2f,\n"
+                 "  \"sparse_pruned_scenarios_per_sec\": %.1f,\n"
+                 "  \"sparse_prune_evaluated\": %zu,\n"
+                 "  \"sparse_prune_pruned\": %zu,\n"
+                 "  \"sparse_pruned_fraction\": %.4f,\n"
+                 "  \"sparse_dirty_vertex_fraction\": %.4f,\n"
+                 "  \"sparse_dirty_partition_fraction\": %.4f,\n"
+                 "  \"sparse_bound_mean_gap_ps\": %.2f,\n"
+                 "  \"sparse_bitwise_identical\": %s,\n"
                  "  \"cache_hits\": %llu,\n"
                  "  \"cache_misses\": %llu,\n"
                  "  \"cache_hit_rate\": %.4f,\n"
@@ -671,6 +891,14 @@ SweepFigures report_sweep_speedups() {
                  endpoint_bytes, full_bytes,
                  static_cast<double>(full_bytes) /
                      static_cast<double>(endpoint_bytes),
+                 sparse_vertices, kSparse, kSparse / t_sparse_full,
+                 kSparse / t_sparse_delta, sparse_delta_speedup,
+                 kSparse / t_sparse_pruned, sparse_stats.evaluated,
+                 sparse_stats.pruned, sparse_pruned_fraction,
+                 sparse_stats.dirty_vertex_fraction,
+                 sparse_stats.dirty_partition_fraction,
+                 sparse_stats.mean_bound_gap * 1e12,
+                 sparse_identical ? "true" : "false",
                  static_cast<unsigned long long>(statsN.hits),
                  static_cast<unsigned long long>(statsN.misses), hit_rate,
                  identical ? "true" : "false");

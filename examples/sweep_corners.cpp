@@ -7,9 +7,11 @@
 //      victim net) and a corner axis (nominal / slow / slow-wire
 //      derates),
 //   4. evaluate the full corners × scenarios cross product in ONE
-//      levelized pass with StaEngine::sweep(),
-//   5. print the slack matrix, the worst point, its critical path, and
-//      the Γeff cache statistics.
+//      baseline + delta pass with StaEngine::sweep(), under
+//      PruneMode::kSafe slack-bound pruning,
+//   5. print the slack matrix (pruned points show their proven bound),
+//      the worst point, its critical path, the prune/delta statistics,
+//      and the Γeff cache statistics.
 //
 //   $ ./sweep_corners
 
@@ -65,11 +67,12 @@ int main() {
         (a - 4) * 15e-12, 0.45));
   }
   spec.threads = 0;  // hardware concurrency
+  spec.prune = st::PruneMode::kSafe;  // delta is on by default
 
   const auto result = sta.sweep(spec);
 
   std::printf("\n-- %zu corners x %zu scenarios = %zu points, "
-              "one levelized pass --\n",
+              "one baseline + delta pass --\n",
               result.num_corners(), result.num_scenarios(), result.size());
   std::printf("%-34s", "scenario \\ corner");
   for (size_t c = 0; c < result.num_corners(); ++c) {
@@ -79,8 +82,14 @@ int main() {
   for (size_t s = 0; s < result.num_scenarios(); ++s) {
     std::printf("%-34s", result.scenario_name(s).c_str());
     for (size_t c = 0; c < result.num_corners(); ++c) {
-      std::printf(" %9.1f ps",
-                  result.worst_slack(result.point(c, s)) * 1e12);
+      const size_t p = result.point(c, s);
+      if (result.pruned(p)) {
+        // No timing was computed, but the bound proves it can't be
+        // the worst point.
+        std::printf("  >=%6.1f ps*", result.worst_slack_bound(p) * 1e12);
+      } else {
+        std::printf(" %9.1f ps ", result.worst_slack(p) * 1e12);
+      }
     }
     std::printf("\n");
   }
@@ -95,6 +104,16 @@ int main() {
     std::printf(" %s(%s)", step.pin.c_str(), st::to_string(step.rf));
   }
   std::printf("\n");
+
+  const auto ps = result.prune_stats();
+  std::printf("\nbaseline+delta / pruning: %zu points -> %zu evaluated, "
+              "%zu pruned, %zu reused (* = pruned, bound shown)\n",
+              ps.points, ps.evaluated, ps.pruned, ps.reused);
+  std::printf("mean dirty cone: %.1f%% of vertices, %.1f%% of partitions; "
+              "bound tightness: mean gap %.1f ps, min gap %.1f ps\n",
+              ps.dirty_vertex_fraction * 100.0,
+              ps.dirty_partition_fraction * 100.0,
+              ps.mean_bound_gap * 1e12, ps.min_bound_gap * 1e12);
 
   const auto stats = result.cache_stats();
   std::printf("Γeff memo: %llu hits, %llu misses\n",

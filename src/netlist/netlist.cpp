@@ -83,6 +83,53 @@ Netlist::Components Netlist::connected_components() const {
   return out;
 }
 
+std::vector<int> Netlist::transitive_fanout_nets(
+    std::span<const int> seeds,
+    const std::function<bool(const Instance&, const std::string& pin)>&
+        drives) const {
+  // One pass over every instance pin builds the net → consuming
+  // instances index and each instance's driven-net list; the closure is
+  // then a plain BFS over net ordinals.
+  std::vector<std::vector<int>> consumers(nets_.size());  // net → instances
+  std::vector<std::vector<int>> driven(instances_.size());  // inst → nets
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    for (const auto& [pin, net] : instances_[i].pins) {
+      const int ord = net_ordinal(net);
+      if (drives(instances_[i], pin)) {
+        driven[i].push_back(ord);
+      } else {
+        consumers[static_cast<size_t>(ord)].push_back(static_cast<int>(i));
+      }
+    }
+  }
+  std::vector<char> reached(nets_.size(), 0);
+  std::vector<int> stack;
+  for (const int seed : seeds) {
+    if (seed < 0 || static_cast<size_t>(seed) >= nets_.size()) continue;
+    if (!reached[static_cast<size_t>(seed)]) {
+      reached[static_cast<size_t>(seed)] = 1;
+      stack.push_back(seed);
+    }
+  }
+  while (!stack.empty()) {
+    const int net = stack.back();
+    stack.pop_back();
+    for (const int inst : consumers[static_cast<size_t>(net)]) {
+      for (const int out : driven[static_cast<size_t>(inst)]) {
+        if (!reached[static_cast<size_t>(out)]) {
+          reached[static_cast<size_t>(out)] = 1;
+          stack.push_back(out);
+        }
+      }
+    }
+  }
+  std::vector<int> out;
+  for (size_t i = 0; i < nets_.size(); ++i) {
+    if (reached[i]) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
 const Port* Netlist::find_port(const std::string& port_name) const noexcept {
   for (const auto& p : ports_) {
     if (p.name == port_name) return &p;

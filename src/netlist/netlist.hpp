@@ -6,7 +6,9 @@
 /// levelizes; it is deliberately library-agnostic (cells are referenced
 /// by name and resolved against a liberty::Library at analysis time).
 
+#include <functional>
 #include <map>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -92,6 +94,22 @@ class Netlist {
       const std::string& net_name) const noexcept {
     return find_port(net_name) != nullptr;
   }
+
+  /// Transitive fanout of the `seeds` net ordinals: every net reachable
+  /// downstream through instances, seeds included, sorted ascending.
+  /// The netlist is library-agnostic and cannot know pin directions, so
+  /// `drives` decides which instance pins are outputs: an instance is
+  /// reached when a non-driving pin of it touches a reached net, and
+  /// its driving pins' nets then join the set.  This is the net-level
+  /// fanout cone of the paper's central observation — a noise bump on a
+  /// net perturbs timing only through these nets — and the netlist-
+  /// layer counterpart of the vertex cone StaEngine::delta_plan()
+  /// re-propagates.  O(total pins) per call; ignores seed ordinals that
+  /// are out of range.
+  [[nodiscard]] std::vector<int> transitive_fanout_nets(
+      std::span<const int> seeds,
+      const std::function<bool(const Instance&, const std::string& pin)>&
+          drives) const;
 
  private:
   std::vector<Port> ports_;

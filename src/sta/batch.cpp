@@ -30,6 +30,8 @@ void ScenarioBatch::run() {
   spec_.shard = options_.shard;
   spec_.wide_partition_threshold = options_.wide_partition_threshold;
   spec_.endpoint_only = options_.endpoint_only;
+  spec_.delta = options_.delta;
+  spec_.prune = options_.prune;
   spec_.pool = pool_.get();
   // corners stays empty: one point per scenario, at the engine corner.
   result_ = engine_->sweep(spec_);

@@ -52,6 +52,14 @@ struct BatchOptions {
   /// critical endpoint, endpoint arrivals} per scenario; state() and
   /// timing() then throw.
   bool endpoint_only = false;
+  /// Forwarded to SweepSpec::delta — baseline + delta evaluation
+  /// (default): one nominal baseline, each scenario re-propagates only
+  /// its fanout cone.  Bitwise identical either way.
+  bool delta = true;
+  /// Forwarded to SweepSpec::prune — scenario pruning.  Pruned
+  /// scenarios' accessors throw; worst slack answers stay exact through
+  /// result().worst_point().
+  PruneMode prune = PruneMode::kOff;
 };
 
 /// Sweeps N noise scenarios over one engine in a single levelized pass.

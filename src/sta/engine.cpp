@@ -214,6 +214,7 @@ void StaEngine::build_graph() {
         e.from = vertex(inst.name + "/" + arc.related_pin);
         e.to = vertex(inst.name + "/" + pin.name);
         e.arc = &arc;
+        e.out_net = netlist_->net_ordinal(out_it->second);
         cell_edges_.push_back(e);
       }
     }
@@ -237,6 +238,7 @@ void StaEngine::build_graph() {
       int v;
       const liberty::Pin* pin;
       const liberty::Cell* cell;
+      int32_t out_net;  // net driven by the sink gate's output pin
     };
     std::vector<Sink> sinks;
     for (const auto& ref : netlist_->pins_on_net(net)) {
@@ -246,12 +248,17 @@ void StaEngine::build_graph() {
       if (pin->direction == liberty::PinDirection::kOutput) {
         drivers.push_back(v);
       } else {
-        sinks.push_back({v, pin, cell});
+        const auto& out_pin = cell->output_pin();
+        const auto out_it = ref.instance->pins.find(out_pin.name);
+        sinks.push_back({v, pin, cell,
+                         out_it == ref.instance->pins.end()
+                             ? -1
+                             : netlist_->net_ordinal(out_it->second)});
       }
     }
     if (const auto* port = netlist_->find_port(net)) {
       if (port->direction == netlist::PortDirection::kOutput) {
-        sinks.push_back({find_vertex(net), nullptr, nullptr});
+        sinks.push_back({find_vertex(net), nullptr, nullptr, -1});
       }
     }
     util::require(drivers.size() <= 1, "net ", net, " has ", drivers.size(),
@@ -265,6 +272,7 @@ void StaEngine::build_graph() {
       e.net = net_ord;
       e.sink_pin = sink.pin;
       e.sink_cell = sink.cell;
+      e.sink_out_net = sink.out_net;
       edges_of_net_[static_cast<size_t>(net_ord)].push_back(
           static_cast<uint32_t>(net_edges_.size()));
       net_edges_.push_back(e);
@@ -378,19 +386,28 @@ const PartitionSchedule& StaEngine::shard_schedule(
 
 void StaEngine::compute_loads() {
   // Load on each net = sink pin caps + annotated wire cap + port load.
+  // One pass over instance pins instead of pins_on_net() per net: each
+  // input pin adds its cap to its net, in the SAME (instance, pin)
+  // visit order the per-net walk produced, so the per-net sums fold in
+  // the identical order and stay bitwise equal.  Net ordinals were
+  // resolved onto the edges at construction, so this — the per-
+  // prepare() path — does no name parsing and no linear instance
+  // searches (prepare() used to be quadratic in the netlist size and
+  // dominated sweeps over 10k-vertex graphs).
   const auto& nets = netlist_->nets();
   std::vector<double> net_load(nets.size(), 0.0);
-  for (size_t i = 0; i < nets.size(); ++i) {
-    double load = 0.0;
-    for (const auto& ref : netlist_->pins_on_net(nets[i])) {
-      const liberty::Cell* cell = library_->find_cell(ref.instance->cell);
-      const liberty::Pin* pin = cell->find_pin(ref.pin);
+  for (const auto& inst : netlist_->instances()) {
+    const liberty::Cell* cell = library_->find_cell(inst.cell);
+    for (const auto& [pin_name, net] : inst.pins) {
+      const liberty::Pin* pin = cell->find_pin(pin_name);
       if (pin->direction == liberty::PinDirection::kInput) {
-        load += pin->capacitance;
+        net_load[static_cast<size_t>(netlist_->net_ordinal(net))] +=
+            pin->capacitance;
       }
     }
-    load += net_parasitics_[i].first;
-    net_load[i] = load;
+  }
+  for (size_t i = 0; i < nets.size(); ++i) {
+    net_load[i] += net_parasitics_[i].first;
   }
   for (size_t p = 0; p < ports_.size(); ++p) {
     if (ports_[p].direction != netlist::PortDirection::kOutput) continue;
@@ -399,30 +416,16 @@ void StaEngine::compute_loads() {
   }
   // Attach to cell arcs (load seen by the arc's output pin).
   for (auto& e : cell_edges_) {
-    const auto& out_name = vertex_names_[static_cast<size_t>(e.to)];
-    const auto slash = out_name.find('/');
-    const std::string inst_name = out_name.substr(0, slash);
-    const std::string pin_name = out_name.substr(slash + 1);
-    const auto* inst = netlist_->find_instance(inst_name);
-    const int ord = netlist_->net_ordinal(inst->pins.at(pin_name));
-    e.load = net_load[static_cast<size_t>(ord)];
+    e.load = net_load[static_cast<size_t>(e.out_net)];
   }
   // Attach each sink gate's own output load to net edges (needed to
   // synthesize the noiseless output response at noisy sinks), plus the
   // annotated wire delay.
   for (auto& e : net_edges_) {
     e.wire_delay = net_parasitics_[static_cast<size_t>(e.net)].second;
-    if (e.sink_cell == nullptr) continue;
-    const auto& sink_name = vertex_names_[static_cast<size_t>(e.to)];
-    const auto slash = sink_name.find('/');
-    const auto* inst = netlist_->find_instance(sink_name.substr(0, slash));
-    const auto& out_pin = e.sink_cell->output_pin();
-    const auto out_net = inst->pins.find(out_pin.name);
-    e.sink_load =
-        out_net == inst->pins.end()
-            ? 0.0
-            : net_load[static_cast<size_t>(
-                  netlist_->net_ordinal(out_net->second))];
+    e.sink_load = e.sink_out_net >= 0
+                      ? net_load[static_cast<size_t>(e.sink_out_net)]
+                      : 0.0;
   }
 }
 
@@ -931,6 +934,186 @@ void StaEngine::evaluate_points(std::span<TimingState> states,
         }
       }
     }
+  }
+}
+
+StaEngine::DeltaPlan StaEngine::delta_plan(
+    const NoiseScenario& scenario) const {
+  const size_t n = vertex_names_.size();
+  DeltaPlan plan;
+  plan.num_vertices = n;
+
+  // Seeds: the sink vertex of every net edge of every annotated net —
+  // the only places where the compiled edge-annotation table of this
+  // scenario can differ from the engine-level base table.
+  std::vector<char> dirty(n, 0);
+  std::vector<int> stack;
+  for (const auto& entry : scenario.entries) {
+    const int ord = netlist_->net_ordinal(entry.net);
+    util::require(ord >= 0, "delta_plan: scenario ", scenario.name,
+                  " annotates unknown net ", entry.net);
+    for (const uint32_t e : edges_of_net_[static_cast<size_t>(ord)]) {
+      const int v = net_edges_[e].to;
+      if (!dirty[static_cast<size_t>(v)]) {
+        dirty[static_cast<size_t>(v)] = 1;
+        stack.push_back(v);
+      }
+    }
+  }
+  // Forward closure over out-edges: the transitive fanout cone.
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    for (const auto& [is_cell, idx] : out_edges_[static_cast<size_t>(v)]) {
+      const int to = is_cell ? cell_edges_[idx].to : net_edges_[idx].to;
+      if (!dirty[static_cast<size_t>(to)]) {
+        dirty[static_cast<size_t>(to)] = 1;
+        stack.push_back(to);
+      }
+    }
+  }
+  // Backward closure: required times depend on downstream arrivals, so
+  // every vertex with a path INTO the cone must re-fold its required.
+  std::vector<char> back(dirty);
+  for (size_t v = 0; v < n; ++v) {
+    if (dirty[v]) stack.push_back(static_cast<int>(v));
+  }
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    for (const auto& [is_cell, idx] : in_edges_[static_cast<size_t>(v)]) {
+      const int from = is_cell ? cell_edges_[idx].from : net_edges_[idx].from;
+      if (!back[static_cast<size_t>(from)]) {
+        back[static_cast<size_t>(from)] = 1;
+        stack.push_back(from);
+      }
+    }
+  }
+
+  for (size_t v = 0; v < n; ++v) {
+    if (dirty[v]) plan.forward.push_back(static_cast<int>(v));
+    if (back[v]) plan.backward.push_back(static_cast<int>(v));
+  }
+  // Ascending vertex id is already the tie-break; stable sort by level
+  // gives (level, vertex) forwards and (-level, vertex) backwards.
+  std::stable_sort(plan.forward.begin(), plan.forward.end(),
+                   [this](int a, int b) {
+                     return vertex_level_[static_cast<size_t>(a)] <
+                            vertex_level_[static_cast<size_t>(b)];
+                   });
+  std::stable_sort(plan.backward.begin(), plan.backward.end(),
+                   [this](int a, int b) {
+                     return vertex_level_[static_cast<size_t>(a)] >
+                            vertex_level_[static_cast<size_t>(b)];
+                   });
+
+  // Cone ∩ partition membership: the partitions a delta actually
+  // touches.  Everything else is skipped entirely.
+  std::vector<char> part_dirty(partitions_.size(), 0);
+  for (const int v : plan.forward) {
+    part_dirty[static_cast<size_t>(partitions_.partition_of(v))] = 1;
+  }
+  for (size_t k = 0; k < part_dirty.size(); ++k) {
+    if (part_dirty[k]) plan.partitions.push_back(static_cast<uint32_t>(k));
+  }
+  for (size_t e = 0; e < endpoint_ports_.size(); ++e) {
+    const int v = ports_[static_cast<size_t>(endpoint_ports_[e])].vertex;
+    if (dirty[static_cast<size_t>(v)]) {
+      plan.endpoints.push_back(static_cast<int32_t>(e));
+    }
+  }
+  return plan;
+}
+
+void StaEngine::reset_vertex(TimingState& state, int v) const {
+  auto& vt = state[static_cast<size_t>(v)];
+  vt = VertexTiming{};
+  const auto ic = input_constraints_.find(v);
+  if (ic != input_constraints_.end()) {
+    for (size_t rf = 0; rf < 2; ++rf) {
+      if (!ic->second[rf].set) continue;
+      auto& t = vt.timing[rf];
+      t.arrival = ic->second[rf].arrival;
+      t.slew = ic->second[rf].slew;
+      t.valid = true;
+    }
+  }
+  const auto rq = required_.find(v);
+  if (rq != required_.end()) {
+    vt.timing[0].required = rq->second;
+    vt.timing[1].required = rq->second;
+  }
+}
+
+void StaEngine::reset_required(TimingState& state, int v) const {
+  auto& vt = state[static_cast<size_t>(v)];
+  vt.timing[0].required = std::numeric_limits<double>::infinity();
+  vt.timing[1].required = std::numeric_limits<double>::infinity();
+  const auto rq = required_.find(v);
+  if (rq != required_.end()) {
+    vt.timing[0].required = rq->second;
+    vt.timing[1].required = rq->second;
+  }
+}
+
+void StaEngine::evaluate_delta(TimingState& state,
+                               const TimingState& baseline,
+                               const DeltaPlan& plan,
+                               const EvalContext& ctx) const {
+  util::require(ctx.method != nullptr, "evaluate_delta: null noise method");
+  util::require(baseline.size() == vertex_names_.size(),
+                "evaluate_delta: baseline size ", baseline.size(),
+                " does not match this engine (", vertex_names_.size(),
+                " vertices)");
+  util::require(plan.num_vertices == vertex_names_.size(),
+                "evaluate_delta: plan was computed for ", plan.num_vertices,
+                " vertices, engine has ", vertex_names_.size());
+  state = baseline;
+  // Every dirty vertex is reset to its initial constraints BEFORE any
+  // is folded: relax() is a max, so folding on top of the stale
+  // baseline value would be wrong whenever the scenario speeds an
+  // arrival up (and would corrupt critical_pred links either way).
+  for (const int v : plan.forward) reset_vertex(state, v);
+  for (const int v : plan.forward) forward_vertex(v, state, ctx);
+  for (const int v : plan.backward) reset_required(state, v);
+  for (const int v : plan.backward) backward_vertex(v, state);
+}
+
+void StaEngine::evaluate_points_delta(
+    std::span<TimingState> states, std::span<const EvalContext> contexts,
+    std::span<const TimingState* const> baselines,
+    std::span<const DeltaPlan* const> plans, util::ThreadPool* pool,
+    std::span<wave::Workspace> worker_workspaces) const {
+  util::require(states.size() == contexts.size() &&
+                    states.size() == baselines.size() &&
+                    states.size() == plans.size(),
+                "evaluate_points_delta: ", states.size(), " states vs ",
+                contexts.size(), " contexts vs ", baselines.size(),
+                " baselines vs ", plans.size(), " plans");
+  const size_t n_points = states.size();
+  if (n_points == 0) return;
+  const size_t pool_workers =
+      pool != nullptr && pool->size() > 1 ? pool->size() : 1;
+  util::require(worker_workspaces.empty() ||
+                    worker_workspaces.size() >= pool_workers,
+                "evaluate_points_delta: need one workspace per pool worker (",
+                worker_workspaces.size(), " < ", pool_workers, ")");
+  auto body = [&](size_t worker, size_t p) {
+    EvalContext task_ctx = contexts[p];
+    if (!worker_workspaces.empty()) {
+      task_ctx.workspace = &worker_workspaces[worker];
+    }
+    evaluate_delta(states[p], *baselines[p], *plans[p], task_ctx);
+  };
+  if (pool != nullptr && pool->size() > 1 && n_points > 1) {
+    // One dependency-free task per point, tiled over the trivial
+    // single-task DAG: the shared ready stack of run_graph dynamically
+    // load-balances the unbalanced dirty worklists.
+    static const uint32_t kZeroIndegree[1] = {0};
+    static const std::vector<uint32_t> kNoSuccessors[1] = {{}};
+    pool->run_graph({kZeroIndegree, kNoSuccessors, n_points}, body);
+  } else {
+    for (size_t p = 0; p < n_points; ++p) body(0, p);
   }
 }
 

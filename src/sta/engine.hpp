@@ -345,6 +345,76 @@ class StaEngine {
       std::span<wave::Workspace> worker_workspaces = {}, bool shard = true,
       size_t wide_threshold = kDefaultWidePartitionThreshold) const;
 
+  // -- baseline + delta propagation ----------------------------------------
+  // The paper's central observation: a noise bump perturbs timing only
+  // through the fanout cone of the victim net.  A sweep therefore
+  // computes ONE nominal TimingState per corner and derives each
+  // scenario point from it, re-propagating only the scenario's dirty
+  // cone — bitwise identical to full propagation, because every dirty
+  // vertex still folds its fixed-order in-edges exactly once and every
+  // clean vertex keeps a value that full propagation would reproduce.
+
+  /// The per-scenario dirty sets of baseline + delta propagation,
+  /// computed once on the graph layer and shared by every corner of the
+  /// scenario (the cone is a pure function of the annotated nets).
+  struct DeltaPlan {
+    /// Dirty vertices — the transitive fanout cone of the scenario's
+    /// annotated nets (sink vertices of their net edges, closed over
+    /// out-edges) — sorted by (topological level, vertex): a valid
+    /// serial forward-propagation order.
+    std::vector<int> forward;
+    /// Required-time recompute set: the transitive fanin closure of
+    /// `forward` (which it includes), sorted by (descending level,
+    /// vertex): a valid serial backward-propagation order.  Arrivals
+    /// change only inside the cone, but required times bleed upstream
+    /// of it.
+    std::vector<int> backward;
+    /// Partitions (PartitionSet ordinals) owning at least one dirty
+    /// vertex, ascending: the cone intersected with partition
+    /// membership.  Metadata (PruneStats reporting, future
+    /// partition-level scheduling) — the skipping itself happens
+    /// through the vertex worklists, which simply never visit a
+    /// partition not listed here.
+    std::vector<uint32_t> partitions;
+    /// Endpoint ordinals (indices into endpoint_ports()) whose vertex
+    /// is dirty: the only endpoints whose timing can differ from the
+    /// corner baseline.  Empty means every endpoint summary of the
+    /// scenario equals the baseline exactly.
+    std::vector<int32_t> endpoints;
+    /// Graph size the plan was computed for (validation).
+    size_t num_vertices = 0;
+  };
+  /// Computes the dirty-cone plan of `scenario`.  Throws util::Error
+  /// when the scenario annotates an unknown net (naming scenario and
+  /// net).  A scenario with no entries yields an empty plan: its point
+  /// IS the baseline.
+  [[nodiscard]] DeltaPlan delta_plan(const NoiseScenario& scenario) const;
+
+  /// Derives one scenario point from a corner baseline: copies
+  /// `baseline` into `state`, resets the plan's dirty vertices to their
+  /// initial constraints, folds them in level order under `ctx` (whose
+  /// edge_noise table must be the scenario overlay the plan was
+  /// computed for), then resets and re-folds required times over the
+  /// plan's backward set.  Bitwise identical to evaluate() with the
+  /// same context: clean vertices keep baseline values, which full
+  /// propagation would reproduce, and dirty vertices fold the same
+  /// fixed-order in-edges against them.
+  void evaluate_delta(TimingState& state, const TimingState& baseline,
+                      const DeltaPlan& plan, const EvalContext& ctx) const;
+
+  /// Evaluates many scenario points as deltas against per-point corner
+  /// baselines: point p copies *baselines[p] and re-propagates
+  /// *plans[p] under contexts[p].  Points are independent, so they run
+  /// as one flat task DAG on the pool (ThreadPool::run_graph): the
+  /// dirty worklists are unbalanced, and the shared ready stack
+  /// load-balances them across workers.  Results are bitwise identical
+  /// to evaluate_points() with the same contexts at any thread count.
+  void evaluate_points_delta(
+      std::span<TimingState> states, std::span<const EvalContext> contexts,
+      std::span<const TimingState* const> baselines,
+      std::span<const DeltaPlan* const> plans, util::ThreadPool* pool = nullptr,
+      std::span<wave::Workspace> worker_workspaces = {}) const;
+
   /// Result accessors against an external state (sweep/batch results).
   [[nodiscard]] const PinTiming& timing_in(const TimingState& state,
                                            PinId pin, RiseFall rf) const;
@@ -383,7 +453,8 @@ class StaEngine {
     int from = -1;  // instance input pin vertex
     int to = -1;    // instance output pin vertex
     const liberty::TimingArc* arc = nullptr;
-    double load = 0.0;  // computed by prepare()
+    int32_t out_net = -1;  // net the arc's output pin drives (ordinal)
+    double load = 0.0;     // computed by prepare()
   };
 
   struct NetEdge {
@@ -392,6 +463,7 @@ class StaEngine {
     int32_t net = -1;  // net ordinal (NetId::index)
     const liberty::Pin* sink_pin = nullptr;   // liberty pin at the sink
     const liberty::Cell* sink_cell = nullptr;
+    int32_t sink_out_net = -1;  // net the sink gate's output drives
     double sink_load = 0.0;  // load seen by the sink gate's output
     double wire_delay = 0.0;  // computed by prepare()
   };
@@ -422,6 +494,12 @@ class StaEngine {
   void build_graph();
   void compute_loads();
   void levelize();
+  /// init_state() for a single vertex: default timing plus the input /
+  /// required constraints of `v` (delta propagation resets dirty
+  /// vertices through this so they match a fresh init_state bitwise).
+  void reset_vertex(TimingState& state, int v) const;
+  /// Resets only the required times of `v` (the backward-delta reset).
+  void reset_required(TimingState& state, int v) const;
   void propagate_cell_edge(const CellArcEdge& e, TimingState& state,
                            const EvalContext& ctx) const;
   void propagate_net_edge(size_t edge_index, TimingState& state,

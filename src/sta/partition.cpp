@@ -1,7 +1,9 @@
 #include "sta/partition.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <numeric>
+#include <queue>
 
 #include "util/error.hpp"
 
@@ -75,14 +77,42 @@ PartitionSet PartitionSet::build(size_t num_vertices,
   for (const auto& e : edges) {
     if (!e.cut_candidate) uf.unite(e.from, e.to);
   }
-  // Pass 2: greedy re-merge across cut candidates while the merged
-  // block stays under the cap (deterministic edge order).
-  for (const auto& e : edges) {
-    if (!e.cut_candidate) continue;
-    const int ra = uf.find(e.from);
-    const int rb = uf.find(e.to);
-    if (ra == rb) continue;
-    if (uf.set_size(ra) + uf.set_size(rb) <= max_size) uf.unite(ra, rb);
+  // Pass 2: balance-aware greedy re-merge across cut candidates —
+  // always the smallest feasible merge first — while the merged block
+  // stays under the cap.  An in-order walk can grow one block to the
+  // cap and strand single-gate fragments behind it (cap-vs-1 shard
+  // skew); picking the globally smallest merged size keeps block sizes
+  // near-uniform.  The lazy min-heap stays deterministic: set sizes
+  // only grow, so a stale entry re-inserts under its current (strictly
+  // larger) key, infeasible entries can never become feasible again,
+  // and ties break by edge index — a pure function of the input order.
+  {
+    using QueueEntry = std::pair<size_t, size_t>;  // (merged size, edge idx)
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>>
+        feasible;
+    for (size_t i = 0; i < edges.size(); ++i) {
+      if (!edges[i].cut_candidate) continue;
+      const int ra = uf.find(edges[i].from);
+      const int rb = uf.find(edges[i].to);
+      if (ra == rb) continue;
+      const size_t merged = uf.set_size(ra) + uf.set_size(rb);
+      if (merged <= max_size) feasible.push({merged, i});
+    }
+    while (!feasible.empty()) {
+      const auto [size_when_pushed, i] = feasible.top();
+      feasible.pop();
+      const int ra = uf.find(edges[i].from);
+      const int rb = uf.find(edges[i].to);
+      if (ra == rb) continue;
+      const size_t merged = uf.set_size(ra) + uf.set_size(rb);
+      if (merged > max_size) continue;
+      if (merged != size_when_pushed) {
+        feasible.push({merged, i});  // stale: re-key and retry later
+        continue;
+      }
+      uf.unite(ra, rb);
+    }
   }
 
   // Preliminary blocks, numbered by first (smallest) member vertex.

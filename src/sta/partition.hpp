@@ -18,9 +18,11 @@
 ///     vertices — cones connected by wide nets stay together;
 ///  2. cut-candidate edges (arcs of low-fanout nets — the cheap,
 ///     registered-output-like boundaries) are then greedily re-merged
-///     in deterministic edge order while the merged partition stays
-///     under a size cap, so chains coalesce into coarse blocks instead
-///     of one-gate fragments;
+///     smallest-merge-first (a deterministic lazy min-heap keyed on the
+///     merged size, ties by edge index) while the merged partition
+///     stays under a size cap — balance-aware: chains coalesce into
+///     near-uniform coarse blocks instead of one cap-sized block with
+///     one-gate fragments stranded behind it;
 ///  3. partitions are numbered by their smallest vertex, each
 ///     partition's vertices are sorted by (topological level, vertex),
 ///     and the surviving cross-partition edges define a partition DAG

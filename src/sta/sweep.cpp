@@ -11,6 +11,10 @@
 
 namespace waveletic::sta {
 
+const char* to_string(PruneMode mode) noexcept {
+  return mode == PruneMode::kSafe ? "safe" : "off";
+}
+
 void NoiseScenario::annotate(const std::string& net, wave::Waveform waveform,
                              wave::Polarity polarity) {
   const uint64_t key = noise_waveform_key(waveform, polarity);
@@ -89,13 +93,40 @@ size_t SweepResult::point(size_t corner, size_t scenario) const {
   return corner * num_scenarios() + scenario;
 }
 
+void SweepResult::throw_unavailable(const char* accessor,
+                                    const char* disabling_field,
+                                    const char* explanation,
+                                    const char* alternatives) const {
+  // The one error shape of the "accessor unavailable" family: name the
+  // accessor, the disabling SweepSpec field, what happened, and the
+  // accessors that DO work — identical structure for endpoint-only and
+  // pruned results.
+  std::ostringstream os;
+  os << "SweepResult::" << accessor << ": unavailable under SweepSpec::"
+     << disabling_field << " — " << explanation << ".  Use " << alternatives
+     << ", or re-run the sweep with " << disabling_field << " disabled";
+  throw util::Error(os.str());
+}
+
 void SweepResult::require_full_state(const char* accessor) const {
-  util::require(!endpoint_only_, "SweepResult::", accessor,
-                ": this is an endpoint-only result (SweepSpec::"
-                "endpoint_only) — full TimingStates were not kept.  Use "
-                "worst_slack()/worst_point()/critical_endpoint()/"
-                "endpoint_arrival(), or re-run the sweep with "
-                "endpoint_only = false");
+  if (endpoint_only_) {
+    throw_unavailable(accessor, "endpoint_only",
+                      "this is an endpoint-only result; full TimingStates "
+                      "were not kept",
+                      "worst_slack()/worst_point()/critical_endpoint()/"
+                      "endpoint_arrival()");
+  }
+}
+
+void SweepResult::require_not_pruned(const char* accessor,
+                                     size_t point) const {
+  if (status(point) == PointStatus::kPruned) {
+    throw_unavailable(accessor, "prune",
+                      "this point was pruned: its slack bound proved it "
+                      "cannot set the sweep's worst slack, so no timing was "
+                      "computed for it",
+                      "worst_slack_bound(point)/worst_point()/prune_stats()");
+  }
 }
 
 const TimingState& SweepResult::state(size_t point) const {
@@ -103,6 +134,10 @@ const TimingState& SweepResult::state(size_t point) const {
   require_full_state("state");
   util::require(point < states_.size(), "SweepResult: point ", point,
                 " out of range (", states_.size(), " points)");
+  require_not_pruned("state", point);
+  // Summary-only points exist only in endpoint-only results, which
+  // require_full_state already rejected — every surviving point here
+  // carries a full TimingState.
   return states_[point];
 }
 
@@ -117,12 +152,29 @@ TimingView SweepResult::view(size_t corner, size_t scenario) const {
 }
 
 double SweepResult::worst_slack(size_t point) const {
-  if (endpoint_only_) {
-    util::require(point < worst_slacks_.size(), "SweepResult: point ", point,
-                  " out of range (", worst_slacks_.size(), " points)");
-    return worst_slacks_[point];
-  }
-  return engine_->worst_slack_in(state(point));
+  util::require(point < size(), "SweepResult: point ", point,
+                " out of range (", size(), " points)");
+  require_not_pruned("worst_slack", point);
+  if (status(point) == PointStatus::kSummary) return worst_slacks_[point];
+  util::require(engine_ != nullptr, "SweepResult: empty result");
+  return engine_->worst_slack_in(states_[point]);
+}
+
+bool SweepResult::pruned(size_t point) const {
+  util::require(point < size(), "SweepResult: point ", point,
+                " out of range (", size(), " points)");
+  return status(point) == PointStatus::kPruned;
+}
+
+double SweepResult::worst_slack_bound(size_t point) const {
+  util::require(point < size(), "SweepResult: point ", point,
+                " out of range (", size(), " points)");
+  util::require(prune_ != PruneMode::kOff,
+                "SweepResult::worst_slack_bound: the sweep ran with "
+                "SweepSpec::prune == PruneMode::kOff, so slack bounds were "
+                "not computed.  Use worst_slack(point), or re-run the sweep "
+                "with prune = PruneMode::kSafe");
+  return bounds_[point];
 }
 
 const std::string& SweepResult::endpoint_name(size_t endpoint) const {
@@ -139,7 +191,8 @@ double SweepResult::endpoint_arrival(size_t point, size_t endpoint,
   util::require(endpoint < endpoint_names_.size(), "SweepResult: endpoint ",
                 endpoint, " out of range (", endpoint_names_.size(),
                 " endpoints)");
-  if (endpoint_only_) {
+  require_not_pruned("endpoint_arrival", point);
+  if (status(point) == PointStatus::kSummary) {
     return endpoint_arrivals_[(point * endpoint_names_.size() + endpoint) * 2 +
                               static_cast<size_t>(rf)];
   }
@@ -152,7 +205,8 @@ SweepResult::CriticalEndpoint SweepResult::critical_endpoint(
     size_t point) const {
   util::require(point < size(), "SweepResult: point ", point,
                 " out of range (", size(), " points)");
-  if (endpoint_only_) return critical_[point];
+  require_not_pruned("critical_endpoint", point);
+  if (status(point) == PointStatus::kSummary) return critical_[point];
   const auto we = engine_->worst_endpoint_in(states_[point]);
   return CriticalEndpoint{we.endpoint, we.rf, we.slack};
 }
@@ -163,7 +217,10 @@ size_t SweepResult::result_bytes_per_point() const noexcept {
            + sizeof(CriticalEndpoint)                   // critical endpoint
            + endpoint_names_.size() * 2 * sizeof(double);  // arrivals
   }
-  return states_.empty() ? 0 : states_[0].size() * sizeof(VertexTiming);
+  for (const auto& s : states_) {  // first materialized point (pruned
+    if (s.size() != 0) return s.size() * sizeof(VertexTiming);  // ones
+  }                                                             // are empty)
+  return 0;
 }
 
 const PinTiming& SweepResult::timing(size_t point, PinId pin,
@@ -182,14 +239,22 @@ std::vector<PathStep> SweepResult::critical_path(size_t point) const {
 
 SweepResult::WorstPoint SweepResult::worst_point() const {
   util::require(size() > 0, "SweepResult: empty result");
+  // Pruned points are skipped: their true worst slack is strictly above
+  // the worst of the surviving points (that is what made them
+  // prunable), so the argmin — including its first-in-index tie-break —
+  // is identical to an unpruned sweep's.
   WorstPoint best;
+  bool found = false;
   for (size_t p = 0; p < size(); ++p) {
+    if (status(p) == PointStatus::kPruned) continue;
     const double slack = worst_slack(p);
-    if (p == 0 || slack < best.slack) {
+    if (!found || slack < best.slack) {
       best.point = p;
       best.slack = slack;
+      found = true;
     }
   }
+  util::require(found, "SweepResult: every point was pruned");
   best.corner = best.point / num_scenarios();
   best.scenario = best.point % num_scenarios();
   return best;
@@ -233,7 +298,7 @@ std::vector<PathStep> TimingView::critical_path() const {
 }
 
 // ---------------------------------------------------------------------------
-// StaEngine::sweep — one partition-sharded pass over corners × scenarios
+// StaEngine::sweep — baseline + delta propagation over corners × scenarios
 // ---------------------------------------------------------------------------
 
 SweepResult StaEngine::sweep(const SweepSpec& spec) {
@@ -315,51 +380,340 @@ SweepResult StaEngine::sweep(const SweepSpec& spec) {
   for (const int32_t p : endpoint_ports_) {
     r.endpoint_names_.push_back(ports_[static_cast<size_t>(p)].name);
   }
+  const size_t n_endpoints = r.endpoint_names_.size();
 
-  if (!spec.endpoint_only) {
-    // Full mode: every point keeps its TimingState, all evaluated in
-    // one pass of (point × partition) coarse tasks.
-    r.states_.assign(n_points, TimingState{});
-    evaluate_points(r.states_, contexts, pool, wss, spec.shard,
-                    spec.wide_partition_threshold);
+  const bool prune = spec.prune == PruneMode::kSafe;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  r.endpoint_only_ = spec.endpoint_only;
+  r.prune_ = spec.prune;
+  r.prune_stats_.points = n_points;
+
+  // Writes one evaluated state's endpoint summary — exactly the fields
+  // the full-state accessors would derive, so both modes agree bitwise.
+  auto summarize = [&](size_t p, const TimingState& state) {
+    r.worst_slacks_[p] = worst_slack_in(state);
+    const auto we = worst_endpoint_in(state);
+    r.critical_[p] =
+        SweepResult::CriticalEndpoint{we.endpoint, we.rf, we.slack};
+    for (size_t e = 0; e < n_endpoints; ++e) {
+      const int v = ports_[static_cast<size_t>(endpoint_ports_[e])].vertex;
+      for (size_t rf = 0; rf < 2; ++rf) {
+        r.endpoint_arrivals_[(p * n_endpoints + e) * 2 + rf] =
+            state[static_cast<size_t>(v)].timing[rf].arrival;
+      }
+    }
+  };
+
+  if (!spec.delta && !prune) {
+    // Legacy full-graph-per-point paths (SweepSpec::delta == false).
+    r.prune_stats_.evaluated = n_points;
+    if (!spec.endpoint_only) {
+      // Full mode: every point keeps its TimingState, all evaluated in
+      // one pass of (point × partition) coarse tasks.
+      r.states_.assign(n_points, TimingState{});
+      r.status_.assign(n_points, SweepResult::PointStatus::kFull);
+      evaluate_points(r.states_, contexts, pool, wss, spec.shard,
+                      spec.wide_partition_threshold);
+      return r;
+    }
+    // Endpoint-only mode: evaluate points in bounded chunks, summarize
+    // each state, then reuse the states for the next chunk.
+    r.status_.assign(n_points, SweepResult::PointStatus::kSummary);
+    r.worst_slacks_.resize(n_points);
+    r.critical_.resize(n_points);
+    r.endpoint_arrivals_.resize(n_points * n_endpoints * 2);
+    const size_t chunk = spec.endpoint_chunk != 0
+                             ? spec.endpoint_chunk
+                             : std::max<size_t>(4 * pool->size(), 64);
+    std::vector<TimingState> states(std::min(chunk, n_points));
+    for (size_t base = 0; base < n_points; base += chunk) {
+      const size_t n = std::min(chunk, n_points - base);
+      evaluate_points(std::span<TimingState>(states.data(), n),
+                      std::span<const EvalContext>(contexts.data() + base, n),
+                      pool, wss, spec.shard, spec.wide_partition_threshold);
+      for (size_t i = 0; i < n; ++i) summarize(base + i, states[i]);
+    }
     return r;
   }
 
-  // Endpoint-only mode: evaluate points in bounded chunks, summarize
-  // each state into {worst slack, critical endpoint, endpoint
-  // arrivals}, then reuse the states for the next chunk.  Summaries are
-  // computed with exactly the accessors full mode uses, so both modes
-  // agree bitwise.
-  r.endpoint_only_ = true;
-  const size_t n_endpoints = r.endpoint_names_.size();
-  r.worst_slacks_.resize(n_points);
-  r.critical_.resize(n_points);
-  r.endpoint_arrivals_.resize(n_points * n_endpoints * 2);
-  const size_t chunk =
-      spec.endpoint_chunk != 0
-          ? spec.endpoint_chunk
-          : std::max<size_t>(4 * pool->size(), 64);
-  std::vector<TimingState> states(std::min(chunk, n_points));
-  for (size_t base = 0; base < n_points; base += chunk) {
-    const size_t n = std::min(chunk, n_points - base);
-    evaluate_points(std::span<TimingState>(states.data(), n),
-                    std::span<const EvalContext>(contexts.data() + base, n),
-                    pool, wss, spec.shard, spec.wide_partition_threshold);
-    for (size_t i = 0; i < n; ++i) {
-      const size_t p = base + i;
-      r.worst_slacks_[p] = worst_slack_in(states[i]);
-      const auto we = worst_endpoint_in(states[i]);
-      r.critical_[p] =
-          SweepResult::CriticalEndpoint{we.endpoint, we.rf, we.slack};
+  // -------------------------------------------------------------------------
+  // Baseline + delta evaluation (and/or slack-bound pruning).
+  //
+  // One nominal TimingState per corner under the engine-level
+  // annotation table; every scenario point is then derived from its
+  // corner baseline by re-propagating only the transitive fanout cone
+  // of the scenario's annotated nets — bitwise identical to full
+  // propagation.  Under prune == kSafe, points are additionally ordered
+  // by a conservative slack lower bound and early-outed once the bound
+  // proves they cannot beat the worst slack seen so far.
+  // -------------------------------------------------------------------------
+
+  const auto base_table = compile_edge_annotations(nullptr);
+  std::vector<TimingState> baselines(n_corners);
+  {
+    std::vector<EvalContext> base_ctx(n_corners);
+    for (size_t c = 0; c < n_corners; ++c) {
+      base_ctx[c].edge_noise = base_table.data();
+      base_ctx[c].corner = &r.corners_[c];
+      base_ctx[c].corner_key = r.corners_[c].key();
+      base_ctx[c].method = method;
+      base_ctx[c].cache = r.cache_.get();
+    }
+    evaluate_points(baselines, base_ctx, pool, wss, spec.shard,
+                    spec.wide_partition_threshold);
+  }
+
+  // Per-scenario dirty-cone plans, shared by every corner of a
+  // scenario (the cone depends only on the annotated nets).
+  std::vector<DeltaPlan> plans(n_scenarios);
+  {
+    double cone_frac = 0.0;
+    double part_frac = 0.0;
+    for (size_t s = 0; s < n_scenarios; ++s) {
+      plans[s] = delta_plan(*scenarios[s]);
+      cone_frac += static_cast<double>(plans[s].forward.size()) /
+                   static_cast<double>(std::max<size_t>(vertex_count(), 1));
+      part_frac += static_cast<double>(plans[s].partitions.size()) /
+                   static_cast<double>(std::max<size_t>(partitions_.size(), 1));
+    }
+    r.prune_stats_.dirty_vertex_fraction =
+        cone_frac / static_cast<double>(n_scenarios);
+    r.prune_stats_.dirty_partition_fraction =
+        part_frac / static_cast<double>(n_scenarios);
+  }
+
+  // Result storage.
+  r.status_.assign(n_points, spec.endpoint_only
+                                 ? SweepResult::PointStatus::kSummary
+                                 : SweepResult::PointStatus::kFull);
+  if (spec.endpoint_only) {
+    // Summary storage is an endpoint-only concern: full-state results
+    // answer every accessor from their TimingStates (pruning only
+    // needs bounds_, allocated below).
+    r.worst_slacks_.assign(n_points, kInf);
+    r.critical_.assign(n_points, {});
+    r.endpoint_arrivals_.assign(n_points * n_endpoints * 2, -kInf);
+  }
+  if (!spec.endpoint_only) r.states_.assign(n_points, TimingState{});
+
+  // Evaluation order: ascending points, or — under pruning — points
+  // sorted most-critical-first by their slack lower bound, with
+  // cone-misses-every-endpoint points recorded exactly from the
+  // baseline up front.
+  std::vector<size_t> order;
+  order.reserve(n_points);
+  double worst_seen = kInf;
+  if (prune) {
+    r.bounds_.assign(n_points, -kInf);
+    // Per-corner baseline endpoint summaries feed bounds and reuse.
+    std::vector<double> base_ws(n_corners);
+    std::vector<WorstEndpoint> base_we(n_corners);
+    std::vector<double> base_ep_slack(n_corners * n_endpoints, kInf);
+    for (size_t c = 0; c < n_corners; ++c) {
+      base_ws[c] = worst_slack_in(baselines[c]);
+      base_we[c] = worst_endpoint_in(baselines[c]);
       for (size_t e = 0; e < n_endpoints; ++e) {
-        const int v =
-            ports_[static_cast<size_t>(endpoint_ports_[e])].vertex;
+        const int v = ports_[static_cast<size_t>(endpoint_ports_[e])].vertex;
+        double best = kInf;
         for (size_t rf = 0; rf < 2; ++rf) {
-          r.endpoint_arrivals_[(p * n_endpoints + e) * 2 + rf] =
-              states[i][static_cast<size_t>(v)].timing[rf].arrival;
+          const auto& t = baselines[c][static_cast<size_t>(v)].timing[rf];
+          if (t.valid && std::isfinite(t.required)) {
+            best = std::min(best, t.slack());
+          }
         }
+        base_ep_slack[c * n_endpoints + e] = best;
       }
     }
+    // Conservative per-(corner, scenario) push-out bound: how much
+    // later any arrival inside the cone can get versus the corner
+    // baseline, from the annotation magnitudes.  At every annotated net
+    // edge the equivalent-waveform fit replaces the baseline (arrival,
+    // slew) with values inside the noisy waveform's envelope, so the
+    // arrival push-out is bounded by (last 50%-crossing − baseline
+    // arrival) and the slew degradation by (10–90% envelope span −
+    // baseline slew); the ×3 margin covers fit overshoot and
+    // slew-degradation amplification through downstream NLDM stages —
+    // an engineering margin (validated against prune-off sweeps in
+    // tests, monitored by PruneStats::min_bound_gap), not a formal
+    // proof: a library with delay-vs-slew table slopes compounding
+    // past the margin could in principle defeat it.
+    // Per net the worst edge bounds any single path (a path crosses one
+    // edge of a net); annotated nets sum, so overlapping cones compose.
+    // A bump that never comes near the victim transition contributes ~0
+    // — exactly the paper's observation that aggressor alignment
+    // decides whether a bump matters at all.
+    const double vdd = library_->nom_voltage;
+    auto push_out_bound = [&](const NoiseScenario& scenario,
+                              const TimingState& baseline,
+                              const Corner& corner) {
+      double total = 0.0;
+      for (const auto& entry : scenario.entries) {
+        const auto& w = entry.annotation.waveform;
+        if (w.size() == 0) continue;
+        const double t_begin = w.times().front();
+        const double t_end = w.times().back();
+        const auto last50 = w.last_crossing(0.5 * vdd);
+        const bool falling =
+            entry.annotation.polarity == wave::Polarity::kFalling;
+        const auto span_from =
+            w.first_crossing((falling ? 0.9 : 0.1) * vdd);
+        const auto span_to = w.last_crossing((falling ? 0.1 : 0.9) * vdd);
+        const double span =
+            span_from.has_value() && span_to.has_value()
+                ? std::max(0.0, *span_to - *span_from)
+                : t_end - t_begin;  // never crosses: whole record
+        const size_t rf = falling ? static_cast<size_t>(RiseFall::kFall)
+                                  : static_cast<size_t>(RiseFall::kRise);
+        const int ord = netlist_->net_ordinal(entry.net);
+        double worst_edge = 0.0;
+        for (const uint32_t ei : edges_of_net_[static_cast<size_t>(ord)]) {
+          const auto& e = net_edges_[ei];
+          if (e.sink_pin == nullptr) continue;  // ports take no Γeff fit
+          const auto& drv = baseline[static_cast<size_t>(e.from)].timing[rf];
+          if (!drv.valid) continue;
+          const double arr =
+              drv.arrival + e.wire_delay * corner.wire_delay_scale;
+          const double d_arrival =
+              std::max(0.0, (last50.has_value() ? *last50 : t_end) - arr);
+          const double d_slew = std::max(0.0, span - drv.slew);
+          worst_edge = std::max(worst_edge, 3.0 * (d_arrival + d_slew));
+        }
+        total += worst_edge;
+      }
+      return total;
+    };
+    std::vector<double> push_out(n_points);
+    for (size_t c = 0; c < n_corners; ++c) {
+      for (size_t s = 0; s < n_scenarios; ++s) {
+        push_out[c * n_scenarios + s] =
+            push_out_bound(*scenarios[s], baselines[c], r.corners_[c]);
+      }
+    }
+    for (size_t c = 0; c < n_corners; ++c) {
+      for (size_t s = 0; s < n_scenarios; ++s) {
+        const size_t p = c * n_scenarios + s;
+        if (plans[s].endpoints.empty() && spec.endpoint_only) {
+          // The cone misses every endpoint, so every endpoint summary
+          // of this point IS the corner baseline's — recorded exactly,
+          // no propagation (the hierarchical-reuse fast path).  Only in
+          // endpoint-only mode: a full-state result must materialize
+          // the point (in-cone internal vertices DO differ from the
+          // baseline), so there it takes the normal route — its bound
+          // equals its exact worst slack, so it still prunes whenever
+          // it cannot matter.
+          r.status_[p] = SweepResult::PointStatus::kSummary;
+          summarize(p, baselines[c]);
+          r.bounds_[p] = base_ws[c];  // exact, not just a bound
+          worst_seen = std::min(worst_seen, base_ws[c]);
+          ++r.prune_stats_.reused;
+          continue;
+        }
+        // Lower bound on the point's worst slack: endpoints outside the
+        // cone keep their exact baseline slack; endpoints inside it can
+        // degrade by at most the scenario's push-out bound.
+        double in_min = kInf;
+        double out_min = kInf;
+        size_t k = 0;
+        for (size_t e = 0; e < n_endpoints; ++e) {
+          const bool inside = k < plans[s].endpoints.size() &&
+                              plans[s].endpoints[k] ==
+                                  static_cast<int32_t>(e);
+          if (inside) {
+            ++k;
+            in_min = std::min(in_min, base_ep_slack[c * n_endpoints + e]);
+          } else {
+            out_min = std::min(out_min, base_ep_slack[c * n_endpoints + e]);
+          }
+        }
+        r.bounds_[p] = std::min(out_min, in_min - push_out[p]);
+        order.push_back(p);
+      }
+    }
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return r.bounds_[a] < r.bounds_[b];
+    });
+  } else {
+    for (size_t p = 0; p < n_points; ++p) order.push_back(p);
+  }
+
+  // Wave size: everything at once in full mode, the endpoint chunk in
+  // endpoint-only mode — but small waves under pruning, so the
+  // worst-seen slack tightens between waves and the tail can early-out.
+  size_t chunk = spec.endpoint_only
+                     ? (spec.endpoint_chunk != 0
+                            ? spec.endpoint_chunk
+                            : std::max<size_t>(4 * pool->size(), 64))
+                     : n_points;
+  if (prune) chunk = std::min(chunk, std::max<size_t>(2 * pool->size(), 8));
+  chunk = std::max<size_t>(chunk, 1);
+
+  std::vector<TimingState> wave_buf;
+  std::vector<EvalContext> wave_ctx;
+  std::vector<const TimingState*> wave_base;
+  std::vector<const StaEngine::DeltaPlan*> wave_plans;
+  std::vector<size_t> wave_points;
+  double gap_sum = 0.0;
+  double gap_min = kInf;
+
+  size_t next = 0;
+  while (next < order.size()) {
+    // Admit the next wave.  Bounds are sorted ascending and worst_seen
+    // only decreases, so the first unbeatable point prunes the whole
+    // tail.
+    wave_points.clear();
+    while (next < order.size() && wave_points.size() < chunk) {
+      const size_t p = order[next];
+      if (prune && r.bounds_[p] > worst_seen) break;
+      wave_points.push_back(p);
+      ++next;
+    }
+    if (wave_points.empty()) break;
+    const size_t n = wave_points.size();
+    if (wave_buf.size() < n) wave_buf.resize(n);
+    wave_ctx.assign(n, EvalContext{});
+    wave_base.assign(n, nullptr);
+    wave_plans.assign(n, nullptr);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t p = wave_points[i];
+      wave_ctx[i] = contexts[p];
+      wave_base[i] = &baselines[p / n_scenarios];
+      wave_plans[i] = &plans[p % n_scenarios];
+    }
+    if (spec.delta) {
+      evaluate_points_delta(std::span<TimingState>(wave_buf.data(), n),
+                            wave_ctx, wave_base, wave_plans, pool, wss);
+    } else {
+      evaluate_points(std::span<TimingState>(wave_buf.data(), n), wave_ctx,
+                      pool, wss, spec.shard, spec.wide_partition_threshold);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const size_t p = wave_points[i];
+      const double ws = worst_slack_in(wave_buf[i]);
+      worst_seen = std::min(worst_seen, ws);
+      if (prune) {
+        const double gap = ws - r.bounds_[p];
+        gap_sum += gap;
+        gap_min = std::min(gap_min, gap);
+      }
+      if (spec.endpoint_only) {
+        summarize(p, wave_buf[i]);
+      } else {
+        r.states_[p] = std::move(wave_buf[i]);
+        wave_buf[i] = TimingState{};
+      }
+      ++r.prune_stats_.evaluated;
+    }
+  }
+  // Everything not admitted is pruned: its bound proved it cannot beat
+  // the final worst slack.
+  for (; next < order.size(); ++next) {
+    r.status_[order[next]] = SweepResult::PointStatus::kPruned;
+    ++r.prune_stats_.pruned;
+  }
+  if (r.prune_stats_.evaluated > 0 && prune) {
+    r.prune_stats_.mean_bound_gap =
+        gap_sum / static_cast<double>(r.prune_stats_.evaluated);
+    r.prune_stats_.min_bound_gap = gap_min;
   }
   return r;
 }

@@ -22,11 +22,26 @@
 /// the corner key, so fits recur at most once per distinct (net edge,
 /// ramp, annotation, corner).
 ///
+/// Evaluation is *baseline + delta* by default (SweepSpec::delta): one
+/// nominal TimingState per corner, then each scenario point
+/// re-propagates only the transitive fanout cone of its annotated nets
+/// against that baseline — the paper's observation that a noise bump
+/// perturbs timing only through the victim's cone, turned into the
+/// sweep hot path.  Untouched partitions are skipped entirely, and the
+/// unbalanced per-point dirty worklists are load-balanced over
+/// ThreadPool::run_graph.  On top of it, SweepSpec::prune ==
+/// PruneMode::kSafe orders points most-critical-first by a conservative
+/// slack lower bound (worst baseline slack inside the cone minus a
+/// push-out bound from the annotation magnitudes) and early-outs points
+/// that provably cannot set the sweep's worst slack — FRAME-style
+/// screening before exact analysis.
+///
 /// Determinism: points write disjoint TimingStates, each vertex folds
 /// its in-edges in a fixed order after all of its predecessors, and
 /// cache hits return bitwise what the fit would produce — so sweep
 /// results are bitwise identical between sharded and per-level
-/// schedules, and to looped single-thread runs, at any thread count.
+/// schedules, between baseline+delta and full per-point propagation,
+/// and to looped single-thread runs, at any thread count.
 ///
 /// Result storage: the default keeps a full TimingState per point.  For
 /// sweep-scale point counts (10k+), `endpoint_only = true` keeps only
@@ -98,6 +113,56 @@ struct NoiseScenario {
 [[nodiscard]] NoiseScenario scenario_from_case(
     const std::string& net, const noise::CaseWaveforms& case_waveforms);
 
+/// Scenario-pruning mode of a sweep (SweepSpec::prune).
+enum class PruneMode : uint8_t {
+  /// Evaluate every (corner, scenario) point.
+  kOff = 0,
+  /// Order points by a conservative per-point slack lower bound — the
+  /// worst corner-baseline slack among the endpoints inside the
+  /// scenario's fanout cone, minus a push-out bound derived from the
+  /// annotation magnitudes against the corner baseline — and early-out
+  /// points whose bound shows they cannot beat the worst slack seen so
+  /// far.  The sweep-level worst_slack()/worst_point()/
+  /// critical_endpoint() answers stay exact: a pruned point's true
+  /// worst slack is strictly above the final worst, so the argmin
+  /// (ties included) is always evaluated.  "Safe" is a margin-backed
+  /// engineering guarantee (×3 on the waveform-envelope push-out,
+  /// validated against unpruned sweeps in tests and monitored by
+  /// PruneStats::min_bound_gap), not a formal proof — an adversarial
+  /// library whose delay-vs-slew sensitivities compound past the
+  /// margin could in principle defeat the bound.  Per-point accessors
+  /// of pruned points throw, mirroring endpoint_only semantics;
+  /// worst_slack_bound() works on every point.
+  kSafe = 1,
+};
+
+[[nodiscard]] const char* to_string(PruneMode mode) noexcept;
+
+/// Counters of one sweep's baseline + delta / pruning machinery
+/// (SweepResult::prune_stats()).
+struct PruneStats {
+  size_t points = 0;     ///< corners × scenarios
+  size_t evaluated = 0;  ///< points actually propagated
+  /// Points whose cone contains no endpoint: every endpoint summary
+  /// equals the corner baseline, so they are recorded exactly without
+  /// propagation (prune == kSafe with endpoint_only only — a
+  /// full-state result materializes such points instead, since their
+  /// in-cone internal vertices DO differ from the baseline).
+  size_t reused = 0;
+  /// Points whose bound proved they cannot set the worst slack; not
+  /// propagated, per-point accessors throw.
+  size_t pruned = 0;
+  /// Mean |fanout cone| / vertices over the scenario axis (delta mode).
+  double dirty_vertex_fraction = 0.0;
+  /// Mean touched partitions / total partitions over the scenario axis.
+  double dirty_partition_fraction = 0.0;
+  /// Bound tightness: mean and minimum of (exact worst slack − bound)
+  /// over evaluated points [s].  A negative minimum would mean the
+  /// bound was NOT conservative (asserted never to happen in tests).
+  double mean_bound_gap = 0.0;
+  double min_bound_gap = 0.0;
+};
+
 /// The cross product a sweep evaluates: every corner × every scenario.
 struct SweepSpec {
   /// Corner/derate axis; empty selects one point — the engine-level
@@ -131,6 +196,16 @@ struct SweepSpec {
   /// Points evaluated per chunk in endpoint-only mode (bounds transient
   /// TimingState memory); 0 selects max(4 × threads, 64).
   size_t endpoint_chunk = 0;
+  /// Baseline + delta evaluation: one nominal TimingState per corner,
+  /// then every scenario point re-propagates only the transitive fanout
+  /// cone of its annotated nets against that baseline (clean vertices
+  /// read baseline values; untouched partitions are skipped entirely).
+  /// Bitwise identical to full per-point propagation — `false` selects
+  /// the legacy full-graph-per-point path (A/B and bench comparisons).
+  bool delta = true;
+  /// Scenario pruning (see PruneMode).  Works with either `delta`
+  /// setting — the corner baselines it needs are computed either way.
+  PruneMode prune = PruneMode::kOff;
 };
 
 class SweepResult;
@@ -175,6 +250,15 @@ class TimingView {
 ///    clear error; everything endpoint-level (worst_slack(),
 ///    worst_point(), critical_endpoint(), endpoint_arrival()) agrees
 ///    bitwise with full mode on the same spec.
+///
+/// Under SweepSpec::prune == PruneMode::kSafe a point can additionally
+/// be *pruned* (its bound proved it cannot set the worst slack — no
+/// timing was computed; per-point accessors throw, worst_slack_bound()
+/// works) or — in endpoint-only mode — *reused* (its cone touches no
+/// endpoint, so its endpoint summaries are the corner baseline's,
+/// recorded exactly without propagation).  worst_point() skips pruned
+/// points and stays exact; in a full-state result every surviving
+/// point carries a full TimingState.
 class SweepResult {
  public:
   SweepResult() = default;
@@ -239,6 +323,25 @@ class SweepResult {
   };
   [[nodiscard]] CriticalEndpoint critical_endpoint(size_t point) const;
 
+  // -- pruning (SweepSpec::prune) ------------------------------------------
+  /// The pruning mode the sweep ran under.
+  [[nodiscard]] PruneMode prune_mode() const noexcept { return prune_; }
+  /// True when `point` was pruned (no timing computed; per-point
+  /// accessors throw for it).
+  [[nodiscard]] bool pruned(size_t point) const;
+  /// The conservative lower bound on `point`'s worst slack the pruning
+  /// pass computed — available for every point, pruned or not (an
+  /// evaluated point's exact worst_slack() is ≥ its bound).  Throws
+  /// when the sweep ran with prune == PruneMode::kOff.
+  [[nodiscard]] double worst_slack_bound(size_t point) const;
+  /// Baseline + delta / pruning counters of the sweep.  Always
+  /// populated: with pruning off, evaluated == points and the bound
+  /// fields are zero; on the legacy path (delta AND prune both off) the
+  /// dirty fractions are zero because no cone plans were computed.
+  [[nodiscard]] const PruneStats& prune_stats() const noexcept {
+    return prune_stats_;
+  }
+
   /// Approximate owned bytes of result storage per point — the figure
   /// endpoint-only mode shrinks by ~vertex_count×.
   [[nodiscard]] size_t result_bytes_per_point() const noexcept;
@@ -252,8 +355,29 @@ class SweepResult {
  private:
   friend class StaEngine;  // sweep() populates the result
 
+  /// Storage/evaluation status of one point.
+  enum class PointStatus : uint8_t {
+    kFull,     ///< full TimingState kept; every accessor works
+    kSummary,  ///< endpoint summaries only (endpoint-only or reused)
+    kPruned,   ///< nothing computed; per-point accessors throw
+  };
+
+  /// Shared error shape of the "this accessor is unavailable" family:
+  /// names the accessor, the disabling SweepSpec field, and the
+  /// accessors that WOULD work (satisfying the error-message
+  /// consistency contract between endpoint-only and pruned results).
+  [[noreturn]] void throw_unavailable(const char* accessor,
+                                      const char* disabling_field,
+                                      const char* explanation,
+                                      const char* alternatives) const;
   /// Throws util::Error when this is an endpoint-only result.
   void require_full_state(const char* accessor) const;
+  /// Throws util::Error when `point` was pruned (or, for full-state
+  /// accessors via require_full_state, summarized).
+  void require_not_pruned(const char* accessor, size_t point) const;
+  [[nodiscard]] PointStatus status(size_t point) const noexcept {
+    return status_.empty() ? PointStatus::kFull : status_[point];
+  }
 
   const StaEngine* engine_ = nullptr;
   std::vector<Corner> corners_;
@@ -266,6 +390,11 @@ class SweepResult {
   std::vector<double> worst_slacks_;              ///< per point
   std::vector<CriticalEndpoint> critical_;        ///< per point
   std::vector<double> endpoint_arrivals_;  ///< [point][endpoint][rf]
+  // Pruning state (empty status_ means every point is kFull):
+  std::vector<PointStatus> status_;  ///< per point
+  PruneMode prune_ = PruneMode::kOff;
+  std::vector<double> bounds_;  ///< per point; prune == kSafe only
+  PruneStats prune_stats_;
   std::unique_ptr<GammaCache> cache_;  ///< null when sharing was off
 };
 
