@@ -31,10 +31,12 @@
 #include "charlib/characterize.hpp"
 #include "core/method.hpp"
 #include "core/sgdp.hpp"
+#include "interconnect/coupled.hpp"
 #include "netlist/generators.hpp"
 #include "noise/scenario.hpp"
 #include "sta/batch.hpp"
 #include "sta/engine.hpp"
+#include "sta/scengen.hpp"
 #include "sta/sweep.hpp"
 #include "util/thread_pool.hpp"
 #include "wave/kernels.hpp"
@@ -71,6 +73,7 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace cl = waveletic::charlib;
 namespace co = waveletic::core;
+namespace ic = waveletic::interconnect;
 namespace nl = waveletic::netlist;
 namespace no = waveletic::noise;
 namespace st = waveletic::sta;
@@ -531,6 +534,82 @@ void sta_sweep_sparse_full(benchmark::State& state) {
   sta_sweep_sparse(state, false);
 }
 
+// ---------------------------------------------------------------------------
+// Generated sweep: a lazy ScenarioSpace (coupling pairs × alignment ×
+// strength grid) streamed through the baseline+delta+prune pipeline in
+// bounded chunks.  The alignment grid is deliberately wide so the
+// window filter, not propagation, absorbs most of the candidate volume
+// — the sign-off shape, where points/sec is dominated by how cheaply
+// infeasible candidates die.
+// ---------------------------------------------------------------------------
+
+struct GenFixture {
+  waveletic::liberty::Library lib;
+  nl::Netlist netlist;
+
+  GenFixture()
+      : lib(cl::build_vcl013_library_fast()),
+        netlist(nl::make_random_dag(2026, 12, 8, 12)) {}
+
+  void constrain(st::StaEngine& sta) const {
+    int i = 0;
+    int o = 0;
+    for (const auto& port : netlist.ports()) {
+      if (port.direction == nl::PortDirection::kInput) {
+        sta.set_input(port.name, 0.008e-9 * i, (75 + 9 * (i % 13)) * 1e-12);
+        ++i;
+      } else {
+        sta.set_output_load(port.name, (4 + (o % 3)) * 1e-15);
+        sta.set_required(port.name, 2.5e-9);
+        ++o;
+      }
+    }
+  }
+
+  /// Space seeded from the clean engine's corner-baseline windows:
+  /// ordinal-adjacency coupling candidates × 81 alignments × 8
+  /// strengths (the generated_sweep example's grid).
+  [[nodiscard]] st::ScenarioSpace space(
+      const st::StaEngine& sta, const st::DrivesPredicate& drives) const {
+    const auto candidates = ic::infer_coupling_candidates(netlist);
+    auto sp = st::make_scenario_space(sta, netlist, candidates, drives,
+                                      /*alignments=*/{}, /*strengths=*/{});
+    for (int a = -40; a <= 40; ++a) sp.alignments.push_back(a * 50e-12);
+    for (int s = 1; s <= 8; ++s) sp.strengths.push_back(0.05 * s);
+    return sp;
+  }
+};
+
+const GenFixture& gen_fixture() {
+  static const GenFixture f;
+  return f;
+}
+
+/// One full generated sweep per iteration: lazy generation, window +
+/// correlation feasibility filtering, chunked baseline+delta+prune
+/// evaluation.  items/sec is candidates (generated points) per second.
+void sta_sweep_generated(benchmark::State& state) {
+  const auto& f = gen_fixture();
+  st::StaEngine sta(f.netlist, f.lib);
+  f.constrain(sta);
+  sta.run();
+  const auto drives = st::make_drives_predicate(f.lib);
+  const auto space = f.space(sta, drives);
+  const st::StructuralCorrelationRule correlation(f.netlist, drives);
+  for (auto _ : state) {
+    st::GeneratedSweepSpec spec;
+    spec.space = space;
+    spec.correlation = &correlation;
+    spec.prune = st::PruneMode::kSafe;
+    spec.gen_chunk = static_cast<size_t>(state.range(0));
+    spec.keep_point_records = false;
+    auto result = sta.sweep(spec);
+    benchmark::DoNotOptimize(result.worst_slack());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(space.size()));
+}
+
 }  // namespace
 
 BENCHMARK(sta_run)
@@ -574,6 +653,12 @@ BENCHMARK(sta_sweep_sparse_delta)
 BENCHMARK(sta_sweep_sparse_full)
     ->Args({64, 4})
     ->ArgNames({"scenarios", "threads"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(sta_sweep_generated)
+    ->Arg(512)
+    ->Arg(2048)
+    ->ArgName("gen_chunk")
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
@@ -774,7 +859,62 @@ SweepFigures report_sweep_speedups() {
       static_cast<double>(sparse_stats.pruned) /
       static_cast<double>(std::max<size_t>(sparse_stats.points, 1));
 
-  bool identical = endpoint_matches_full && sparse_identical;
+  // Generated sweep: lazy ScenarioSpace → window/correlation funnel →
+  // chunked baseline+delta+prune.  Cross-checked bitwise against eager
+  // enumeration: drain the same generator up front, push every
+  // feasibility survivor through sweep(SweepSpec), compare worst points.
+  double t_generated = std::numeric_limits<double>::infinity();
+  st::GenStats gen_funnel{};
+  uint64_t gen_space_size = 0;
+  bool gen_identical = true;
+  {
+    const auto& gf = gen_fixture();
+    st::StaEngine sta(gf.netlist, gf.lib);
+    gf.constrain(sta);
+    sta.run();
+    const auto drives = st::make_drives_predicate(gf.lib);
+    const auto space = gf.space(sta, drives);
+    gen_space_size = space.size();
+    const st::StructuralCorrelationRule correlation(gf.netlist, drives);
+    st::GeneratedSweepSpec spec;
+    spec.space = space;
+    spec.correlation = &correlation;
+    spec.threads = static_cast<int>(hw);
+    spec.prune = st::PruneMode::kSafe;
+    spec.gen_chunk = 1024;
+    spec.keep_point_records = false;
+    st::GeneratedSweepResult generated;
+    for (int rep = 0; rep < 3; ++rep) {
+      t_generated = std::min(
+          t_generated, wall_seconds([&] { generated = sta.sweep(spec); }));
+    }
+    gen_funnel = generated.gen_stats();
+
+    st::SweepSpec eager;
+    eager.threads = static_cast<int>(hw);
+    eager.endpoint_only = true;
+    eager.prune = st::PruneMode::kSafe;
+    st::ScenarioGenerator drain(space, &correlation);
+    while (const auto c = drain.next()) {
+      eager.scenarios.push_back(drain.materialize(*c));
+    }
+    const auto reference = sta.sweep(eager);
+    const auto& wp_gen = generated.worst_point();
+    const auto wp_ref = reference.worst_point();
+    gen_identical = generated.worst_slack() == wp_ref.slack &&
+                    wp_gen.corner == wp_ref.corner &&
+                    wp_gen.scenario_name ==
+                        reference.scenario_name(wp_ref.scenario);
+    if (!gen_identical) std::printf("GENERATED SWEEP MISMATCH — BUG\n");
+  }
+  const auto gen_fraction = [&](uint64_t n) {
+    return static_cast<double>(n) /
+           static_cast<double>(std::max<uint64_t>(gen_funnel.generated, 1));
+  };
+  const double gen_points_per_sec =
+      static_cast<double>(gen_funnel.generated) / t_generated;
+
+  bool identical = endpoint_matches_full && sparse_identical && gen_identical;
   for (int i = 0; i < kScenarios; ++i) {
     identical = identical && looped_slack[i] == batched1_slack[i] &&
                 looped_slack[i] == batchedN_slack[i] &&
@@ -829,6 +969,17 @@ SweepFigures report_sweep_speedups() {
               t_sparse_pruned * 1e3, kSparse / t_sparse_pruned,
               sparse_pruned_fraction * 100.0,
               sparse_stats.dirty_vertex_fraction * 100.0);
+  std::printf("generated sweep (%llu-candidate lazy space, chunk 1024):\n",
+              static_cast<unsigned long long>(gen_space_size));
+  std::printf("  %8.1f ms  (%.0f points/sec; window_killed %.1f%%, "
+              "correlation_killed %.1f%%, prune_killed %.1f%%, reused "
+              "%.1f%%, evaluated %.1f%%)\n",
+              t_generated * 1e3, gen_points_per_sec,
+              gen_fraction(gen_funnel.window_killed) * 100.0,
+              gen_fraction(gen_funnel.correlation_killed) * 100.0,
+              gen_fraction(gen_funnel.prune_killed) * 100.0,
+              gen_fraction(gen_funnel.reused) * 100.0,
+              gen_fraction(gen_funnel.evaluated) * 100.0);
   std::printf("result memory per point: full %zu B -> endpoint-only %zu B "
               "(%.1fx reduction)%s  [worst slack %.4g]\n",
               full_bytes, endpoint_bytes,
@@ -878,6 +1029,17 @@ SweepFigures report_sweep_speedups() {
                  "  \"sparse_dirty_partition_fraction\": %.4f,\n"
                  "  \"sparse_bound_mean_gap_ps\": %.2f,\n"
                  "  \"sparse_bitwise_identical\": %s,\n"
+                 "  \"gen_candidates\": %llu,\n"
+                 "  \"gen_points\": %llu,\n"
+                 "  \"gen_points_per_sec\": %.1f,\n"
+                 "  \"gen_window_killed_fraction\": %.4f,\n"
+                 "  \"gen_correlation_killed_fraction\": %.4f,\n"
+                 "  \"gen_prune_killed_fraction\": %.4f,\n"
+                 "  \"gen_reused_fraction\": %.4f,\n"
+                 "  \"gen_evaluated_fraction\": %.4f,\n"
+                 "  \"gen_chunks\": %llu,\n"
+                 "  \"gen_peak_resident_scenarios\": %llu,\n"
+                 "  \"gen_bitwise_identical\": %s,\n"
                  "  \"cache_hits\": %llu,\n"
                  "  \"cache_misses\": %llu,\n"
                  "  \"cache_hit_rate\": %.4f,\n"
@@ -899,6 +1061,17 @@ SweepFigures report_sweep_speedups() {
                  sparse_stats.dirty_partition_fraction,
                  sparse_stats.mean_bound_gap * 1e12,
                  sparse_identical ? "true" : "false",
+                 static_cast<unsigned long long>(gen_space_size),
+                 static_cast<unsigned long long>(gen_funnel.generated),
+                 gen_points_per_sec, gen_fraction(gen_funnel.window_killed),
+                 gen_fraction(gen_funnel.correlation_killed),
+                 gen_fraction(gen_funnel.prune_killed),
+                 gen_fraction(gen_funnel.reused),
+                 gen_fraction(gen_funnel.evaluated),
+                 static_cast<unsigned long long>(gen_funnel.chunks),
+                 static_cast<unsigned long long>(
+                     gen_funnel.peak_resident_scenarios),
+                 gen_identical ? "true" : "false",
                  static_cast<unsigned long long>(statsN.hits),
                  static_cast<unsigned long long>(statsN.misses), hit_rate,
                  identical ? "true" : "false");

@@ -105,15 +105,10 @@ int main() {
   }
   std::printf("\n");
 
-  const auto ps = result.prune_stats();
-  std::printf("\nbaseline+delta / pruning: %zu points -> %zu evaluated, "
-              "%zu pruned, %zu reused (* = pruned, bound shown)\n",
-              ps.points, ps.evaluated, ps.pruned, ps.reused);
-  std::printf("mean dirty cone: %.1f%% of vertices, %.1f%% of partitions; "
-              "bound tightness: mean gap %.1f ps, min gap %.1f ps\n",
-              ps.dirty_vertex_fraction * 100.0,
-              ps.dirty_partition_fraction * 100.0,
-              ps.mean_bound_gap * 1e12, ps.min_bound_gap * 1e12);
+  // Canonical PruneStats rendering (field names match docs/SWEEP_GUIDE.md;
+  // * above = pruned, proven bound shown instead of a slack).
+  std::printf("\n%s\n",
+              st::format_prune_stats(result.prune_stats()).c_str());
 
   const auto stats = result.cache_stats();
   std::printf("Γeff memo: %llu hits, %llu misses\n",

@@ -1,5 +1,6 @@
 #include "interconnect/coupled.hpp"
 
+#include "netlist/netlist.hpp"
 #include "spice/devices.hpp"
 #include "util/error.hpp"
 
@@ -62,6 +63,26 @@ BusNodes build_coupled_bus(spice::Circuit& ckt, const CoupledBusSpec& spec,
     }
   }
   return nodes;
+}
+
+std::vector<CouplingCandidate> infer_coupling_candidates(
+    const netlist::Netlist& netlist, const CouplingInferenceOptions& options) {
+  util::require(options.window >= 1,
+                "infer_coupling_candidates: window must be >= 1");
+  util::require(options.cm_base > 0.0,
+                "infer_coupling_candidates: cm_base must be > 0");
+  std::vector<CouplingCandidate> out;
+  const auto n = static_cast<int32_t>(netlist.nets().size());
+  for (int32_t i = 0; i < n; ++i) {
+    for (int d = 1; d <= options.window; ++d) {
+      const int32_t j = i + d;
+      if (j >= n) break;
+      const double cm = options.cm_base / d;
+      out.push_back({i, j, cm});
+      out.push_back({j, i, cm});
+    }
+  }
+  return out;
 }
 
 }  // namespace waveletic::interconnect

@@ -6,10 +6,15 @@
 /// capacitance between selected line pairs is distributed along the
 /// junctions with π weighting (half at the ends).
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "spice/circuit.hpp"
+
+namespace waveletic::netlist {
+class Netlist;
+}
 
 namespace waveletic::interconnect {
 
@@ -52,5 +57,40 @@ struct BusNodes {
 [[nodiscard]] BusNodes build_coupled_bus(spice::Circuit& ckt,
                                          const CoupledBusSpec& spec,
                                          const std::string& prefix = "");
+
+/// One directed victim/aggressor coupling hypothesis at the netlist
+/// level — the seed a scenario generator expands into (alignment ×
+/// strength) grids.  Mirrors CouplingSpec one level up: CouplingSpec
+/// couples two SPICE lines, CouplingCandidate couples two netlist nets.
+struct CouplingCandidate {
+  int32_t victim_net = -1;     ///< victim net ordinal
+  int32_t aggressor_net = -1;  ///< aggressor net ordinal
+  double cm_total = 100e-15;   ///< estimated total coupling cap [F]
+};
+
+/// Options of infer_coupling_candidates().
+struct CouplingInferenceOptions {
+  /// Neighborhood radius: nets within this ordinal distance are
+  /// considered coupled (the ordinal axis stands in for a routing
+  /// track: generators emit nets in construction order, so adjacent
+  /// ordinals are physical neighbors in the synthetic testbenches).
+  int window = 2;
+  /// Coupling cap of immediate neighbors [F]; decays as cm_base /
+  /// distance, matching the roughly inverse-distance decay of lateral
+  /// coupling between parallel wires.
+  double cm_base = 100e-15;
+};
+
+/// Derives victim/aggressor coupling candidates from a netlist without
+/// layout: every net pair within `options.window` ordinal distance
+/// couples, in BOTH directions (each net is a victim of the other),
+/// with cm decaying by distance.  This is the layout-extraction
+/// stand-in that seeds sta::make_scenario_space — a real flow would
+/// read coupling caps from a parasitics file instead, producing the
+/// same CouplingCandidate records.  Deterministic: ascending victim
+/// ordinal, then distance, victim-before-aggressor within a pair.
+[[nodiscard]] std::vector<CouplingCandidate> infer_coupling_candidates(
+    const netlist::Netlist& netlist,
+    const CouplingInferenceOptions& options = {});
 
 }  // namespace waveletic::interconnect

@@ -130,6 +130,22 @@ std::vector<int> Netlist::transitive_fanout_nets(
   return out;
 }
 
+const Instance* Netlist::driver_of(
+    int net_ordinal,
+    const std::function<bool(const Instance&, const std::string& pin)>&
+        drives) const {
+  if (net_ordinal < 0 || static_cast<size_t>(net_ordinal) >= nets_.size()) {
+    return nullptr;
+  }
+  const std::string& net = nets_[static_cast<size_t>(net_ordinal)];
+  for (const auto& inst : instances_) {
+    for (const auto& [pin, pin_net] : inst.pins) {
+      if (pin_net == net && drives(inst, pin)) return &inst;
+    }
+  }
+  return nullptr;
+}
+
 const Port* Netlist::find_port(const std::string& port_name) const noexcept {
   for (const auto& p : ports_) {
     if (p.name == port_name) return &p;

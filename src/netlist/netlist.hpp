@@ -111,6 +111,17 @@ class Netlist {
       const std::function<bool(const Instance&, const std::string& pin)>&
           drives) const;
 
+  /// The instance driving the net (its first instance in instance order
+  /// with a driving pin on it, by the same `drives` oracle as
+  /// transitive_fanout_nets), or null when the net is driven by a port
+  /// or undriven.  Two nets sharing a driver are complementary outputs
+  /// of one cell — the correlation screen's same-driver rule.
+  /// O(total pins) per call.
+  [[nodiscard]] const Instance* driver_of(
+      int net_ordinal,
+      const std::function<bool(const Instance&, const std::string& pin)>&
+          drives) const;
+
  private:
   std::vector<Port> ports_;
   std::vector<std::string> nets_;

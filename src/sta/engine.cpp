@@ -122,6 +122,12 @@ PinId StaEngine::pin(const std::string& name) const {
   return PinId{find_vertex(name), graph_tag_};
 }
 
+PinId StaEngine::find_pin(const std::string& name) const noexcept {
+  const auto it = vertex_index_.find(name);
+  if (it == vertex_index_.end()) return PinId{};
+  return PinId{it->second, graph_tag_};
+}
+
 NetId StaEngine::net(const std::string& name) const {
   const int ord = netlist_->net_ordinal(name);
   if (ord < 0) {

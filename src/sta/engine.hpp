@@ -66,9 +66,11 @@ class ThreadPool;
 namespace waveletic::sta {
 
 class GammaCache;
-struct NoiseScenario;  // sweep.hpp
-struct SweepSpec;      // sweep.hpp
-class SweepResult;     // sweep.hpp
+struct NoiseScenario;        // sweep.hpp
+struct SweepSpec;            // sweep.hpp
+class SweepResult;           // sweep.hpp
+struct GeneratedSweepSpec;   // scengen.hpp
+class GeneratedSweepResult;  // scengen.hpp
 
 enum class RiseFall { kRise = 0, kFall = 1 };
 
@@ -142,6 +144,11 @@ class StaEngine {
 
   /// Handle to a pin ("u1/A") or port ("y") vertex.
   [[nodiscard]] PinId pin(const std::string& name) const;
+  /// Non-throwing pin lookup: the handle, or an invalid PinId
+  /// (!valid()) when the name is unknown.  For probing callers (e.g.
+  /// the scenario-space builder walking nets whose pins may not all be
+  /// timing vertices); prefer pin() where absence is a bug.
+  [[nodiscard]] PinId find_pin(const std::string& name) const noexcept;
   /// Handle to a net.
   [[nodiscard]] NetId net(const std::string& name) const;
   /// Handle to a top-level port.
@@ -150,6 +157,12 @@ class StaEngine {
   [[nodiscard]] const std::string& name(PinId pin) const;
   [[nodiscard]] const std::string& name(NetId net) const;
   [[nodiscard]] const std::string& name(PortId port) const;
+
+  /// The liberty library the engine analyzes against (the constructor
+  /// argument; outlives the engine by contract).
+  [[nodiscard]] const liberty::Library& library() const noexcept {
+    return *library_;
+  }
 
   // -- constraints -------------------------------------------------------
   /// Arrival + slew applied to both transitions of an input port.
@@ -215,6 +228,13 @@ class StaEngine {
   /// sweep.hpp for SweepSpec/SweepResult).  run() and ScenarioBatch are
   /// the 1×1 and 1×N specializations of this surface.
   [[nodiscard]] SweepResult sweep(const SweepSpec& spec);
+
+  /// Streams a lazily generated scenario space (feasibility-filtered
+  /// cross product of coupling pairs × alignments × strengths) through
+  /// the sweep pipeline in bounded chunks — endpoint-only storage, one
+  /// chunk of scenarios resident at a time (defined in scengen.cpp;
+  /// include scengen.hpp for GeneratedSweepSpec/GeneratedSweepResult).
+  [[nodiscard]] GeneratedSweepResult sweep(const GeneratedSweepSpec& spec);
 
   /// Timing of a pin/port.  Handle overload is the primary; the string
   /// overload resolves and forwards.  Throws for unknown names or

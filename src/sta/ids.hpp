@@ -29,9 +29,11 @@ struct PinId {
   int32_t index = -1;  ///< vertex index in the minting engine
   uint32_t graph = 0;  ///< tag of the minting engine (0 = invalid)
 
+  /// True when the handle was minted by an engine (not default).
   [[nodiscard]] constexpr bool valid() const noexcept {
     return index >= 0 && graph != 0;
   }
+  /// Memberwise equality (same vertex of the same engine).
   [[nodiscard]] constexpr bool operator==(const PinId&) const noexcept =
       default;
 };
@@ -39,11 +41,13 @@ struct PinId {
 /// Handle to a net of the analyzed netlist.  Minted by StaEngine::net().
 struct NetId {
   int32_t index = -1;  ///< net ordinal in the netlist
-  uint32_t graph = 0;
+  uint32_t graph = 0;  ///< tag of the minting engine (0 = invalid)
 
+  /// True when the handle was minted by an engine (not default).
   [[nodiscard]] constexpr bool valid() const noexcept {
     return index >= 0 && graph != 0;
   }
+  /// Memberwise equality (same net of the same engine).
   [[nodiscard]] constexpr bool operator==(const NetId&) const noexcept =
       default;
 };
@@ -51,11 +55,13 @@ struct NetId {
 /// Handle to a top-level port.  Minted by StaEngine::port().
 struct PortId {
   int32_t index = -1;  ///< port ordinal in the netlist's port list
-  uint32_t graph = 0;
+  uint32_t graph = 0;  ///< tag of the minting engine (0 = invalid)
 
+  /// True when the handle was minted by an engine (not default).
   [[nodiscard]] constexpr bool valid() const noexcept {
     return index >= 0 && graph != 0;
   }
+  /// Memberwise equality (same port of the same engine).
   [[nodiscard]] constexpr bool operator==(const PortId&) const noexcept =
       default;
 };
@@ -65,6 +71,7 @@ struct PortId {
 /// identical to an un-derated run, because x * 1.0 == x for every
 /// finite IEEE double.
 struct Corner {
+  /// Corner label (reports only; the key() covers the scales).
   std::string name = "nominal";
   /// Scales every cell-arc delay (NLDM lookup result).
   double cell_delay_scale = 1.0;

@@ -1,0 +1,433 @@
+#include "sta/scengen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "liberty/library.hpp"
+#include "netlist/netlist.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace waveletic::sta {
+
+DrivesPredicate make_drives_predicate(const liberty::Library& library) {
+  return [&library](const netlist::Instance& inst, const std::string& pin) {
+    const auto* cell = library.find_cell(inst.cell);
+    if (cell == nullptr) return false;
+    const auto* p = cell->find_pin(pin);
+    return p != nullptr && p->direction == liberty::PinDirection::kOutput;
+  };
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioSpace
+// ---------------------------------------------------------------------------
+
+ScenarioSpace::Coordinates ScenarioSpace::decode(uint64_t candidate) const {
+  util::require(candidate < size(), "ScenarioSpace::decode: candidate ",
+                candidate, " out of range (", size(), " candidates)");
+  const uint64_t block =
+      static_cast<uint64_t>(alignments.size()) * strengths.size();
+  Coordinates c;
+  c.pair = static_cast<uint32_t>(candidate / block);
+  const uint64_t rem = candidate % block;
+  c.alignment = static_cast<uint32_t>(rem / strengths.size());
+  c.strength = static_cast<uint32_t>(rem % strengths.size());
+  return c;
+}
+
+ScenarioSpace make_scenario_space(
+    const StaEngine& sta, const netlist::Netlist& netlist,
+    std::span<const interconnect::CouplingCandidate> candidates,
+    const DrivesPredicate& drives, std::vector<double> alignments,
+    std::vector<double> strengths, const ScenarioSpaceOptions& options) {
+  util::require(options.cm_reference > 0.0,
+                "make_scenario_space: cm_reference must be > 0");
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  ScenarioSpace space;
+  space.alignments = std::move(alignments);
+  space.strengths = std::move(strengths);
+  space.vdd = sta.library().nom_voltage;
+  space.waveform_samples = options.waveform_samples;
+  space.bump_sigma_factor = options.bump_sigma_factor;
+  space.window_slop = options.window_slop;
+  // The generated bump pushes against a falling victim transition (the
+  // paper's Figure 1 worst case), so victim timing is read at kFall.
+  const RiseFall victim_rf = RiseFall::kFall;
+  const auto n_nets = static_cast<int32_t>(netlist.nets().size());
+  for (const auto& cand : candidates) {
+    if (cand.victim_net < 0 || cand.victim_net >= n_nets ||
+        cand.aggressor_net < 0 || cand.aggressor_net >= n_nets) {
+      continue;
+    }
+    const std::string& victim =
+        netlist.nets()[static_cast<size_t>(cand.victim_net)];
+    const std::string& aggressor =
+        netlist.nets()[static_cast<size_t>(cand.aggressor_net)];
+    // Victim anchor: the latest-arriving valid falling sink of the net
+    // (the transition a coupling bump has the most time to disturb).
+    double v_arrival = -kInf;
+    double v_slew = 0.0;
+    bool v_ok = false;
+    for (const auto& ref : netlist.pins_on_net(victim)) {
+      if (drives(*ref.instance, ref.pin)) continue;
+      const PinId id = sta.find_pin(ref.instance->name + "/" + ref.pin);
+      if (!id.valid()) continue;
+      const auto& t = sta.timing(id, victim_rf);
+      if (!t.valid || t.slew <= 0.0) continue;
+      if (!v_ok || t.arrival > v_arrival) {
+        v_arrival = t.arrival;
+        v_slew = t.slew;
+        v_ok = true;
+      }
+    }
+    if (!v_ok) continue;  // victim never makes a falling transition here
+    // Aggressor switching window: the envelope of (arrival ± slew) over
+    // both transitions of every pin on the aggressor net (port vertex
+    // included) — outside it the aggressor cannot be switching, so a
+    // bump there is infeasible.
+    double lo = kInf;
+    double hi = -kInf;
+    auto widen = [&](const std::string& vertex_name) {
+      const PinId id = sta.find_pin(vertex_name);
+      if (!id.valid()) return;
+      for (int rf = 0; rf < 2; ++rf) {
+        const auto& t = sta.timing(id, static_cast<RiseFall>(rf));
+        if (!t.valid) continue;
+        lo = std::min(lo, t.arrival - t.slew);
+        hi = std::max(hi, t.arrival + t.slew);
+      }
+    };
+    for (const auto& ref : netlist.pins_on_net(aggressor)) {
+      widen(ref.instance->name + "/" + ref.pin);
+    }
+    if (netlist.is_interface_net(aggressor)) widen(aggressor);
+    if (!(lo <= hi)) continue;  // aggressor never switches in this corner
+    ScenarioPair pair;
+    pair.victim_net = cand.victim_net;
+    pair.aggressor_net = cand.aggressor_net;
+    pair.victim_name = victim;
+    pair.aggressor_name = aggressor;
+    pair.victim_arrival = v_arrival;
+    pair.victim_slew = v_slew;
+    pair.aggressor_window_lo = lo;
+    pair.aggressor_window_hi = hi;
+    pair.coupling_scale = cand.cm_total / options.cm_reference;
+    space.pairs.push_back(std::move(pair));
+  }
+  return space;
+}
+
+// ---------------------------------------------------------------------------
+// StructuralCorrelationRule
+// ---------------------------------------------------------------------------
+
+StructuralCorrelationRule::StructuralCorrelationRule(
+    const netlist::Netlist& netlist, DrivesPredicate drives)
+    : netlist_(&netlist), drives_(std::move(drives)) {}
+
+const char* StructuralCorrelationRule::name() const noexcept {
+  return "structural";
+}
+
+const std::vector<int>& StructuralCorrelationRule::fanout(int32_t net) const {
+  auto it = fanout_memo_.find(net);
+  if (it == fanout_memo_.end()) {
+    const int seed = net;
+    it = fanout_memo_
+             .emplace(net, netlist_->transitive_fanout_nets(
+                               std::span<const int>(&seed, 1), drives_))
+             .first;
+  }
+  return it->second;
+}
+
+bool StructuralCorrelationRule::can_switch_together(
+    int32_t victim_net, int32_t aggressor_net) const {
+  if (victim_net == aggressor_net) return false;
+  const auto* victim_driver = netlist_->driver_of(victim_net, drives_);
+  const auto* aggressor_driver = netlist_->driver_of(aggressor_net, drives_);
+  if (victim_driver != nullptr && victim_driver == aggressor_driver) {
+    return false;  // complementary outputs of one cell
+  }
+  // Causal ordering: fanout sets are sorted ascending
+  // (transitive_fanout_nets contract), so membership is a binary search.
+  const auto& victim_cone = fanout(victim_net);
+  if (std::binary_search(victim_cone.begin(), victim_cone.end(),
+                         aggressor_net)) {
+    return false;
+  }
+  const auto& aggressor_cone = fanout(aggressor_net);
+  return !std::binary_search(aggressor_cone.begin(), aggressor_cone.end(),
+                             victim_net);
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioGenerator
+// ---------------------------------------------------------------------------
+
+ScenarioGenerator::ScenarioGenerator(const ScenarioSpace& space,
+                                     const CorrelationRule* correlation)
+    : space_(&space) {
+  // Correlation depends only on the pair, so it is resolved once here;
+  // the per-candidate accounting still happens in next() so the funnel
+  // counts every skipped candidate.
+  pair_feasible_.assign(space.pairs.size(), 1);
+  if (correlation != nullptr) {
+    for (size_t p = 0; p < space.pairs.size(); ++p) {
+      pair_feasible_[p] =
+          correlation->can_switch_together(space.pairs[p].victim_net,
+                                           space.pairs[p].aggressor_net)
+              ? 1
+              : 0;
+    }
+  }
+}
+
+bool ScenarioGenerator::window_feasible(uint32_t pair,
+                                        uint32_t alignment) const {
+  const auto& p = space_->pairs[pair];
+  // The generated bump is a Gaussian of sigma = bump_sigma_factor ×
+  // victim_slew centred (victim_arrival + alignment); its support is
+  // taken as ±3σ (beyond that the bump is < 0.02% of its peak and
+  // cannot move a crossing).
+  const double sigma = space_->bump_sigma_factor * p.victim_slew;
+  const double half_width = 3.0 * sigma;
+  const double center = p.victim_arrival + space_->alignments[alignment];
+  const double slop = space_->window_slop;
+  // (a) the bump must overlap the victim transition window …
+  const double victim_lo = p.victim_arrival - p.victim_slew;
+  const double victim_hi = p.victim_arrival + p.victim_slew;
+  if (center + half_width < victim_lo - slop) return false;
+  if (center - half_width > victim_hi + slop) return false;
+  // (b) … and the aggressor must be able to switch when the bump fires.
+  if (center + half_width < p.aggressor_window_lo - slop) return false;
+  if (center - half_width > p.aggressor_window_hi + slop) return false;
+  return true;
+}
+
+std::optional<ScenarioGenerator::Candidate> ScenarioGenerator::next() {
+  const uint64_t total = space_->size();
+  const auto n_strengths = static_cast<uint64_t>(space_->strengths.size());
+  while (cursor_ < total) {
+    const auto c = space_->decode(cursor_);
+    if (c.strength == 0) {
+      // Block head: feasibility is strength-independent, so one verdict
+      // covers the whole strength block — kills advance the cursor past
+      // all |strengths| candidates at once.
+      if (!window_feasible(c.pair, c.alignment)) {
+        stats_.generated += n_strengths;
+        stats_.window_killed += n_strengths;
+        cursor_ += n_strengths;
+        continue;
+      }
+      if (pair_feasible_[c.pair] == 0) {
+        stats_.generated += n_strengths;
+        stats_.correlation_killed += n_strengths;
+        cursor_ += n_strengths;
+        continue;
+      }
+    }
+    ++stats_.generated;
+    const Candidate out{cursor_, c.pair, c.alignment, c.strength};
+    ++cursor_;
+    return out;
+  }
+  return std::nullopt;
+}
+
+NoiseScenario ScenarioGenerator::materialize(const Candidate& c) const {
+  const auto& pair = space_->pairs[c.pair];
+  return make_aggressor_scenario(
+      pair.victim_name, pair.victim_arrival, pair.victim_slew, space_->vdd,
+      space_->polarity, space_->alignments[c.alignment],
+      space_->strengths[c.strength] * pair.coupling_scale,
+      space_->waveform_samples);
+}
+
+// ---------------------------------------------------------------------------
+// GeneratedSweepResult
+// ---------------------------------------------------------------------------
+
+double GeneratedSweepResult::worst_slack() const {
+  return worst_point().slack;
+}
+
+const GeneratedSweepResult::WorstPoint& GeneratedSweepResult::worst_point()
+    const {
+  util::require(has_worst_,
+                "GeneratedSweepResult::worst_point: no point survived the "
+                "funnel (every candidate was window-, correlation- or "
+                "prune-killed; see gen_stats())");
+  return worst_;
+}
+
+std::string GeneratedSweepResult::funnel_report() const {
+  const auto& g = gen_stats_;
+  std::ostringstream os;
+  os << "scenario funnel (" << num_corners_ << " corner(s) x "
+     << (num_corners_ > 0 ? g.generated / num_corners_ : 0)
+     << " candidates = " << g.generated << " points; chunks=" << g.chunks
+     << " peak_resident_scenarios=" << g.peak_resident_scenarios << ")\n";
+  const auto line = [&os, &g](const char* field, uint64_t value) {
+    const double pct =
+        g.generated != 0
+            ? 100.0 * static_cast<double>(value) /
+                  static_cast<double>(g.generated)
+            : 0.0;
+    char buf[80];
+    std::snprintf(buf, sizeof(buf), "  %-20s %14llu  (%6.2f%%)\n", field,
+                  static_cast<unsigned long long>(value), pct);
+    os << buf;
+  };
+  line("generated", g.generated);
+  line("window_killed", g.window_killed);
+  line("correlation_killed", g.correlation_killed);
+  line("prune_killed", g.prune_killed);
+  line("reused", g.reused);
+  line("evaluated", g.evaluated);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// StaEngine::sweep(GeneratedSweepSpec) — the streaming funnel
+// ---------------------------------------------------------------------------
+
+GeneratedSweepResult StaEngine::sweep(const GeneratedSweepSpec& gspec) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  GeneratedSweepResult r;
+  r.num_corners_ = gspec.corners.empty() ? 1 : gspec.corners.size();
+  const auto n_corners = static_cast<uint64_t>(r.num_corners_);
+
+  ScenarioGenerator gen(gspec.space, gspec.correlation);
+  const size_t chunk = gspec.gen_chunk != 0 ? gspec.gen_chunk : 512;
+
+  // One pool serves every chunk's sweep (building a pool per chunk
+  // would dominate small chunks).
+  const size_t want = gspec.threads <= 0
+                          ? util::ThreadPool::hardware_threads()
+                          : static_cast<size_t>(gspec.threads);
+  std::unique_ptr<util::ThreadPool> owned_pool;
+  util::ThreadPool* pool = gspec.pool;
+  if (pool == nullptr) {
+    owned_pool = std::make_unique<util::ThreadPool>(static_cast<int>(want));
+    pool = owned_pool.get();
+  }
+
+  SweepSpec proto;
+  proto.corners = gspec.corners;
+  proto.threads = gspec.threads;
+  proto.share_gamma_cache = gspec.share_gamma_cache;
+  proto.method = gspec.method;
+  proto.pool = pool;
+  proto.shard = gspec.shard;
+  proto.wide_partition_threshold = gspec.wide_partition_threshold;
+  proto.endpoint_only = true;  // the streaming mode's memory contract
+  proto.endpoint_chunk = gspec.endpoint_chunk;
+  proto.delta = gspec.delta;
+  proto.prune = gspec.prune;
+
+  // Aggregation state across chunks.  The survivor-weighted fraction /
+  // gap sums reconstruct the means a single eager sweep would report.
+  auto& ps = r.prune_stats_;
+  double worst_seen = kInf;
+  double dirty_vertex_sum = 0.0;
+  double dirty_partition_sum = 0.0;
+  double gap_sum = 0.0;
+  double gap_min = kInf;
+  uint64_t scenario_total = 0;
+  std::vector<uint64_t> chunk_candidates;
+
+  while (true) {
+    SweepSpec spec = proto;
+    chunk_candidates.clear();
+    while (chunk_candidates.size() < chunk) {
+      const auto c = gen.next();
+      if (!c.has_value()) break;
+      spec.scenarios.push_back(gen.materialize(*c));
+      chunk_candidates.push_back(c->index);
+    }
+    if (chunk_candidates.empty()) break;
+    const auto n_scenarios = chunk_candidates.size();
+    // Later chunks prune against the worst slack already attained —
+    // same exactness argument as within one sweep (strict-> admission).
+    spec.prune_seed_slack = worst_seen;
+    const SweepResult sr = sweep(spec);
+
+    ++r.gen_stats_.chunks;
+    r.gen_stats_.peak_resident_scenarios =
+        std::max<uint64_t>(r.gen_stats_.peak_resident_scenarios, n_scenarios);
+    scenario_total += n_scenarios;
+    const auto& cs = sr.prune_stats();
+    ps.points += cs.points;
+    ps.evaluated += cs.evaluated;
+    ps.reused += cs.reused;
+    ps.pruned += cs.pruned;
+    dirty_vertex_sum +=
+        cs.dirty_vertex_fraction * static_cast<double>(n_scenarios);
+    dirty_partition_sum +=
+        cs.dirty_partition_fraction * static_cast<double>(n_scenarios);
+    if (cs.evaluated > 0 && gspec.prune == PruneMode::kSafe) {
+      gap_sum += cs.mean_bound_gap * static_cast<double>(cs.evaluated);
+      gap_min = std::min(gap_min, cs.min_bound_gap);
+    }
+
+    for (size_t c = 0; c < sr.num_corners(); ++c) {
+      for (size_t s = 0; s < n_scenarios; ++s) {
+        const size_t p = sr.point(c, s);
+        if (sr.pruned(p)) continue;
+        const double ws = sr.worst_slack(p);
+        const uint64_t candidate = chunk_candidates[s];
+        if (gspec.keep_point_records) {
+          r.points_.push_back({candidate, static_cast<uint32_t>(c), ws});
+        }
+        // Ties resolve to the smallest (corner, candidate) — candidate
+        // indices ascend across chunks, so this reproduces the argmin
+        // (first flat index) an eager corner-major sweep would report.
+        const bool better =
+            !r.has_worst_ || ws < r.worst_.slack ||
+            (ws == r.worst_.slack &&
+             (c < r.worst_.corner ||
+              (c == r.worst_.corner && candidate < r.worst_.candidate)));
+        if (better) {
+          r.worst_.candidate = candidate;
+          r.worst_.corner = c;
+          r.worst_.scenario_name = sr.scenario_name(s);
+          r.worst_.slack = ws;
+          r.has_worst_ = true;
+        }
+        worst_seen = std::min(worst_seen, ws);
+      }
+    }
+  }
+
+  if (scenario_total > 0) {
+    ps.dirty_vertex_fraction =
+        dirty_vertex_sum / static_cast<double>(scenario_total);
+    ps.dirty_partition_fraction =
+        dirty_partition_sum / static_cast<double>(scenario_total);
+  }
+  if (ps.evaluated > 0 && gspec.prune == PruneMode::kSafe) {
+    ps.mean_bound_gap = gap_sum / static_cast<double>(ps.evaluated);
+    ps.min_bound_gap = gap_min;
+  }
+
+  // The funnel in point units: the generator counts candidates, every
+  // candidate becomes one point per corner, and the sweep-stage kills
+  // come from the aggregated PruneStats.  By construction
+  //   generated == window_killed + correlation_killed + prune_killed
+  //                + reused + evaluated.
+  const auto& gs = gen.stats();
+  r.gen_stats_.generated = gs.generated * n_corners;
+  r.gen_stats_.window_killed = gs.window_killed * n_corners;
+  r.gen_stats_.correlation_killed = gs.correlation_killed * n_corners;
+  r.gen_stats_.prune_killed = ps.pruned;
+  r.gen_stats_.reused = ps.reused;
+  r.gen_stats_.evaluated = ps.evaluated;
+  return r;
+}
+
+}  // namespace waveletic::sta

@@ -1,0 +1,453 @@
+#pragma once
+
+/// \file scengen.hpp
+/// Streaming combinatorial scenario generation with FRAME-style
+/// feasibility filtering.
+///
+/// The paper propagates one hand-built noisy waveform; a crosstalk
+/// sign-off wants the whole attack surface — every plausible
+/// (victim, aggressor, alignment, strength) coupling event.  Enumerated
+/// eagerly that cross product explodes: 256 coupling pairs × 64
+/// alignments × 64 strengths is already a million scenarios, each
+/// carrying a sampled waveform.  This layer instead materializes points
+/// *lazily* — `ScenarioSpace` describes the cross product symbolically,
+/// `ScenarioGenerator` pulls one candidate at a time, and
+/// `StaEngine::sweep(const GeneratedSweepSpec&)` streams the survivors
+/// through the existing baseline + delta + prune pipeline in bounded
+/// chunks, so peak memory is one chunk of scenarios plus 40 B/point of
+/// endpoint summaries, never the full cross product.
+///
+/// In front of propagation sit two *feasibility filters* in the spirit
+/// of FRAME (PAPERS.md, arxiv 1502.02236 — screen infeasible aggressor
+/// combinations before any expensive analysis):
+///
+///  1. **Timing-window overlap**: a coupling bump at a given alignment
+///     is infeasible when its support cannot overlap the victim
+///     transition window (a bump that never comes near the transition
+///     cannot move any crossing — the paper's alignment observation),
+///     or when it falls outside the aggressor's own switching window
+///     from the corner baseline (the aggressor cannot switch then).
+///  2. **Logical correlation**: a pluggable `CorrelationRule` rejects
+///     victim/aggressor combinations that cannot switch simultaneously;
+///     the built-in `StructuralCorrelationRule` rejects same-net,
+///     same-driver (complementary outputs) and causally-ordered pairs
+///     (either net inside the other's transitive fanout cone, via
+///     `netlist::Netlist::transitive_fanout_nets`).
+///
+/// Both filters run on candidate *indices* — the scenario waveform is
+/// only sampled for points that survive, and whole alignment/strength
+/// blocks are skipped arithmetically, so filtering a million-point
+/// space costs on the order of pairs × alignments cheap window tests.
+/// `GenStats` reports the per-stage funnel: generated → window-killed →
+/// correlation-killed → prune-killed → reused/evaluated.
+///
+/// Surviving points are bitwise identical to eagerly enumerating the
+/// same scenarios through `StaEngine::sweep(SweepSpec)`: the generated
+/// path *is* that sweep, fed in chunks, with the running worst slack
+/// carried across chunks through `SweepSpec::prune_seed_slack`.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "interconnect/coupled.hpp"
+#include "sta/sweep.hpp"
+
+namespace waveletic::liberty {
+class Library;
+}
+namespace waveletic::netlist {
+class Netlist;
+struct Instance;
+}  // namespace waveletic::netlist
+
+namespace waveletic::sta {
+
+/// Pin-direction oracle used wherever the library-agnostic netlist
+/// needs to know which instance pins drive their nets (fanout cones,
+/// driver lookup, victim-sink selection).  Returns true when `pin` of
+/// `instance` is an output.
+using DrivesPredicate =
+    std::function<bool(const netlist::Instance&, const std::string& pin)>;
+
+/// Builds the standard DrivesPredicate from a liberty library: a pin
+/// drives iff its library direction is `PinDirection::kOutput`.
+/// Unknown cells/pins are treated as non-driving.
+[[nodiscard]] DrivesPredicate make_drives_predicate(
+    const liberty::Library& library);
+
+/// One victim/aggressor coupling pair of a ScenarioSpace, with the
+/// baseline timing windows the feasibility filter tests against.
+/// Normally produced by make_scenario_space() from
+/// interconnect::CouplingCandidate seeds; hand-construction is fine for
+/// tests and custom spaces.
+struct ScenarioPair {
+  /// Victim net ordinal in the netlist (the annotated net).
+  int32_t victim_net = -1;
+  /// Aggressor net ordinal (the coupling source; used by correlation
+  /// rules — the generated scenario itself annotates only the victim).
+  int32_t aggressor_net = -1;
+  /// Victim net name — the NoiseScenario annotation target.
+  std::string victim_name;
+  /// Aggressor net name (diagnostics / reports).
+  std::string aggressor_name;
+  /// Baseline victim 50% crossing at the chosen sink [s] (bump centres
+  /// are offsets from this).
+  double victim_arrival = 0.0;
+  /// Baseline victim transition time at that sink [s] (sets both the
+  /// bump width and the victim overlap window).
+  double victim_slew = 0.0;
+  /// Earliest instant the aggressor can be switching, from the corner
+  /// baseline over both transitions of every pin on the aggressor net
+  /// (arrival − slew, minimized) [s].
+  double aggressor_window_lo = 0.0;
+  /// Latest instant the aggressor can be switching (arrival + slew,
+  /// maximized) [s].
+  double aggressor_window_hi = 0.0;
+  /// Relative coupling strength of this pair (Cm / reference Cm);
+  /// multiplies the strength-grid value when the scenario materializes.
+  double coupling_scale = 1.0;
+};
+
+/// Options of make_scenario_space().
+struct ScenarioSpaceOptions {
+  /// Samples per generated scenario waveform (make_aggressor_scenario's
+  /// `samples`; small keeps million-point materialization cheap).
+  size_t waveform_samples = 64;
+  /// Bump sigma as a fraction of the victim slew — MUST match the
+  /// generated waveform shape (make_aggressor_scenario uses 0.5).
+  double bump_sigma_factor = 0.5;
+  /// Extra slack added to every window-overlap test [s] (0 = exact
+  /// envelope overlap; > 0 keeps marginal candidates).
+  double window_slop = 0.0;
+  /// Reference coupling capacitance [F]: a candidate's coupling_scale
+  /// is its cm_total divided by this.
+  double cm_reference = 100e-15;
+};
+
+/// The symbolic cross product a generated sweep explores:
+/// coupling pairs × aggressor-alignment grid × strength grid.  Never
+/// materialized — ScenarioGenerator walks it lazily, one candidate at a
+/// time, in lexicographic (pair, alignment, strength) order.
+struct ScenarioSpace {
+  /// Victim/aggressor coupling pairs (the victim-net axis).
+  std::vector<ScenarioPair> pairs;
+  /// Bump-centre offsets from each pair's victim arrival [s].
+  std::vector<double> alignments;
+  /// Bump peak amplitudes [V] (scaled per pair by coupling_scale).
+  std::vector<double> strengths;
+  /// Supply voltage of the generated waveforms [V].
+  double vdd = 1.2;
+  /// Victim transition polarity the bumps push against.
+  wave::Polarity polarity = wave::Polarity::kFalling;
+  /// Samples per generated scenario waveform.
+  size_t waveform_samples = 64;
+  /// Bump sigma as a fraction of the victim slew (see
+  /// ScenarioSpaceOptions::bump_sigma_factor).
+  double bump_sigma_factor = 0.5;
+  /// Extra slack on every window-overlap test [s].
+  double window_slop = 0.0;
+
+  /// Total candidate count: pairs × alignments × strengths.
+  [[nodiscard]] uint64_t size() const noexcept {
+    return static_cast<uint64_t>(pairs.size()) * alignments.size() *
+           strengths.size();
+  }
+
+  /// Grid coordinates of one flat candidate index.
+  struct Coordinates {
+    uint32_t pair = 0;       ///< index into pairs
+    uint32_t alignment = 0;  ///< index into alignments
+    uint32_t strength = 0;   ///< index into strengths
+  };
+  /// Decodes a flat candidate index (lexicographic: pair-major, then
+  /// alignment, then strength).  Throws util::Error when out of range.
+  [[nodiscard]] Coordinates decode(uint64_t candidate) const;
+  /// Flat index of grid coordinates (inverse of decode()).
+  [[nodiscard]] uint64_t encode(const Coordinates& c) const noexcept {
+    return (static_cast<uint64_t>(c.pair) * alignments.size() + c.alignment) *
+               strengths.size() +
+           c.strength;
+  }
+};
+
+/// Builds a ScenarioSpace from netlist coupling candidates: for each
+/// candidate whose victim has a valid baseline transition (polarity per
+/// `options`) at one of its sinks and whose aggressor has any valid
+/// baseline switching window, emits a ScenarioPair carrying those
+/// windows.  Candidates without valid baseline timing are dropped (they
+/// cannot couple in this corner).  `sta` must have been run() — the
+/// windows come from its corner baseline TimingState.  Deterministic:
+/// pairs keep candidate order; the victim sink is the latest-arrival
+/// valid sink in netlist pin order.
+[[nodiscard]] ScenarioSpace make_scenario_space(
+    const StaEngine& sta, const netlist::Netlist& netlist,
+    std::span<const interconnect::CouplingCandidate> candidates,
+    const DrivesPredicate& drives, std::vector<double> alignments,
+    std::vector<double> strengths,
+    const ScenarioSpaceOptions& options = {});
+
+/// Pluggable logical-correlation predicate: rejects victim/aggressor
+/// combinations that cannot switch simultaneously (FRAME's logic-
+/// correlation screen).  Implementations must be deterministic; the
+/// generator calls them once per pair.
+class CorrelationRule {
+ public:
+  virtual ~CorrelationRule() = default;
+  /// Human-readable rule name (reports/diagnostics).
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+  /// True when the two nets can switch in the same window; false kills
+  /// every candidate of the pair (counted correlation_killed).
+  [[nodiscard]] virtual bool can_switch_together(
+      int32_t victim_net, int32_t aggressor_net) const = 0;
+};
+
+/// The built-in structural rule.  Rejects a (victim, aggressor) pair
+/// when the nets are logically forced apart:
+///  - same net (a net cannot aggress itself),
+///  - same driving instance (complementary outputs of one cell cannot
+///    make an independent simultaneous aggressor),
+///  - causal ordering: either net lies in the other's transitive
+///    fanout cone (Netlist::transitive_fanout_nets) — the "aggressor"
+///    transition would be *caused by* the victim's (or vice versa), a
+///    gate delay apart, not an independent simultaneous switch.
+/// Fanout cones are memoized per net; the rule is NOT thread-safe (the
+/// generator queries it from one thread).
+class StructuralCorrelationRule final : public CorrelationRule {
+ public:
+  /// `netlist` must outlive the rule; `drives` is the pin-direction
+  /// oracle (see make_drives_predicate()).
+  StructuralCorrelationRule(const netlist::Netlist& netlist,
+                            DrivesPredicate drives);
+  /// Rule name: "structural".
+  [[nodiscard]] const char* name() const noexcept override;
+  /// Applies the same-net / same-driver / causal-ordering checks.
+  [[nodiscard]] bool can_switch_together(
+      int32_t victim_net, int32_t aggressor_net) const override;
+
+ private:
+  [[nodiscard]] const std::vector<int>& fanout(int32_t net) const;
+
+  const netlist::Netlist* netlist_;
+  DrivesPredicate drives_;
+  /// Net → sorted transitive-fanout ordinals, filled on first query.
+  mutable std::unordered_map<int32_t, std::vector<int>> fanout_memo_;
+};
+
+/// Per-stage kill counters of a generated sweep — the funnel report.
+/// On a ScenarioGenerator the counters are in candidate units (the
+/// scenario axis only); on a GeneratedSweepResult they are in
+/// (corner × candidate) point units, matching PruneStats::points, and
+/// satisfy  generated == window_killed + correlation_killed +
+/// prune_killed + reused + evaluated.
+struct GenStats {
+  /// Candidates drawn from the cross product so far.
+  uint64_t generated = 0;
+  /// Killed by the timing-window-overlap filter (stage 1).
+  uint64_t window_killed = 0;
+  /// Killed by the logical-correlation rule (stage 2).
+  uint64_t correlation_killed = 0;
+  /// Killed by slack-bound pruning inside the sweep (stage 3; 0 when
+  /// the sweep ran with prune == PruneMode::kOff).
+  uint64_t prune_killed = 0;
+  /// Recorded exactly from the corner baseline without propagation
+  /// (cone misses every endpoint; see PruneStats::reused).
+  uint64_t reused = 0;
+  /// Fully evaluated through baseline + delta propagation.
+  uint64_t evaluated = 0;
+  /// Chunks streamed (GeneratedSweepResult only).
+  uint64_t chunks = 0;
+  /// Peak scenarios resident at once — the bounded-memory guarantee:
+  /// never exceeds GeneratedSweepSpec::gen_chunk.
+  uint64_t peak_resident_scenarios = 0;
+};
+
+/// Pull-based lazy iterator over a ScenarioSpace: next() yields the
+/// next *feasible* candidate in lexicographic (pair, alignment,
+/// strength) order, applying the window filter then the correlation
+/// rule and updating stats(); materialize() builds the candidate's
+/// NoiseScenario (the only step that samples a waveform).  Infeasible
+/// (pair, alignment) blocks are skipped whole — strength never affects
+/// feasibility — so draining a million-point space costs on the order
+/// of pairs × alignments window tests plus one correlation query per
+/// pair.  The space (and rule, when given) must outlive the generator.
+class ScenarioGenerator {
+ public:
+  /// `correlation == nullptr` disables the correlation stage (every
+  /// pair passes it).
+  explicit ScenarioGenerator(const ScenarioSpace& space,
+                             const CorrelationRule* correlation = nullptr);
+
+  /// One feasible candidate: the flat index plus its decoded grid
+  /// coordinates.
+  struct Candidate {
+    uint64_t index = 0;      ///< flat lexicographic index in the space
+    uint32_t pair = 0;       ///< index into space().pairs
+    uint32_t alignment = 0;  ///< index into space().alignments
+    uint32_t strength = 0;   ///< index into space().strengths
+  };
+
+  /// The next feasible candidate, or nullopt when the space is
+  /// exhausted.  Advances stats() over every candidate it skips.
+  [[nodiscard]] std::optional<Candidate> next();
+
+  /// Materializes the candidate's scenario: an aggressor bump of
+  /// amplitude strengths[c.strength] × pair.coupling_scale centred
+  /// alignments[c.alignment] after the victim arrival, via
+  /// make_aggressor_scenario() (so eager enumeration can build the
+  /// identical scenario).
+  [[nodiscard]] NoiseScenario materialize(const Candidate& c) const;
+
+  /// Stage-1 window test of one (pair, alignment) cell: the bump
+  /// support (±3σ around the centre) must overlap BOTH the victim
+  /// transition window and the aggressor switching window, each
+  /// widened by the space's window_slop.
+  [[nodiscard]] bool window_feasible(uint32_t pair,
+                                     uint32_t alignment) const;
+
+  /// Funnel counters over the candidates drained so far, in candidate
+  /// units (prune_killed/reused/evaluated stay 0 here — those stages
+  /// live in the sweep).
+  [[nodiscard]] const GenStats& stats() const noexcept { return stats_; }
+
+  /// The space this generator walks.
+  [[nodiscard]] const ScenarioSpace& space() const noexcept {
+    return *space_;
+  }
+
+ private:
+  const ScenarioSpace* space_;
+  /// Correlation verdict per pair, resolved once at construction.
+  std::vector<char> pair_feasible_;
+  uint64_t cursor_ = 0;  ///< next flat index to consider
+  GenStats stats_;
+};
+
+/// A generated sweep: the streaming counterpart of SweepSpec, with the
+/// scenario axis described symbolically by a ScenarioSpace instead of
+/// an eager std::vector<NoiseScenario>.  Evaluation is forced
+/// endpoint-only (full TimingStates cannot be kept for a million
+/// points); every other knob mirrors SweepSpec and feeds the per-chunk
+/// sweeps unchanged.
+struct GeneratedSweepSpec {
+  /// The candidate cross product (see make_scenario_space()).
+  ScenarioSpace space;
+  /// Logical-correlation filter; null disables stage 2.  Must outlive
+  /// the sweep call.
+  const CorrelationRule* correlation = nullptr;
+  /// Corner/derate axis; empty selects one point (engine corner or
+  /// nominal), exactly as SweepSpec::corners.
+  std::vector<Corner> corners;
+  /// Worker threads (≤ 0 selects the hardware concurrency).
+  int threads = 0;
+  /// Share one Γeff memo across the points of each chunk.
+  bool share_gamma_cache = true;
+  /// Technique override; null uses the engine's configured method.
+  const core::EquivalentWaveformMethod* method = nullptr;
+  /// External pool reused across all chunks; null lets the sweep build
+  /// one (still shared across chunks).
+  util::ThreadPool* pool = nullptr;
+  /// Baseline + delta evaluation per chunk (SweepSpec::delta).
+  bool delta = true;
+  /// Slack-bound pruning per chunk (SweepSpec::prune); the running
+  /// worst slack is carried across chunks through
+  /// SweepSpec::prune_seed_slack, so later chunks prune harder.
+  PruneMode prune = PruneMode::kSafe;
+  /// Partition-sharded scheduling (SweepSpec::shard).
+  bool shard = true;
+  /// Wide-partition fallback threshold (SweepSpec counterpart).
+  size_t wide_partition_threshold = kDefaultWidePartitionThreshold;
+  /// Feasible scenarios materialized per streamed chunk — the peak
+  /// resident-scenario bound; 0 selects 512.
+  size_t gen_chunk = 0;
+  /// Endpoint-only evaluation chunk inside each sweep
+  /// (SweepSpec::endpoint_chunk).
+  size_t endpoint_chunk = 0;
+  /// Record a {candidate, corner, worst_slack} tuple per surviving
+  /// point (see GeneratedSweepResult::points()).  Memory is bounded by
+  /// the survivor count, not the space size; disable for pure funnel
+  /// reports.
+  bool keep_point_records = true;
+};
+
+/// Result of a generated sweep: the funnel, the aggregated prune/delta
+/// statistics, the exact worst point, and (optionally) one record per
+/// surviving point.  All values are bitwise identical to eagerly
+/// enumerating the surviving scenarios through
+/// StaEngine::sweep(SweepSpec) with the same settings.
+class GeneratedSweepResult {
+ public:
+  GeneratedSweepResult() = default;
+
+  /// One surviving (evaluated or reused) point.
+  struct PointRecord {
+    /// Flat candidate index in the ScenarioSpace (decode() maps it
+    /// back to grid coordinates).
+    uint64_t candidate = 0;
+    /// Corner ordinal of the point.
+    uint32_t corner = 0;
+    /// Exact worst slack of the point [s].
+    double worst_slack = 0.0;
+  };
+
+  /// The sweep's worst point.
+  struct WorstPoint {
+    /// Flat candidate index of the worst point.
+    uint64_t candidate = std::numeric_limits<uint64_t>::max();
+    /// Corner ordinal of the worst point.
+    size_t corner = 0;
+    /// Scenario name of the worst point (make_aggressor_scenario
+    /// naming: net@align=..,strength=..).
+    std::string scenario_name;
+    /// Exact worst slack [s].
+    double slack = std::numeric_limits<double>::infinity();
+  };
+
+  /// The per-stage funnel, in (corner × candidate) point units.
+  [[nodiscard]] const GenStats& gen_stats() const noexcept {
+    return gen_stats_;
+  }
+  /// Aggregated baseline+delta / pruning counters over all chunks
+  /// (fractions and bound gaps are survivor-weighted means).
+  [[nodiscard]] const PruneStats& prune_stats() const noexcept {
+    return prune_stats_;
+  }
+  /// Exact worst slack over all surviving points; throws util::Error
+  /// when every candidate was filtered out.
+  [[nodiscard]] double worst_slack() const;
+  /// The worst point (ties resolve to the smallest (corner, candidate)
+  /// — the same argmin an eager corner-major sweep reports).  Throws
+  /// when every candidate was filtered out.
+  [[nodiscard]] const WorstPoint& worst_point() const;
+  /// One record per surviving point, in stream order (empty when
+  /// GeneratedSweepSpec::keep_point_records was false).
+  [[nodiscard]] const std::vector<PointRecord>& points() const noexcept {
+    return points_;
+  }
+  /// Corner count of the sweep.
+  [[nodiscard]] size_t num_corners() const noexcept { return num_corners_; }
+
+  /// Multi-line human-readable funnel: one line per stage with counts
+  /// and percentages — the canonical field names
+  /// (generated/window_killed/correlation_killed/prune_killed/reused/
+  /// evaluated) shared by docs/SWEEP_GUIDE.md, the examples and
+  /// bench_runtime.
+  [[nodiscard]] std::string funnel_report() const;
+
+ private:
+  friend class StaEngine;  // sweep(GeneratedSweepSpec) populates
+
+  GenStats gen_stats_;
+  PruneStats prune_stats_;
+  WorstPoint worst_;
+  bool has_worst_ = false;
+  std::vector<PointRecord> points_;
+  size_t num_corners_ = 1;
+};
+
+}  // namespace waveletic::sta

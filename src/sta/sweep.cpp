@@ -15,6 +15,19 @@ const char* to_string(PruneMode mode) noexcept {
   return mode == PruneMode::kSafe ? "safe" : "off";
 }
 
+std::string format_prune_stats(const PruneStats& stats) {
+  std::ostringstream os;
+  os << "prune_stats: points=" << stats.points
+     << " evaluated=" << stats.evaluated << " reused=" << stats.reused
+     << " pruned=" << stats.pruned << "\n"
+     << "  dirty_vertex_fraction=" << stats.dirty_vertex_fraction
+     << " dirty_partition_fraction=" << stats.dirty_partition_fraction
+     << "\n"
+     << "  mean_bound_gap=" << stats.mean_bound_gap
+     << " min_bound_gap=" << stats.min_bound_gap;
+  return os.str();
+}
+
 void NoiseScenario::annotate(const std::string& net, wave::Waveform waveform,
                              wave::Polarity polarity) {
   const uint64_t key = noise_waveform_key(waveform, polarity);
@@ -502,7 +515,11 @@ SweepResult StaEngine::sweep(const SweepSpec& spec) {
   // baseline up front.
   std::vector<size_t> order;
   order.reserve(n_points);
-  double worst_seen = kInf;
+  // A streaming caller (scengen's generated sweep) seeds the running
+  // worst slack with the worst seen in earlier chunks; admission is
+  // strictly `bound > worst_seen`, so a seed that is itself an attained
+  // slack never prunes the global argmin or its ties.
+  double worst_seen = prune ? spec.prune_seed_slack : kInf;
   if (prune) {
     r.bounds_.assign(n_points, -kInf);
     // Per-corner baseline endpoint summaries feed bounds and reuse.

@@ -78,12 +78,16 @@ namespace waveletic::sta {
 /// compile time into the per-edge pointer table, never during
 /// propagation.
 struct NoiseScenario {
+  /// Scenario label carried into SweepResult::scenario_name() and
+  /// reports (make_aggressor_scenario encodes net/alignment/strength).
   std::string name;
 
+  /// One per-net annotation of the scenario.
   struct Entry {
-    std::string net;
-    NoiseAnnotation annotation;
+    std::string net;             ///< annotated net name
+    NoiseAnnotation annotation;  ///< noisy waveform + polarity
   };
+  /// The annotations, one entry per distinct net (see annotate()).
   std::vector<Entry> entries;
 
   /// Annotates `net`; the memoization key is derived from the waveform
@@ -136,6 +140,7 @@ enum class PruneMode : uint8_t {
   kSafe = 1,
 };
 
+/// Stable lowercase name of a PruneMode ("off" / "safe").
 [[nodiscard]] const char* to_string(PruneMode mode) noexcept;
 
 /// Counters of one sweep's baseline + delta / pruning machinery
@@ -160,8 +165,16 @@ struct PruneStats {
   /// over evaluated points [s].  A negative minimum would mean the
   /// bound was NOT conservative (asserted never to happen in tests).
   double mean_bound_gap = 0.0;
+  /// Minimum of (exact worst slack − bound) over evaluated points [s].
   double min_bound_gap = 0.0;
 };
+
+/// Renders PruneStats with its canonical field names (points /
+/// evaluated / reused / pruned / dirty_vertex_fraction /
+/// dirty_partition_fraction / mean_bound_gap / min_bound_gap) — the
+/// one formatting shared by the examples, bench_runtime and
+/// docs/SWEEP_GUIDE.md, so docs and binaries never drift.
+[[nodiscard]] std::string format_prune_stats(const PruneStats& stats);
 
 /// The cross product a sweep evaluates: every corner × every scenario.
 struct SweepSpec {
@@ -206,6 +219,19 @@ struct SweepSpec {
   /// Scenario pruning (see PruneMode).  Works with either `delta`
   /// setting — the corner baselines it needs are computed either way.
   PruneMode prune = PruneMode::kOff;
+  /// Seed for the pruning pass's running worst slack [s].  Default +inf
+  /// reproduces the self-contained behaviour; a streaming caller (the
+  /// generated sweep) passes the worst slack observed in earlier chunks
+  /// so later chunks prune against it from the start.  Exactness
+  /// contract: the seed must be a slack actually attained by some
+  /// already-evaluated point of the SAME streamed sweep — admission
+  /// uses a strict `bound > worst_seen` test, so a point pruned by the
+  /// seed has true worst slack ≥ bound > seed and can neither beat nor
+  /// tie the global argmin.  Seeding with an arbitrary low value
+  /// instead turns worst_point() into "worst among points at most that
+  /// critical" (and may prune everything).  Ignored when prune ==
+  /// PruneMode::kOff.
+  double prune_seed_slack = std::numeric_limits<double>::infinity();
 };
 
 class SweepResult;
@@ -214,15 +240,22 @@ class SweepResult;
 /// it came from (and the engine) are alive.
 class TimingView {
  public:
+  /// Timing of (pin, transition) at this point, by handle.
   [[nodiscard]] const PinTiming& timing(PinId pin, RiseFall rf) const;
+  /// Timing of (pin, transition) at this point, by hierarchical name.
   [[nodiscard]] const PinTiming& timing(const std::string& pin,
                                         RiseFall rf) const;
+  /// Worst slack over this point's constrained endpoints.
   [[nodiscard]] double worst_slack() const;
+  /// The point's critical path, input port to worst endpoint.
   [[nodiscard]] std::vector<PathStep> critical_path() const;
+  /// The corner this point was evaluated under.
   [[nodiscard]] const Corner& corner() const noexcept { return *corner_; }
+  /// Name of the point's noise scenario.
   [[nodiscard]] const std::string& scenario_name() const noexcept {
     return *scenario_name_;
   }
+  /// The point's full TimingState (advanced/internal use).
   [[nodiscard]] const TimingState& state() const noexcept { return *state_; }
 
  private:
@@ -263,9 +296,11 @@ class SweepResult {
  public:
   SweepResult() = default;
 
+  /// Corner-axis length of the sweep.
   [[nodiscard]] size_t num_corners() const noexcept {
     return corners_.size();
   }
+  /// Scenario-axis length of the sweep.
   [[nodiscard]] size_t num_scenarios() const noexcept {
     return scenario_names_.size();
   }
@@ -282,33 +317,44 @@ class SweepResult {
   [[nodiscard]] size_t point(size_t corner, size_t scenario) const;
 
   // -- full-state accessors (throw in endpoint-only mode) ------------------
+  /// Read-only view of one point, by flat index.
   [[nodiscard]] TimingView view(size_t point) const;
+  /// Read-only view of one point, by (corner, scenario).
   [[nodiscard]] TimingView view(size_t corner, size_t scenario) const;
 
+  /// The point's full TimingState (advanced/internal use).
   [[nodiscard]] const TimingState& state(size_t point) const;
+  /// Timing of (pin, transition) at `point`, by handle.
   [[nodiscard]] const PinTiming& timing(size_t point, PinId pin,
                                         RiseFall rf) const;
+  /// Timing of (pin, transition) at `point`, by hierarchical name.
   [[nodiscard]] const PinTiming& timing(size_t point, const std::string& pin,
                                         RiseFall rf) const;
+  /// The point's critical path, input port to worst endpoint.
   [[nodiscard]] std::vector<PathStep> critical_path(size_t point) const;
 
   // -- endpoint-level accessors (work in both modes, bitwise equal) --------
+  /// Worst slack of one point over its constrained endpoints.
   [[nodiscard]] double worst_slack(size_t point) const;
 
   /// The point with the smallest worst-slack over all (corner,
   /// scenario) pairs.
   struct WorstPoint {
-    size_t point = 0;
-    size_t corner = 0;
-    size_t scenario = 0;
+    size_t point = 0;     ///< flat point index (corner-major)
+    size_t corner = 0;    ///< corner ordinal of the worst point
+    size_t scenario = 0;  ///< scenario ordinal of the worst point
+    /// Exact worst slack of the sweep [s].
     double slack = std::numeric_limits<double>::infinity();
   };
+  /// The sweep's worst point (ties resolve to the smallest flat index;
+  /// pruned points are skipped — they provably cannot win).
   [[nodiscard]] WorstPoint worst_point() const;
 
   /// Endpoint axis: the engine's output ports, in port order.
   [[nodiscard]] size_t num_endpoints() const noexcept {
     return endpoint_names_.size();
   }
+  /// Name of one endpoint (an output port), by endpoint ordinal.
   [[nodiscard]] const std::string& endpoint_name(size_t endpoint) const;
   /// Arrival of (endpoint, transition) at `point` (-inf when the
   /// transition never became valid).
@@ -317,10 +363,12 @@ class SweepResult {
   /// The critical endpoint of a point: argmin slack over constrained
   /// endpoint transitions (endpoint = -1 when nothing was valid).
   struct CriticalEndpoint {
-    int32_t endpoint = -1;
-    RiseFall rf = RiseFall::kRise;
+    int32_t endpoint = -1;          ///< endpoint ordinal; -1 = none valid
+    RiseFall rf = RiseFall::kRise;  ///< critical transition
+    /// Slack of that (endpoint, transition) [s].
     double slack = std::numeric_limits<double>::infinity();
   };
+  /// The critical endpoint of one point (see CriticalEndpoint).
   [[nodiscard]] CriticalEndpoint critical_endpoint(size_t point) const;
 
   // -- pruning (SweepSpec::prune) ------------------------------------------
@@ -346,7 +394,9 @@ class SweepResult {
   /// endpoint-only mode shrinks by ~vertex_count×.
   [[nodiscard]] size_t result_bytes_per_point() const noexcept;
 
+  /// The corner at ordinal `i` of the corner axis.
   [[nodiscard]] const Corner& corner(size_t i) const;
+  /// Name of the scenario at ordinal `i` of the scenario axis.
   [[nodiscard]] const std::string& scenario_name(size_t i) const;
 
   /// Γeff memo statistics of the sweep (zeros when sharing was off).
