@@ -35,8 +35,10 @@
 #include "netlist/generators.hpp"
 #include "noise/scenario.hpp"
 #include "sta/batch.hpp"
+#include "sta/edits.hpp"
 #include "sta/engine.hpp"
 #include "sta/scengen.hpp"
+#include "sta/service.hpp"
 #include "sta/sweep.hpp"
 #include "util/thread_pool.hpp"
 #include "wave/kernels.hpp"
@@ -1212,6 +1214,217 @@ void report_kernel_summary(const SweepFigures& sweep) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Incremental STA service: the ECO loop on the ~10k-vertex random DAG —
+// 256 single-net parasitic edits (the fork path: no structural rebuild)
+// with interleaved worst-slack queries, against the from-scratch
+// re-prepare each edit would otherwise cost.  The final snapshot is
+// cross-checked bitwise against a clean engine that replays every edit.
+// ---------------------------------------------------------------------------
+
+void report_service_summary() {
+  const auto& sf = sparse_fixture();
+  const size_t hw = wu::ThreadPool::hardware_threads();
+  const int kEdits = 256;
+  const int kQueriesPerEdit = 8;
+
+  st::Corner slow;
+  slow.name = "slow";
+  slow.cell_delay_scale = 1.12;
+  slow.cell_slew_scale = 1.08;
+  slow.wire_delay_scale = 1.25;
+  const std::vector<st::Corner> corners = {st::Corner{}, slow};
+
+  // The SparseFixture constraints expressed as the service's first
+  // EditBatch (services start from an unconstrained netlist).
+  st::EditBatch constraints;
+  {
+    int i = 0;
+    int o = 0;
+    for (const auto& port : sf.netlist.ports()) {
+      if (port.direction == nl::PortDirection::kInput) {
+        constraints.set_input_arrival(port.name, 0.008e-9 * i,
+                                      (75 + 9 * (i % 13)) * 1e-12);
+        ++i;
+      } else {
+        constraints.set_output_load(port.name, (4 + (o % 3)) * 1e-15);
+        constraints.set_required(port.name, 4e-9);
+        ++o;
+      }
+    }
+  }
+
+  // ECO edit k: bump the parasitics of one late-layer net (small dirty
+  // cone — the realistic single-net ECO shape).
+  const auto& instances = sf.netlist.instances();
+  const size_t window = std::min<size_t>(instances.size(), 2000);
+  auto eco_edit = [&](int k) {
+    const auto& inst =
+        instances[instances.size() - 1 -
+                  static_cast<size_t>((7 * k) % static_cast<int>(window))];
+    st::EditBatch b;
+    b.set_net_parasitics(inst.pins.at("Y"), (1.0 + k % 5) * 1e-15,
+                         (k % 3) * 2e-12);
+    return b;
+  };
+
+  st::ServiceConfig cfg;
+  cfg.corners = corners;
+  cfg.threads = static_cast<int>(hw);
+  st::StaService service(sf.netlist, sf.lib, cfg);
+  service.apply(constraints);
+
+  // The timed ECO loop: each edit publishes a snapshot, then a burst of
+  // worst-slack queries lands on the new head (the read side is a
+  // snapshot pin + precomputed lookup — it must be orders of magnitude
+  // cheaper than an edit).
+  double t_edits = 0.0;
+  double t_queries = 0.0;
+  double slack_acc = 0.0;
+  for (int k = 0; k < kEdits; ++k) {
+    t_edits += wall_seconds([&] { service.apply(eco_edit(k)); });
+    t_queries += wall_seconds([&] {
+      for (int q = 0; q < kQueriesPerEdit; ++q) {
+        slack_acc += service.worst_slack(static_cast<size_t>(q) %
+                                         corners.size());
+      }
+    });
+  }
+  benchmark::DoNotOptimize(slack_acc);
+  const auto stats = service.stats();
+  const double edits_per_sec = kEdits / t_edits;
+  const double queries_per_sec = (kEdits * kQueriesPerEdit) / t_queries;
+
+  // From-scratch baseline: what one edit costs without the service —
+  // fresh engine, all constraints + edits so far, prepare(), full
+  // evaluation of both corners (the same work evaluate_snapshot does,
+  // minus the delta).
+  const int kReprep = 8;
+  double t_reprep = 0.0;
+  for (int j = 0; j < kReprep; ++j) {
+    t_reprep += wall_seconds([&] {
+      st::StaEngine eng(sf.netlist, sf.lib);
+      sf.constrain(eng);
+      for (int k = 0; k <= j; ++k) {
+        const auto e = std::get<st::SetNetParasitics>(eco_edit(k).edits()[0]);
+        eng.set_net_parasitics(e.net, e.cap, e.delay);
+      }
+      eng.prepare();
+      const auto table = eng.compile_edge_annotations();
+      st::TimingState state;
+      double acc = 0.0;
+      for (const auto& corner : corners) {
+        st::StaEngine::EvalContext ctx;
+        ctx.edge_noise = table.data();
+        ctx.corner = &corner;
+        ctx.corner_key = corner.key();
+        ctx.method = &eng.noise_method();
+        eng.evaluate(state, ctx);
+        acc += eng.worst_slack_in(state);
+      }
+      benchmark::DoNotOptimize(acc);
+    });
+  }
+  const double reprep_per_edit = t_reprep / kReprep;
+  const double edit_speedup = reprep_per_edit / (t_edits / kEdits);
+
+  // Bitwise check: the final published snapshot vs a clean engine that
+  // replays the whole edit history (last-write-wins) from scratch.
+  bool bitwise = true;
+  {
+    st::StaEngine eng(sf.netlist, sf.lib);
+    sf.constrain(eng);
+    for (int k = 0; k < kEdits; ++k) {
+      const auto e = std::get<st::SetNetParasitics>(eco_edit(k).edits()[0]);
+      eng.set_net_parasitics(e.net, e.cap, e.delay);
+    }
+    eng.prepare();
+    const auto table = eng.compile_edge_annotations();
+    const auto snap = service.snapshot();
+    for (size_t c = 0; c < corners.size(); ++c) {
+      st::StaEngine::EvalContext ctx;
+      ctx.edge_noise = table.data();
+      ctx.corner = &corners[c];
+      ctx.corner_key = corners[c].key();
+      ctx.method = &eng.noise_method();
+      st::TimingState state;
+      eng.evaluate(state, ctx);
+      const auto& got = snap->baseline(c);
+      if (state.size() != got.size()) {
+        bitwise = false;
+        break;
+      }
+      for (size_t v = 0; v < state.size(); ++v) {
+        for (int rf = 0; rf < 2; ++rf) {
+          const auto& a = state[v].timing[rf];
+          const auto& b = got[v].timing[rf];
+          bitwise = bitwise && a.valid == b.valid &&
+                    std::bit_cast<uint64_t>(a.arrival) ==
+                        std::bit_cast<uint64_t>(b.arrival) &&
+                    std::bit_cast<uint64_t>(a.slew) ==
+                        std::bit_cast<uint64_t>(b.slew) &&
+                    std::bit_cast<uint64_t>(a.required) ==
+                        std::bit_cast<uint64_t>(b.required);
+        }
+      }
+    }
+    if (!bitwise) std::printf("SERVICE SNAPSHOT MISMATCH — BUG\n");
+  }
+
+  std::printf("\n-- incremental service summary (%zu-vertex DAG, %d edits, "
+              "%d corners, %zu threads) --\n",
+              service.snapshot()->engine().vertex_count(), kEdits,
+              static_cast<int>(corners.size()), hw);
+  std::printf("edit -> publish:        %8.2f ms/edit  (%.1f edits/sec)\n",
+              (t_edits / kEdits) * 1e3, edits_per_sec);
+  std::printf("worst-slack query:      %8.3f us/query (%.0f queries/sec)\n",
+              (t_queries / (kEdits * kQueriesPerEdit)) * 1e6,
+              queries_per_sec);
+  std::printf("from-scratch re-prepare: %7.2f ms/edit  (%.2fx speedup via "
+              "service)%s\n",
+              reprep_per_edit * 1e3, edit_speedup,
+              edit_speedup >= 5.0 ? "" : "  [below 5x target]");
+  std::printf("%s", st::format_service_stats(stats).c_str());
+  std::printf("final snapshot bitwise identical to full re-prepare: %s\n",
+              bitwise ? "yes" : "NO — BUG");
+
+  const char* json_path = "BENCH_service.json";
+  if (FILE* f_json = std::fopen(json_path, "w")) {
+    std::fprintf(f_json,
+                 "{\n"
+                 "  \"vertices\": %zu,\n"
+                 "  \"edits\": %d,\n"
+                 "  \"corners\": %zu,\n"
+                 "  \"threads\": %zu,\n"
+                 "  \"edits_per_sec\": %.1f,\n"
+                 "  \"queries_per_sec\": %.0f,\n"
+                 "  \"edit_ms\": %.3f,\n"
+                 "  \"query_us\": %.3f,\n"
+                 "  \"reprepare_ms\": %.3f,\n"
+                 "  \"edit_vs_reprepare_speedup\": %.2f,\n"
+                 "  \"mean_dirty_cone_fraction\": %.4f,\n"
+                 "  \"mean_publish_latency_ms\": %.3f,\n"
+                 "  \"snapshots_published\": %llu,\n"
+                 "  \"structural_rebuilds\": %llu,\n"
+                 "  \"queries_served\": %llu,\n"
+                 "  \"bitwise_identical\": %s\n"
+                 "}\n",
+                 service.snapshot()->engine().vertex_count(), kEdits,
+                 corners.size(), hw, edits_per_sec, queries_per_sec,
+                 (t_edits / kEdits) * 1e3,
+                 (t_queries / (kEdits * kQueriesPerEdit)) * 1e6,
+                 reprep_per_edit * 1e3, edit_speedup,
+                 stats.mean_dirty_cone_fraction,
+                 stats.mean_publish_latency * 1e3,
+                 static_cast<unsigned long long>(stats.snapshots_published),
+                 static_cast<unsigned long long>(stats.structural_rebuilds),
+                 static_cast<unsigned long long>(stats.queries_served),
+                 bitwise ? "true" : "false");
+    std::fclose(f_json);
+    std::printf("wrote %s\n", json_path);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1221,5 +1434,6 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   const auto sweep_figures = report_sweep_speedups();
   report_kernel_summary(sweep_figures);
+  report_service_summary();
   return 0;
 }

@@ -29,6 +29,40 @@ void Netlist::add_instance(Instance inst) {
   instances_.push_back(std::move(inst));
 }
 
+void Netlist::retype_instance(const std::string& instance_name,
+                              std::string new_cell) {
+  for (auto& inst : instances_) {
+    if (inst.name == instance_name) {
+      inst.cell = std::move(new_cell);
+      return;
+    }
+  }
+  throw util::Error::fmt("retype_instance: unknown instance '", instance_name,
+                         "' in netlist '", name, "'");
+}
+
+void Netlist::reroute_pin(const std::string& instance_name,
+                          const std::string& pin,
+                          const std::string& new_net) {
+  Instance* target = nullptr;
+  for (auto& inst : instances_) {
+    if (inst.name == instance_name) {
+      target = &inst;
+      break;
+    }
+  }
+  util::require(target != nullptr, "reroute_pin: unknown instance '",
+                instance_name, "' in netlist '", name, "'");
+  const auto it = target->pins.find(pin);
+  util::require(it != target->pins.end(), "reroute_pin: instance '",
+                instance_name, "' has no pin '", pin, "'");
+  if (it->second == new_net) return;
+  add_net(new_net);  // no-op when present; appends otherwise
+  --net_degree_[static_cast<size_t>(net_ordinal(it->second))];
+  ++net_degree_[static_cast<size_t>(net_ordinal(new_net))];
+  it->second = new_net;
+}
+
 bool Netlist::has_net(const std::string& net_name) const noexcept {
   return net_index_.count(net_name) > 0;
 }

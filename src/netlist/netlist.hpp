@@ -37,6 +37,26 @@ class Netlist {
   /// Adds an instance; creates referenced nets that don't exist yet.
   void add_instance(Instance inst);
 
+  // -- incremental edits (the ECO-service write path) ----------------------
+  // Ordinal-stability contract: edits never remove or reorder nets,
+  // ports, or instances — reroute_pin() may only APPEND a new net — so
+  // every ordinal minted before an edit (net_ordinal(), NetId/PortId
+  // handles, per-net table indices) stays valid afterwards.
+
+  /// Replaces the library cell of an existing instance (resize/retype).
+  /// Pin connections are untouched, so the pin-name set must be
+  /// compatible with the new cell — checked at analysis time (and up
+  /// front by sta::validate_edits()).  Throws util::Error for an
+  /// unknown instance.
+  void retype_instance(const std::string& instance_name,
+                       std::string new_cell);
+  /// Moves one pin of an instance onto `new_net`, creating the net if
+  /// absent (appended after all existing nets, keeping every existing
+  /// ordinal stable).  Net degrees are maintained incrementally.
+  /// Throws util::Error for an unknown instance or pin.
+  void reroute_pin(const std::string& instance_name, const std::string& pin,
+                   const std::string& new_net);
+
   [[nodiscard]] const std::vector<Port>& ports() const noexcept {
     return ports_;
   }

@@ -1,0 +1,201 @@
+#include "sta/edits.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace waveletic::sta {
+
+namespace {
+
+/// Kind names indexed by Edit's variant alternative order.
+constexpr const char* kKindNames[] = {
+    "retype_cell",       "reroute_sink", "set_output_load",
+    "set_net_parasitics", "set_input_arrival", "set_required",
+    "annotate_noisy_net", "clear_noisy_net"};
+
+}  // namespace
+
+const char* edit_kind(const Edit& edit) noexcept {
+  return kKindNames[edit.index()];
+}
+
+bool is_structural(const Edit& edit) noexcept {
+  return std::holds_alternative<RetypeCell>(edit) ||
+         std::holds_alternative<RerouteSink>(edit);
+}
+
+EditBatch& EditBatch::retype_cell(std::string instance, std::string new_cell) {
+  edits_.push_back(RetypeCell{std::move(instance), std::move(new_cell)});
+  return *this;
+}
+
+EditBatch& EditBatch::reroute_sink(std::string instance, std::string pin,
+                                   std::string new_net) {
+  edits_.push_back(
+      RerouteSink{std::move(instance), std::move(pin), std::move(new_net)});
+  return *this;
+}
+
+EditBatch& EditBatch::set_output_load(std::string port, double cap) {
+  edits_.push_back(SetOutputLoad{std::move(port), cap});
+  return *this;
+}
+
+EditBatch& EditBatch::set_net_parasitics(std::string net, double cap,
+                                         double delay) {
+  edits_.push_back(SetNetParasitics{std::move(net), cap, delay});
+  return *this;
+}
+
+EditBatch& EditBatch::set_input_arrival(std::string port, double arrival,
+                                        double slew) {
+  edits_.push_back(SetInputArrival{std::move(port), arrival, slew});
+  return *this;
+}
+
+EditBatch& EditBatch::set_required(std::string port, double required) {
+  edits_.push_back(SetRequired{std::move(port), required});
+  return *this;
+}
+
+EditBatch& EditBatch::annotate_noisy_net(std::string net,
+                                         wave::Waveform waveform,
+                                         wave::Polarity polarity) {
+  edits_.push_back(
+      AnnotateNoisyNet{std::move(net), std::move(waveform), polarity});
+  return *this;
+}
+
+EditBatch& EditBatch::clear_noisy_net(std::string net) {
+  edits_.push_back(ClearNoisyNet{std::move(net)});
+  return *this;
+}
+
+bool EditBatch::structural() const noexcept {
+  for (const Edit& e : edits_) {
+    if (is_structural(e)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Validation context of one edit: prefixes every failure with
+/// "EditBatch edit #i (kind): ".
+struct EditCheck {
+  size_t index;
+  const char* kind;
+
+  template <typename... Parts>
+  void require(bool ok, Parts&&... parts) const {
+    if (ok) return;
+    throw util::Error::fmt("EditBatch edit #", index, " (", kind, "): ",
+                           std::forward<Parts>(parts)...);
+  }
+};
+
+void check_port(const EditCheck& c, const netlist::Netlist& nl,
+                const std::string& port, netlist::PortDirection want) {
+  const netlist::Port* p = nl.find_port(port);
+  c.require(p != nullptr, "unknown port '", port, "'");
+  c.require(p->direction == want, "port '", port, "' is an ",
+            want == netlist::PortDirection::kInput ? "output" : "input",
+            " port; this edit needs an ",
+            want == netlist::PortDirection::kInput ? "input" : "output");
+}
+
+void check_finite(const EditCheck& c, double v, const char* what) {
+  c.require(std::isfinite(v), "non-finite ", what, " (", v, ")");
+}
+
+struct EditValidator {
+  EditCheck c;
+  const netlist::Netlist& nl;
+  const liberty::Library& lib;
+
+  void operator()(const RetypeCell& e) const {
+    const netlist::Instance* inst = nl.find_instance(e.instance);
+    c.require(inst != nullptr, "unknown instance '", e.instance, "'");
+    const liberty::Cell* cell = lib.find_cell(e.new_cell);
+    c.require(cell != nullptr, "unknown library cell '", e.new_cell, "'");
+    const liberty::Cell* old_cell = lib.find_cell(inst->cell);
+    for (const auto& [pin_name, net] : inst->pins) {
+      const liberty::Pin* pin = cell->find_pin(pin_name);
+      c.require(pin != nullptr, "cell '", e.new_cell, "' has no pin '",
+                pin_name, "' (connected by instance '", e.instance, "')");
+      if (old_cell != nullptr) {
+        const liberty::Pin* old_pin = old_cell->find_pin(pin_name);
+        c.require(old_pin == nullptr || old_pin->direction == pin->direction,
+                  "pin '", pin_name, "' changes direction between '",
+                  inst->cell, "' and '", e.new_cell,
+                  "' — retype must keep the graph shape");
+      }
+    }
+  }
+
+  void operator()(const RerouteSink& e) const {
+    const netlist::Instance* inst = nl.find_instance(e.instance);
+    c.require(inst != nullptr, "unknown instance '", e.instance, "'");
+    c.require(inst->pins.count(e.pin) != 0, "instance '", e.instance,
+              "' has no pin '", e.pin, "'");
+    const liberty::Cell* cell = lib.find_cell(inst->cell);
+    c.require(cell != nullptr, "instance '", e.instance,
+              "' references unknown library cell '", inst->cell, "'");
+    const liberty::Pin* pin = cell->find_pin(e.pin);
+    c.require(pin != nullptr && pin->direction == liberty::PinDirection::kInput,
+              "pin '", e.instance, "/", e.pin,
+              "' is not an input pin — only sink pins can be rerouted");
+    c.require(!e.new_net.empty(), "empty target net name");
+  }
+
+  void operator()(const SetOutputLoad& e) const {
+    check_port(c, nl, e.port, netlist::PortDirection::kOutput);
+    check_finite(c, e.cap, "load cap");
+    c.require(e.cap >= 0.0, "negative load cap (", e.cap, ")");
+  }
+
+  void operator()(const SetNetParasitics& e) const {
+    c.require(nl.has_net(e.net), "unknown net '", e.net, "'");
+    check_finite(c, e.cap, "parasitic cap");
+    check_finite(c, e.delay, "wire delay");
+    c.require(e.cap >= 0.0, "negative parasitic cap (", e.cap, ")");
+    c.require(e.delay >= 0.0, "negative wire delay (", e.delay, ")");
+  }
+
+  void operator()(const SetInputArrival& e) const {
+    check_port(c, nl, e.port, netlist::PortDirection::kInput);
+    check_finite(c, e.arrival, "arrival");
+    check_finite(c, e.slew, "slew");
+    c.require(e.slew > 0.0, "non-positive slew (", e.slew, ")");
+  }
+
+  void operator()(const SetRequired& e) const {
+    check_port(c, nl, e.port, netlist::PortDirection::kOutput);
+    check_finite(c, e.required, "required time");
+  }
+
+  void operator()(const AnnotateNoisyNet& e) const {
+    c.require(nl.has_net(e.net), "unknown net '", e.net, "'");
+    c.require(e.waveform.size() > 0, "empty noisy waveform on net '", e.net,
+              "'");
+  }
+
+  void operator()(const ClearNoisyNet& e) const {
+    c.require(nl.has_net(e.net), "unknown net '", e.net, "'");
+  }
+};
+
+}  // namespace
+
+void validate_edits(const EditBatch& batch, const netlist::Netlist& netlist,
+                    const liberty::Library& library) {
+  const auto& edits = batch.edits();
+  for (size_t i = 0; i < edits.size(); ++i) {
+    std::visit(
+        EditValidator{EditCheck{i, edit_kind(edits[i])}, netlist, library},
+        edits[i]);
+  }
+}
+
+}  // namespace waveletic::sta

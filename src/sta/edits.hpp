@@ -1,0 +1,168 @@
+#pragma once
+
+/// \file edits.hpp
+/// Netlist / constraint edit batches — the write surface of the
+/// incremental STA service (sta/service.hpp).
+///
+/// An EditBatch is an ordered list of edits applied atomically: the
+/// service validates the whole batch against the current snapshot,
+/// applies it copy-on-write, re-times only the dirty cone
+/// (StaEngine::delta_plan(EditSeeds)), and publishes the next snapshot.
+/// Edits split into two classes:
+///
+///  - *configuration* edits (loads, parasitics, arrival/required
+///    constraints, noise annotations) — the timing graph is unchanged,
+///    so the writer forks the engine (StaEngine::fork(), shares the
+///    graph) and only dirty per-net tables are recomputed;
+///  - *structural* edits (retype a cell, reroute a sink pin) — the
+///    writer copies the netlist, applies the edit under the
+///    ordinal-stability contract (nets may only be appended; vertex,
+///    net and port orders are preserved), and rebuilds the graph.
+///
+/// Validation failures name the offending handle AND the edit's index
+/// in the batch, so a caller streaming ECO edits can pinpoint the bad
+/// one.  See docs/SERVICE_GUIDE.md for the edit-class → dirty-cone
+/// table.
+
+#include <cstddef>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "liberty/library.hpp"
+#include "netlist/netlist.hpp"
+#include "wave/waveform.hpp"
+
+namespace waveletic::sta {
+
+/// Replaces an instance's library cell (a resize/retype ECO).  The new
+/// cell must exist in the library and carry every pin the instance
+/// connects, with unchanged directions — so the timing graph keeps its
+/// shape and only arc tables and pin capacitances change.  Structural:
+/// triggers a graph rebuild.
+struct RetypeCell {
+  std::string instance;  ///< instance to retype
+  std::string new_cell;  ///< replacement library cell name
+};
+
+/// Moves one *input* (sink) pin of an instance onto another net — a
+/// reroute ECO.  The target net is created if absent (appended, keeping
+/// every existing ordinal stable).  Driver pins cannot be rerouted (that
+/// would re-home a timing arc's output net).  Structural: triggers a
+/// graph rebuild.
+struct RerouteSink {
+  std::string instance;  ///< instance owning the pin
+  std::string pin;       ///< input pin to move
+  std::string new_net;   ///< net it should connect to
+};
+
+/// Retargets the extra capacitive load on an output port [F]
+/// (StaEngine::set_output_load).
+struct SetOutputLoad {
+  std::string port;  ///< output port
+  double cap = 0.0;  ///< new load [F]; must be finite and ≥ 0
+};
+
+/// Retargets a net's lumped parasitics: extra driver load [F] and wire
+/// delay added to every sink arrival [s]
+/// (StaEngine::set_net_parasitics).
+struct SetNetParasitics {
+  std::string net;     ///< annotated net
+  double cap = 0.0;    ///< parasitic cap [F]; finite, ≥ 0
+  double delay = 0.0;  ///< wire delay [s]; finite, ≥ 0
+};
+
+/// Retargets the arrival/slew constraint of an input port, both
+/// transitions (StaEngine::set_input).
+struct SetInputArrival {
+  std::string port;      ///< input port
+  double arrival = 0.0;  ///< arrival time [s]; finite
+  double slew = 0.0;     ///< input slew [s]; finite, > 0
+};
+
+/// Retargets the required (latest allowed) arrival at an output port
+/// (StaEngine::set_required).
+struct SetRequired {
+  std::string port;       ///< output port
+  double required = 0.0;  ///< required time [s]; finite
+};
+
+/// Annotates a net with a noisy waveform (crosstalk victim), replacing
+/// any existing annotation (StaEngine::annotate_noisy_net).
+struct AnnotateNoisyNet {
+  std::string net;         ///< victim net
+  wave::Waveform waveform; ///< noisy waveform at the sinks; non-empty
+  wave::Polarity polarity = wave::Polarity::kFalling;  ///< affected edge
+};
+
+/// Removes the noisy-waveform annotation from a net (no-op when the net
+/// is clean).
+struct ClearNoisyNet {
+  std::string net;  ///< net to clean
+};
+
+/// One edit of a batch — exactly one of the eight edit classes.
+using Edit = std::variant<RetypeCell, RerouteSink, SetOutputLoad,
+                          SetNetParasitics, SetInputArrival, SetRequired,
+                          AnnotateNoisyNet, ClearNoisyNet>;
+
+/// Stable lowercase kind name of an edit ("retype_cell", …) — used in
+/// validation errors and stats.
+[[nodiscard]] const char* edit_kind(const Edit& edit) noexcept;
+
+/// True for the graph-shape-changing classes (RetypeCell, RerouteSink):
+/// the service rebuilds the engine instead of forking it.
+[[nodiscard]] bool is_structural(const Edit& edit) noexcept;
+
+/// An ordered edit list applied atomically by StaService::apply().
+/// The fluent appenders return *this so batches compose inline:
+///     EditBatch b;
+///     b.set_net_parasitics("n3", 2e-15, 5e-12).set_required("y", 2e-9);
+class EditBatch {
+ public:
+  /// Appends a RetypeCell edit.
+  EditBatch& retype_cell(std::string instance, std::string new_cell);
+  /// Appends a RerouteSink edit.
+  EditBatch& reroute_sink(std::string instance, std::string pin,
+                          std::string new_net);
+  /// Appends a SetOutputLoad edit.
+  EditBatch& set_output_load(std::string port, double cap);
+  /// Appends a SetNetParasitics edit.
+  EditBatch& set_net_parasitics(std::string net, double cap, double delay);
+  /// Appends a SetInputArrival edit.
+  EditBatch& set_input_arrival(std::string port, double arrival, double slew);
+  /// Appends a SetRequired edit.
+  EditBatch& set_required(std::string port, double required);
+  /// Appends an AnnotateNoisyNet edit.
+  EditBatch& annotate_noisy_net(std::string net, wave::Waveform waveform,
+                                wave::Polarity polarity);
+  /// Appends a ClearNoisyNet edit.
+  EditBatch& clear_noisy_net(std::string net);
+
+  /// The edits in application order.
+  [[nodiscard]] const std::vector<Edit>& edits() const noexcept {
+    return edits_;
+  }
+  /// Number of edits in the batch.
+  [[nodiscard]] size_t size() const noexcept { return edits_.size(); }
+  /// True when the batch holds no edits (apply() republishes nothing).
+  [[nodiscard]] bool empty() const noexcept { return edits_.empty(); }
+  /// True when any edit is structural (the writer takes the rebuild
+  /// path for the whole batch).
+  [[nodiscard]] bool structural() const noexcept;
+
+ private:
+  std::vector<Edit> edits_;
+};
+
+/// Validates every edit of `batch` against (netlist, library) BEFORE
+/// anything is applied: handles must resolve (instances, pins, nets,
+/// ports by the right direction), retype targets must be
+/// pin-compatible library cells, reroutes must move input pins, and
+/// numeric values must be finite and in range.  Throws util::Error
+/// naming the edit's index, kind, and the offending handle; a batch
+/// that validates applies atomically.
+void validate_edits(const EditBatch& batch, const netlist::Netlist& netlist,
+                    const liberty::Library& library);
+
+}  // namespace waveletic::sta

@@ -88,22 +88,82 @@ const char* to_string(RiseFall rf) noexcept {
 }
 
 StaEngine::StaEngine(const netlist::Netlist& nl, const liberty::Library& lib)
-    : netlist_(&nl), library_(&lib), graph_tag_(next_graph_tag()) {
-  nl.validate();
+    : netlist_(&nl), library_(&lib), graph_(make_graph(nl, lib)),
+      graph_tag_(graph_->tag) {
   noise_method_ = std::make_unique<core::SgdpMethod>();
-  build_graph();
+  const size_t n_nets = nl.nets().size();
+  output_loads_.assign(ports_.size(), 0.0);
+  net_parasitics_.assign(n_nets, {0.0, 0.0});
+  net_loads_.assign(n_nets, 0.0);
+  // Sized once; pointers into net_annotations_ slots stay stable.
+  net_annotations_.assign(n_nets, std::nullopt);
+}
+
+StaEngine::StaEngine(const StaEngine& other, ForkTag)
+    : netlist_(other.netlist_),
+      library_(other.library_),
+      graph_(other.graph_),
+      graph_tag_(other.graph_tag_),
+      input_constraints_(other.input_constraints_),
+      required_(other.required_),
+      output_loads_(other.output_loads_),
+      net_parasitics_(other.net_parasitics_),
+      net_loads_(other.net_loads_),
+      net_annotations_(other.net_annotations_),
+      noisy_net_count_(other.noisy_net_count_),
+      corner_(other.corner_),
+      noise_method_(other.noise_method_->clone()),
+      threads_(other.threads_) {}
+
+std::unique_ptr<StaEngine> StaEngine::fork() const {
+  return std::unique_ptr<StaEngine>(new StaEngine(*this, ForkTag{}));
+}
+
+void StaEngine::copy_config_from(const StaEngine& other) {
+  // The edited netlist may only APPEND nets (Netlist::reroute_pin's
+  // ordinal-stability contract), so `other`'s net order must be a
+  // prefix of ours; appended nets start with default config below.
+  const auto& nets = netlist_->nets();
+  const auto& other_nets = other.netlist_->nets();
+  util::require(other_nets.size() <= nets.size() &&
+                    std::equal(other_nets.begin(), other_nets.end(),
+                               nets.begin()),
+                "copy_config_from: net orders differ — the edited netlist "
+                "must keep the ordinal-stability contract (nets may only "
+                "be appended)");
+  util::require(ports_.size() == other.ports_.size(),
+                "copy_config_from: port counts differ (", ports_.size(),
+                " vs ", other.ports_.size(), ")");
+  input_constraints_.clear();
+  required_.clear();
+  for (size_t p = 0; p < ports_.size(); ++p) {
+    util::require(ports_[p].name == other.ports_[p].name,
+                  "copy_config_from: port order differs at ordinal ", p, " (",
+                  ports_[p].name, " vs ", other.ports_[p].name, ")");
+    // Input/required constraints are keyed by port VERTEX, which may
+    // differ across graphs; remap through the shared port ordinal.
+    const auto ic = other.input_constraints_.find(other.ports_[p].vertex);
+    if (ic != other.input_constraints_.end()) {
+      input_constraints_[ports_[p].vertex] = ic->second;
+    }
+    const auto rq = other.required_.find(other.ports_[p].vertex);
+    if (rq != other.required_.end()) {
+      required_[ports_[p].vertex] = rq->second;
+    }
+  }
+  output_loads_ = other.output_loads_;
+  net_parasitics_ = other.net_parasitics_;
+  net_annotations_ = other.net_annotations_;
+  net_parasitics_.resize(nets.size(), {0.0, 0.0});
+  net_annotations_.resize(nets.size());
+  noisy_net_count_ = other.noisy_net_count_;
+  corner_ = other.corner_;
+  noise_method_ = other.noise_method_->clone();
+  threads_ = other.threads_;
+  analyzed_ = false;
 }
 
 StaEngine::~StaEngine() = default;
-
-int StaEngine::vertex(const std::string& name) {
-  const auto it = vertex_index_.find(name);
-  if (it != vertex_index_.end()) return it->second;
-  const int id = static_cast<int>(vertex_names_.size());
-  vertex_names_.push_back(name);
-  vertex_index_.emplace(name, id);
-  return id;
-}
 
 util::Error StaEngine::unknown_vertex_error(const std::string& name) const {
   std::ostringstream os;
@@ -190,16 +250,32 @@ int StaEngine::check(PortId port) const {
   return port.index;
 }
 
-void StaEngine::build_graph() {
+std::shared_ptr<const StaEngine::Graph> StaEngine::make_graph(
+    const netlist::Netlist& nl, const liberty::Library& lib) {
+  nl.validate();
+  auto graph = std::make_shared<Graph>();
+  Graph& g = *graph;
+  g.tag = next_graph_tag();
+  // Vertex interning: declaration-driven order (ports first, then
+  // instance pins in instance / pin-map order) — stable under retype
+  // and reroute edits, which is what lets the service carry timing
+  // baselines across a structural rebuild by direct index.
+  auto vertex = [&g](const std::string& name) {
+    const auto it = g.vertex_index.find(name);
+    if (it != g.vertex_index.end()) return it->second;
+    const int id = static_cast<int>(g.vertex_names.size());
+    g.vertex_names.push_back(name);
+    g.vertex_index.emplace(name, id);
+    return id;
+  };
   // Vertices + port records for ports.
-  for (const auto& port : netlist_->ports()) {
+  for (const auto& port : nl.ports()) {
     const int v = vertex(port.name);
-    ports_.push_back({port.name, v, port.direction});
+    g.ports.push_back({port.name, v, port.direction});
   }
-  output_loads_.assign(ports_.size(), 0.0);
   // Vertices + cell arc edges for instances.
-  for (const auto& inst : netlist_->instances()) {
-    const liberty::Cell* cell = library_->find_cell(inst.cell);
+  for (const auto& inst : nl.instances()) {
+    const liberty::Cell* cell = lib.find_cell(inst.cell);
     util::require(cell != nullptr, "instance ", inst.name,
                   " references unknown cell ", inst.cell);
     for (const auto& [pin_name, net] : inst.pins) {
@@ -220,24 +296,28 @@ void StaEngine::build_graph() {
         e.from = vertex(inst.name + "/" + arc.related_pin);
         e.to = vertex(inst.name + "/" + pin.name);
         e.arc = &arc;
-        e.out_net = netlist_->net_ordinal(out_it->second);
-        cell_edges_.push_back(e);
+        e.out_net = nl.net_ordinal(out_it->second);
+        g.cell_edges.push_back(e);
       }
     }
   }
-  // Dense per-net tables, sized once (pointers into net_annotations_
-  // slots stay stable: the vector is never resized afterwards).
-  const size_t n_nets = netlist_->nets().size();
-  net_parasitics_.assign(n_nets, {0.0, 0.0});
-  net_annotations_.assign(n_nets, std::nullopt);
-  edges_of_net_.assign(n_nets, {});
+  const size_t n_nets = nl.nets().size();
+  g.edges_of_net.assign(n_nets, {});
+  g.arcs_of_net.assign(n_nets, {});
+  g.sink_load_edges_of_net.assign(n_nets, {});
+  for (size_t i = 0; i < g.cell_edges.size(); ++i) {
+    if (g.cell_edges[i].out_net >= 0) {
+      g.arcs_of_net[static_cast<size_t>(g.cell_edges[i].out_net)].push_back(
+          static_cast<uint32_t>(i));
+    }
+  }
   // Net edges: driver -> every sink.
-  for (const auto& net : netlist_->nets()) {
+  for (const auto& net : nl.nets()) {
     // Driver: an input port with this net name, or an instance output.
     std::vector<int> drivers;
-    if (const auto* port = netlist_->find_port(net)) {
+    if (const auto* port = nl.find_port(net)) {
       if (port->direction == netlist::PortDirection::kInput) {
-        drivers.push_back(find_vertex(net));
+        drivers.push_back(vertex(net));
       }
     }
     struct Sink {
@@ -247,10 +327,10 @@ void StaEngine::build_graph() {
       int32_t out_net;  // net driven by the sink gate's output pin
     };
     std::vector<Sink> sinks;
-    for (const auto& ref : netlist_->pins_on_net(net)) {
-      const liberty::Cell* cell = library_->find_cell(ref.instance->cell);
+    for (const auto& ref : nl.pins_on_net(net)) {
+      const liberty::Cell* cell = lib.find_cell(ref.instance->cell);
       const liberty::Pin* pin = cell->find_pin(ref.pin);
-      const int v = find_vertex(ref.instance->name + "/" + ref.pin);
+      const int v = vertex(ref.instance->name + "/" + ref.pin);
       if (pin->direction == liberty::PinDirection::kOutput) {
         drivers.push_back(v);
       } else {
@@ -259,18 +339,18 @@ void StaEngine::build_graph() {
         sinks.push_back({v, pin, cell,
                          out_it == ref.instance->pins.end()
                              ? -1
-                             : netlist_->net_ordinal(out_it->second)});
+                             : nl.net_ordinal(out_it->second)});
       }
     }
-    if (const auto* port = netlist_->find_port(net)) {
+    if (const auto* port = nl.find_port(net)) {
       if (port->direction == netlist::PortDirection::kOutput) {
-        sinks.push_back({find_vertex(net), nullptr, nullptr, -1});
+        sinks.push_back({vertex(net), nullptr, nullptr, -1});
       }
     }
     util::require(drivers.size() <= 1, "net ", net, " has ", drivers.size(),
                   " drivers");
     if (drivers.empty()) continue;  // undriven net: stays unconstrained
-    const int32_t net_ord = netlist_->net_ordinal(net);
+    const int32_t net_ord = nl.net_ordinal(net);
     for (const auto& sink : sinks) {
       NetEdge e;
       e.from = drivers[0];
@@ -279,36 +359,40 @@ void StaEngine::build_graph() {
       e.sink_pin = sink.pin;
       e.sink_cell = sink.cell;
       e.sink_out_net = sink.out_net;
-      edges_of_net_[static_cast<size_t>(net_ord)].push_back(
-          static_cast<uint32_t>(net_edges_.size()));
-      net_edges_.push_back(e);
+      const auto idx = static_cast<uint32_t>(g.net_edges.size());
+      g.edges_of_net[static_cast<size_t>(net_ord)].push_back(idx);
+      if (sink.out_net >= 0) {
+        g.sink_load_edges_of_net[static_cast<size_t>(sink.out_net)].push_back(
+            idx);
+      }
+      g.net_edges.push_back(e);
     }
   }
   // Adjacency in deterministic construction order: cell edges first,
   // then net edges, each by ascending edge index.  Every per-vertex
   // fold during propagation walks these lists in this fixed order,
   // which is what makes results independent of the thread count.
-  const size_t n = vertex_names_.size();
-  in_edges_.assign(n, {});
-  out_edges_.assign(n, {});
-  for (size_t i = 0; i < cell_edges_.size(); ++i) {
-    out_edges_[static_cast<size_t>(cell_edges_[i].from)].push_back(
+  const size_t n = g.vertex_names.size();
+  g.in_edges.assign(n, {});
+  g.out_edges.assign(n, {});
+  for (size_t i = 0; i < g.cell_edges.size(); ++i) {
+    g.out_edges[static_cast<size_t>(g.cell_edges[i].from)].push_back(
         {true, static_cast<uint32_t>(i)});
-    in_edges_[static_cast<size_t>(cell_edges_[i].to)].push_back(
+    g.in_edges[static_cast<size_t>(g.cell_edges[i].to)].push_back(
         {true, static_cast<uint32_t>(i)});
   }
-  for (size_t i = 0; i < net_edges_.size(); ++i) {
-    out_edges_[static_cast<size_t>(net_edges_[i].from)].push_back(
+  for (size_t i = 0; i < g.net_edges.size(); ++i) {
+    g.out_edges[static_cast<size_t>(g.net_edges[i].from)].push_back(
         {false, static_cast<uint32_t>(i)});
-    in_edges_[static_cast<size_t>(net_edges_[i].to)].push_back(
+    g.in_edges[static_cast<size_t>(g.net_edges[i].to)].push_back(
         {false, static_cast<uint32_t>(i)});
   }
-  sorted_vertex_names_ = vertex_names_;
-  std::sort(sorted_vertex_names_.begin(), sorted_vertex_names_.end());
-  levelize();
-  for (size_t p = 0; p < ports_.size(); ++p) {
-    if (ports_[p].direction == netlist::PortDirection::kOutput) {
-      endpoint_ports_.push_back(static_cast<int32_t>(p));
+  g.sorted_vertex_names = g.vertex_names;
+  std::sort(g.sorted_vertex_names.begin(), g.sorted_vertex_names.end());
+  levelize(g);
+  for (size_t p = 0; p < g.ports.size(); ++p) {
+    if (g.ports[p].direction == netlist::PortDirection::kOutput) {
+      g.endpoint_ports.push_back(static_cast<int32_t>(p));
     }
   }
   // Partition cover for coarse-task sharding: cell arcs always bind
@@ -316,33 +400,34 @@ void StaEngine::build_graph() {
   // (cheap boundaries between cones).  Pure function of the graph.
   const PartitionOptions popt;
   std::vector<PartitionEdge> pedges;
-  pedges.reserve(cell_edges_.size() + net_edges_.size());
-  for (const auto& e : cell_edges_) {
+  pedges.reserve(g.cell_edges.size() + g.net_edges.size());
+  for (const auto& e : g.cell_edges) {
     pedges.push_back({e.from, e.to, false});
   }
-  for (const auto& e : net_edges_) {
+  for (const auto& e : g.net_edges) {
     // net_degree counts the driver too; `cut_fanout` is in sinks.
     const bool cut = popt.cut_fanout >= 0 &&
-                     netlist_->net_degree(e.net) <= popt.cut_fanout + 1;
+                     nl.net_degree(e.net) <= popt.cut_fanout + 1;
     pedges.push_back({e.from, e.to, cut});
   }
-  partitions_ =
-      PartitionSet::build(vertex_names_.size(), vertex_level_, pedges, popt);
+  g.partitions =
+      PartitionSet::build(g.vertex_names.size(), g.vertex_level, pedges, popt);
   // Eagerly build the default-threshold schedule so the common
   // run()/sweep() path never takes the lazy-build lock contended.
-  shard_schedules_.emplace(
+  g.shard_schedules.emplace(
       kDefaultWidePartitionThreshold,
-      PartitionSchedule::build(partitions_, vertex_level_,
+      PartitionSchedule::build(g.partitions, g.vertex_level,
                                kDefaultWidePartitionThreshold));
+  return graph;
 }
 
-void StaEngine::levelize() {
+void StaEngine::levelize(Graph& g) {
   // Kahn topological sort; level(v) = 1 + max over predecessors.  The
   // levels are stored on the graph and reused by every evaluation.
-  const size_t n = vertex_names_.size();
+  const size_t n = g.vertex_names.size();
   std::vector<int> indegree(n, 0);
   for (size_t v = 0; v < n; ++v) {
-    indegree[v] = static_cast<int>(in_edges_[v].size());
+    indegree[v] = static_cast<int>(g.in_edges[v].size());
   }
   std::vector<int> level(n, 0);
   std::vector<int> ready;
@@ -355,8 +440,8 @@ void StaEngine::levelize() {
     const int v = ready.back();
     ready.pop_back();
     ++visited;
-    for (const auto& [is_cell, idx] : out_edges_[static_cast<size_t>(v)]) {
-      const int to = is_cell ? cell_edges_[idx].to : net_edges_[idx].to;
+    for (const auto& [is_cell, idx] : g.out_edges[static_cast<size_t>(v)]) {
+      const int to = is_cell ? g.cell_edges[idx].to : g.net_edges[idx].to;
       level[static_cast<size_t>(to)] =
           std::max(level[static_cast<size_t>(to)], level[static_cast<size_t>(v)] + 1);
       max_level = std::max(max_level, level[static_cast<size_t>(to)]);
@@ -366,22 +451,22 @@ void StaEngine::levelize() {
   util::require(visited == n,
                 "timing graph has a combinational cycle (", n - visited,
                 " vertices unresolved)");
-  levels_.assign(static_cast<size_t>(max_level) + 1, {});
+  g.levels.assign(static_cast<size_t>(max_level) + 1, {});
   for (size_t v = 0; v < n; ++v) {
-    levels_[static_cast<size_t>(level[v])].push_back(static_cast<int>(v));
+    g.levels[static_cast<size_t>(level[v])].push_back(static_cast<int>(v));
   }
-  vertex_level_ = std::move(level);
+  g.vertex_level = std::move(level);
 }
 
 const PartitionSchedule& StaEngine::shard_schedule(
     size_t wide_threshold) const {
   // Map nodes are address-stable, so the reference stays valid after
   // the lock drops; the lock only guards the lazy build against
-  // concurrent const evaluations.
-  std::lock_guard<std::mutex> lock(shard_schedules_mutex_);
-  auto it = shard_schedules_.find(wide_threshold);
-  if (it == shard_schedules_.end()) {
-    it = shard_schedules_
+  // concurrent const evaluations (shared across forks of this graph).
+  std::lock_guard<std::mutex> lock(graph_->shard_schedules_mutex);
+  auto it = graph_->shard_schedules.find(wide_threshold);
+  if (it == graph_->shard_schedules.end()) {
+    it = graph_->shard_schedules
              .emplace(wide_threshold,
                       PartitionSchedule::build(partitions_, vertex_level_,
                                                wide_threshold))
@@ -394,12 +479,13 @@ void StaEngine::compute_loads() {
   // Load on each net = sink pin caps + annotated wire cap + port load.
   // One pass over instance pins instead of pins_on_net() per net: each
   // input pin adds its cap to its net, in the SAME (instance, pin)
-  // visit order the per-net walk produced, so the per-net sums fold in
-  // the identical order and stay bitwise equal.  Net ordinals were
-  // resolved onto the edges at construction, so this — the per-
-  // prepare() path — does no name parsing and no linear instance
-  // searches (prepare() used to be quadratic in the netlist size and
-  // dominated sweeps over 10k-vertex graphs).
+  // visit order the per-net walk produces, so the per-net sums fold in
+  // the identical order and stay bitwise equal — the contract
+  // recompute_net_loads() relies on for single-net refreshes.  Net
+  // ordinals were resolved onto the edges at construction, so this —
+  // the per-prepare() path — does no name parsing and no linear
+  // instance searches (prepare() used to be quadratic in the netlist
+  // size and dominated sweeps over 10k-vertex graphs).
   const auto& nets = netlist_->nets();
   std::vector<double> net_load(nets.size(), 0.0);
   for (const auto& inst : netlist_->instances()) {
@@ -420,18 +506,35 @@ void StaEngine::compute_loads() {
     const int ord = netlist_->net_ordinal(ports_[p].name);
     if (ord >= 0) net_load[static_cast<size_t>(ord)] += output_loads_[p];
   }
-  // Attach to cell arcs (load seen by the arc's output pin).
-  for (auto& e : cell_edges_) {
-    e.load = net_load[static_cast<size_t>(e.out_net)];
-  }
-  // Attach each sink gate's own output load to net edges (needed to
-  // synthesize the noiseless output response at noisy sinks), plus the
-  // annotated wire delay.
-  for (auto& e : net_edges_) {
-    e.wire_delay = net_parasitics_[static_cast<size_t>(e.net)].second;
-    e.sink_load = e.sink_out_net >= 0
-                      ? net_load[static_cast<size_t>(e.sink_out_net)]
-                      : 0.0;
+  net_loads_ = std::move(net_load);
+}
+
+void StaEngine::recompute_net_loads(std::span<const int32_t> nets) {
+  const auto& names = netlist_->nets();
+  for (const int32_t ord : nets) {
+    util::require(ord >= 0 && static_cast<size_t>(ord) < names.size(),
+                  "recompute_net_loads: net ordinal ", ord,
+                  " out of range (", names.size(), " nets)");
+    const std::string& net = names[static_cast<size_t>(ord)];
+    // Fold in the exact compute_loads() order — sink pin caps in
+    // (instance, pin-map) order, then parasitic cap, then port load —
+    // so the per-net sum is bitwise identical to a full prepare().
+    double load = 0.0;
+    for (const auto& ref : netlist_->pins_on_net(net)) {
+      const liberty::Cell* cell = library_->find_cell(ref.instance->cell);
+      const liberty::Pin* pin = cell->find_pin(ref.pin);
+      if (pin->direction == liberty::PinDirection::kInput) {
+        load += pin->capacitance;
+      }
+    }
+    load += net_parasitics_[static_cast<size_t>(ord)].first;
+    for (size_t p = 0; p < ports_.size(); ++p) {
+      if (ports_[p].direction == netlist::PortDirection::kOutput &&
+          ports_[p].name == net) {
+        load += output_loads_[p];
+      }
+    }
+    net_loads_[static_cast<size_t>(ord)] = load;
   }
 }
 
@@ -534,6 +637,18 @@ void StaEngine::annotate_noisy_net(const std::string& net,
   annotate_noisy_net(this->net(net), std::move(waveform), polarity);
 }
 
+void StaEngine::clear_noisy_net(NetId net) {
+  const size_t i = static_cast<size_t>(check(net));
+  if (net_annotations_[i].has_value()) --noisy_net_count_;
+  net_annotations_[i].reset();
+  analyzed_ = false;
+}
+
+void StaEngine::clear_noisy_net(const std::string& net) {
+  util::require(netlist_->has_net(net), "clear_noisy_net: unknown net ", net);
+  clear_noisy_net(this->net(net));
+}
+
 void StaEngine::clear_noisy_nets() {
   std::fill(net_annotations_.begin(), net_annotations_.end(), std::nullopt);
   noisy_net_count_ = 0;
@@ -620,6 +735,7 @@ void StaEngine::propagate_cell_edge(const CellArcEdge& e, TimingState& state,
   const double slew_scale =
       ctx.corner != nullptr ? ctx.corner->cell_slew_scale : 1.0;
   const auto& from = state[static_cast<size_t>(e.from)];
+  const double load = net_loads_[static_cast<size_t>(e.out_net)];
   for (int rf_i = 0; rf_i < 2; ++rf_i) {
     const auto& in = from.timing[rf_i];
     if (!in.valid) continue;
@@ -642,8 +758,8 @@ void StaEngine::propagate_cell_edge(const CellArcEdge& e, TimingState& state,
     for (int i = 0; i < out_count; ++i) {
       const auto out_rf = out_rfs[i];
       const auto lookup = (out_rf == RiseFall::kRise)
-                              ? e.arc->rise(in.slew, e.load)
-                              : e.arc->fall(in.slew, e.load);
+                              ? e.arc->rise(in.slew, load)
+                              : e.arc->fall(in.slew, load);
       relax(state, e.to, out_rf, in.arrival + lookup.delay * delay_scale,
             lookup.out_slew * slew_scale, e.from, in_rf);
     }
@@ -664,12 +780,13 @@ void StaEngine::propagate_net_edge(size_t edge_index, TimingState& state,
       ctx.corner != nullptr ? ctx.corner->cell_delay_scale : 1.0;
   const double slew_scale =
       ctx.corner != nullptr ? ctx.corner->cell_slew_scale : 1.0;
+  const double wire_delay = net_parasitics_[static_cast<size_t>(e.net)].second;
 
   for (int rf_i = 0; rf_i < 2; ++rf_i) {
     const auto& drv = from.timing[rf_i];
     if (!drv.valid) continue;
     const auto rf = static_cast<RiseFall>(rf_i);
-    double arrival = drv.arrival + e.wire_delay * wire_scale;
+    double arrival = drv.arrival + wire_delay * wire_scale;
     double slew = drv.slew;
 
     const bool apply_noise = noisy != nullptr && e.sink_pin != nullptr &&
@@ -677,16 +794,24 @@ void StaEngine::propagate_net_edge(size_t edge_index, TimingState& state,
     if (apply_noise) {
       const auto* arc = e.sink_cell->output_pin().find_arc(e.sink_pin->name);
       if (arc != nullptr) {
+        const double sink_load =
+            e.sink_out_net >= 0
+                ? net_loads_[static_cast<size_t>(e.sink_out_net)]
+                : 0.0;
         // The fit is a pure function of (annotation, clean ramp, arc,
         // load, corner); memoize it per exact key when a cache is
-        // supplied.
+        // supplied.  Arc identity and load bits are part of the key so
+        // one cache stays exact across copy-on-write snapshots whose
+        // loads or graphs differ.
         GammaCache::Key key;
         key.noise_key = noisy->key;
         key.method_id = reinterpret_cast<uintptr_t>(ctx.method);
+        key.arc_id = reinterpret_cast<uintptr_t>(arc);
         key.edge = static_cast<uint32_t>(edge_index);
         key.rf = static_cast<uint32_t>(rf_i);
         key.arrival_bits = std::bit_cast<uint64_t>(arrival);
         key.slew_bits = std::bit_cast<uint64_t>(slew);
+        key.load_bits = std::bit_cast<uint64_t>(sink_load);
         key.corner_key = ctx.corner_key;
         std::optional<GammaCache::Value> cached;
         if (ctx.cache != nullptr) cached = ctx.cache->lookup(key);
@@ -707,8 +832,8 @@ void StaEngine::propagate_net_edge(size_t edge_index, TimingState& state,
               arc->sense == liberty::TimingSense::kNegativeUnate ? flip(pol)
                                                                  : pol;
           const auto lk = (out_pol == wave::Polarity::kRising)
-                              ? arc->rise(slew, e.sink_load)
-                              : arc->fall(slew, e.sink_load);
+                              ? arc->rise(slew, sink_load)
+                              : arc->fall(slew, sink_load);
           const auto out_ramp = wave::Ramp::from_arrival_slew(
               arrival + lk.delay * delay_scale, lk.out_slew * slew_scale,
               vdd);
@@ -943,30 +1068,17 @@ void StaEngine::evaluate_points(std::span<TimingState> states,
   }
 }
 
-StaEngine::DeltaPlan StaEngine::delta_plan(
-    const NoiseScenario& scenario) const {
+StaEngine::DeltaPlan StaEngine::finish_plan(std::vector<char>& dirty,
+                                            std::vector<char>& back) const {
   const size_t n = vertex_names_.size();
   DeltaPlan plan;
   plan.num_vertices = n;
 
-  // Seeds: the sink vertex of every net edge of every annotated net —
-  // the only places where the compiled edge-annotation table of this
-  // scenario can differ from the engine-level base table.
-  std::vector<char> dirty(n, 0);
-  std::vector<int> stack;
-  for (const auto& entry : scenario.entries) {
-    const int ord = netlist_->net_ordinal(entry.net);
-    util::require(ord >= 0, "delta_plan: scenario ", scenario.name,
-                  " annotates unknown net ", entry.net);
-    for (const uint32_t e : edges_of_net_[static_cast<size_t>(ord)]) {
-      const int v = net_edges_[e].to;
-      if (!dirty[static_cast<size_t>(v)]) {
-        dirty[static_cast<size_t>(v)] = 1;
-        stack.push_back(v);
-      }
-    }
-  }
   // Forward closure over out-edges: the transitive fanout cone.
+  std::vector<int> stack;
+  for (size_t v = 0; v < n; ++v) {
+    if (dirty[v]) stack.push_back(static_cast<int>(v));
+  }
   while (!stack.empty()) {
     const int v = stack.back();
     stack.pop_back();
@@ -979,10 +1091,13 @@ StaEngine::DeltaPlan StaEngine::delta_plan(
     }
   }
   // Backward closure: required times depend on downstream arrivals, so
-  // every vertex with a path INTO the cone must re-fold its required.
-  std::vector<char> back(dirty);
+  // every vertex with a path INTO the cone (or into an extra backward
+  // seed, e.g. a required-edited endpoint) must re-fold its required.
   for (size_t v = 0; v < n; ++v) {
-    if (dirty[v]) stack.push_back(static_cast<int>(v));
+    if (dirty[v] && !back[v]) back[v] = 1;
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (back[v]) stack.push_back(static_cast<int>(v));
   }
   while (!stack.empty()) {
     const int v = stack.back();
@@ -1027,6 +1142,108 @@ StaEngine::DeltaPlan StaEngine::delta_plan(
     if (dirty[static_cast<size_t>(v)]) {
       plan.endpoints.push_back(static_cast<int32_t>(e));
     }
+  }
+  return plan;
+}
+
+StaEngine::DeltaPlan StaEngine::delta_plan(
+    const NoiseScenario& scenario) const {
+  const size_t n = vertex_names_.size();
+  // Seeds: the sink vertex of every net edge of every annotated net —
+  // the only places where the compiled edge-annotation table of this
+  // scenario can differ from the engine-level base table.
+  std::vector<char> dirty(n, 0);
+  std::vector<char> back(n, 0);
+  for (const auto& entry : scenario.entries) {
+    const int ord = netlist_->net_ordinal(entry.net);
+    util::require(ord >= 0, "delta_plan: scenario ", scenario.name,
+                  " annotates unknown net ", entry.net);
+    for (const uint32_t e : edges_of_net_[static_cast<size_t>(ord)]) {
+      dirty[static_cast<size_t>(net_edges_[e].to)] = 1;
+    }
+  }
+  return finish_plan(dirty, back);
+}
+
+StaEngine::DeltaPlan StaEngine::delta_plan(const EditSeeds& seeds) const {
+  const size_t n = vertex_names_.size();
+  const size_t n_nets = netlist_->nets().size();
+  std::vector<char> dirty(n, 0);
+  std::vector<char> back(n, 0);
+  const auto check_net = [&](int32_t ord, const char* what) {
+    util::require(ord >= 0 && static_cast<size_t>(ord) < n_nets,
+                  "delta_plan: ", what, " net ordinal ", ord,
+                  " out of range (", n_nets, " nets)");
+  };
+  // A load change re-times every cell arc driving the net AND every
+  // noisy-edge Γeff synthesis that reads the net's load at its sink.
+  for (const int32_t ord : seeds.load_nets) {
+    check_net(ord, "load-edit");
+    for (const uint32_t e : graph_->arcs_of_net[static_cast<size_t>(ord)]) {
+      dirty[static_cast<size_t>(cell_edges_[e].to)] = 1;
+    }
+    for (const uint32_t e :
+         graph_->sink_load_edges_of_net[static_cast<size_t>(ord)]) {
+      dirty[static_cast<size_t>(net_edges_[e].to)] = 1;
+    }
+  }
+  // Wire-delay and annotation changes surface at the net's sinks.
+  for (const int32_t ord : seeds.delay_nets) {
+    check_net(ord, "delay-edit");
+    for (const uint32_t e : edges_of_net_[static_cast<size_t>(ord)]) {
+      dirty[static_cast<size_t>(net_edges_[e].to)] = 1;
+    }
+  }
+  for (const int32_t ord : seeds.noise_nets) {
+    check_net(ord, "noise-edit");
+    for (const uint32_t e : edges_of_net_[static_cast<size_t>(ord)]) {
+      dirty[static_cast<size_t>(net_edges_[e].to)] = 1;
+    }
+  }
+  for (const int32_t p : seeds.arrival_ports) {
+    util::require(p >= 0 && static_cast<size_t>(p) < ports_.size(),
+                  "delta_plan: arrival-edit port ordinal ", p,
+                  " out of range (", ports_.size(), " ports)");
+    const auto& rec = ports_[static_cast<size_t>(p)];
+    util::require(rec.direction == netlist::PortDirection::kInput,
+                  "delta_plan: arrival-edit port ", rec.name,
+                  " is not an input port");
+    dirty[static_cast<size_t>(rec.vertex)] = 1;
+  }
+  // Required-time edits change no arrival: the port vertex joins only
+  // the backward closure (and the endpoint list, below).
+  for (const int32_t p : seeds.required_ports) {
+    util::require(p >= 0 && static_cast<size_t>(p) < ports_.size(),
+                  "delta_plan: required-edit port ordinal ", p,
+                  " out of range (", ports_.size(), " ports)");
+    const auto& rec = ports_[static_cast<size_t>(p)];
+    util::require(rec.direction == netlist::PortDirection::kOutput,
+                  "delta_plan: required-edit port ", rec.name,
+                  " is not an output port");
+    back[static_cast<size_t>(rec.vertex)] = 1;
+  }
+  for (const int v : seeds.vertices) {
+    util::require(v >= 0 && static_cast<size_t>(v) < n,
+                  "delta_plan: seed vertex ", v, " out of range (", n,
+                  " vertices)");
+    dirty[static_cast<size_t>(v)] = 1;
+  }
+  DeltaPlan plan = finish_plan(dirty, back);
+  // finish_plan lists endpoints whose ARRIVAL can move; required-time
+  // edits move slack without touching arrivals, so add their ports.
+  if (!seeds.required_ports.empty()) {
+    for (const int32_t p : seeds.required_ports) {
+      for (size_t e = 0; e < endpoint_ports_.size(); ++e) {
+        if (endpoint_ports_[e] == p) {
+          plan.endpoints.push_back(static_cast<int32_t>(e));
+          break;
+        }
+      }
+    }
+    std::sort(plan.endpoints.begin(), plan.endpoints.end());
+    plan.endpoints.erase(
+        std::unique(plan.endpoints.begin(), plan.endpoints.end()),
+        plan.endpoints.end());
   }
   return plan;
 }

@@ -46,6 +46,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -205,6 +206,10 @@ class StaEngine {
                           wave::Polarity polarity);
   void annotate_noisy_net(const std::string& net, wave::Waveform waveform,
                           wave::Polarity polarity);
+  /// Removes the annotation on one net (no-op when the net is clean) —
+  /// the ECO-service counterpart of annotate_noisy_net().
+  void clear_noisy_net(NetId net);
+  void clear_noisy_net(const std::string& net);
   /// Removes all noisy-net annotations (scenario loops re-annotate).
   void clear_noisy_nets();
   /// The annotation on `net`, or null when the net is clean.
@@ -410,6 +415,70 @@ class StaEngine {
   /// IS the baseline.
   [[nodiscard]] DeltaPlan delta_plan(const NoiseScenario& scenario) const;
 
+  /// Generalized dirty-seed description of a constraint/netlist edit
+  /// batch — the edit-class → dirty-cone mapping of the incremental
+  /// service (see docs/SERVICE_GUIDE.md).  All ordinals index this
+  /// engine's net/port orders; delta_plan(EditSeeds) validates them.
+  struct EditSeeds {
+    /// Nets whose capacitive load changed (output-load retarget,
+    /// parasitic cap edit, sink pin-cap change): dirties every cell
+    /// arc driving the net plus every noisy-sink synthesis reading it.
+    std::vector<int32_t> load_nets;
+    /// Nets whose wire delay changed (parasitic delay edit): dirties
+    /// the net's sink vertices.
+    std::vector<int32_t> delay_nets;
+    /// Nets whose noise annotation changed (annotate or clear):
+    /// dirties the net's sink vertices — the scenario-delta rule.
+    std::vector<int32_t> noise_nets;
+    /// Input-port ordinals whose arrival/slew constraint changed:
+    /// dirties the port vertex (and thus its fanout cone).
+    std::vector<int32_t> arrival_ports;
+    /// Output-port ordinals whose required time changed: joins the
+    /// backward (required-recompute) closure and the endpoint list
+    /// without dirtying any arrival.
+    std::vector<int32_t> required_ports;
+    /// Extra forward-dirty vertices (structural edits: every pin of a
+    /// retyped instance, a rerouted sink).
+    std::vector<int> vertices;
+  };
+  /// Computes the dirty-cone plan of an edit batch: forward = fanout
+  /// closure of every arrival-affecting seed; backward = fanin closure
+  /// of the forward set ∪ the required-edit port vertices.  Bitwise
+  /// contract: evaluate_delta() of the plan against a pre-edit
+  /// baseline equals a from-scratch evaluate() under the post-edit
+  /// configuration.  Throws util::Error on out-of-range ordinals or
+  /// direction-mismatched ports.
+  [[nodiscard]] DeltaPlan delta_plan(const EditSeeds& seeds) const;
+
+  // -- copy-on-write forking (the incremental-service substrate) -----------
+  /// A configuration-level copy sharing this engine's immutable graph:
+  /// O(config tables) instead of O(V + E), with handles minted by
+  /// either engine interchangeable (same graph tag).  The fork copies
+  /// constraints, parasitics, annotations, loads, corner and thread
+  /// count, clones the noise method, and starts unanalyzed with its
+  /// own empty state/pool/workspaces.
+  [[nodiscard]] std::unique_ptr<StaEngine> fork() const;
+  /// Copies `other`'s configuration (constraints, loads, parasitics,
+  /// annotations, corner, method, threads) onto this engine across a
+  /// REBUILD — `other` may be prepared on a different Graph as long as
+  /// `other`'s net order is a prefix of this engine's (edits may only
+  /// append nets — the service's ordinal-stability contract) and the
+  /// port orders are identical.  Appended nets get default parasitics
+  /// and no annotation; vertex-keyed constraints are remapped through
+  /// port ordinals.  Throws when the net/port axes differ.
+  void copy_config_from(const StaEngine& other);
+  /// Recomputes net_loads_ for just `nets` (ordinals), folding each
+  /// net's sink pin caps + parasitic cap + port load in the exact
+  /// order compute_loads() uses — bitwise identical to a full
+  /// prepare() for every net in the list.  prepare() must have run
+  /// (on this engine or the engine it was forked from).
+  void recompute_net_loads(std::span<const int32_t> nets);
+  /// Liveness token released at destruction; SweepResult/TimingView
+  /// watch it through weak_ptr and throw instead of dangling.
+  [[nodiscard]] std::shared_ptr<const void> liveness() const noexcept {
+    return liveness_;
+  }
+
   /// Derives one scenario point from a corner baseline: copies
   /// `baseline` into `state`, resets the plan's dirty vertices to their
   /// initial constraints, folds them in level order under `ctx` (whose
@@ -469,12 +538,14 @@ class StaEngine {
       const TimingState& state) const;
 
  private:
+  // Edges carry structure only; per-net loads and wire delays live in
+  // the engine's mutable tables (net_loads_, net_parasitics_) so forks
+  // can share one immutable Graph while editing loads independently.
   struct CellArcEdge {
     int from = -1;  // instance input pin vertex
     int to = -1;    // instance output pin vertex
     const liberty::TimingArc* arc = nullptr;
     int32_t out_net = -1;  // net the arc's output pin drives (ordinal)
-    double load = 0.0;     // computed by prepare()
   };
 
   struct NetEdge {
@@ -484,8 +555,6 @@ class StaEngine {
     const liberty::Pin* sink_pin = nullptr;   // liberty pin at the sink
     const liberty::Cell* sink_cell = nullptr;
     int32_t sink_out_net = -1;  // net the sink gate's output drives
-    double sink_load = 0.0;  // load seen by the sink gate's output
-    double wire_delay = 0.0;  // computed by prepare()
   };
 
   /// One rise/fall input constraint of an input port.
@@ -502,7 +571,46 @@ class StaEngine {
     netlist::PortDirection direction = netlist::PortDirection::kInput;
   };
 
-  int vertex(const std::string& name);
+  /// The immutable structure layer: everything derived purely from
+  /// (netlist, library) topology.  Built once by make_graph() and held
+  /// through shared_ptr<const Graph>; engine forks share ONE Graph, so
+  /// a copy-on-write snapshot costs O(config tables), not O(V + E).
+  /// Handles minted by any fork are interchangeable — they all carry
+  /// the same tag and index the same vertex/net/port orders.
+  struct Graph {
+    uint32_t tag = 0;  ///< handle tag shared by every fork
+    std::vector<std::string> vertex_names;
+    std::unordered_map<std::string, int> vertex_index;
+    std::vector<std::string> sorted_vertex_names;
+    std::vector<PortRec> ports;
+    std::vector<CellArcEdge> cell_edges;
+    std::vector<NetEdge> net_edges;
+    std::vector<std::vector<uint32_t>> edges_of_net;
+    /// Net ordinal → cell arcs driving it (an arc's delay reads its
+    /// output net's load): the load-edit dirty-seed table.
+    std::vector<std::vector<uint32_t>> arcs_of_net;
+    /// Net ordinal → net edges whose SINK gate drives it (noisy-edge
+    /// Γeff synthesis reads that output load at the sink).
+    std::vector<std::vector<uint32_t>> sink_load_edges_of_net;
+    std::vector<std::vector<std::pair<bool, uint32_t>>> in_edges;
+    std::vector<std::vector<std::pair<bool, uint32_t>>> out_edges;
+    std::vector<std::vector<int>> levels;
+    std::vector<int> vertex_level;
+    std::vector<int32_t> endpoint_ports;
+    PartitionSet partitions;
+    /// Lazily built shard schedules keyed by wide-partition threshold;
+    /// mutable behind the mutex so const forks share the cache.
+    mutable std::map<size_t, PartitionSchedule> shard_schedules;
+    mutable std::mutex shard_schedules_mutex;
+  };
+  /// Builds the structure layer (validate + vertices + edges + levels +
+  /// partitions) — the expensive part of construction that forks skip.
+  [[nodiscard]] static std::shared_ptr<const Graph> make_graph(
+      const netlist::Netlist& nl, const liberty::Library& lib);
+  static void levelize(Graph& g);
+  struct ForkTag {};
+  StaEngine(const StaEngine& other, ForkTag);
+
   [[nodiscard]] int find_vertex(const std::string& name) const;
   /// Index checks behind every handle accessor; throw on foreign/stale
   /// handles and return the dense index.
@@ -511,9 +619,12 @@ class StaEngine {
   [[nodiscard]] int check(PortId port) const;
   [[nodiscard]] util::Error unknown_vertex_error(
       const std::string& name) const;
-  void build_graph();
   void compute_loads();
-  void levelize();
+  /// Shared closure step of both delta_plan overloads: `dirty` holds
+  /// the forward seeds, `back` extra backward-only seeds; both are
+  /// closed (fanout / fanin) and turned into sorted worklists.
+  [[nodiscard]] DeltaPlan finish_plan(std::vector<char>& dirty,
+                                      std::vector<char>& back) const;
   /// init_state() for a single vertex: default timing plus the input /
   /// required constraints of `v` (delta propagation resets dirty
   /// vertices through this so they match a fresh init_state bitwise).
@@ -529,41 +640,48 @@ class StaEngine {
 
   const netlist::Netlist* netlist_;
   const liberty::Library* library_;
-  uint32_t graph_tag_ = 0;  ///< unique engine tag carried by handles
-  std::vector<std::string> vertex_names_;
-  /// O(1) name → vertex resolution; built once during construction.
-  std::unordered_map<std::string, int> vertex_index_;
-  /// Deterministic sorted view of vertex_names_ (error suggestions,
-  /// stable listings) — the unordered map is never iterated.
-  std::vector<std::string> sorted_vertex_names_;
-  std::vector<PortRec> ports_;  ///< netlist port order (PortId::index)
-  std::vector<CellArcEdge> cell_edges_;
-  std::vector<NetEdge> net_edges_;
-  /// Net ordinal → indices of its net edges (annotation compilation).
-  std::vector<std::vector<uint32_t>> edges_of_net_;
-  /// Incoming/outgoing adjacency: (is_cell_edge, edge index), in
-  /// deterministic construction order.
-  std::vector<std::vector<std::pair<bool, uint32_t>>> in_edges_;
-  std::vector<std::vector<std::pair<bool, uint32_t>>> out_edges_;
-  std::vector<std::vector<int>> levels_;
-  std::vector<int> vertex_level_;  ///< per-vertex topological level
-  std::vector<int32_t> endpoint_ports_;  ///< output-port ordinals
-  /// Partition cover of the graph (built right after levelize()) and
-  /// the per-point shard schedules keyed by wide-partition threshold
-  /// (default threshold built eagerly; others lazily under the lock).
-  PartitionSet partitions_;
-  mutable std::map<size_t, PartitionSchedule> shard_schedules_;
-  mutable std::mutex shard_schedules_mutex_;
+  /// The shared immutable structure layer; initialized first so the
+  /// read aliases below may bind to it in their default initializers.
+  std::shared_ptr<const Graph> graph_;
+  uint32_t graph_tag_ = 0;  ///< == graph_->tag; carried by handles
+  // Read aliases into *graph_, preserving the names the propagation
+  // and accessor code has always used.  References make the engine
+  // non-assignable, which is fine: engines live behind unique_ptr.
+  const std::vector<std::string>& vertex_names_ = graph_->vertex_names;
+  const std::unordered_map<std::string, int>& vertex_index_ =
+      graph_->vertex_index;
+  const std::vector<std::string>& sorted_vertex_names_ =
+      graph_->sorted_vertex_names;
+  const std::vector<PortRec>& ports_ = graph_->ports;
+  const std::vector<CellArcEdge>& cell_edges_ = graph_->cell_edges;
+  const std::vector<NetEdge>& net_edges_ = graph_->net_edges;
+  const std::vector<std::vector<uint32_t>>& edges_of_net_ =
+      graph_->edges_of_net;
+  const std::vector<std::vector<std::pair<bool, uint32_t>>>& in_edges_ =
+      graph_->in_edges;
+  const std::vector<std::vector<std::pair<bool, uint32_t>>>& out_edges_ =
+      graph_->out_edges;
+  const std::vector<std::vector<int>>& levels_ = graph_->levels;
+  const std::vector<int>& vertex_level_ = graph_->vertex_level;
+  const std::vector<int32_t>& endpoint_ports_ = graph_->endpoint_ports;
+  const PartitionSet& partitions_ = graph_->partitions;
 
   std::map<int, std::array<InputConstraint, 2>> input_constraints_;
   std::map<int, double> required_;
   std::vector<double> output_loads_;  ///< by port ordinal (0 = none)
   /// Dense per-net tables indexed by NetId::index.
   std::vector<std::pair<double, double>> net_parasitics_;  ///< (cap, delay)
+  /// Per-net capacitive load (sink pin caps + parasitic cap + port
+  /// load), filled by prepare() / recompute_net_loads() and read by
+  /// propagation.
+  std::vector<double> net_loads_;
   std::vector<std::optional<NoiseAnnotation>> net_annotations_;
   size_t noisy_net_count_ = 0;
   std::optional<Corner> corner_;
   std::unique_ptr<core::EquivalentWaveformMethod> noise_method_;
+  /// Liveness token: results that point into this engine hold a
+  /// weak_ptr to it and throw instead of dangling after destruction.
+  std::shared_ptr<const char> liveness_ = std::make_shared<const char>('e');
 
   TimingState state_;  ///< default state written by run()
   int threads_ = 1;

@@ -10,11 +10,16 @@
 /// an aggressor configuration, repeated runs — so the engine memoizes
 /// the fitted (arrival, slew) per key.
 ///
-/// The key is exact: raw IEEE-754 bit patterns of the input arrival and
-/// slew, the net-edge index (which pins down sink arc, sink load and
-/// vdd for a prepared engine), and the annotation's content hash.  A
-/// hit therefore returns bitwise-exactly what the fit would have
-/// produced, keeping cached and uncached runs identical.
+/// The key is exact: raw IEEE-754 bit patterns of the input arrival,
+/// slew and sink load, the receiving arc's identity (a pointer into
+/// the liberty library, stable for the library's lifetime), the
+/// net-edge index, and the annotation's content hash.  A hit therefore
+/// returns bitwise-exactly what the fit would have produced, keeping
+/// cached and uncached runs identical.  Because arc identity and load
+/// bits are in the key (not just the edge index), one cache may be
+/// shared across copy-on-write engine snapshots whose loads or graphs
+/// differ (sta/service.hpp) — entries simply never collide across
+/// prepared states.
 ///
 /// Sharded: 16 buckets, each an unordered_map under its own mutex, so
 /// concurrent lookups from the propagation pool rarely contend.
@@ -40,17 +45,19 @@ class GammaCache {
   struct Key {
     uint64_t noise_key = 0;   ///< annotation content hash
     uint64_t method_id = 0;   ///< technique identity (object address)
+    uint64_t arc_id = 0;      ///< receiving arc identity (library address)
     uint32_t edge = 0;        ///< net-edge index in the prepared engine
     uint32_t rf = 0;          ///< transition index at the sink
     uint64_t arrival_bits = 0;  ///< IEEE-754 bits of the clean arrival
     uint64_t slew_bits = 0;     ///< IEEE-754 bits of the clean slew
+    uint64_t load_bits = 0;     ///< IEEE-754 bits of the sink gate's output load
     uint64_t corner_key = 0;    ///< Corner::key() of the derate point (0 = nominal)
 
     [[nodiscard]] bool operator==(const Key& o) const noexcept {
       return noise_key == o.noise_key && method_id == o.method_id &&
-             edge == o.edge && rf == o.rf &&
+             arc_id == o.arc_id && edge == o.edge && rf == o.rf &&
              arrival_bits == o.arrival_bits && slew_bits == o.slew_bits &&
-             corner_key == o.corner_key;
+             load_bits == o.load_bits && corner_key == o.corner_key;
     }
   };
 

@@ -142,8 +142,17 @@ void SweepResult::require_not_pruned(const char* accessor,
   }
 }
 
-const TimingState& SweepResult::state(size_t point) const {
+const StaEngine& SweepResult::live_engine(const char* accessor) const {
   util::require(engine_ != nullptr, "SweepResult: empty result");
+  util::require(!engine_liveness_.expired(), "SweepResult::", accessor,
+                ": the engine this result points into has been destroyed — "
+                "a SweepResult must not outlive its engine (service queries "
+                "co-own their snapshot instead; see sta/service.hpp)");
+  return *engine_;
+}
+
+const TimingState& SweepResult::state(size_t point) const {
+  (void)live_engine("state");
   require_full_state("state");
   util::require(point < states_.size(), "SweepResult: point ", point,
                 " out of range (", states_.size(), " points)");
@@ -156,7 +165,8 @@ const TimingState& SweepResult::state(size_t point) const {
 
 TimingView SweepResult::view(size_t point) const {
   const TimingState& s = state(point);  // validates
-  return TimingView(engine_, &s, &corners_[point / num_scenarios()],
+  return TimingView(engine_, engine_liveness_, &s,
+                    &corners_[point / num_scenarios()],
                     &scenario_names_[point % num_scenarios()]);
 }
 
@@ -169,8 +179,7 @@ double SweepResult::worst_slack(size_t point) const {
                 " out of range (", size(), " points)");
   require_not_pruned("worst_slack", point);
   if (status(point) == PointStatus::kSummary) return worst_slacks_[point];
-  util::require(engine_ != nullptr, "SweepResult: empty result");
-  return engine_->worst_slack_in(states_[point]);
+  return live_engine("worst_slack").worst_slack_in(states_[point]);
 }
 
 bool SweepResult::pruned(size_t point) const {
@@ -209,8 +218,8 @@ double SweepResult::endpoint_arrival(size_t point, size_t endpoint,
     return endpoint_arrivals_[(point * endpoint_names_.size() + endpoint) * 2 +
                               static_cast<size_t>(rf)];
   }
-  return engine_
-      ->timing_in(states_[point], engine_->pin(endpoint_names_[endpoint]), rf)
+  const StaEngine& eng = live_engine("endpoint_arrival");
+  return eng.timing_in(states_[point], eng.pin(endpoint_names_[endpoint]), rf)
       .arrival;
 }
 
@@ -220,7 +229,8 @@ SweepResult::CriticalEndpoint SweepResult::critical_endpoint(
                 " out of range (", size(), " points)");
   require_not_pruned("critical_endpoint", point);
   if (status(point) == PointStatus::kSummary) return critical_[point];
-  const auto we = engine_->worst_endpoint_in(states_[point]);
+  const auto we = live_engine("critical_endpoint").worst_endpoint_in(
+      states_[point]);
   return CriticalEndpoint{we.endpoint, we.rf, we.slack};
 }
 
@@ -238,16 +248,16 @@ size_t SweepResult::result_bytes_per_point() const noexcept {
 
 const PinTiming& SweepResult::timing(size_t point, PinId pin,
                                      RiseFall rf) const {
-  return engine_->timing_in(state(point), pin, rf);
+  return live_engine("timing").timing_in(state(point), pin, rf);
 }
 
 const PinTiming& SweepResult::timing(size_t point, const std::string& pin,
                                      RiseFall rf) const {
-  return engine_->timing_in(state(point), pin, rf);
+  return live_engine("timing").timing_in(state(point), pin, rf);
 }
 
 std::vector<PathStep> SweepResult::critical_path(size_t point) const {
-  return engine_->worst_path_in(state(point));
+  return live_engine("critical_path").worst_path_in(state(point));
 }
 
 SweepResult::WorstPoint SweepResult::worst_point() const {
@@ -293,21 +303,29 @@ GammaCache::Stats SweepResult::cache_stats() const noexcept {
 // TimingView
 // ---------------------------------------------------------------------------
 
+const StaEngine& TimingView::live_engine() const {
+  util::require(!liveness_.expired(),
+                "TimingView: the engine this view points into has been "
+                "destroyed — views must not outlive their engine (service "
+                "queries co-own their snapshot instead; see sta/service.hpp)");
+  return *engine_;
+}
+
 const PinTiming& TimingView::timing(PinId pin, RiseFall rf) const {
-  return engine_->timing_in(*state_, pin, rf);
+  return live_engine().timing_in(*state_, pin, rf);
 }
 
 const PinTiming& TimingView::timing(const std::string& pin,
                                     RiseFall rf) const {
-  return engine_->timing_in(*state_, pin, rf);
+  return live_engine().timing_in(*state_, pin, rf);
 }
 
 double TimingView::worst_slack() const {
-  return engine_->worst_slack_in(*state_);
+  return live_engine().worst_slack_in(*state_);
 }
 
 std::vector<PathStep> TimingView::critical_path() const {
-  return engine_->worst_path_in(*state_);
+  return live_engine().worst_path_in(*state_);
 }
 
 // ---------------------------------------------------------------------------
@@ -319,6 +337,7 @@ SweepResult StaEngine::sweep(const SweepSpec& spec) {
 
   SweepResult r;
   r.engine_ = this;
+  r.engine_liveness_ = liveness();
   if (spec.corners.empty()) {
     r.corners_.push_back(corner_ ? *corner_ : Corner{});
   } else {
@@ -589,7 +608,9 @@ SweepResult StaEngine::sweep(const SweepSpec& spec) {
           const auto& drv = baseline[static_cast<size_t>(e.from)].timing[rf];
           if (!drv.valid) continue;
           const double arr =
-              drv.arrival + e.wire_delay * corner.wire_delay_scale;
+              drv.arrival +
+              net_parasitics_[static_cast<size_t>(e.net)].second *
+                  corner.wire_delay_scale;
           const double d_arrival =
               std::max(0.0, (last50.has_value() ? *last50 : t_end) - arr);
           const double d_slew = std::max(0.0, span - drv.slew);

@@ -237,7 +237,9 @@ struct SweepSpec {
 class SweepResult;
 
 /// Read-only window onto one sweep point.  Valid while the SweepResult
-/// it came from (and the engine) are alive.
+/// it came from (and the engine) are alive; accessors that reach into
+/// the engine throw util::Error — instead of dangling — once the
+/// engine has been destroyed (they watch its liveness() token).
 class TimingView {
  public:
   /// Timing of (pin, transition) at this point, by handle.
@@ -260,12 +262,18 @@ class TimingView {
 
  private:
   friend class SweepResult;
-  TimingView(const StaEngine* engine, const TimingState* state,
-             const Corner* corner, const std::string* scenario_name) noexcept
-      : engine_(engine), state_(state), corner_(corner),
-        scenario_name_(scenario_name) {}
+  TimingView(const StaEngine* engine, std::weak_ptr<const void> liveness,
+             const TimingState* state, const Corner* corner,
+             const std::string* scenario_name) noexcept
+      : engine_(engine), liveness_(std::move(liveness)), state_(state),
+        corner_(corner), scenario_name_(scenario_name) {}
+
+  /// Dereferences engine_ behind the liveness check: throws util::Error
+  /// instead of dangling when the engine has been destroyed.
+  [[nodiscard]] const StaEngine& live_engine() const;
 
   const StaEngine* engine_;
+  std::weak_ptr<const void> liveness_;  ///< engine liveness token
   const TimingState* state_;
   const Corner* corner_;
   const std::string* scenario_name_;
@@ -273,7 +281,11 @@ class TimingView {
 
 /// All results of one sweep, indexed by flat point (corner-major:
 /// point = corner * num_scenarios + scenario) or by (corner, scenario).
-/// The engine that produced it must outlive it.
+/// The engine that produced it must outlive it; accessors that reach
+/// into the engine throw util::Error — instead of dangling — once the
+/// engine has been destroyed (they watch its liveness() token).
+/// Service queries avoid the hazard entirely: their results co-own the
+/// snapshot (see sta/service.hpp).
 ///
 /// Two storage modes (SweepSpec::endpoint_only):
 ///  - full (default): one TimingState per point; every accessor works.
@@ -428,8 +440,13 @@ class SweepResult {
   [[nodiscard]] PointStatus status(size_t point) const noexcept {
     return status_.empty() ? PointStatus::kFull : status_[point];
   }
+  /// Dereferences engine_ behind the liveness check: throws util::Error
+  /// (naming `accessor`) instead of dangling when the engine this
+  /// result points into has been destroyed.
+  [[nodiscard]] const StaEngine& live_engine(const char* accessor) const;
 
   const StaEngine* engine_ = nullptr;
+  std::weak_ptr<const void> engine_liveness_;  ///< engine liveness token
   std::vector<Corner> corners_;
   std::vector<std::string> scenario_names_;
   std::vector<TimingState> states_;  ///< corner-major; empty in

@@ -27,6 +27,8 @@ DEFAULT_HEADERS = [
     "src/sta/sweep.hpp",
     "src/sta/scengen.hpp",
     "src/sta/ids.hpp",
+    "src/sta/service.hpp",
+    "src/sta/edits.hpp",
 ]
 
 DOC_LINE = re.compile(r"^///(?!<)")
