@@ -32,6 +32,7 @@ void ScenarioBatch::run() {
   spec_.endpoint_only = options_.endpoint_only;
   spec_.delta = options_.delta;
   spec_.prune = options_.prune;
+  spec_.lanes = options_.lanes;
   spec_.pool = pool_.get();
   // corners stays empty: one point per scenario, at the engine corner.
   result_ = engine_->sweep(spec_);

@@ -60,6 +60,10 @@ struct BatchOptions {
   /// scenarios' accessors throw; worst slack answers stay exact through
   /// result().worst_point().
   PruneMode prune = PruneMode::kOff;
+  /// Forwarded to SweepSpec::lanes — SIMD lane width for delta
+  /// evaluation: 0 auto (AVX2 → 4, else scalar), 1 forces scalar,
+  /// 4 forces four-wide lane blocks.  Bitwise identical either way.
+  int lanes = 0;
 };
 
 /// Sweeps N noise scenarios over one engine in a single levelized pass.

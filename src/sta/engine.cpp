@@ -766,6 +766,102 @@ void StaEngine::propagate_cell_edge(const CellArcEdge& e, TimingState& state,
   }
 }
 
+void StaEngine::noisy_fit(const NetEdge& e, size_t edge_index,
+                          const NoiseAnnotation* noisy, int rf_i,
+                          const EvalContext& ctx, double& arrival,
+                          double& slew) const {
+  // The full noisy-sink gate: annotation present, sink is a gate input
+  // whose transition matches the annotated polarity, and the sink gate
+  // has an arc from this pin.  Shared verbatim by the scalar path
+  // (propagate_net_edge) and the lane-block path (evaluate_delta_block)
+  // so "lane == scalar" at noisy edges is structural.
+  if (noisy == nullptr || e.sink_pin == nullptr) return;
+  const auto rf = static_cast<RiseFall>(rf_i);
+  if (to_polarity(rf) != noisy->polarity) return;
+  const auto* arc = e.sink_cell->output_pin().find_arc(e.sink_pin->name);
+  if (arc == nullptr) return;
+  const double delay_scale =
+      ctx.corner != nullptr ? ctx.corner->cell_delay_scale : 1.0;
+  const double slew_scale =
+      ctx.corner != nullptr ? ctx.corner->cell_slew_scale : 1.0;
+  const double sink_load =
+      e.sink_out_net >= 0 ? net_loads_[static_cast<size_t>(e.sink_out_net)]
+                          : 0.0;
+  // The fit is a pure function of (annotation, clean ramp, arc,
+  // load, corner); memoize it per exact key when a cache is
+  // supplied.  Arc identity and load bits are part of the key so
+  // one cache stays exact across copy-on-write snapshots whose
+  // loads or graphs differ.
+  GammaCache::Key key;
+  key.noise_key = noisy->key;
+  key.method_id = reinterpret_cast<uintptr_t>(ctx.method);
+  key.arc_id = reinterpret_cast<uintptr_t>(arc);
+  key.edge = static_cast<uint32_t>(edge_index);
+  key.rf = static_cast<uint32_t>(rf_i);
+  key.arrival_bits = std::bit_cast<uint64_t>(arrival);
+  key.slew_bits = std::bit_cast<uint64_t>(slew);
+  key.load_bits = std::bit_cast<uint64_t>(sink_load);
+  key.corner_key = ctx.corner_key;
+  std::optional<GammaCache::Value> cached;
+  if (ctx.cache != nullptr) cached = ctx.cache->lookup(key);
+  if (cached.has_value()) {
+    arrival = cached->arrival;
+    slew = cached->slew;
+  } else {
+    // The equivalent-waveform flow of the paper: replace the ramp
+    // at this gate input by Γeff fitted against the annotated
+    // noisy waveform, using a noiseless response synthesized from
+    // NLDM (derated the same way as the real propagation).
+    const auto pol = noisy->polarity;
+    const double vdd = library_->nom_voltage;
+    const auto clean_ramp = wave::Ramp::from_arrival_slew(arrival, slew, vdd);
+
+    const auto out_pol =
+        arc->sense == liberty::TimingSense::kNegativeUnate ? flip(pol) : pol;
+    const auto lk = (out_pol == wave::Polarity::kRising)
+                        ? arc->rise(slew, sink_load)
+                        : arc->fall(slew, sink_load);
+    const auto out_ramp = wave::Ramp::from_arrival_slew(
+        arrival + lk.delay * delay_scale, lk.out_slew * slew_scale, vdd);
+
+    core::MethodInput mi;
+    mi.noisy_in = &noisy->waveform;
+    mi.in_polarity = pol;
+    mi.out_polarity = out_pol;
+    mi.vdd = vdd;
+    mi.workspace = ctx.workspace;
+    // The noiseless pair is synthesized into the worker's arena
+    // when one is available (zero heap traffic); the legacy path
+    // materializes owning Waveforms.  Same formulas either way.
+    constexpr size_t kCleanSamples = 192;
+    std::optional<wave::Workspace::Scope> ws_scope;
+    wave::Waveform clean_in_owned, clean_out_owned;
+    if (ctx.workspace != nullptr) {
+      auto& ws = *ctx.workspace;
+      ws_scope.emplace(ws);
+      const auto t_in = ws.alloc(kCleanSamples);
+      const auto v_in = ws.alloc(kCleanSamples);
+      clean_ramp.denormalized_into(pol, t_in, v_in);
+      mi.noiseless_in_view = wave::WaveView(t_in, v_in);
+      const auto t_out = ws.alloc(kCleanSamples);
+      const auto v_out = ws.alloc(kCleanSamples);
+      out_ramp.denormalized_into(out_pol, t_out, v_out);
+      mi.noiseless_out_view = wave::WaveView(t_out, v_out);
+    } else {
+      clean_in_owned = clean_ramp.denormalized(pol, kCleanSamples);
+      clean_out_owned = out_ramp.denormalized(out_pol, kCleanSamples);
+      mi.noiseless_in = &clean_in_owned;
+      mi.noiseless_out = &clean_out_owned;
+    }
+    const auto fit = ctx.method->fit(mi);
+    arrival = fit.ramp.t50();
+    slew = fit.ramp.slew();
+    if (ctx.cache != nullptr) {
+      ctx.cache->insert(key, GammaCache::Value{arrival, slew});
+    }
+  }
+}
+
 void StaEngine::propagate_net_edge(size_t edge_index, TimingState& state,
                                    const EvalContext& ctx) const {
   const auto& e = net_edges_[edge_index];
@@ -776,10 +872,6 @@ void StaEngine::propagate_net_edge(size_t edge_index, TimingState& state,
       ctx.edge_noise != nullptr ? ctx.edge_noise[edge_index] : nullptr;
   const double wire_scale =
       ctx.corner != nullptr ? ctx.corner->wire_delay_scale : 1.0;
-  const double delay_scale =
-      ctx.corner != nullptr ? ctx.corner->cell_delay_scale : 1.0;
-  const double slew_scale =
-      ctx.corner != nullptr ? ctx.corner->cell_slew_scale : 1.0;
   const double wire_delay = net_parasitics_[static_cast<size_t>(e.net)].second;
 
   for (int rf_i = 0; rf_i < 2; ++rf_i) {
@@ -788,94 +880,7 @@ void StaEngine::propagate_net_edge(size_t edge_index, TimingState& state,
     const auto rf = static_cast<RiseFall>(rf_i);
     double arrival = drv.arrival + wire_delay * wire_scale;
     double slew = drv.slew;
-
-    const bool apply_noise = noisy != nullptr && e.sink_pin != nullptr &&
-                             to_polarity(rf) == noisy->polarity;
-    if (apply_noise) {
-      const auto* arc = e.sink_cell->output_pin().find_arc(e.sink_pin->name);
-      if (arc != nullptr) {
-        const double sink_load =
-            e.sink_out_net >= 0
-                ? net_loads_[static_cast<size_t>(e.sink_out_net)]
-                : 0.0;
-        // The fit is a pure function of (annotation, clean ramp, arc,
-        // load, corner); memoize it per exact key when a cache is
-        // supplied.  Arc identity and load bits are part of the key so
-        // one cache stays exact across copy-on-write snapshots whose
-        // loads or graphs differ.
-        GammaCache::Key key;
-        key.noise_key = noisy->key;
-        key.method_id = reinterpret_cast<uintptr_t>(ctx.method);
-        key.arc_id = reinterpret_cast<uintptr_t>(arc);
-        key.edge = static_cast<uint32_t>(edge_index);
-        key.rf = static_cast<uint32_t>(rf_i);
-        key.arrival_bits = std::bit_cast<uint64_t>(arrival);
-        key.slew_bits = std::bit_cast<uint64_t>(slew);
-        key.load_bits = std::bit_cast<uint64_t>(sink_load);
-        key.corner_key = ctx.corner_key;
-        std::optional<GammaCache::Value> cached;
-        if (ctx.cache != nullptr) cached = ctx.cache->lookup(key);
-        if (cached.has_value()) {
-          arrival = cached->arrival;
-          slew = cached->slew;
-        } else {
-          // The equivalent-waveform flow of the paper: replace the ramp
-          // at this gate input by Γeff fitted against the annotated
-          // noisy waveform, using a noiseless response synthesized from
-          // NLDM (derated the same way as the real propagation).
-          const auto pol = noisy->polarity;
-          const double vdd = library_->nom_voltage;
-          const auto clean_ramp =
-              wave::Ramp::from_arrival_slew(arrival, slew, vdd);
-
-          const auto out_pol =
-              arc->sense == liberty::TimingSense::kNegativeUnate ? flip(pol)
-                                                                 : pol;
-          const auto lk = (out_pol == wave::Polarity::kRising)
-                              ? arc->rise(slew, sink_load)
-                              : arc->fall(slew, sink_load);
-          const auto out_ramp = wave::Ramp::from_arrival_slew(
-              arrival + lk.delay * delay_scale, lk.out_slew * slew_scale,
-              vdd);
-
-          core::MethodInput mi;
-          mi.noisy_in = &noisy->waveform;
-          mi.in_polarity = pol;
-          mi.out_polarity = out_pol;
-          mi.vdd = vdd;
-          mi.workspace = ctx.workspace;
-          // The noiseless pair is synthesized into the worker's arena
-          // when one is available (zero heap traffic); the legacy path
-          // materializes owning Waveforms.  Same formulas either way.
-          constexpr size_t kCleanSamples = 192;
-          std::optional<wave::Workspace::Scope> ws_scope;
-          wave::Waveform clean_in_owned, clean_out_owned;
-          if (ctx.workspace != nullptr) {
-            auto& ws = *ctx.workspace;
-            ws_scope.emplace(ws);
-            const auto t_in = ws.alloc(kCleanSamples);
-            const auto v_in = ws.alloc(kCleanSamples);
-            clean_ramp.denormalized_into(pol, t_in, v_in);
-            mi.noiseless_in_view = wave::WaveView(t_in, v_in);
-            const auto t_out = ws.alloc(kCleanSamples);
-            const auto v_out = ws.alloc(kCleanSamples);
-            out_ramp.denormalized_into(out_pol, t_out, v_out);
-            mi.noiseless_out_view = wave::WaveView(t_out, v_out);
-          } else {
-            clean_in_owned = clean_ramp.denormalized(pol, kCleanSamples);
-            clean_out_owned = out_ramp.denormalized(out_pol, kCleanSamples);
-            mi.noiseless_in = &clean_in_owned;
-            mi.noiseless_out = &clean_out_owned;
-          }
-          const auto fit = ctx.method->fit(mi);
-          arrival = fit.ramp.t50();
-          slew = fit.ramp.slew();
-          if (ctx.cache != nullptr) {
-            ctx.cache->insert(key, GammaCache::Value{arrival, slew});
-          }
-        }
-      }
-    }
+    noisy_fit(e, edge_index, noisy, rf_i, ctx, arrival, slew);
     relax(state, e.to, rf, arrival, slew, e.from, rf);
   }
 }
@@ -1115,18 +1120,41 @@ StaEngine::DeltaPlan StaEngine::finish_plan(std::vector<char>& dirty,
     if (dirty[v]) plan.forward.push_back(static_cast<int>(v));
     if (back[v]) plan.backward.push_back(static_cast<int>(v));
   }
-  // Ascending vertex id is already the tie-break; stable sort by level
-  // gives (level, vertex) forwards and (-level, vertex) backwards.
-  std::stable_sort(plan.forward.begin(), plan.forward.end(),
-                   [this](int a, int b) {
-                     return vertex_level_[static_cast<size_t>(a)] <
-                            vertex_level_[static_cast<size_t>(b)];
-                   });
-  std::stable_sort(plan.backward.begin(), plan.backward.end(),
-                   [this](int a, int b) {
-                     return vertex_level_[static_cast<size_t>(a)] >
-                            vertex_level_[static_cast<size_t>(b)];
-                   });
+  // The collection loops above run in ascending vertex id — keep that
+  // order for the materialization walklists before re-sorting the
+  // propagation ones by level.
+  plan.forward_ids = plan.forward;
+  plan.backward_ids = plan.backward;
+  // Order worklists as (level, vertex) forwards and (-level, vertex)
+  // backwards.  The lists are built in ascending vertex id, so a
+  // stable counting sort over the level key produces exactly what
+  // std::stable_sort with a level comparator did — in O(cone + levels)
+  // instead of O(cone log cone), with no merge buffer allocation.
+  // Plan construction showed up beside evaluation itself in sweep
+  // profiles, so this path is deliberately allocation-lean.
+  const auto by_level = [this](std::vector<int>& list, bool descending) {
+    if (list.size() < 2) return;
+    int lo = vertex_level_[static_cast<size_t>(list[0])];
+    int hi = lo;
+    for (const int v : list) {
+      const int l = vertex_level_[static_cast<size_t>(v)];
+      lo = std::min(lo, l);
+      hi = std::max(hi, l);
+    }
+    const size_t n_levels = static_cast<size_t>(hi - lo) + 1;
+    std::vector<int> counts(n_levels + 1, 0);
+    const auto key = [&](int v) {
+      const int l = vertex_level_[static_cast<size_t>(v)];
+      return static_cast<size_t>(descending ? hi - l : l - lo);
+    };
+    for (const int v : list) ++counts[key(v) + 1];
+    for (size_t k = 1; k < counts.size(); ++k) counts[k] += counts[k - 1];
+    std::vector<int> sorted(list.size());
+    for (const int v : list) sorted[static_cast<size_t>(counts[key(v)]++)] = v;
+    list = std::move(sorted);
+  };
+  by_level(plan.forward, /*descending=*/false);
+  by_level(plan.backward, /*descending=*/true);
 
   // Cone ∩ partition membership: the partitions a delta actually
   // touches.  Everything else is skipped entirely.

@@ -329,6 +329,7 @@ GeneratedSweepResult StaEngine::sweep(const GeneratedSweepSpec& gspec) {
   proto.endpoint_chunk = gspec.endpoint_chunk;
   proto.delta = gspec.delta;
   proto.prune = gspec.prune;
+  proto.lanes = gspec.lanes;
 
   // Aggregation state across chunks.  The survivor-weighted fraction /
   // gap sums reconstruct the means a single eager sweep would report.

@@ -373,6 +373,10 @@ struct GeneratedSweepSpec {
   /// the survivor count, not the space size; disable for pure funnel
   /// reports.
   bool keep_point_records = true;
+  /// SIMD lane width per chunk (SweepSpec::lanes): 0 auto (AVX2 → 4,
+  /// else scalar), 1 forces scalar, 4 forces four-wide lane blocks.
+  /// Bitwise identical either way.
+  int lanes = 0;
 };
 
 /// Result of a generated sweep: the funnel, the aggregated prune/delta

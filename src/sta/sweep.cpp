@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <sstream>
 
 #include "noise/scenario.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
+#include "wave/lanes.hpp"
 #include "wave/ramp.hpp"
 
 namespace waveletic::sta {
@@ -335,6 +337,16 @@ std::vector<PathStep> TimingView::critical_path() const {
 SweepResult StaEngine::sweep(const SweepSpec& spec) {
   prepare();
 
+  // Resolve the lane-width knob up front so a bad value fails fast.
+  util::require(spec.lanes == 0 || spec.lanes == 1 || spec.lanes == 4,
+                "sweep: lanes must be 0 (auto), 1, or 4, got ", spec.lanes);
+  if (spec.lanes > 1) {
+    util::require(wave::lane_width_available(spec.lanes),
+                  "sweep: lane width ", spec.lanes,
+                  " not available on this build/CPU");
+  }
+  const int lanes = spec.lanes != 0 ? spec.lanes : wave::active_lane_width();
+
   SweepResult r;
   r.engine_ = this;
   r.engine_liveness_ = liveness();
@@ -496,17 +508,34 @@ SweepResult StaEngine::sweep(const SweepSpec& spec) {
   }
 
   // Per-scenario dirty-cone plans, shared by every corner of a
-  // scenario (the cone depends only on the annotated nets).
-  std::vector<DeltaPlan> plans(n_scenarios);
+  // scenario (the cone depends only on the annotated nets).  Scenarios
+  // that annotate the same net set — the common shape from scenario
+  // generators, which emit many height/offset variants per victim —
+  // share one plan: the cone is a pure function of the annotated nets,
+  // and plan construction is expensive enough to rival evaluation on
+  // small-cone sweeps.  plan_of[s] maps a scenario to its unique plan.
+  std::vector<DeltaPlan> plans;
+  std::vector<size_t> plan_of(n_scenarios);
   {
+    std::map<std::vector<int>, size_t> plan_index;
+    std::vector<int> key;
     double cone_frac = 0.0;
     double part_frac = 0.0;
     for (size_t s = 0; s < n_scenarios; ++s) {
-      plans[s] = delta_plan(*scenarios[s]);
-      cone_frac += static_cast<double>(plans[s].forward.size()) /
+      key.clear();
+      for (const auto& entry : scenarios[s]->entries) {
+        key.push_back(netlist_->net_ordinal(entry.net));
+      }
+      std::sort(key.begin(), key.end());
+      key.erase(std::unique(key.begin(), key.end()), key.end());
+      const auto [it, fresh] = plan_index.try_emplace(key, plans.size());
+      if (fresh) plans.push_back(delta_plan(*scenarios[s]));
+      plan_of[s] = it->second;
+      cone_frac += static_cast<double>(plans[plan_of[s]].forward.size()) /
                    static_cast<double>(std::max<size_t>(vertex_count(), 1));
-      part_frac += static_cast<double>(plans[s].partitions.size()) /
-                   static_cast<double>(std::max<size_t>(partitions_.size(), 1));
+      part_frac +=
+          static_cast<double>(plans[plan_of[s]].partitions.size()) /
+          static_cast<double>(std::max<size_t>(partitions_.size(), 1));
     }
     r.prune_stats_.dirty_vertex_fraction =
         cone_frac / static_cast<double>(n_scenarios);
@@ -630,7 +659,7 @@ SweepResult StaEngine::sweep(const SweepSpec& spec) {
     for (size_t c = 0; c < n_corners; ++c) {
       for (size_t s = 0; s < n_scenarios; ++s) {
         const size_t p = c * n_scenarios + s;
-        if (plans[s].endpoints.empty() && spec.endpoint_only) {
+        if (plans[plan_of[s]].endpoints.empty() && spec.endpoint_only) {
           // The cone misses every endpoint, so every endpoint summary
           // of this point IS the corner baseline's — recorded exactly,
           // no propagation (the hierarchical-reuse fast path).  Only in
@@ -653,8 +682,8 @@ SweepResult StaEngine::sweep(const SweepSpec& spec) {
         double out_min = kInf;
         size_t k = 0;
         for (size_t e = 0; e < n_endpoints; ++e) {
-          const bool inside = k < plans[s].endpoints.size() &&
-                              plans[s].endpoints[k] ==
+          const bool inside = k < plans[plan_of[s]].endpoints.size() &&
+                              plans[plan_of[s]].endpoints[k] ==
                                   static_cast<int32_t>(e);
           if (inside) {
             ++k;
@@ -715,9 +744,15 @@ SweepResult StaEngine::sweep(const SweepSpec& spec) {
       const size_t p = wave_points[i];
       wave_ctx[i] = contexts[p];
       wave_base[i] = &baselines[p / n_scenarios];
-      wave_plans[i] = &plans[p % n_scenarios];
+      wave_plans[i] = &plans[plan_of[p % n_scenarios]];
     }
-    if (spec.delta) {
+    if (spec.delta && lanes > 1) {
+      // Lane-parallel: compatible points of the wave share one SoA
+      // graph walk.  Bitwise identical to the scalar branch below.
+      evaluate_points_delta_lanes(std::span<TimingState>(wave_buf.data(), n),
+                                  wave_ctx, wave_base, wave_plans, lanes,
+                                  pool, wss);
+    } else if (spec.delta) {
       evaluate_points_delta(std::span<TimingState>(wave_buf.data(), n),
                             wave_ctx, wave_base, wave_plans, pool, wss);
     } else {

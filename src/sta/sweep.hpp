@@ -232,6 +232,15 @@ struct SweepSpec {
   /// critical" (and may prune everything).  Ignored when prune ==
   /// PruneMode::kOff.
   double prune_seed_slack = std::numeric_limits<double>::infinity();
+  /// SIMD lane width for delta evaluation: 0 auto-selects (AVX2 → 4,
+  /// else scalar), 1 forces the scalar per-point path (the bitwise
+  /// oracle), 4 forces four-wide lane blocks and throws when the
+  /// build/CPU lacks AVX2.  Compatible points (same corner, same or
+  /// merged dirty cone) share one graph walk with their values in
+  /// adjacent SIMD lanes; results are bitwise identical at every
+  /// width.  Ignored when `delta` is false (the full-graph path has no
+  /// lane grouping).
+  int lanes = 0;
 };
 
 class SweepResult;

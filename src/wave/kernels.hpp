@@ -57,18 +57,24 @@ inline double lerp_segment(const double* t, const double* v, size_t lo,
 /// linear between samples, flat outside the grid.  Views do not own
 /// memory — the backing `Waveform` or `Workspace` must outlive them.
 struct WaveView {
-  std::span<const double> time;
-  std::span<const double> value;
+  std::span<const double> time;   ///< sample times, strictly increasing
+  std::span<const double> value;  ///< sample values, one per time
 
   WaveView() = default;
+  /// View over parallel time/value spans (same length, not validated).
   WaveView(std::span<const double> t, std::span<const double> v) noexcept
       : time(t), value(v) {}
+  /// Implicit view of an owning `Waveform` (must outlive the view).
   /*implicit*/ WaveView(const Waveform& w) noexcept
       : time(w.times()), value(w.values()) {}
 
+  /// Number of samples.
   [[nodiscard]] size_t size() const noexcept { return time.size(); }
+  /// True when the view holds no samples.
   [[nodiscard]] bool empty() const noexcept { return time.empty(); }
+  /// First sample time; undefined on an empty view.
   [[nodiscard]] double t_begin() const noexcept { return time.front(); }
+  /// Last sample time; undefined on an empty view.
   [[nodiscard]] double t_end() const noexcept { return time.back(); }
 
   /// Linear interpolation with flat clamping — bitwise identical to
@@ -190,9 +196,11 @@ inline void scan_crossings(WaveView w, double level, Emit&& emit) {
   if (n == 1 && v[0] == level) push(t[0]);
 }
 
-/// First / last crossing of `level` without materializing the list.
+/// First crossing of `level` without materializing the list.
 [[nodiscard]] std::optional<double> first_crossing(WaveView w, double level);
+/// Last crossing of `level` without materializing the list.
 [[nodiscard]] std::optional<double> last_crossing(WaveView w, double level);
+/// Number of crossings of `level` without materializing the list.
 [[nodiscard]] size_t crossing_count(WaveView w, double level);
 
 /// All crossings collected into `ws` scratch (capacity bounded by

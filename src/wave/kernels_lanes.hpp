@@ -1,0 +1,184 @@
+#pragma once
+
+// INTERNAL header — the width-templated bodies of the hot kernels,
+// shared by kernels.cpp (instantiated at W=1, the scalar oracle) and
+// kernels_avx2.cpp (instantiated at W=4 under -mavx2).  Not part of the
+// public API and not installed; include "wave/kernels.hpp" instead.
+//
+// Every body is written so that the W=1 instantiation is *exactly* the
+// pre-lane scalar loop (the `if constexpr (W > 1)` vector block
+// vanishes), and the W>1 block performs the identical per-lane op
+// sequence via Lane<W> — which is what makes "wide == scalar" a
+// structural property rather than a tolerance.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "wave/kernels.hpp"
+#include "wave/lanes.hpp"
+
+namespace waveletic::wave::detail {
+
+// sample_into core (n >= 2 guaranteed by the caller): one forward
+// merge scan; the vector block advances the shared segment cursor per
+// lane, then pair-loads the segment endpoints (each lane's (lo, hi)
+// indices are adjacent) and runs the shared lerp formula on all lanes
+// at once.
+template <int W>
+inline void sample_core(const double* t, const double* v, size_t n,
+                        const double* ts, double* out, size_t m) {
+  const double t_front = t[0];
+  const double t_back = t[n - 1];
+  const double v_front = v[0];
+  const double v_back = v[n - 1];
+  size_t hi = 1;
+  size_t k = 0;
+  if constexpr (W > 1) {
+    using L = Lane<W>;
+    const typename L::D vfront = L::broadcast(v_front);
+    const typename L::D tfront = L::broadcast(t_front);
+    // ts is non-decreasing, so ts[k + W - 1] < t_back keeps the whole
+    // block interior: no lane can hit the scalar loop's early break.
+    while (k + W <= m && ts[k + W - 1] < t_back) {
+      int32_t lo[W];
+      for (int j = 0; j < W; ++j) {
+        const double x = ts[k + static_cast<size_t>(j)];
+        while (t[hi] <= x) ++hi;
+        lo[j] = static_cast<int32_t>(hi - 1);
+      }
+      const typename L::D x = L::load(ts + k);
+      typename L::D tl, th, vl, vh;
+      L::load_pair(t, lo, tl, th);
+      L::load_pair(v, lo, vl, vh);
+      const typename L::D r = L::lerp(tl, th, vl, vh, x);
+      L::store(out + k, L::select(L::le(x, tfront), vfront, r));
+      k += W;
+    }
+  }
+  for (; k < m; ++k) {
+    const double x = ts[k];
+    if (x >= t_back) break;  // the sorted tail clamps flat, below
+    while (t[hi] <= x) ++hi;
+    const double r = lerp_segment(t, v, hi - 1, hi, x);
+    out[k] = (x <= t_front) ? v_front : r;
+  }
+  for (; k < m; ++k) out[k] = v_back;
+}
+
+// Uniform-grid fill: out[k] = t0 + dt * double(k).  double(k + j) is
+// exact for any realistic grid, so building it as base + {0,1,2,3}
+// reproduces the scalar cast bit-for-bit.
+template <int W>
+inline void sample_times_core(double t0, double dt, double* out, size_t n) {
+  size_t k = 0;
+  if constexpr (W > 1) {
+    using L = Lane<W>;
+    const typename L::D step = L::step();
+    const typename L::D vt0 = L::broadcast(t0);
+    const typename L::D vdt = L::broadcast(dt);
+    for (; k + W <= n; k += W) {
+      const typename L::D kd =
+          L::add(L::broadcast(static_cast<double>(k)), step);
+      L::store(out + k, L::add(vt0, L::mul(vdt, kd)));
+    }
+  }
+  for (; k < n; ++k) out[k] = t0 + dt * static_cast<double>(k);
+}
+
+// combine_into value loop: out[i] = ca*va[i] + cb*vb[i] (mul, mul,
+// add — never fused).
+template <int W>
+inline void axpby_core(double ca, const double* va, double cb,
+                       const double* vb, double* out, size_t g) {
+  size_t i = 0;
+  if constexpr (W > 1) {
+    using L = Lane<W>;
+    const typename L::D a = L::broadcast(ca);
+    const typename L::D b = L::broadcast(cb);
+    for (; i + W <= g; i += W) {
+      L::store(out + i,
+               L::add(L::mul(a, L::load(va + i)), L::mul(b, L::load(vb + i))));
+    }
+  }
+  for (; i < g; ++i) out[i] = ca * va[i] + cb * vb[i];
+}
+
+// flip_into: out[i] = v_ref - v[i].
+template <int W>
+inline void flip_core(double v_ref, const double* v, double* out, size_t n) {
+  size_t i = 0;
+  if constexpr (W > 1) {
+    using L = Lane<W>;
+    const typename L::D r = L::broadcast(v_ref);
+    for (; i + W <= n; i += W) L::store(out + i, L::sub(r, L::load(v + i)));
+  }
+  for (; i < n; ++i) out[i] = v_ref - v[i];
+}
+
+// Crossing scan with a vector fast-skip: a block of W segments whose
+// W+1 boundary values all sit strictly on one side of `level` can emit
+// nothing and cannot change the touch-dedup state, so it is skipped
+// with two compares.  Strict compares exclude touches (v == level) and
+// NaN, which fall through to the exact scalar per-segment walk — the
+// same statements as `scan_crossings`.
+template <int W, class Emit>
+inline void scan_crossings_core(WaveView w, double level, Emit&& emit) {
+  if constexpr (W == 1) {
+    scan_crossings(w, level, emit);
+  } else {
+    using L = Lane<W>;
+    const double* t = w.time.data();
+    const double* v = w.value.data();
+    const size_t n = w.size();
+    double last = 0.0;
+    bool has_last = false;
+    const auto push = [&](double x) -> bool {
+      last = x;
+      has_last = true;
+      return emit(x);
+    };
+    const typename L::D lv = L::broadcast(level);
+    size_t i = 0;
+    while (i + 1 < n) {
+      if (i + W < n) {
+        const typename L::D v0 = L::load(v + i);
+        const typename L::D v1 = L::load(v + i + 1);
+        if (L::all(L::mask_and(L::gt(v0, lv), L::gt(v1, lv))) ||
+            L::all(L::mask_and(L::lt(v0, lv), L::lt(v1, lv)))) {
+          i += W;
+          continue;
+        }
+      }
+      const double a = v[i] - level;
+      const double b = v[i + 1] - level;
+      if (a == 0.0) {
+        if (!has_last || last != t[i]) {
+          if (!push(t[i])) return;
+        }
+      } else if ((a < 0.0 && b > 0.0) || (a > 0.0 && b < 0.0)) {
+        const double frac = a / (a - b);
+        if (!push(t[i] + frac * (t[i + 1] - t[i]))) return;
+      }
+      ++i;
+    }
+    if (n >= 2 && v[n - 1] == level && v[n - 2] != level) push(t[n - 1]);
+    if (n == 1 && v[0] == level) push(t[0]);
+  }
+}
+
+#if defined(WAVELETIC_HAVE_AVX2)
+// Concrete W=4 entry points, defined in kernels_avx2.cpp (the only
+// kernel TU built with -mavx2).  Signatures are deliberately free of
+// vector types so the call from baseline-ISA code is a plain function
+// call.
+void sample_core_w4(const double* t, const double* v, size_t n,
+                    const double* ts, double* out, size_t m);
+void sample_times_core_w4(double t0, double dt, double* out, size_t n);
+void axpby_core_w4(double ca, const double* va, double cb, const double* vb,
+                   double* out, size_t g);
+void flip_core_w4(double v_ref, const double* v, double* out, size_t n);
+void scan_crossings_w4(WaveView w, double level, bool (*emit)(void*, double),
+                       void* ctx);
+#endif
+
+}  // namespace waveletic::wave::detail

@@ -1,0 +1,56 @@
+#include "wave/lanes.hpp"
+
+#include <atomic>
+
+#include "util/error.hpp"
+
+namespace waveletic::wave {
+
+namespace {
+
+// 0 = automatic; 1 / 4 pin a width for A/B tests and benches.
+std::atomic<int> g_forced_width{0};
+
+bool cpu_has_avx2() noexcept {
+#if defined(WAVELETIC_HAVE_AVX2) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+// Probed once; the answer cannot change while the process runs.
+const bool g_cpu_avx2 = cpu_has_avx2();
+
+}  // namespace
+
+int compiled_lane_width() noexcept {
+#if defined(WAVELETIC_HAVE_AVX2)
+  return 4;
+#else
+  return 1;
+#endif
+}
+
+bool lane_width_available(int w) noexcept {
+  if (w == 1) return true;
+  if (w == 4) return compiled_lane_width() >= 4 && g_cpu_avx2;
+  return false;
+}
+
+int active_lane_width() noexcept {
+  const int forced = g_forced_width.load(std::memory_order_relaxed);
+  if (forced != 0) return forced;
+  return g_cpu_avx2 && compiled_lane_width() >= 4 ? 4 : 1;
+}
+
+void force_lane_width(int w) {
+  util::require(w == 0 || w == 1 || w == 4,
+                "force_lane_width: width must be 0 (auto), 1 or 4, got ", w);
+  util::require(w == 0 || lane_width_available(w), "force_lane_width: width ",
+                w, " is not available on this build/CPU (compiled width ",
+                compiled_lane_width(), ")");
+  g_forced_width.store(w, std::memory_order_relaxed);
+}
+
+}  // namespace waveletic::wave

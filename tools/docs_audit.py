@@ -29,6 +29,8 @@ DEFAULT_HEADERS = [
     "src/sta/ids.hpp",
     "src/sta/service.hpp",
     "src/sta/edits.hpp",
+    "src/wave/lanes.hpp",
+    "src/wave/kernels.hpp",
 ]
 
 DOC_LINE = re.compile(r"^///(?!<)")
