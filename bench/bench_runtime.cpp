@@ -1001,6 +1001,71 @@ SweepFigures report_sweep_speedups() {
   const double gen_points_per_sec =
       static_cast<double>(gen_funnel.generated) / t_generated;
 
+  // Compound-aggressor generated sweep: the same fixture with
+  // max_aggressors = 2 and coupled-line bump shapes.  Pair events
+  // multiply the candidate volume, so nearly all of the extra space
+  // must die in the index-level filters (window + correlation lift +
+  // set veto) before any waveform exists — the warn gate holds the
+  // pre-waveform kill fraction above 50%.  Cross-checked bitwise
+  // against eager enumeration like the single-aggressor run.
+  double t_compound = std::numeric_limits<double>::infinity();
+  st::GenStats compound_funnel{};
+  uint64_t compound_space_size = 0;
+  uint64_t compound_events = 0;
+  bool compound_identical = true;
+  {
+    const auto& gf = gen_fixture();
+    st::StaEngine sta(gf.netlist, gf.lib);
+    gf.constrain(sta);
+    sta.run();
+    const auto drives = st::make_drives_predicate(gf.lib);
+    auto space = gf.space(sta, drives);
+    space.max_aggressors = 2;
+    space.bump_shape = st::BumpShape::kCoupledLine;
+    compound_space_size = space.size();
+    compound_events = space.num_events();
+    const st::StructuralCorrelationRule correlation(gf.netlist, drives);
+    st::GeneratedSweepSpec spec;
+    spec.space = space;
+    spec.correlation = &correlation;
+    spec.threads = static_cast<int>(hw);
+    spec.prune = st::PruneMode::kSafe;
+    spec.gen_chunk = 1024;
+    spec.keep_point_records = false;
+    st::GeneratedSweepResult compound;
+    for (int rep = 0; rep < 2; ++rep) {
+      t_compound = std::min(t_compound,
+                            wall_seconds([&] { compound = sta.sweep(spec); }));
+    }
+    compound_funnel = compound.gen_stats();
+
+    st::SweepSpec eager;
+    eager.threads = static_cast<int>(hw);
+    eager.endpoint_only = true;
+    eager.prune = st::PruneMode::kSafe;
+    st::ScenarioGenerator drain(space, &correlation);
+    while (const auto c = drain.next()) {
+      eager.scenarios.push_back(drain.materialize(*c));
+    }
+    const auto reference = sta.sweep(eager);
+    const auto& wp_gen = compound.worst_point();
+    const auto wp_ref = reference.worst_point();
+    compound_identical = compound.worst_slack() == wp_ref.slack &&
+                         wp_gen.corner == wp_ref.corner &&
+                         wp_gen.scenario_name ==
+                             reference.scenario_name(wp_ref.scenario);
+    if (!compound_identical) std::printf("COMPOUND SWEEP MISMATCH — BUG\n");
+  }
+  const auto compound_fraction = [&](uint64_t n) {
+    return static_cast<double>(n) / static_cast<double>(std::max<uint64_t>(
+                                        compound_funnel.generated, 1));
+  };
+  const double compound_points_per_sec =
+      static_cast<double>(compound_funnel.generated) / t_compound;
+  const double compound_prewave_killed = compound_fraction(
+      compound_funnel.window_killed + compound_funnel.correlation_killed +
+      compound_funnel.set_killed);
+
   // SIMD lane A/B on the dense 64-scenario delta sweep (the dense-cone
   // random-DAG fixture: 4 victims × 16 variants, every cone ≥ 10% of
   // the ~900-vertex graph).  lanes=1 pins the scalar per-point path,
@@ -1070,7 +1135,7 @@ SweepFigures report_sweep_speedups() {
   const double lane_sgdp_speedup = t_lane_sgdp_scalar / t_lane_sgdp_wide;
 
   bool identical = endpoint_matches_full && sparse_identical &&
-                   gen_identical && lane_identical;
+                   gen_identical && compound_identical && lane_identical;
   for (int i = 0; i < kScenarios; ++i) {
     identical = identical && looped_slack[i] == batched1_slack[i] &&
                 looped_slack[i] == batchedN_slack[i] &&
@@ -1136,6 +1201,23 @@ SweepFigures report_sweep_speedups() {
               gen_fraction(gen_funnel.prune_killed) * 100.0,
               gen_fraction(gen_funnel.reused) * 100.0,
               gen_fraction(gen_funnel.evaluated) * 100.0);
+  std::printf("compound generated sweep (k<=2, coupled-line bumps, %llu "
+              "events, %llu candidates, chunk 1024):\n",
+              static_cast<unsigned long long>(compound_events),
+              static_cast<unsigned long long>(compound_space_size));
+  std::printf("  %8.1f ms  (%.0f points/sec; window_killed %.1f%%, "
+              "correlation_killed %.1f%%, set_killed %.1f%%, prune_killed "
+              "%.1f%%, reused %.1f%%, evaluated %.1f%%)%s\n",
+              t_compound * 1e3, compound_points_per_sec,
+              compound_fraction(compound_funnel.window_killed) * 100.0,
+              compound_fraction(compound_funnel.correlation_killed) * 100.0,
+              compound_fraction(compound_funnel.set_killed) * 100.0,
+              compound_fraction(compound_funnel.prune_killed) * 100.0,
+              compound_fraction(compound_funnel.reused) * 100.0,
+              compound_fraction(compound_funnel.evaluated) * 100.0,
+              compound_prewave_killed >= 0.5
+                  ? ""
+                  : "  [pre-waveform kills below 50% target]");
   std::printf("lane-parallel delta sweep (dense-cone fixture: %zu vertices, "
               "%d scenarios on 4 cones, width %d):\n",
               lane_vertices, kLaneScenarios, lane_width);
@@ -1212,6 +1294,21 @@ SweepFigures report_sweep_speedups() {
                  "  \"gen_chunks\": %llu,\n"
                  "  \"gen_peak_resident_scenarios\": %llu,\n"
                  "  \"gen_bitwise_identical\": %s,\n"
+                 "  \"gen_compound_bump_shape\": \"%s\",\n"
+                 "  \"gen_compound_events\": %llu,\n"
+                 "  \"gen_compound_candidates\": %llu,\n"
+                 "  \"gen_compound_points\": %llu,\n"
+                 "  \"gen_compound_points_per_sec\": %.1f,\n"
+                 "  \"gen_compound_window_killed_fraction\": %.4f,\n"
+                 "  \"gen_compound_correlation_killed_fraction\": %.4f,\n"
+                 "  \"gen_compound_set_killed_fraction\": %.4f,\n"
+                 "  \"gen_compound_prewaveform_killed_fraction\": %.4f,\n"
+                 "  \"gen_compound_prune_killed_fraction\": %.4f,\n"
+                 "  \"gen_compound_reused_fraction\": %.4f,\n"
+                 "  \"gen_compound_evaluated_fraction\": %.4f,\n"
+                 "  \"gen_compound_chunks\": %llu,\n"
+                 "  \"gen_compound_peak_resident_scenarios\": %llu,\n"
+                 "  \"gen_compound_bitwise_identical\": %s,\n"
                  "  \"lane_width\": %d,\n"
                  "  \"lane_dense_vertices\": %zu,\n"
                  "  \"lane_scalar_scenarios_per_sec\": %.1f,\n"
@@ -1250,7 +1347,24 @@ SweepFigures report_sweep_speedups() {
                  static_cast<unsigned long long>(gen_funnel.chunks),
                  static_cast<unsigned long long>(
                      gen_funnel.peak_resident_scenarios),
-                 gen_identical ? "true" : "false", lane_width, lane_vertices,
+                 gen_identical ? "true" : "false",
+                 st::to_string(st::BumpShape::kCoupledLine),
+                 static_cast<unsigned long long>(compound_events),
+                 static_cast<unsigned long long>(compound_space_size),
+                 static_cast<unsigned long long>(compound_funnel.generated),
+                 compound_points_per_sec,
+                 compound_fraction(compound_funnel.window_killed),
+                 compound_fraction(compound_funnel.correlation_killed),
+                 compound_fraction(compound_funnel.set_killed),
+                 compound_prewave_killed,
+                 compound_fraction(compound_funnel.prune_killed),
+                 compound_fraction(compound_funnel.reused),
+                 compound_fraction(compound_funnel.evaluated),
+                 static_cast<unsigned long long>(compound_funnel.chunks),
+                 static_cast<unsigned long long>(
+                     compound_funnel.peak_resident_scenarios),
+                 compound_identical ? "true" : "false", lane_width,
+                 lane_vertices,
                  kLaneScenarios / t_lane_scalar, kLaneScenarios / t_lane_wide,
                  lane_speedup, lane_sgdp_speedup,
                  lane_identical ? "true" : "false",

@@ -1,7 +1,11 @@
 #include "interconnect/coupled.hpp"
 
+#include <memory>
+
 #include "netlist/netlist.hpp"
 #include "spice/devices.hpp"
+#include "spice/engine.hpp"
+#include "spice/sources.hpp"
 #include "util/error.hpp"
 
 namespace waveletic::interconnect {
@@ -63,6 +67,83 @@ BusNodes build_coupled_bus(spice::Circuit& ckt, const CoupledBusSpec& spec,
     }
   }
   return nodes;
+}
+
+wave::Waveform coupled_bump_shape(const CoupledLinePair& pair,
+                                  const CoupledBumpOptions& options) {
+  util::require(options.transition > 0.0,
+                "coupled_bump_shape: transition must be > 0");
+  util::require(options.steps >= 16, "coupled_bump_shape: need >= 16 steps");
+  util::require(options.samples >= 8,
+                "coupled_bump_shape: need >= 8 samples");
+  util::require(options.span_factor > 2.0,
+                "coupled_bump_shape: span_factor must exceed the ramp");
+  util::require(pair.drive_resistance > 0.0 && pair.hold_resistance > 0.0,
+                "coupled_bump_shape: resistances must be > 0");
+  util::require(pair.aggressor.name != pair.victim.name,
+                "coupled_bump_shape: line names must differ");
+
+  spice::Circuit ckt;
+  CoupledBusSpec bus;
+  bus.lines = {pair.aggressor, pair.victim};
+  bus.couplings = {{0, 1, pair.cm_total}};
+  const BusNodes nodes = build_coupled_bus(ckt, bus, "cbp_");
+
+  // Aggressor driver: a normalized (0 → 1 V) saturated ramp through the
+  // drive resistance, starting one transition time into the run so the
+  // DC point is quiescent.
+  const auto drv = ckt.node("cbp_drv");
+  const double t_mid = 1.5 * options.transition;
+  ckt.emplace<spice::VoltageSource>(
+      "cbp_vsrc", drv, spice::kGround,
+      std::make_unique<spice::RampStimulus>(t_mid, options.transition, 0.0,
+                                            1.0, true));
+  ckt.emplace<spice::Resistor>("cbp_rdrv", drv,
+                               ckt.find_node(nodes.near_end(0)),
+                               pair.drive_resistance);
+  // The victim's quiet driver: a holding resistance to ground.
+  ckt.emplace<spice::Resistor>("cbp_rhold",
+                               ckt.find_node(nodes.near_end(1)),
+                               spice::kGround, pair.hold_resistance);
+  // Receiver loads at both far ends.
+  if (pair.load_cap > 0.0) {
+    ckt.emplace<spice::Capacitor>("cbp_cla",
+                                  ckt.find_node(nodes.far_end(0)),
+                                  spice::kGround, pair.load_cap);
+    ckt.emplace<spice::Capacitor>("cbp_clv",
+                                  ckt.find_node(nodes.far_end(1)),
+                                  spice::kGround, pair.load_cap);
+  }
+
+  spice::TransientSpec tran;
+  tran.t_stop = options.span_factor * options.transition;
+  tran.dt = tran.t_stop / options.steps;
+  tran.probes = {nodes.far_end(1)};
+  const auto result = spice::transient(ckt, tran);
+  const auto& w = result.waveform(nodes.far_end(1));
+
+  // Peak sample (largest magnitude; ties keep the earliest), then
+  // normalize to unit peak and centre the time axis there.
+  size_t peak = 0;
+  double peak_abs = 0.0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    const double a = w.value(i) < 0.0 ? -w.value(i) : w.value(i);
+    if (a > peak_abs) {
+      peak_abs = a;
+      peak = i;
+    }
+  }
+  util::require(peak_abs > 0.0, "coupled_bump_shape: flat victim response");
+  const double v_peak = w.value(peak);
+  const double t_peak = w.time(peak);
+  std::vector<double> t(w.size());
+  std::vector<double> v(w.size());
+  for (size_t i = 0; i < w.size(); ++i) {
+    t[i] = w.time(i) - t_peak;
+    v[i] = w.value(i) / v_peak;
+  }
+  const wave::Waveform shape(std::move(t), std::move(v));
+  return shape.resampled(shape.t_begin(), shape.t_end(), options.samples);
 }
 
 std::vector<CouplingCandidate> infer_coupling_candidates(

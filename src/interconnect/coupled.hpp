@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "spice/circuit.hpp"
+#include "wave/waveform.hpp"
 
 namespace waveletic::netlist {
 class Netlist;
@@ -28,24 +29,29 @@ struct LineSpec {
 
 /// Coupling between two lines (indices into CoupledBusSpec::lines).
 struct CouplingSpec {
-  size_t line_a = 0;
-  size_t line_b = 1;
+  size_t line_a = 0;          ///< first coupled line index
+  size_t line_b = 1;          ///< second coupled line index
   double cm_total = 100e-15;  ///< total coupling capacitance [F]
 };
 
+/// The whole bus build_coupled_bus() emits: its lines plus the
+/// couplings between them.
 struct CoupledBusSpec {
-  std::vector<LineSpec> lines;
-  std::vector<CouplingSpec> couplings;
+  std::vector<LineSpec> lines;         ///< parallel RC lines
+  std::vector<CouplingSpec> couplings; ///< line-pair coupling caps
 };
 
 /// Node names created for each line: near end (driver) first, far end
 /// (receiver) last.
 struct BusNodes {
+  /// Per line, the junction node names in near-to-far order.
   std::vector<std::vector<std::string>> per_line;
 
+  /// Driver-side node of one line.
   [[nodiscard]] const std::string& near_end(size_t line) const {
     return per_line[line].front();
   }
+  /// Receiver-side node of one line.
   [[nodiscard]] const std::string& far_end(size_t line) const {
     return per_line[line].back();
   }
@@ -57,6 +63,54 @@ struct BusNodes {
 [[nodiscard]] BusNodes build_coupled_bus(spice::Circuit& ckt,
                                          const CoupledBusSpec& spec,
                                          const std::string& prefix = "");
+
+/// A two-line coupled pair plus its drive/load context — the minimal
+/// Figure 1 testbench coupled_bump_shape() simulates to synthesize a
+/// physically derived bump shape (the aggressor line switches, the
+/// victim line is held quiet, and the bump is read at the victim's far
+/// end).  This replaces the analytic Gaussian stand-in of the scenario
+/// generator when sta::BumpShape::kCoupledLine is selected.
+struct CoupledLinePair {
+  /// Aggressor line (near end driven by the switching ramp).
+  LineSpec aggressor{"a"};
+  /// Victim line (held quiet; the bump appears at its far end).
+  LineSpec victim{"v"};
+  /// Total coupling capacitance between the two lines [F].
+  double cm_total = 100e-15;
+  /// Aggressor driver: the normalized ramp source drives the near end
+  /// through this resistance [Ω].
+  double drive_resistance = 120.0;
+  /// Victim holding resistance to ground [Ω] — the quiet driver's
+  /// output impedance, which the injected charge bleeds through.
+  double hold_resistance = 120.0;
+  /// Receiver load capacitance at both far ends [F].
+  double load_cap = 2e-15;
+};
+
+/// Options of coupled_bump_shape().
+struct CoupledBumpOptions {
+  /// Aggressor 0–100% ramp transition time [s]; sets the bump width the
+  /// same way the victim slew sets the Gaussian stand-in's sigma.
+  double transition = 30e-12;
+  /// Fixed transient steps over the simulated span (dt = span/steps).
+  int steps = 256;
+  /// Sample count of the returned (decimated) shape.
+  size_t samples = 65;
+  /// Simulated span as a multiple of `transition` (ramp start margin
+  /// plus RC settle tail).
+  double span_factor = 7.0;
+};
+
+/// Simulates one aggressor ramp through `pair` (build_coupled_bus under
+/// the hood) and returns the victim far-end bump as a *unit shape*:
+/// normalized to peak value 1 with the peak sample shifted to t = 0, so
+/// callers scale it by their own amplitude and centre it by time shift.
+/// The whole path is +,−,×,÷ only (linear RC, PWL source, LU solve) —
+/// no libm transcendentals — so the shape is bitwise reproducible
+/// across platforms and pinnable by the golden oracle.  Deterministic:
+/// ties in the peak search keep the earliest sample.
+[[nodiscard]] wave::Waveform coupled_bump_shape(
+    const CoupledLinePair& pair, const CoupledBumpOptions& options = {});
 
 /// One directed victim/aggressor coupling hypothesis at the netlist
 /// level — the seed a scenario generator expands into (alignment ×

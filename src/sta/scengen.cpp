@@ -1,6 +1,7 @@
 #include "sta/scengen.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
@@ -10,8 +11,27 @@
 #include "netlist/netlist.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
+#include "wave/ramp.hpp"
 
 namespace waveletic::sta {
+
+namespace {
+
+/// Exact C(n, k) in uint64 arithmetic: the running product
+/// r × (n-k+i) / i is an integer at every step (it equals C(n-k+i, i)),
+/// so the division is exact and overflow only happens when the true
+/// binomial overflows.
+uint64_t choose(uint64_t n, uint64_t k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  uint64_t r = 1;
+  for (uint64_t i = 1; i <= k; ++i) {
+    r = r / i * (n - k + i) + r % i * (n - k + i) / i;
+  }
+  return r;
+}
+
+}  // namespace
 
 DrivesPredicate make_drives_predicate(const liberty::Library& library) {
   return [&library](const netlist::Instance& inst, const std::string& pin) {
@@ -26,13 +46,58 @@ DrivesPredicate make_drives_predicate(const liberty::Library& library) {
 // ScenarioSpace
 // ---------------------------------------------------------------------------
 
+const char* to_string(BumpShape shape) noexcept {
+  return shape == BumpShape::kCoupledLine ? "coupled_line" : "gaussian";
+}
+
+uint64_t ScenarioSpace::num_events() const noexcept {
+  const auto p = static_cast<uint64_t>(pairs.size());
+  const auto k_max =
+      std::min<uint64_t>(max_aggressors < 1 ? 1 : max_aggressors, p);
+  uint64_t total = 0;
+  for (uint64_t k = 1; k <= k_max; ++k) total += choose(p, k);
+  return total;
+}
+
+std::vector<uint32_t> ScenarioSpace::event_members(uint64_t event) const {
+  util::require(event < num_events(), "ScenarioSpace::event_members: event ",
+                event, " out of range (", num_events(), " events)");
+  // Find the k-block the rank falls in (singletons first, then
+  // 2-subsets, …), then unrank within it: combinations are ordered
+  // lexicographically, so member after member we count how many
+  // combinations keep a smaller element in this slot and skip them.
+  const auto p = static_cast<uint64_t>(pairs.size());
+  uint64_t k = 1;
+  while (event >= choose(p, k)) {
+    event -= choose(p, k);
+    ++k;
+  }
+  std::vector<uint32_t> members;
+  members.reserve(static_cast<size_t>(k));
+  uint64_t next = 0;
+  for (uint64_t slot = k; slot >= 1; --slot) {
+    while (true) {
+      const uint64_t tail = choose(p - 1 - next, slot - 1);
+      if (event < tail) break;
+      event -= tail;
+      ++next;
+    }
+    members.push_back(static_cast<uint32_t>(next));
+    ++next;
+  }
+  return members;
+}
+
 ScenarioSpace::Coordinates ScenarioSpace::decode(uint64_t candidate) const {
   util::require(candidate < size(), "ScenarioSpace::decode: candidate ",
                 candidate, " out of range (", size(), " candidates)");
   const uint64_t block =
       static_cast<uint64_t>(alignments.size()) * strengths.size();
   Coordinates c;
-  c.pair = static_cast<uint32_t>(candidate / block);
+  const uint64_t event = candidate / block;
+  util::require(event <= std::numeric_limits<uint32_t>::max(),
+                "ScenarioSpace::decode: event index overflows uint32");
+  c.pair = static_cast<uint32_t>(event);
   const uint64_t rem = candidate % block;
   c.alignment = static_cast<uint32_t>(rem / strengths.size());
   c.strength = static_cast<uint32_t>(rem % strengths.size());
@@ -72,15 +137,18 @@ ScenarioSpace make_scenario_space(
     double v_arrival = -kInf;
     double v_slew = 0.0;
     bool v_ok = false;
+    std::string v_pin;
     for (const auto& ref : netlist.pins_on_net(victim)) {
       if (drives(*ref.instance, ref.pin)) continue;
-      const PinId id = sta.find_pin(ref.instance->name + "/" + ref.pin);
+      std::string vertex = ref.instance->name + "/" + ref.pin;
+      const PinId id = sta.find_pin(vertex);
       if (!id.valid()) continue;
       const auto& t = sta.timing(id, victim_rf);
       if (!t.valid || t.slew <= 0.0) continue;
       if (!v_ok || t.arrival > v_arrival) {
         v_arrival = t.arrival;
         v_slew = t.slew;
+        v_pin = std::move(vertex);
         v_ok = true;
       }
     }
@@ -91,9 +159,11 @@ ScenarioSpace make_scenario_space(
     // bump there is infeasible.
     double lo = kInf;
     double hi = -kInf;
+    std::vector<std::string> a_pins;
     auto widen = [&](const std::string& vertex_name) {
       const PinId id = sta.find_pin(vertex_name);
       if (!id.valid()) return;
+      a_pins.push_back(vertex_name);
       for (int rf = 0; rf < 2; ++rf) {
         const auto& t = sta.timing(id, static_cast<RiseFall>(rf));
         if (!t.valid) continue;
@@ -116,9 +186,26 @@ ScenarioSpace make_scenario_space(
     pair.aggressor_window_lo = lo;
     pair.aggressor_window_hi = hi;
     pair.coupling_scale = cand.cm_total / options.cm_reference;
+    pair.victim_pin = std::move(v_pin);
+    pair.aggressor_pins = std::move(a_pins);
     space.pairs.push_back(std::move(pair));
   }
   return space;
+}
+
+// ---------------------------------------------------------------------------
+// CorrelationRule / GenStats
+// ---------------------------------------------------------------------------
+
+bool CorrelationRule::can_switch_set(
+    std::span<const int32_t> /*victim_nets*/,
+    std::span<const int32_t> /*aggressor_nets*/) const {
+  return true;  // pairwise lift only; no set-level constraint by default
+}
+
+bool GenStats::check() const noexcept {
+  return generated == window_killed + correlation_killed + set_killed +
+                          prune_killed + reused + evaluated;
 }
 
 // ---------------------------------------------------------------------------
@@ -171,10 +258,14 @@ bool StructuralCorrelationRule::can_switch_together(
 
 ScenarioGenerator::ScenarioGenerator(const ScenarioSpace& space,
                                      const CorrelationRule* correlation)
-    : space_(&space) {
-  // Correlation depends only on the pair, so it is resolved once here;
-  // the per-candidate accounting still happens in next() so the funnel
-  // counts every skipped candidate.
+    : space_(&space), correlation_(correlation) {
+  util::require(space.max_aggressors >= 1,
+                "ScenarioGenerator: max_aggressors must be >= 1");
+  util::require(space.num_events() <= std::numeric_limits<uint32_t>::max(),
+                "ScenarioGenerator: event count overflows uint32");
+  // Per-member correlation depends only on the pair, so it is resolved
+  // once here; the per-candidate accounting still happens in next() so
+  // the funnel counts every skipped candidate.
   pair_feasible_.assign(space.pairs.size(), 1);
   if (correlation != nullptr) {
     for (size_t p = 0; p < space.pairs.size(); ++p) {
@@ -183,6 +274,69 @@ ScenarioGenerator::ScenarioGenerator(const ScenarioSpace& space,
                                            space.pairs[p].aggressor_net)
               ? 1
               : 0;
+    }
+  }
+}
+
+bool ScenarioGenerator::members_compatible(uint32_t a, uint32_t b) const {
+  const uint32_t lo = std::min(a, b);
+  const uint32_t hi = std::max(a, b);
+  const uint64_t key = (static_cast<uint64_t>(lo) << 32) | hi;
+  if (const auto it = compat_memo_.find(key); it != compat_memo_.end()) {
+    return it->second != 0;
+  }
+  const auto& pa = space_->pairs[lo];
+  const auto& pb = space_->pairs[hi];
+  // Structural independence: two members of one event must bring
+  // distinct aggressors, and no member's aggressor may double as
+  // another member's victim (the "aggressor" would be the disturbed
+  // net itself, not an independent simultaneous switch).
+  bool ok = pa.aggressor_net != pb.aggressor_net &&
+            pa.aggressor_net != pb.victim_net &&
+            pb.aggressor_net != pa.victim_net;
+  // Cross queries of the pairwise rule: each victim against the other
+  // member's aggressor, and the two aggressors against each other.
+  if (ok && correlation_ != nullptr) {
+    ok = correlation_->can_switch_together(pa.victim_net, pb.aggressor_net) &&
+         correlation_->can_switch_together(pb.victim_net, pa.aggressor_net) &&
+         correlation_->can_switch_together(pa.aggressor_net,
+                                           pb.aggressor_net);
+  }
+  compat_memo_.emplace(key, ok ? 1 : 0);
+  return ok;
+}
+
+void ScenarioGenerator::refresh_event(uint32_t event) {
+  cur_event_ = event;
+  cur_members_ = space_->event_members(event);
+  cur_verdict_ = EventVerdict::kOk;
+  for (const uint32_t m : cur_members_) {
+    if (pair_feasible_[m] == 0) {
+      cur_verdict_ = EventVerdict::kCorrelationKilled;
+      return;
+    }
+  }
+  for (size_t i = 0; i + 1 < cur_members_.size(); ++i) {
+    for (size_t j = i + 1; j < cur_members_.size(); ++j) {
+      if (!members_compatible(cur_members_[i], cur_members_[j])) {
+        cur_verdict_ = EventVerdict::kCorrelationKilled;
+        return;
+      }
+    }
+  }
+  // Only sets whose every member and member pair survived the lift
+  // reach the set-level rule — its kills are genuinely set-level.
+  if (correlation_ != nullptr) {
+    std::vector<int32_t> victims;
+    std::vector<int32_t> aggressors;
+    victims.reserve(cur_members_.size());
+    aggressors.reserve(cur_members_.size());
+    for (const uint32_t m : cur_members_) {
+      victims.push_back(space_->pairs[m].victim_net);
+      aggressors.push_back(space_->pairs[m].aggressor_net);
+    }
+    if (!correlation_->can_switch_set(victims, aggressors)) {
+      cur_verdict_ = EventVerdict::kSetKilled;
     }
   }
 }
@@ -214,19 +368,35 @@ std::optional<ScenarioGenerator::Candidate> ScenarioGenerator::next() {
   const auto n_strengths = static_cast<uint64_t>(space_->strengths.size());
   while (cursor_ < total) {
     const auto c = space_->decode(cursor_);
+    if (c.pair != cur_event_) refresh_event(c.pair);
     if (c.strength == 0) {
       // Block head: feasibility is strength-independent, so one verdict
       // covers the whole strength block — kills advance the cursor past
-      // all |strengths| candidates at once.
-      if (!window_feasible(c.pair, c.alignment)) {
+      // all |strengths| candidates at once.  Stage order (window before
+      // correlation before set) is per block, matching the historical
+      // single-aggressor funnel bit for bit at k = 1.
+      bool windows_ok = true;
+      for (const uint32_t m : cur_members_) {
+        if (!window_feasible(m, c.alignment)) {
+          windows_ok = false;
+          break;
+        }
+      }
+      if (!windows_ok) {
         stats_.generated += n_strengths;
         stats_.window_killed += n_strengths;
         cursor_ += n_strengths;
         continue;
       }
-      if (pair_feasible_[c.pair] == 0) {
+      if (cur_verdict_ == EventVerdict::kCorrelationKilled) {
         stats_.generated += n_strengths;
         stats_.correlation_killed += n_strengths;
+        cursor_ += n_strengths;
+        continue;
+      }
+      if (cur_verdict_ == EventVerdict::kSetKilled) {
+        stats_.generated += n_strengths;
+        stats_.set_killed += n_strengths;
         cursor_ += n_strengths;
         continue;
       }
@@ -239,13 +409,99 @@ std::optional<ScenarioGenerator::Candidate> ScenarioGenerator::next() {
   return std::nullopt;
 }
 
+const wave::Waveform& ScenarioGenerator::scaled_bump(uint32_t pair,
+                                                     uint32_t strength) const {
+  const uint64_t key = (static_cast<uint64_t>(pair) << 32) | strength;
+  if (const auto it = scaled_bump_.find(key); it != scaled_bump_.end()) {
+    return it->second;
+  }
+  auto uit = unit_bump_.find(pair);
+  if (uit == unit_bump_.end()) {
+    const auto& p = space_->pairs[pair];
+    interconnect::CoupledLinePair bench = space_->coupled_pair;
+    bench.cm_total *= p.coupling_scale;
+    interconnect::CoupledBumpOptions opts = space_->coupled_bump;
+    if (p.victim_slew > 0.0) opts.transition = p.victim_slew;
+    uit = unit_bump_
+              .emplace(pair, interconnect::coupled_bump_shape(bench, opts))
+              .first;
+  }
+  const auto& unit = uit->second;
+  const double sign =
+      space_->polarity == wave::Polarity::kFalling ? 1.0 : -1.0;
+  const double amp =
+      sign * space_->strengths[strength] * space_->pairs[pair].coupling_scale;
+  std::vector<double> t(unit.times().begin(), unit.times().end());
+  std::vector<double> v(unit.values().begin(), unit.values().end());
+  for (auto& x : v) x *= amp;
+  return scaled_bump_
+      .emplace(key, wave::Waveform(std::move(t), std::move(v)))
+      .first->second;
+}
+
 NoiseScenario ScenarioGenerator::materialize(const Candidate& c) const {
-  const auto& pair = space_->pairs[c.pair];
-  return make_aggressor_scenario(
-      pair.victim_name, pair.victim_arrival, pair.victim_slew, space_->vdd,
-      space_->polarity, space_->alignments[c.alignment],
-      space_->strengths[c.strength] * pair.coupling_scale,
-      space_->waveform_samples);
+  const double alignment = space_->alignments[c.alignment];
+  const double strength = space_->strengths[c.strength];
+  const std::vector<uint32_t> members = space_->event_members(c.pair);
+  if (members.size() == 1 && space_->bump_shape == BumpShape::kGaussian) {
+    // The historical single-aggressor path, taken verbatim so k = 1
+    // Gaussian spaces materialize bitwise-identical scenarios.
+    const auto& pair = space_->pairs[members[0]];
+    return make_aggressor_scenario(
+        pair.victim_name, pair.victim_arrival, pair.victim_slew, space_->vdd,
+        space_->polarity, alignment, strength * pair.coupling_scale,
+        space_->waveform_samples);
+  }
+  NoiseScenario s;
+  {
+    std::ostringstream name;
+    for (size_t i = 0; i < members.size(); ++i) {
+      const auto& pair = space_->pairs[members[i]];
+      if (i != 0) name << "+";
+      name << pair.victim_name << "@align=" << alignment * 1e12
+           << "ps,strength=" << strength * pair.coupling_scale << "V";
+    }
+    s.name = name.str();
+  }
+  const double sign =
+      space_->polarity == wave::Polarity::kFalling ? 1.0 : -1.0;
+  // One NoiseScenario entry per distinct victim net: members sharing a
+  // victim superpose their bumps on one clean ramp (the first such
+  // member's anchor timing), in ascending member order.
+  std::vector<char> done(members.size(), 0);
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (done[i] != 0) continue;
+    const auto& anchor = space_->pairs[members[i]];
+    const auto ramp = wave::Ramp::from_arrival_slew(
+        anchor.victim_arrival, anchor.victim_slew, space_->vdd);
+    const auto clean =
+        ramp.denormalized(space_->polarity, space_->waveform_samples);
+    std::vector<double> t(clean.times().begin(), clean.times().end());
+    std::vector<double> v(clean.values().begin(), clean.values().end());
+    for (size_t j = i; j < members.size(); ++j) {
+      const auto& pair = space_->pairs[members[j]];
+      if (pair.victim_net != anchor.victim_net) continue;
+      done[j] = 1;
+      const double center = pair.victim_arrival + alignment;
+      if (space_->bump_shape == BumpShape::kGaussian) {
+        // The make_aggressor_scenario bump, term for term.
+        const double sigma = 0.5 * pair.victim_slew;
+        const double amp = strength * pair.coupling_scale;
+        for (size_t n = 0; n < t.size(); ++n) {
+          v[n] += sign * amp *
+                  std::exp(-std::pow((t[n] - center) / sigma, 2.0));
+        }
+      } else {
+        const auto& bump = scaled_bump(members[j], c.strength);
+        for (size_t n = 0; n < t.size(); ++n) {
+          v[n] += bump.at(t[n] - center);
+        }
+      }
+    }
+    s.annotate(anchor.victim_name, wave::Waveform(std::move(t), std::move(v)),
+               space_->polarity);
+  }
+  return s;
 }
 
 // ---------------------------------------------------------------------------
@@ -286,10 +542,75 @@ std::string GeneratedSweepResult::funnel_report() const {
   line("generated", g.generated);
   line("window_killed", g.window_killed);
   line("correlation_killed", g.correlation_killed);
+  line("set_killed", g.set_killed);
   line("prune_killed", g.prune_killed);
   line("reused", g.reused);
   line("evaluated", g.evaluated);
   return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// rewindow_scenario_space
+// ---------------------------------------------------------------------------
+
+ScenarioSpace rewindow_scenario_space(StaEngine& sta, const Corner& corner,
+                                      ScenarioSpace space) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  sta.prepare();
+  const auto edge_noise = sta.compile_edge_annotations();
+  StaEngine::EvalContext ctx;
+  ctx.edge_noise = edge_noise.data();
+  ctx.corner = &corner;
+  ctx.corner_key = corner.key();
+  ctx.method = &sta.noise_method();
+  TimingState base;
+  sta.evaluate(base, ctx);
+  const RiseFall victim_rf =
+      space.polarity == wave::Polarity::kFalling ? RiseFall::kFall
+                                                 : RiseFall::kRise;
+  for (auto& pair : space.pairs) {
+    if (pair.victim_pin.empty() && pair.aggressor_pins.empty()) {
+      continue;  // hand-built pair: keep its stored windows
+    }
+    bool victim_ok = pair.victim_pin.empty();
+    if (!victim_ok) {
+      const PinId id = sta.find_pin(pair.victim_pin);
+      if (id.valid()) {
+        const auto& t = sta.timing_in(base, id, victim_rf);
+        if (t.valid && t.slew > 0.0) {
+          pair.victim_arrival = t.arrival;
+          pair.victim_slew = t.slew;
+          victim_ok = true;
+        }
+      }
+    }
+    double lo = pair.aggressor_window_lo;
+    double hi = pair.aggressor_window_hi;
+    if (!pair.aggressor_pins.empty()) {
+      lo = kInf;
+      hi = -kInf;
+      for (const auto& vertex : pair.aggressor_pins) {
+        const PinId id = sta.find_pin(vertex);
+        if (!id.valid()) continue;
+        for (int rf = 0; rf < 2; ++rf) {
+          const auto& t = sta.timing_in(base, id, static_cast<RiseFall>(rf));
+          if (!t.valid) continue;
+          lo = std::min(lo, t.arrival - t.slew);
+          hi = std::max(hi, t.arrival + t.slew);
+        }
+      }
+    }
+    if (!victim_ok || !(lo <= hi)) {
+      // Dead under this corner: an empty aggressor window window-kills
+      // every alignment while keeping candidate indices stable.
+      pair.aggressor_window_lo = kInf;
+      pair.aggressor_window_hi = -kInf;
+    } else {
+      pair.aggressor_window_lo = lo;
+      pair.aggressor_window_hi = hi;
+    }
+  }
+  return space;
 }
 
 // ---------------------------------------------------------------------------
@@ -301,9 +622,17 @@ GeneratedSweepResult StaEngine::sweep(const GeneratedSweepSpec& gspec) {
   GeneratedSweepResult r;
   r.num_corners_ = gspec.corners.empty() ? 1 : gspec.corners.size();
   const auto n_corners = static_cast<uint64_t>(r.num_corners_);
-
-  ScenarioGenerator gen(gspec.space, gspec.correlation);
   const size_t chunk = gspec.gen_chunk != 0 ? gspec.gen_chunk : 512;
+
+  // Corner groups: with per_corner_windows each corner streams its own
+  // generator pass over its own re-windowed space (one corner per
+  // group); otherwise one pass feeds every corner at once.  Either way
+  // each (corner, candidate) point enters the funnel exactly once, so
+  // the funnel stays in point units — gen_scale converts a pass's
+  // candidate-unit counters.
+  const bool per_corner = gspec.per_corner_windows && !gspec.corners.empty();
+  const size_t n_groups = per_corner ? gspec.corners.size() : 1;
+  const uint64_t gen_scale = per_corner ? 1 : n_corners;
 
   // One pool serves every chunk's sweep (building a pool per chunk
   // would dominate small chunks).
@@ -341,68 +670,117 @@ GeneratedSweepResult StaEngine::sweep(const GeneratedSweepSpec& gspec) {
   double gap_min = kInf;
   uint64_t scenario_total = 0;
   std::vector<uint64_t> chunk_candidates;
+  // Gen-stage kill totals of COMPLETED groups, already in point units.
+  GenStats done;
 
-  while (true) {
-    SweepSpec spec = proto;
-    chunk_candidates.clear();
-    while (chunk_candidates.size() < chunk) {
-      const auto c = gen.next();
-      if (!c.has_value()) break;
-      spec.scenarios.push_back(gen.materialize(*c));
-      chunk_candidates.push_back(c->index);
+  // Point-unit funnel snapshot: gen-stage counters of the running pass
+  // (scaled) on top of finished groups, sweep-stage counters from the
+  // aggregated PruneStats.  At every chunk boundary all drawn survivors
+  // have been dispatched, so the funnel identity must hold — asserted
+  // in debug builds (satellite: funnel drift fails loudly).
+  const auto snapshot_funnel = [&](const GenStats& gs) {
+    r.gen_stats_.generated = done.generated + gs.generated * gen_scale;
+    r.gen_stats_.window_killed =
+        done.window_killed + gs.window_killed * gen_scale;
+    r.gen_stats_.correlation_killed =
+        done.correlation_killed + gs.correlation_killed * gen_scale;
+    r.gen_stats_.set_killed = done.set_killed + gs.set_killed * gen_scale;
+    r.gen_stats_.prune_killed = ps.pruned;
+    r.gen_stats_.reused = ps.reused;
+    r.gen_stats_.evaluated = ps.evaluated;
+    assert(r.gen_stats_.check());
+  };
+
+  for (size_t g = 0; g < n_groups; ++g) {
+    const ScenarioSpace* space = &gspec.space;
+    std::optional<ScenarioSpace> rewindowed;
+    SweepSpec group_proto = proto;
+    if (per_corner) {
+      rewindowed =
+          rewindow_scenario_space(*this, gspec.corners[g], gspec.space);
+      space = &*rewindowed;
+      group_proto.corners = {gspec.corners[g]};
     }
-    if (chunk_candidates.empty()) break;
-    const auto n_scenarios = chunk_candidates.size();
-    // Later chunks prune against the worst slack already attained —
-    // same exactness argument as within one sweep (strict-> admission).
-    spec.prune_seed_slack = worst_seen;
-    const SweepResult sr = sweep(spec);
-
-    ++r.gen_stats_.chunks;
-    r.gen_stats_.peak_resident_scenarios =
-        std::max<uint64_t>(r.gen_stats_.peak_resident_scenarios, n_scenarios);
-    scenario_total += n_scenarios;
-    const auto& cs = sr.prune_stats();
-    ps.points += cs.points;
-    ps.evaluated += cs.evaluated;
-    ps.reused += cs.reused;
-    ps.pruned += cs.pruned;
-    dirty_vertex_sum +=
-        cs.dirty_vertex_fraction * static_cast<double>(n_scenarios);
-    dirty_partition_sum +=
-        cs.dirty_partition_fraction * static_cast<double>(n_scenarios);
-    if (cs.evaluated > 0 && gspec.prune == PruneMode::kSafe) {
-      gap_sum += cs.mean_bound_gap * static_cast<double>(cs.evaluated);
-      gap_min = std::min(gap_min, cs.min_bound_gap);
-    }
-
-    for (size_t c = 0; c < sr.num_corners(); ++c) {
-      for (size_t s = 0; s < n_scenarios; ++s) {
-        const size_t p = sr.point(c, s);
-        if (sr.pruned(p)) continue;
-        const double ws = sr.worst_slack(p);
-        const uint64_t candidate = chunk_candidates[s];
-        if (gspec.keep_point_records) {
-          r.points_.push_back({candidate, static_cast<uint32_t>(c), ws});
-        }
-        // Ties resolve to the smallest (corner, candidate) — candidate
-        // indices ascend across chunks, so this reproduces the argmin
-        // (first flat index) an eager corner-major sweep would report.
-        const bool better =
-            !r.has_worst_ || ws < r.worst_.slack ||
-            (ws == r.worst_.slack &&
-             (c < r.worst_.corner ||
-              (c == r.worst_.corner && candidate < r.worst_.candidate)));
-        if (better) {
-          r.worst_.candidate = candidate;
-          r.worst_.corner = c;
-          r.worst_.scenario_name = sr.scenario_name(s);
-          r.worst_.slack = ws;
-          r.has_worst_ = true;
-        }
-        worst_seen = std::min(worst_seen, ws);
+    ScenarioGenerator gen(*space, gspec.correlation);
+    while (true) {
+      SweepSpec spec = group_proto;
+      chunk_candidates.clear();
+      while (chunk_candidates.size() < chunk) {
+        const auto c = gen.next();
+        if (!c.has_value()) break;
+        spec.scenarios.push_back(gen.materialize(*c));
+        chunk_candidates.push_back(c->index);
       }
+      if (chunk_candidates.empty()) break;
+      const auto n_scenarios = chunk_candidates.size();
+      // Later chunks prune against the worst slack already attained —
+      // same exactness argument as within one sweep (strict-> admission).
+      // The seed carries across corner groups too: an exact worst from
+      // one corner bounds the others just as well.
+      spec.prune_seed_slack = worst_seen;
+      const SweepResult sr = sweep(spec);
+
+      ++r.gen_stats_.chunks;
+      r.gen_stats_.peak_resident_scenarios = std::max<uint64_t>(
+          r.gen_stats_.peak_resident_scenarios, n_scenarios);
+      scenario_total += n_scenarios;
+      const auto& cs = sr.prune_stats();
+      ps.points += cs.points;
+      ps.evaluated += cs.evaluated;
+      ps.reused += cs.reused;
+      ps.pruned += cs.pruned;
+      dirty_vertex_sum +=
+          cs.dirty_vertex_fraction * static_cast<double>(n_scenarios);
+      dirty_partition_sum +=
+          cs.dirty_partition_fraction * static_cast<double>(n_scenarios);
+      if (cs.evaluated > 0 && gspec.prune == PruneMode::kSafe) {
+        gap_sum += cs.mean_bound_gap * static_cast<double>(cs.evaluated);
+        gap_min = std::min(gap_min, cs.min_bound_gap);
+      }
+
+      for (size_t c = 0; c < sr.num_corners(); ++c) {
+        // In per-corner mode each group sweeps one corner — map the
+        // chunk-local ordinal back to the global corner axis.
+        const size_t corner = per_corner ? g : c;
+        for (size_t s = 0; s < n_scenarios; ++s) {
+          const size_t p = sr.point(c, s);
+          if (sr.pruned(p)) continue;
+          const double ws = sr.worst_slack(p);
+          const uint64_t candidate = chunk_candidates[s];
+          if (gspec.keep_point_records) {
+            r.points_.push_back({candidate, static_cast<uint32_t>(corner),
+                                 ws});
+          }
+          // Ties resolve to the smallest (corner, candidate) —
+          // candidate indices ascend across chunks and corner groups
+          // run in ascending corner order, so this reproduces the
+          // argmin (first flat index) an eager corner-major sweep
+          // would report.
+          const bool better =
+              !r.has_worst_ || ws < r.worst_.slack ||
+              (ws == r.worst_.slack &&
+               (corner < r.worst_.corner ||
+                (corner == r.worst_.corner &&
+                 candidate < r.worst_.candidate)));
+          if (better) {
+            r.worst_.candidate = candidate;
+            r.worst_.corner = corner;
+            r.worst_.scenario_name = sr.scenario_name(s);
+            r.worst_.slack = ws;
+            r.has_worst_ = true;
+          }
+          worst_seen = std::min(worst_seen, ws);
+        }
+      }
+      snapshot_funnel(gen.stats());
     }
+    // Fold the finished pass into the point-unit totals (covers passes
+    // whose every candidate died before the first chunk filled, too).
+    const auto& gs = gen.stats();
+    done.generated += gs.generated * gen_scale;
+    done.window_killed += gs.window_killed * gen_scale;
+    done.correlation_killed += gs.correlation_killed * gen_scale;
+    done.set_killed += gs.set_killed * gen_scale;
   }
 
   if (scenario_total > 0) {
@@ -416,18 +794,20 @@ GeneratedSweepResult StaEngine::sweep(const GeneratedSweepSpec& gspec) {
     ps.min_bound_gap = gap_min;
   }
 
-  // The funnel in point units: the generator counts candidates, every
-  // candidate becomes one point per corner, and the sweep-stage kills
-  // come from the aggregated PruneStats.  By construction
-  //   generated == window_killed + correlation_killed + prune_killed
-  //                + reused + evaluated.
-  const auto& gs = gen.stats();
-  r.gen_stats_.generated = gs.generated * n_corners;
-  r.gen_stats_.window_killed = gs.window_killed * n_corners;
-  r.gen_stats_.correlation_killed = gs.correlation_killed * n_corners;
+  // The final funnel in point units: the generator passes count
+  // candidates (every candidate becomes one point per corner of its
+  // pass), and the sweep-stage kills come from the aggregated
+  // PruneStats.  By construction
+  //   generated == window_killed + correlation_killed + set_killed
+  //                + prune_killed + reused + evaluated.
+  r.gen_stats_.generated = done.generated;
+  r.gen_stats_.window_killed = done.window_killed;
+  r.gen_stats_.correlation_killed = done.correlation_killed;
+  r.gen_stats_.set_killed = done.set_killed;
   r.gen_stats_.prune_killed = ps.pruned;
   r.gen_stats_.reused = ps.reused;
   r.gen_stats_.evaluated = ps.evaluated;
+  assert(r.gen_stats_.check());
   return r;
 }
 

@@ -2,22 +2,26 @@
 
 /// \file scengen.hpp
 /// Streaming combinatorial scenario generation with FRAME-style
-/// feasibility filtering.
+/// feasibility filtering, over single AND compound aggressor events.
 ///
 /// The paper propagates one hand-built noisy waveform; a crosstalk
 /// sign-off wants the whole attack surface — every plausible
-/// (victim, aggressor, alignment, strength) coupling event.  Enumerated
-/// eagerly that cross product explodes: 256 coupling pairs × 64
-/// alignments × 64 strengths is already a million scenarios, each
-/// carrying a sampled waveform.  This layer instead materializes points
-/// *lazily* — `ScenarioSpace` describes the cross product symbolically,
-/// `ScenarioGenerator` pulls one candidate at a time, and
+/// (victim, aggressor-set, alignment, strength) coupling event.
+/// Enumerated eagerly that cross product explodes: 256 coupling pairs ×
+/// 64 alignments × 64 strengths is already a million scenarios, each
+/// carrying a sampled waveform — and compound events (k-subsets of the
+/// pairs superposing their bumps, the paper's multi-aggressor bus) grow
+/// it combinatorially on top.  This layer instead materializes points
+/// *lazily* — `ScenarioSpace` describes the cross product symbolically
+/// (the event axis is enumerated arithmetically through the
+/// combinatorial number system, so not even the k-subsets are ever
+/// listed), `ScenarioGenerator` pulls one candidate at a time, and
 /// `StaEngine::sweep(const GeneratedSweepSpec&)` streams the survivors
 /// through the existing baseline + delta + prune pipeline in bounded
 /// chunks, so peak memory is one chunk of scenarios plus 40 B/point of
 /// endpoint summaries, never the full cross product.
 ///
-/// In front of propagation sit two *feasibility filters* in the spirit
+/// In front of propagation sit the *feasibility filters* in the spirit
 /// of FRAME (PAPERS.md, arxiv 1502.02236 — screen infeasible aggressor
 /// combinations before any expensive analysis):
 ///
@@ -27,19 +31,31 @@
 ///     cannot move any crossing — the paper's alignment observation),
 ///     or when it falls outside the aggressor's own switching window
 ///     from the corner baseline (the aggressor cannot switch then).
+///     A compound event must pass this per member: every aggressor's
+///     bump, offset by the shared alignment from its own victim anchor,
+///     must overlap its windows.  With
+///     GeneratedSweepSpec::per_corner_windows the windows are re-read
+///     from each corner's own baseline (rewindow_scenario_space()).
 ///  2. **Logical correlation**: a pluggable `CorrelationRule` rejects
 ///     victim/aggressor combinations that cannot switch simultaneously;
 ///     the built-in `StructuralCorrelationRule` rejects same-net,
 ///     same-driver (complementary outputs) and causally-ordered pairs
 ///     (either net inside the other's transitive fanout cone, via
-///     `netlist::Netlist::transitive_fanout_nets`).
+///     `netlist::Netlist::transitive_fanout_nets`).  For compound
+///     events the pairwise rule is *lifted to set semantics*: every
+///     member must pass it, every two members must be structurally
+///     independent (distinct aggressors, no member's aggressor doubling
+///     as another's victim) and pairwise co-switchable — all counted in
+///     `correlation_killed` — and on top of that
+///     `CorrelationRule::can_switch_set` may reject the aggressor *set*
+///     as a whole, counted separately in `GenStats::set_killed`.
 ///
-/// Both filters run on candidate *indices* — the scenario waveform is
+/// All filters run on candidate *indices* — the scenario waveform is
 /// only sampled for points that survive, and whole alignment/strength
 /// blocks are skipped arithmetically, so filtering a million-point
-/// space costs on the order of pairs × alignments cheap window tests.
+/// space costs on the order of events × alignments cheap window tests.
 /// `GenStats` reports the per-stage funnel: generated → window-killed →
-/// correlation-killed → prune-killed → reused/evaluated.
+/// correlation-killed → set-killed → prune-killed → reused/evaluated.
 ///
 /// Surviving points are bitwise identical to eagerly enumerating the
 /// same scenarios through `StaEngine::sweep(SweepSpec)`: the generated
@@ -112,6 +128,16 @@ struct ScenarioPair {
   /// Relative coupling strength of this pair (Cm / reference Cm);
   /// multiplies the strength-grid value when the scenario materializes.
   double coupling_scale = 1.0;
+  /// Victim anchor pin (full "instance/pin" vertex name) —
+  /// rewindow_scenario_space() re-reads the victim timing here under a
+  /// different corner.  Empty (hand-built pairs) keeps the stored
+  /// windows under re-windowing.
+  std::string victim_pin;
+  /// Aggressor vertex names (pins on the net, plus the interface-port
+  /// vertex when present) whose corner timing envelopes the aggressor
+  /// switching window under re-windowing.  Empty keeps the stored
+  /// window.
+  std::vector<std::string> aggressor_pins;
 };
 
 /// Options of make_scenario_space().
@@ -130,16 +156,43 @@ struct ScenarioSpaceOptions {
   double cm_reference = 100e-15;
 };
 
+/// Bump-shape source of a ScenarioSpace: how the aggressor coupling
+/// bump superposed on the victim waveform is synthesized.
+enum class BumpShape : uint8_t {
+  /// Analytic Gaussian stand-in (sigma = bump_sigma_factor ×
+  /// victim_slew) — the historical default, bitwise compatible with
+  /// make_aggressor_scenario().
+  kGaussian = 0,
+  /// Physically derived shape from a coupled-line transient
+  /// (interconnect::coupled_bump_shape over the space's coupled_pair,
+  /// Cm scaled per pair by coupling_scale); cached per (pair, strength)
+  /// inside the generator so repeated alignments reuse one waveform.
+  kCoupledLine = 1,
+};
+
+/// Shape name ("gaussian" / "coupled_line") for reports and bench keys.
+[[nodiscard]] const char* to_string(BumpShape shape) noexcept;
+
 /// The symbolic cross product a generated sweep explores:
-/// coupling pairs × aggressor-alignment grid × strength grid.  Never
-/// materialized — ScenarioGenerator walks it lazily, one candidate at a
-/// time, in lexicographic (pair, alignment, strength) order.
+/// compound events × aggressor-alignment grid × strength grid, where an
+/// *event* is a k-subset of the coupling pairs (k ≤ max_aggressors)
+/// whose bumps superpose in one scenario.  Never materialized —
+/// ScenarioGenerator walks it lazily, one candidate at a time, in
+/// lexicographic (event, alignment, strength) order.  Events are
+/// ordered singletons-first (event e < pairs.size() is exactly pair e,
+/// so a max_aggressors == 1 space is index- and funnel-identical to the
+/// historical single-aggressor generator), then all 2-subsets, then
+/// 3-subsets, …, each k-block in lexicographic combination order;
+/// event_members() decodes an event arithmetically (combinatorial
+/// number system), so not even the subset list is ever materialized.
 struct ScenarioSpace {
-  /// Victim/aggressor coupling pairs (the victim-net axis).
+  /// Victim/aggressor coupling pairs (the event-member axis).
   std::vector<ScenarioPair> pairs;
-  /// Bump-centre offsets from each pair's victim arrival [s].
+  /// Bump-centre offsets from each member pair's victim arrival [s]
+  /// (one shared alignment value per candidate).
   std::vector<double> alignments;
-  /// Bump peak amplitudes [V] (scaled per pair by coupling_scale).
+  /// Bump peak amplitudes [V] (scaled per member pair by
+  /// coupling_scale).
   std::vector<double> strengths;
   /// Supply voltage of the generated waveforms [V].
   double vdd = 1.2;
@@ -152,20 +205,41 @@ struct ScenarioSpace {
   double bump_sigma_factor = 0.5;
   /// Extra slack on every window-overlap test [s].
   double window_slop = 0.0;
+  /// Maximum aggressors per compound event: events are all k-subsets of
+  /// the pairs with 1 ≤ k ≤ max_aggressors.  1 (the default) reproduces
+  /// the single-aggressor space bit for bit.
+  int max_aggressors = 1;
+  /// How member bumps are synthesized (see BumpShape).
+  BumpShape bump_shape = BumpShape::kGaussian;
+  /// Coupled-line testbench template of kCoupledLine: per member pair
+  /// the generator simulates this with cm_total scaled by the pair's
+  /// coupling_scale and the ramp transition set to the victim slew.
+  interconnect::CoupledLinePair coupled_pair;
+  /// Transient/sampling knobs of the kCoupledLine synthesis (the
+  /// `transition` field is overridden per pair by the victim slew).
+  interconnect::CoupledBumpOptions coupled_bump;
 
-  /// Total candidate count: pairs × alignments × strengths.
+  /// Compound-event count: sum over k ≤ max_aggressors of C(pairs, k).
+  [[nodiscard]] uint64_t num_events() const noexcept;
+
+  /// Member pair indices of one event, strictly ascending (size = the
+  /// event's k).  Throws util::Error when out of range.
+  [[nodiscard]] std::vector<uint32_t> event_members(uint64_t event) const;
+
+  /// Total candidate count: events × alignments × strengths.
   [[nodiscard]] uint64_t size() const noexcept {
-    return static_cast<uint64_t>(pairs.size()) * alignments.size() *
-           strengths.size();
+    return num_events() * alignments.size() * strengths.size();
   }
 
   /// Grid coordinates of one flat candidate index.
   struct Coordinates {
-    uint32_t pair = 0;       ///< index into pairs
+    /// Compound-event index; equals the pair index for singleton events
+    /// (pair < pairs.size()), event_members() decodes the rest.
+    uint32_t pair = 0;
     uint32_t alignment = 0;  ///< index into alignments
     uint32_t strength = 0;   ///< index into strengths
   };
-  /// Decodes a flat candidate index (lexicographic: pair-major, then
+  /// Decodes a flat candidate index (lexicographic: event-major, then
   /// alignment, then strength).  Throws util::Error when out of range.
   [[nodiscard]] Coordinates decode(uint64_t candidate) const;
   /// Flat index of grid coordinates (inverse of decode()).
@@ -205,6 +279,18 @@ class CorrelationRule {
   /// every candidate of the pair (counted correlation_killed).
   [[nodiscard]] virtual bool can_switch_together(
       int32_t victim_net, int32_t aggressor_net) const = 0;
+  /// Set-level verdict on a compound event: `victim_nets[i]` is the
+  /// victim of the event's i-th member and `aggressor_nets[i]` its
+  /// aggressor (parallel spans, ascending member order).  The generator
+  /// consults it only AFTER the pairwise lift passed (every member and
+  /// every member pair survived can_switch_together), so overrides
+  /// express genuinely set-level constraints — e.g. a simultaneous-
+  /// switching budget — and their kills are counted in
+  /// GenStats::set_killed, not correlation_killed.  The default accepts
+  /// every set.
+  [[nodiscard]] virtual bool can_switch_set(
+      std::span<const int32_t> victim_nets,
+      std::span<const int32_t> aggressor_nets) const;
 };
 
 /// The built-in structural rule.  Rejects a (victim, aggressor) pair
@@ -244,14 +330,19 @@ class StructuralCorrelationRule final : public CorrelationRule {
 /// scenario axis only); on a GeneratedSweepResult they are in
 /// (corner × candidate) point units, matching PruneStats::points, and
 /// satisfy  generated == window_killed + correlation_killed +
-/// prune_killed + reused + evaluated.
+/// set_killed + prune_killed + reused + evaluated.
 struct GenStats {
   /// Candidates drawn from the cross product so far.
   uint64_t generated = 0;
   /// Killed by the timing-window-overlap filter (stage 1).
   uint64_t window_killed = 0;
-  /// Killed by the logical-correlation rule (stage 2).
+  /// Killed by the logical-correlation rule's pairwise lift (stage 2:
+  /// a member pair failed can_switch_together, two members shared an
+  /// aggressor, or a member's aggressor doubled as another's victim).
   uint64_t correlation_killed = 0;
+  /// Killed by the set-level rule (stage 2b: can_switch_set rejected a
+  /// compound event whose every member pair survived the lift).
+  uint64_t set_killed = 0;
   /// Killed by slack-bound pruning inside the sweep (stage 3; 0 when
   /// the sweep ran with prune == PruneMode::kOff).
   uint64_t prune_killed = 0;
@@ -265,21 +356,34 @@ struct GenStats {
   /// Peak scenarios resident at once — the bounded-memory guarantee:
   /// never exceeds GeneratedSweepSpec::gen_chunk.
   uint64_t peak_resident_scenarios = 0;
+
+  /// Funnel-identity check: true iff generated == window_killed +
+  /// correlation_killed + set_killed + prune_killed + reused +
+  /// evaluated.  Meaningful once every drawn survivor has been
+  /// dispatched to a sweep stage — i.e. on result-unit stats, which the
+  /// streaming sweep asserts (debug builds) at every chunk boundary —
+  /// NOT on a bare generator mid-drain, whose pending survivors sit in
+  /// no bucket yet.
+  [[nodiscard]] bool check() const noexcept;
 };
 
 /// Pull-based lazy iterator over a ScenarioSpace: next() yields the
-/// next *feasible* candidate in lexicographic (pair, alignment,
-/// strength) order, applying the window filter then the correlation
-/// rule and updating stats(); materialize() builds the candidate's
-/// NoiseScenario (the only step that samples a waveform).  Infeasible
-/// (pair, alignment) blocks are skipped whole — strength never affects
-/// feasibility — so draining a million-point space costs on the order
-/// of pairs × alignments window tests plus one correlation query per
-/// pair.  The space (and rule, when given) must outlive the generator.
+/// next *feasible* candidate in lexicographic (event, alignment,
+/// strength) order, applying the window filter, then the pairwise-
+/// lifted correlation rule, then the set-level rule, updating stats();
+/// materialize() builds the candidate's NoiseScenario (the only step
+/// that samples a waveform).  Infeasible (event, alignment) blocks are
+/// skipped whole — strength never affects feasibility — so draining a
+/// million-point space costs on the order of events × alignments cheap
+/// window tests; event-level correlation/set verdicts are resolved once
+/// per event (member-pair verdicts memoized across events).  The space
+/// (and rule, when given) must outlive the generator.  NOT thread-safe:
+/// one thread pulls and materializes (the streaming sweep's pattern) —
+/// materialize() fills the mutable coupled-bump caches.
 class ScenarioGenerator {
  public:
-  /// `correlation == nullptr` disables the correlation stage (every
-  /// pair passes it).
+  /// `correlation == nullptr` disables the correlation stages (every
+  /// pair and set passes).
   explicit ScenarioGenerator(const ScenarioSpace& space,
                              const CorrelationRule* correlation = nullptr);
 
@@ -287,7 +391,7 @@ class ScenarioGenerator {
   /// coordinates.
   struct Candidate {
     uint64_t index = 0;      ///< flat lexicographic index in the space
-    uint32_t pair = 0;       ///< index into space().pairs
+    uint32_t pair = 0;       ///< event index (see Coordinates::pair)
     uint32_t alignment = 0;  ///< index into space().alignments
     uint32_t strength = 0;   ///< index into space().strengths
   };
@@ -296,23 +400,29 @@ class ScenarioGenerator {
   /// exhausted.  Advances stats() over every candidate it skips.
   [[nodiscard]] std::optional<Candidate> next();
 
-  /// Materializes the candidate's scenario: an aggressor bump of
-  /// amplitude strengths[c.strength] × pair.coupling_scale centred
-  /// alignments[c.alignment] after the victim arrival, via
-  /// make_aggressor_scenario() (so eager enumeration can build the
-  /// identical scenario).
+  /// Materializes the candidate's scenario: per event member, a bump of
+  /// amplitude strengths[c.strength] × member.coupling_scale centred
+  /// alignments[c.alignment] after that member's victim arrival,
+  /// superposed on the member victim's clean ramp — one NoiseScenario
+  /// entry per distinct victim net, in ascending-member first-
+  /// occurrence order.  A singleton Gaussian candidate takes exactly
+  /// the make_aggressor_scenario() path (bitwise-identical waveform and
+  /// name), so eager enumeration can build the identical scenario.
+  /// Compound names join the member descriptors with '+'.
   [[nodiscard]] NoiseScenario materialize(const Candidate& c) const;
 
-  /// Stage-1 window test of one (pair, alignment) cell: the bump
+  /// Stage-1 window test of one (member pair, alignment) cell: the bump
   /// support (±3σ around the centre) must overlap BOTH the victim
   /// transition window and the aggressor switching window, each
-  /// widened by the space's window_slop.
+  /// widened by the space's window_slop.  A compound candidate is
+  /// window-feasible iff every member passes this.
   [[nodiscard]] bool window_feasible(uint32_t pair,
                                      uint32_t alignment) const;
 
   /// Funnel counters over the candidates drained so far, in candidate
   /// units (prune_killed/reused/evaluated stay 0 here — those stages
-  /// live in the sweep).
+  /// live in the sweep; the funnel identity of GenStats::check() does
+  /// NOT hold on these mid-drain counters).
   [[nodiscard]] const GenStats& stats() const noexcept { return stats_; }
 
   /// The space this generator walks.
@@ -321,11 +431,36 @@ class ScenarioGenerator {
   }
 
  private:
+  /// Event-level correlation verdict (kOk passes both stages).
+  enum class EventVerdict : uint8_t { kOk, kCorrelationKilled, kSetKilled };
+
+  /// Decodes `event` into cur_members_ and resolves its verdict.
+  void refresh_event(uint32_t event);
+  /// Pairwise lift between two member pairs (memoized): structural
+  /// independence plus the rule's cross can_switch_together queries.
+  [[nodiscard]] bool members_compatible(uint32_t a, uint32_t b) const;
+  /// The scaled coupled-line bump of (member pair, strength index):
+  /// unit shape × (sign × strength × coupling_scale), built and cached
+  /// on first use.
+  [[nodiscard]] const wave::Waveform& scaled_bump(uint32_t pair,
+                                                  uint32_t strength) const;
+
   const ScenarioSpace* space_;
-  /// Correlation verdict per pair, resolved once at construction.
+  const CorrelationRule* correlation_;
+  /// Correlation verdict per singleton pair, resolved at construction.
   std::vector<char> pair_feasible_;
   uint64_t cursor_ = 0;  ///< next flat index to consider
   GenStats stats_;
+  /// Decoded members + verdict of the event the cursor sits in.
+  uint64_t cur_event_ = std::numeric_limits<uint64_t>::max();
+  std::vector<uint32_t> cur_members_;
+  EventVerdict cur_verdict_ = EventVerdict::kOk;
+  /// Member-pair compatibility memo, key (min<<32)|max.
+  mutable std::unordered_map<uint64_t, char> compat_memo_;
+  /// kCoupledLine caches: unit shape per pair, scaled bump per
+  /// (pair, strength) key (pair<<32)|strength.
+  mutable std::unordered_map<uint32_t, wave::Waveform> unit_bump_;
+  mutable std::unordered_map<uint64_t, wave::Waveform> scaled_bump_;
 };
 
 /// A generated sweep: the streaming counterpart of SweepSpec, with the
@@ -377,7 +512,29 @@ struct GeneratedSweepSpec {
   /// else scalar), 1 forces scalar, 4 forces four-wide lane blocks.
   /// Bitwise identical either way.
   int lanes = 0;
+  /// Re-window the space per corner: with corners given, each corner
+  /// re-derives the stage-1 windows from its OWN baseline
+  /// (rewindow_scenario_space()) and streams its own generator pass, so
+  /// a derate that moves arrivals also moves which candidates are
+  /// feasible.  The funnel stays in point units (each corner's pass
+  /// contributes its candidates once) and the worst-point tie-break is
+  /// unchanged.  false (default) filters every corner against the
+  /// engine-baseline windows stored in the space.
+  bool per_corner_windows = false;
 };
+
+/// Recomputes the stage-1 feasibility windows of `space` against the
+/// engine's baseline under `corner`: each pair's victim anchor timing
+/// is re-read at its stored victim_pin and the aggressor switching
+/// window re-enveloped over its stored aggressor_pins.  Pairs without
+/// stored pin names (hand-built spaces) keep their windows; pairs whose
+/// corner timing is invalid get an empty aggressor window, so every
+/// alignment of theirs is window-killed — candidate indices stay stable
+/// across corners by construction.  Calls prepare() and evaluates one
+/// baseline, hence the non-const engine.
+[[nodiscard]] ScenarioSpace rewindow_scenario_space(StaEngine& sta,
+                                                    const Corner& corner,
+                                                    ScenarioSpace space);
 
 /// Result of a generated sweep: the funnel, the aggregated prune/delta
 /// statistics, the exact worst point, and (optionally) one record per
@@ -438,9 +595,9 @@ class GeneratedSweepResult {
 
   /// Multi-line human-readable funnel: one line per stage with counts
   /// and percentages — the canonical field names
-  /// (generated/window_killed/correlation_killed/prune_killed/reused/
-  /// evaluated) shared by docs/SWEEP_GUIDE.md, the examples and
-  /// bench_runtime.
+  /// (generated/window_killed/correlation_killed/set_killed/
+  /// prune_killed/reused/evaluated) shared by docs/SWEEP_GUIDE.md, the
+  /// examples and bench_runtime.
   [[nodiscard]] std::string funnel_report() const;
 
  private:

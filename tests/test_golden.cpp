@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "charlib/characterize.hpp"
+#include "interconnect/coupled.hpp"
 #include "liberty/parser.hpp"
 #include "liberty/writer.hpp"
 #include "netlist/verilog.hpp"
@@ -38,6 +39,7 @@
 #include "wave/ramp.hpp"
 #include "wave/waveform.hpp"
 
+namespace ic = waveletic::interconnect;
 namespace lb = waveletic::liberty;
 namespace nl = waveletic::netlist;
 namespace st = waveletic::sta;
@@ -266,6 +268,59 @@ TEST(Golden, EndToEndRegressionToleranceZero) {
     const auto it = expected.find(key);
     ASSERT_NE(it, expected.end()) << "expected.txt lacks key " << key;
     // Tolerance zero: the %.17g strings must match exactly.
+    EXPECT_EQ(format_value(value), it->second) << "key " << key;
+  }
+}
+
+TEST(Golden, CoupledBumpShapeToleranceZero) {
+  // The coupled-line bump synthesis is +,−,×,÷ only (linear RC ladder,
+  // PWL ramp source, LU transient, linear resampling) — no libm — so
+  // every sample is pinnable at tolerance zero like the main oracle.
+  const std::string dir = golden_dir();
+  Record rec;
+  const auto pin = [&rec](const std::string& prefix,
+                          const wv::Waveform& shape) {
+    rec.add(prefix + ".samples", static_cast<double>(shape.size()));
+    for (size_t i = 0; i < shape.size(); ++i) {
+      std::ostringstream k;
+      k << prefix << "." << i;
+      rec.add(k.str() + ".t", shape.time(i));
+      rec.add(k.str() + ".v", shape.value(i));
+    }
+  };
+  // The default Figure 1 testbench …
+  pin("default", ic::coupled_bump_shape(ic::CoupledLinePair{}));
+  // … and a detuned variant (stronger coupling, weaker holding driver,
+  // slower ramp, coarser sampling) so the parameter plumbing is pinned
+  // too, not just one operating point.
+  {
+    ic::CoupledLinePair pair;
+    pair.cm_total = 180e-15;
+    pair.drive_resistance = 90.0;
+    pair.hold_resistance = 200.0;
+    pair.load_cap = 3e-15;
+    ic::CoupledBumpOptions opts;
+    opts.transition = 50e-12;
+    opts.steps = 128;
+    opts.samples = 33;
+    pin("detuned", ic::coupled_bump_shape(pair, opts));
+  }
+
+  const std::string path = dir + "/coupled_bump.txt";
+  if (update_mode()) {
+    write_expected(path, rec);
+    GTEST_SKIP() << "coupled-bump golden regenerated at " << path
+                 << " — commit it";
+  }
+  const auto expected = read_expected(path);
+  ASSERT_FALSE(expected.empty())
+      << "missing/empty " << path << " — run with "
+      << "WAVELETIC_UPDATE_GOLDEN=1 to generate";
+  ASSERT_EQ(rec.kv.size(), expected.size())
+      << "value-set shape changed — regenerate the golden file";
+  for (const auto& [key, value] : rec.kv) {
+    const auto it = expected.find(key);
+    ASSERT_NE(it, expected.end()) << "coupled_bump.txt lacks key " << key;
     EXPECT_EQ(format_value(value), it->second) << "key " << key;
   }
 }

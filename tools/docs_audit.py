@@ -26,6 +26,7 @@ import sys
 DEFAULT_HEADERS = [
     "src/sta/sweep.hpp",
     "src/sta/scengen.hpp",
+    "src/interconnect/coupled.hpp",
     "src/sta/ids.hpp",
     "src/sta/service.hpp",
     "src/sta/edits.hpp",
