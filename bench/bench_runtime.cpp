@@ -40,6 +40,8 @@
 #include "sta/batch.hpp"
 #include "sta/edits.hpp"
 #include "sta/engine.hpp"
+#include "sta/hiergraph.hpp"
+#include "sta/macromodel.hpp"
 #include "sta/scengen.hpp"
 #include "sta/service.hpp"
 #include "sta/sweep.hpp"
@@ -1937,6 +1939,299 @@ void report_service_summary() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Hierarchical macro-model summary: characterize one block, stitch a
+// >= 1M flat-equivalent-vertex design and sweep it end-to-end on this
+// machine, measure the hier-vs-flat prepare+sweep speedup at a copy
+// count where the flat oracle is still feasible, and verify the
+// expanded copy stays bitwise identical to flat.  Writes BENCH_hier.json
+// (diffed warn-only against bench/BENCH_hier.baseline.json in CI).
+// ---------------------------------------------------------------------------
+
+/// Peak resident set (VmHWM) of this process, in bytes; 0 when
+/// /proc/self/status is unavailable.
+size_t peak_rss_bytes() {
+  size_t kb = 0;
+  if (FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+      if (std::sscanf(line, "VmHWM: %zu", &kb) == 1) break;
+    }
+    std::fclose(f);
+  }
+  return kb * 1024;
+}
+
+/// SparseFixture::constrain's pattern applied to a stitched top: both
+/// stitchers emit ports in identical order, so the counter-derived
+/// constraints land on the same port names in the flat and hierarchical
+/// designs.
+void constrain_stitched(st::StaEngine& sta, const nl::Netlist& top) {
+  int i = 0;
+  int o = 0;
+  for (const auto& port : top.ports()) {
+    if (port.direction == nl::PortDirection::kInput) {
+      sta.set_input(port.name, 0.008e-9 * i, (75 + 9 * (i % 13)) * 1e-12);
+      ++i;
+    } else {
+      sta.set_output_load(port.name, (4 + (o % 3)) * 1e-15);
+      sta.set_required(port.name, 4e-9);
+      ++o;
+    }
+  }
+}
+
+/// Deterministic grid block: `width` parallel chains of `layers` gates
+/// with nearest-neighbour reconvergence, every interior net consumed —
+/// the interface stays `width` inputs + `width` outputs however deep
+/// the block grows.  (make_random_dag leaves ~40% of its nets
+/// unconsumed and each becomes a port, which ruins the
+/// interior-to-interface ratio abstraction trades on.)
+nl::Netlist make_grid_block(int width, int layers) {
+  nl::Netlist block;
+  block.name = "grid";
+  std::vector<std::string> prev;
+  for (int i = 0; i < width; ++i) {
+    const std::string name = "a" + std::to_string(i);
+    block.add_port(name, nl::PortDirection::kInput);
+    prev.push_back(name);
+  }
+  int gate_id = 0;
+  for (int l = 0; l < layers; ++l) {
+    std::vector<std::string> next;
+    for (int g = 0; g < width; ++g) {
+      const std::string out =
+          "n" + std::to_string(l) + "_" + std::to_string(g);
+      nl::Instance inst;
+      inst.name = "g" + std::to_string(gate_id++);
+      switch ((l + g) % 3) {
+        case 0:
+          inst.cell = "INVX1";
+          inst.pins = {{"A", prev[static_cast<size_t>(g)]}, {"Y", out}};
+          break;
+        case 1:
+          inst.cell = "INVX4";
+          inst.pins = {{"A", prev[static_cast<size_t>(g)]}, {"Y", out}};
+          break;
+        default:
+          inst.cell = "NAND2X1";
+          inst.pins = {{"A", prev[static_cast<size_t>(g)]},
+                       {"B", prev[static_cast<size_t>((g + 1) % width)]},
+                       {"Y", out}};
+          break;
+      }
+      block.add_instance(std::move(inst));
+      next.push_back(out);
+    }
+    prev = std::move(next);
+  }
+  for (const auto& net : prev)
+    block.add_port(net, nl::PortDirection::kOutput);
+  block.validate();
+  return block;
+}
+
+/// `count` single-net aggressor scenarios on nets inside the expanded
+/// copy ("u0/...") — the same nets exist in the flat oracle, so one
+/// scenario set drives both sides of the comparison.
+std::vector<st::NoiseScenario> stitched_scenarios(const st::StaEngine& clean,
+                                                  const nl::Netlist& top,
+                                                  double vdd, int count) {
+  struct Victim {
+    std::string net;
+    double arrival;
+    double slew;
+  };
+  std::vector<Victim> victims;
+  const auto& instances = top.instances();
+  for (size_t i = instances.size(); i > 0; --i) {
+    const auto& inst = instances[i - 1];
+    if (inst.name.rfind("u0/", 0) != 0) continue;
+    const auto pin = inst.pins.find("A");
+    if (pin == inst.pins.end()) continue;
+    const auto& t = clean.timing(inst.name + "/A", st::RiseFall::kFall);
+    if (!t.valid || t.slew <= 0.0) continue;
+    victims.push_back({pin->second, t.arrival, t.slew});
+    if (victims.size() >= static_cast<size_t>(count)) break;
+  }
+  std::vector<st::NoiseScenario> out;
+  for (int i = 0; i < count && !victims.empty(); ++i) {
+    const auto& vic = victims[static_cast<size_t>(i) % victims.size()];
+    out.push_back(st::make_aggressor_scenario(
+        vic.net, vic.arrival, vic.slew, vdd, wv::Polarity::kFalling,
+        (i % 8) * 120e-12, 0.25 + 0.05 * (i % 4)));
+  }
+  return out;
+}
+
+void report_hier_summary() {
+  const auto& lib = sparse_fixture().lib;
+  const size_t hw = wu::ThreadPool::hardware_threads();
+
+  // Deep, narrow block: 960 gates behind a 16-port interface, so
+  // abstracting a copy erases ~2.2k interior vertices per 16 kept.
+  const nl::Netlist block = make_grid_block(8, 120);
+
+  st::BlockModel model;
+  const double t_extract = wall_seconds([&] {
+    st::BlockModelOptions mopt;
+    mopt.threads = static_cast<int>(hw);
+    model = st::extract_block_model(block, lib, mopt);
+  });
+
+  // -- flat-feasible comparison point: the flat oracle still fits. ----
+  nl::StitchOptions small;
+  small.copies = 32;
+  small.expanded = 0;
+
+  auto hier_ref = st::HierDesign::build(block, lib, model, small);
+  constrain_stitched(hier_ref.engine(), hier_ref.netlist());
+  hier_ref.engine().set_threads(static_cast<int>(hw));
+  hier_ref.engine().run();
+
+  const nl::Netlist flat_top = nl::stitch_blocks_flat(block, small);
+  size_t compare_flat_vertices = 0;
+  bool bitwise = true;
+  size_t compared = 0;
+  {
+    st::StaEngine flat_ref(flat_top, lib);
+    constrain_stitched(flat_ref, flat_top);
+    flat_ref.set_threads(static_cast<int>(hw));
+    flat_ref.run();
+    compare_flat_vertices = flat_ref.vertex_count();
+    const auto& heng = hier_ref.engine();
+    for (size_t v = 0; v < heng.vertex_count(); ++v) {
+      const std::string& name = heng.vertex_name(v);
+      if (name.rfind("u0/", 0) != 0) continue;
+      for (const auto rf : {st::RiseFall::kRise, st::RiseFall::kFall}) {
+        const auto& a = heng.timing(name, rf);
+        const auto& b = flat_ref.timing(name, rf);
+        bitwise = bitwise && a.valid == b.valid &&
+                  std::bit_cast<uint64_t>(a.arrival) ==
+                      std::bit_cast<uint64_t>(b.arrival) &&
+                  std::bit_cast<uint64_t>(a.slew) ==
+                      std::bit_cast<uint64_t>(b.slew);
+      }
+      ++compared;
+    }
+  }
+
+  const auto scenarios = stitched_scenarios(
+      hier_ref.engine(), hier_ref.netlist(), lib.nom_voltage, 12);
+
+  st::SweepSpec spec;
+  spec.scenarios = scenarios;
+  spec.threads = static_cast<int>(hw);
+  spec.endpoint_only = true;
+
+  const auto sweep_worst = [&](st::SweepResult r) {
+    double w = std::numeric_limits<double>::infinity();
+    for (size_t p = 0; p < scenarios.size(); ++p) {
+      const double s = r.worst_slack(p);
+      if (s < w) w = s;
+    }
+    return w;
+  };
+
+  // Both sides timed cold, construction through sweep: what a user
+  // pays per analyzed design once the block model exists (extraction
+  // amortizes over every copy and every re-analysis).
+  double flat_worst = 0.0;
+  const double t_flat = wall_seconds([&] {
+    st::StaEngine eng(flat_top, lib);
+    constrain_stitched(eng, flat_top);
+    flat_worst = sweep_worst(eng.sweep(spec));
+  });
+  double hier_worst = 0.0;
+  const double t_hier = wall_seconds([&] {
+    auto h = st::HierDesign::build(block, lib, model, small);
+    constrain_stitched(h.engine(), h.netlist());
+    hier_worst = sweep_worst(h.sweep(spec));
+  });
+  const double speedup = t_hier > 0.0 ? t_flat / t_hier : 0.0;
+
+  // -- 1M headline: never materialize the flat design. ----------------
+  nl::StitchOptions big = small;
+  {
+    nl::StitchOptions one = small;
+    one.copies = 1;
+    const size_t per_copy = nl::stitched_flat_vertex_count(block, one);
+    big.copies =
+        per_copy != 0 ? (1'000'000 + per_copy - 1) / per_copy : 400;
+    while (nl::stitched_flat_vertex_count(block, big) < 1'000'000)
+      ++big.copies;
+  }
+  size_t big_flat_vertices = 0;
+  size_t big_hier_vertices = 0;
+  double big_worst = 0.0;
+  const double t_big = wall_seconds([&] {
+    auto h = st::HierDesign::build(block, lib, model, big);
+    constrain_stitched(h.engine(), h.netlist());
+    big_flat_vertices = h.stitched_vertex_count();
+    big_worst = sweep_worst(h.sweep(spec));
+    big_hier_vertices = h.hier_vertex_count();
+  });
+  const size_t rss = peak_rss_bytes();
+
+  std::printf("\n-- hierarchical macro-model summary (%zu threads) --\n", hw);
+  std::printf("block: %zu instances, %zu ports -> %zu macro arcs, "
+              "extract %.1f ms\n",
+              block.instances().size(), block.ports().size(),
+              model.arcs.size(), t_extract * 1e3);
+  std::printf("flat-feasible point (%zu copies, %zu flat vs %zu hier "
+              "vertices, %zu scenarios):\n",
+              small.copies, compare_flat_vertices,
+              hier_ref.hier_vertex_count(), scenarios.size());
+  std::printf("  flat  construct+sweep: %8.1f ms (worst slack %.4f ns)\n",
+              t_flat * 1e3, flat_worst * 1e9);
+  std::printf("  hier  construct+sweep: %8.1f ms (worst slack %.4f ns, "
+              "%.1fx speedup)%s\n",
+              t_hier * 1e3, hier_worst * 1e9, speedup,
+              speedup >= 10.0 ? "" : "  [below 10x target]");
+  std::printf("expanded copy bitwise identical to flat: %s (%zu vertices)\n",
+              bitwise ? "yes" : "NO — BUG", compared);
+  std::printf("1M headline: %zu copies = %zu flat-equivalent vertices held "
+              "as %zu hierarchical vertices\n",
+              big.copies, big_flat_vertices, big_hier_vertices);
+  std::printf("  construct+sweep end-to-end: %8.1f ms (worst slack "
+              "%.4f ns)\n",
+              t_big * 1e3, big_worst * 1e9);
+  std::printf("  peak RSS: %.1f MB\n", static_cast<double>(rss) / 1e6);
+
+  const char* json_path = "BENCH_hier.json";
+  if (FILE* f_json = std::fopen(json_path, "w")) {
+    std::fprintf(f_json,
+                 "{\n"
+                 "  \"hardware_threads\": %zu,\n"
+                 "  \"block_instances\": %zu,\n"
+                 "  \"block_ports\": %zu,\n"
+                 "  \"macro_arcs\": %zu,\n"
+                 "  \"extract_ms_per_block\": %.3f,\n"
+                 "  \"compare_copies\": %zu,\n"
+                 "  \"compare_flat_vertices\": %zu,\n"
+                 "  \"compare_hier_vertices\": %zu,\n"
+                 "  \"flat_sweep_ms\": %.3f,\n"
+                 "  \"hier_sweep_ms\": %.3f,\n"
+                 "  \"hier_vs_flat_speedup\": %.2f,\n"
+                 "  \"stitched_copies\": %zu,\n"
+                 "  \"stitched_vertices\": %zu,\n"
+                 "  \"hier_vertices\": %zu,\n"
+                 "  \"stitched_sweep_ms\": %.3f,\n"
+                 "  \"peak_rss_mb\": %.1f,\n"
+                 "  \"bitwise_identical\": %s\n"
+                 "}\n",
+                 hw, block.instances().size(), block.ports().size(),
+                 model.arcs.size(), t_extract * 1e3, small.copies,
+                 compare_flat_vertices, hier_ref.hier_vertex_count(),
+                 t_flat * 1e3, t_hier * 1e3, speedup, big.copies,
+                 big_flat_vertices, big_hier_vertices, t_big * 1e3,
+                 static_cast<double>(rss) / 1e6,
+                 bitwise ? "true" : "false");
+    std::fclose(f_json);
+    std::printf("wrote %s\n", json_path);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1947,5 +2242,6 @@ int main(int argc, char** argv) {
   const auto sweep_figures = report_sweep_speedups();
   report_kernel_summary(sweep_figures);
   report_service_summary();
+  report_hier_summary();
   return 0;
 }

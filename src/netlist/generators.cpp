@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -147,6 +148,124 @@ Netlist make_random_dag(uint64_t seed, int inputs, int layers,
   }
   nl.validate();
   return nl;
+}
+
+namespace {
+
+/// Block port names split by direction, in block port order.
+void split_ports(const Netlist& block, std::vector<std::string>& in_ports,
+                 std::vector<std::string>& out_ports) {
+  for (const auto& p : block.ports()) {
+    (p.direction == PortDirection::kInput ? in_ports : out_ports)
+        .push_back(p.name);
+  }
+  util::require(!in_ports.empty() && !out_ports.empty(),
+                "stitch_blocks: block needs input and output ports");
+}
+
+/// Shared tiler: `all_flat` expands every copy (the oracle), otherwise
+/// only options.expanded is expanded and the rest become one macro
+/// instance each.
+Netlist stitch_impl(const Netlist& block, const StitchOptions& options,
+                    bool all_flat) {
+  util::require(options.copies >= 1, "stitch_blocks: copies must be >= 1");
+  std::vector<std::string> in_ports, out_ports;
+  split_ports(block, in_ports, out_ports);
+
+  const bool chain = options.topology == StitchTopology::kChain;
+  Netlist top;
+  top.name = block.name + "_x" + std::to_string(options.copies);
+
+  for (size_t k = 0; k < options.copies; ++k) {
+    const std::string prefix = "u" + std::to_string(k) + "/";
+    std::map<std::string, std::string> port_net;
+    for (size_t i = 0; i < in_ports.size(); ++i) {
+      if (chain && k > 0) {
+        // Driven round-robin by the previous copy's outputs.
+        port_net[in_ports[i]] = "u" + std::to_string(k - 1) + "/" +
+                                out_ports[i % out_ports.size()];
+      } else {
+        const std::string net = prefix + in_ports[i];
+        top.add_port(net, PortDirection::kInput);
+        port_net[in_ports[i]] = net;
+      }
+    }
+    std::vector<bool> consumed_next(out_ports.size(), false);
+    if (chain && k + 1 < options.copies) {
+      for (size_t i = 0; i < in_ports.size(); ++i) {
+        consumed_next[i % out_ports.size()] = true;
+      }
+    }
+    for (size_t q = 0; q < out_ports.size(); ++q) {
+      const std::string net = prefix + out_ports[q];
+      if (!chain || k + 1 == options.copies || !consumed_next[q]) {
+        top.add_port(net, PortDirection::kOutput);
+      }
+      port_net[out_ports[q]] = net;
+    }
+
+    const bool expand =
+        all_flat ||
+        (options.expanded >= 0 && static_cast<size_t>(options.expanded) == k);
+    if (expand) {
+      for (const auto& inst : block.instances()) {
+        Instance copy;
+        copy.name = prefix + inst.name;
+        copy.cell = inst.cell;
+        for (const auto& [pin, net] : inst.pins) {
+          const auto it = port_net.find(net);
+          copy.pins[pin] = it != port_net.end() ? it->second : prefix + net;
+        }
+        top.add_instance(std::move(copy));
+      }
+    } else {
+      // ".blk" keeps the macro's pin vertices ("u<k>.blk/<port>")
+      // disjoint from the port/net namespace ("u<k>/<port>"): the STA
+      // graph interns vertices by name, and a macro pin sharing its
+      // port's name would alias the port vertex into a self-loop.
+      Instance macro;
+      macro.name = "u" + std::to_string(k) + ".blk";
+      macro.cell = options.block_cell;
+      for (const auto& [port, net] : port_net) macro.pins[port] = net;
+      top.add_instance(std::move(macro));
+    }
+  }
+  top.validate();
+  return top;
+}
+
+}  // namespace
+
+Netlist stitch_blocks(const Netlist& block, const StitchOptions& options) {
+  return stitch_impl(block, options, /*all_flat=*/false);
+}
+
+Netlist stitch_blocks_flat(const Netlist& block, const StitchOptions& options) {
+  return stitch_impl(block, options, /*all_flat=*/true);
+}
+
+size_t stitched_flat_vertex_count(const Netlist& block,
+                                  const StitchOptions& options) {
+  std::vector<std::string> in_ports, out_ports;
+  split_ports(block, in_ports, out_ports);
+  size_t pins_per_copy = 0;
+  for (const auto& inst : block.instances()) pins_per_copy += inst.pins.size();
+
+  size_t top_ports = 0;
+  if (options.topology == StitchTopology::kParallel) {
+    top_ports = options.copies * (in_ports.size() + out_ports.size());
+  } else {
+    // Copy-0 inputs, every copy's unconsumed outputs, last copy's all.
+    std::vector<bool> consumed_next(out_ports.size(), false);
+    for (size_t i = 0; i < in_ports.size(); ++i) {
+      consumed_next[i % out_ports.size()] = true;
+    }
+    size_t exported = 0;
+    for (const bool c : consumed_next) exported += c ? 0 : 1;
+    top_ports = in_ports.size() + out_ports.size() +  // copy 0 in + last out
+                (options.copies - 1) * exported;
+  }
+  return top_ports + options.copies * pins_per_copy;
 }
 
 }  // namespace waveletic::netlist

@@ -1,0 +1,77 @@
+#include "sta/hiergraph.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace waveletic::sta {
+
+HierDesign HierDesign::build(const netlist::Netlist& block,
+                             const liberty::Library& base_lib,
+                             const BlockModel& model,
+                             netlist::StitchOptions options) {
+  options.block_cell = model.name;
+  HierDesign d;
+  d.library_ = std::make_unique<liberty::Library>(base_lib);
+  d.library_->add_cell(model.to_cell());
+  d.netlist_ =
+      std::make_unique<netlist::Netlist>(netlist::stitch_blocks(block, options));
+  d.engine_ = std::make_unique<StaEngine>(*d.netlist_, *d.library_);
+  d.model_ = model;
+  d.stitch_ = std::move(options);
+  d.flat_vertices_ = netlist::stitched_flat_vertex_count(block, d.stitch_);
+  return d;
+}
+
+std::string HierDesign::expanded_prefix() const {
+  if (stitch_.expanded < 0 ||
+      static_cast<size_t>(stitch_.expanded) >= stitch_.copies) {
+    return {};
+  }
+  return "u" + std::to_string(stitch_.expanded) + "/";
+}
+
+NoiseScenario HierDesign::lower_interior_bump(size_t copy,
+                                              const std::string& net,
+                                              double amplitude,
+                                              wave::Polarity polarity,
+                                              size_t samples) const {
+  if (copy >= stitch_.copies ||
+      static_cast<int>(copy) == stitch_.expanded) {
+    throw std::invalid_argument(
+        "lower_interior_bump: copy " + std::to_string(copy) +
+        " is out of range or expanded flat (annotate its nets directly)");
+  }
+  const RiseFall rf = polarity == wave::Polarity::kRising ? RiseFall::kRise
+                                                          : RiseFall::kFall;
+  const std::string prefix = "u" + std::to_string(copy) + "/";
+  NoiseScenario scenario;
+  scenario.name = "hier:" + prefix + net + "@" +
+                  std::to_string(amplitude * 1e3) + "mV";
+  const double vdd = library_->nom_voltage;
+  for (const auto& t : model_.transfers) {
+    if (t.net != net) continue;
+    const std::string out_net = prefix + t.to_port;
+    // Macro output pin vertex carries the block's interface timing.
+    const PinId pin = engine_->find_pin("u" + std::to_string(copy) + ".blk/" +
+                                        t.to_port);
+    if (!pin.valid()) continue;
+    const PinTiming& base = engine_->timing(pin, rf);
+    if (!base.valid || base.slew <= 0.0) continue;
+    const double pushed = base.arrival + t.sensitivity * amplitude;
+    // Clean ramp (strength 0) at the pushed-out arrival: downstream
+    // sinks re-fit against the shifted transition.
+    const NoiseScenario ramp = make_aggressor_scenario(
+        out_net, pushed, base.slew, vdd, polarity, /*alignment=*/0.0,
+        /*strength=*/0.0, samples);
+    for (const auto& e : ramp.entries) {
+      scenario.annotate(e.net, e.annotation.waveform, e.annotation.polarity);
+    }
+  }
+  if (scenario.entries.empty()) {
+    throw std::invalid_argument("lower_interior_bump: net '" + net +
+                                "' has no characterized transfer");
+  }
+  return scenario;
+}
+
+}  // namespace waveletic::sta

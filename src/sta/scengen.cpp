@@ -1,6 +1,7 @@
 #include "sta/scengen.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <cstdio>
@@ -30,6 +31,21 @@ uint64_t choose(uint64_t n, uint64_t k) {
   }
   return r;
 }
+
+// FNV-1a-style content mixing, the Corner::key() idiom: doubles are
+// folded in by bit pattern, so a key change means a genuinely different
+// physical testbench.
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t mix(uint64_t h, uint64_t v) noexcept { return (h ^ v) * kFnvPrime; }
+uint64_t mix(uint64_t h, double v) noexcept {
+  return mix(h, std::bit_cast<uint64_t>(v));
+}
+
+/// Tag separating scaled-bump entries from unit-shape entries that
+/// would otherwise share a content key.
+constexpr uint64_t kScaledBumpTag = 0x7363616c65644257ull;  // "scaledBW"
 
 }  // namespace
 
@@ -209,6 +225,48 @@ bool GenStats::check() const noexcept {
 }
 
 // ---------------------------------------------------------------------------
+// CoupledBumpCache
+// ---------------------------------------------------------------------------
+
+const wave::Waveform* CoupledBumpCache::find(uint64_t key) noexcept {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return &it->second;
+}
+
+const wave::Waveform& CoupledBumpCache::insert(uint64_t key,
+                                               wave::Waveform waveform) {
+  return entries_.insert_or_assign(key, std::move(waveform)).first->second;
+}
+
+uint64_t coupled_bump_key(
+    const interconnect::CoupledLinePair& pair,
+    const interconnect::CoupledBumpOptions& options) noexcept {
+  // Exactly the numbers coupled_bump_shape() consumes; line names are
+  // display-only and excluded.
+  uint64_t h = kFnvOffset;
+  h = mix(h, static_cast<uint64_t>(pair.aggressor.segments));
+  h = mix(h, pair.aggressor.r_total);
+  h = mix(h, pair.aggressor.c_total);
+  h = mix(h, static_cast<uint64_t>(pair.victim.segments));
+  h = mix(h, pair.victim.r_total);
+  h = mix(h, pair.victim.c_total);
+  h = mix(h, pair.cm_total);
+  h = mix(h, pair.drive_resistance);
+  h = mix(h, pair.hold_resistance);
+  h = mix(h, pair.load_cap);
+  h = mix(h, options.transition);
+  h = mix(h, static_cast<uint64_t>(options.steps));
+  h = mix(h, static_cast<uint64_t>(options.samples));
+  h = mix(h, options.span_factor);
+  return h;
+}
+
+// ---------------------------------------------------------------------------
 // StructuralCorrelationRule
 // ---------------------------------------------------------------------------
 
@@ -257,12 +315,27 @@ bool StructuralCorrelationRule::can_switch_together(
 // ---------------------------------------------------------------------------
 
 ScenarioGenerator::ScenarioGenerator(const ScenarioSpace& space,
-                                     const CorrelationRule* correlation)
-    : space_(&space), correlation_(correlation) {
+                                     const CorrelationRule* correlation,
+                                     CoupledBumpCache* bump_cache)
+    : space_(&space), correlation_(correlation), bump_cache_(bump_cache) {
   util::require(space.max_aggressors >= 1,
                 "ScenarioGenerator: max_aggressors must be >= 1");
   util::require(space.num_events() <= std::numeric_limits<uint32_t>::max(),
                 "ScenarioGenerator: event count overflows uint32");
+  if (space.bump_shape == BumpShape::kCoupledLine) {
+    // Content keys of the unit shapes, one per pair: the pair/option
+    // numbers AFTER per-pair scaling, so pairs resolving to the same
+    // physical testbench share one cache entry — within this generator
+    // and across any generators sharing the external cache.
+    pair_bump_key_.reserve(space.pairs.size());
+    for (const auto& p : space.pairs) {
+      interconnect::CoupledLinePair bench = space.coupled_pair;
+      bench.cm_total *= p.coupling_scale;
+      interconnect::CoupledBumpOptions opts = space.coupled_bump;
+      if (p.victim_slew > 0.0) opts.transition = p.victim_slew;
+      pair_bump_key_.push_back(coupled_bump_key(bench, opts));
+    }
+  }
   // Per-member correlation depends only on the pair, so it is resolved
   // once here; the per-candidate accounting still happens in next() so
   // the funnel counts every skipped candidate.
@@ -411,32 +484,42 @@ std::optional<ScenarioGenerator::Candidate> ScenarioGenerator::next() {
 
 const wave::Waveform& ScenarioGenerator::scaled_bump(uint32_t pair,
                                                      uint32_t strength) const {
-  const uint64_t key = (static_cast<uint64_t>(pair) << 32) | strength;
-  if (const auto it = scaled_bump_.find(key); it != scaled_bump_.end()) {
-    return it->second;
-  }
-  auto uit = unit_bump_.find(pair);
-  if (uit == unit_bump_.end()) {
+  CoupledBumpCache& cache =
+      bump_cache_ != nullptr ? *bump_cache_ : owned_bump_cache_;
+  const auto probe = [&](uint64_t key) -> const wave::Waveform* {
+    const wave::Waveform* w = cache.find(key);
+    if (w != nullptr) {
+      ++stats_.bump_cache_hits;
+    } else {
+      ++stats_.bump_cache_misses;
+    }
+    return w;
+  };
+  const double sign =
+      space_->polarity == wave::Polarity::kFalling ? 1.0 : -1.0;
+  const double amp =
+      sign * space_->strengths[strength] * space_->pairs[pair].coupling_scale;
+  // Scaled entries key on (unit content, applied amplitude): identical
+  // content ⇒ bitwise-identical waveform (coupled_bump_shape and the
+  // scaling below are deterministic functions of exactly those
+  // numbers), so sharing across generators and corners is safe.
+  const uint64_t unit_key = pair_bump_key_[pair];
+  const uint64_t scaled_key = mix(mix(unit_key, kScaledBumpTag), amp);
+  if (const wave::Waveform* hit = probe(scaled_key)) return *hit;
+  const wave::Waveform* unit = probe(unit_key);
+  if (unit == nullptr) {
     const auto& p = space_->pairs[pair];
     interconnect::CoupledLinePair bench = space_->coupled_pair;
     bench.cm_total *= p.coupling_scale;
     interconnect::CoupledBumpOptions opts = space_->coupled_bump;
     if (p.victim_slew > 0.0) opts.transition = p.victim_slew;
-    uit = unit_bump_
-              .emplace(pair, interconnect::coupled_bump_shape(bench, opts))
-              .first;
+    unit = &cache.insert(unit_key,
+                         interconnect::coupled_bump_shape(bench, opts));
   }
-  const auto& unit = uit->second;
-  const double sign =
-      space_->polarity == wave::Polarity::kFalling ? 1.0 : -1.0;
-  const double amp =
-      sign * space_->strengths[strength] * space_->pairs[pair].coupling_scale;
-  std::vector<double> t(unit.times().begin(), unit.times().end());
-  std::vector<double> v(unit.values().begin(), unit.values().end());
+  std::vector<double> t(unit->times().begin(), unit->times().end());
+  std::vector<double> v(unit->values().begin(), unit->values().end());
   for (auto& x : v) x *= amp;
-  return scaled_bump_
-      .emplace(key, wave::Waveform(std::move(t), std::move(v)))
-      .first->second;
+  return cache.insert(scaled_key, wave::Waveform(std::move(t), std::move(v)));
 }
 
 NoiseScenario ScenarioGenerator::materialize(const Candidate& c) const {
@@ -553,18 +636,14 @@ std::string GeneratedSweepResult::funnel_report() const {
 // rewindow_scenario_space
 // ---------------------------------------------------------------------------
 
-ScenarioSpace rewindow_scenario_space(StaEngine& sta, const Corner& corner,
-                                      ScenarioSpace space) {
+namespace {
+
+/// The shared re-windowing pass of both rewindow_scenario_space()
+/// overloads: rewrites each pair's windows from `base` (the corner
+/// baseline of `sta`).
+void apply_rewindow(const StaEngine& sta, const TimingState& base,
+                    ScenarioSpace& space) {
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  sta.prepare();
-  const auto edge_noise = sta.compile_edge_annotations();
-  StaEngine::EvalContext ctx;
-  ctx.edge_noise = edge_noise.data();
-  ctx.corner = &corner;
-  ctx.corner_key = corner.key();
-  ctx.method = &sta.noise_method();
-  TimingState base;
-  sta.evaluate(base, ctx);
   const RiseFall victim_rf =
       space.polarity == wave::Polarity::kFalling ? RiseFall::kFall
                                                  : RiseFall::kRise;
@@ -610,6 +689,34 @@ ScenarioSpace rewindow_scenario_space(StaEngine& sta, const Corner& corner,
       pair.aggressor_window_hi = hi;
     }
   }
+}
+
+}  // namespace
+
+ScenarioSpace rewindow_scenario_space(StaEngine& sta, const Corner& corner,
+                                      ScenarioSpace space) {
+  sta.prepare();
+  const auto edge_noise = sta.compile_edge_annotations();
+  StaEngine::EvalContext ctx;
+  ctx.edge_noise = edge_noise.data();
+  ctx.corner = &corner;
+  ctx.corner_key = corner.key();
+  ctx.method = &sta.noise_method();
+  TimingState base;
+  sta.evaluate(base, ctx);
+  apply_rewindow(sta, base, space);
+  return space;
+}
+
+ScenarioSpace rewindow_scenario_space(const StaEngine& sta,
+                                      const Corner& /*corner*/,
+                                      ScenarioSpace space,
+                                      const TimingState& baseline) {
+  util::require(baseline.size() == sta.vertex_count(),
+                "rewindow_scenario_space: baseline has ", baseline.size(),
+                " vertices, engine has ", sta.vertex_count(),
+                " (baseline from another engine?)");
+  apply_rewindow(sta, baseline, space);
   return space;
 }
 
@@ -633,6 +740,26 @@ GeneratedSweepResult StaEngine::sweep(const GeneratedSweepSpec& gspec) {
   const bool per_corner = gspec.per_corner_windows && !gspec.corners.empty();
   const size_t n_groups = per_corner ? gspec.corners.size() : 1;
   const uint64_t gen_scale = per_corner ? 1 : n_corners;
+
+  // One persistent coupled-bump store for every generator pass of this
+  // sweep (and beyond, when the caller provided one).
+  CoupledBumpCache owned_bump_cache;
+  CoupledBumpCache* bump_cache =
+      gspec.bump_cache != nullptr ? gspec.bump_cache : &owned_bump_cache;
+
+  // The delta/prune paths need one clean baseline per corner.  They are
+  // computed ONCE per corner group here — re-windowing reads the same
+  // states instead of running its own evaluate(), and every chunk's
+  // sweep receives them through SweepSpec::corner_baselines instead of
+  // recomputing them per chunk.  Corner resolution mirrors
+  // sweep(SweepSpec); serial evaluate() is bitwise identical to the
+  // pooled baseline pass it replaces.
+  const bool needs_baselines =
+      gspec.delta || gspec.prune == PruneMode::kSafe;
+  std::vector<Corner> resolved_corners = gspec.corners;
+  if (resolved_corners.empty()) {
+    resolved_corners.push_back(corner_ ? *corner_ : Corner{});
+  }
 
   // One pool serves every chunk's sweep (building a pool per chunk
   // would dominate small chunks).
@@ -688,6 +815,10 @@ GeneratedSweepResult StaEngine::sweep(const GeneratedSweepSpec& gspec) {
     r.gen_stats_.prune_killed = ps.pruned;
     r.gen_stats_.reused = ps.reused;
     r.gen_stats_.evaluated = ps.evaluated;
+    // Cache traffic is per-waveform, not per-point: never scaled.
+    r.gen_stats_.bump_cache_hits = done.bump_cache_hits + gs.bump_cache_hits;
+    r.gen_stats_.bump_cache_misses =
+        done.bump_cache_misses + gs.bump_cache_misses;
     assert(r.gen_stats_.check());
   };
 
@@ -695,13 +826,37 @@ GeneratedSweepResult StaEngine::sweep(const GeneratedSweepSpec& gspec) {
     const ScenarioSpace* space = &gspec.space;
     std::optional<ScenarioSpace> rewindowed;
     SweepSpec group_proto = proto;
+    std::vector<TimingState> baselines;
+    if (needs_baselines) {
+      prepare();
+      const auto base_table = compile_edge_annotations(nullptr);
+      const core::EquivalentWaveformMethod* method =
+          gspec.method != nullptr ? gspec.method : noise_method_.get();
+      const std::vector<Corner>& group_corners =
+          per_corner ? std::vector<Corner>{gspec.corners[g]}
+                     : resolved_corners;
+      baselines.resize(group_corners.size());
+      for (size_t c = 0; c < group_corners.size(); ++c) {
+        EvalContext ctx;
+        ctx.edge_noise = base_table.data();
+        ctx.corner = &group_corners[c];
+        ctx.corner_key = group_corners[c].key();
+        ctx.method = method;
+        evaluate(baselines[c], ctx);
+      }
+      group_proto.corner_baselines = &baselines;
+    }
     if (per_corner) {
       rewindowed =
-          rewindow_scenario_space(*this, gspec.corners[g], gspec.space);
+          needs_baselines
+              ? rewindow_scenario_space(
+                    static_cast<const StaEngine&>(*this), gspec.corners[g],
+                    gspec.space, baselines.front())
+              : rewindow_scenario_space(*this, gspec.corners[g], gspec.space);
       space = &*rewindowed;
       group_proto.corners = {gspec.corners[g]};
     }
-    ScenarioGenerator gen(*space, gspec.correlation);
+    ScenarioGenerator gen(*space, gspec.correlation, bump_cache);
     while (true) {
       SweepSpec spec = group_proto;
       chunk_candidates.clear();
@@ -781,6 +936,8 @@ GeneratedSweepResult StaEngine::sweep(const GeneratedSweepSpec& gspec) {
     done.window_killed += gs.window_killed * gen_scale;
     done.correlation_killed += gs.correlation_killed * gen_scale;
     done.set_killed += gs.set_killed * gen_scale;
+    done.bump_cache_hits += gs.bump_cache_hits;
+    done.bump_cache_misses += gs.bump_cache_misses;
   }
 
   if (scenario_total > 0) {
@@ -807,6 +964,8 @@ GeneratedSweepResult StaEngine::sweep(const GeneratedSweepSpec& gspec) {
   r.gen_stats_.prune_killed = ps.pruned;
   r.gen_stats_.reused = ps.reused;
   r.gen_stats_.evaluated = ps.evaluated;
+  r.gen_stats_.bump_cache_hits = done.bump_cache_hits;
+  r.gen_stats_.bump_cache_misses = done.bump_cache_misses;
   assert(r.gen_stats_.check());
   return r;
 }

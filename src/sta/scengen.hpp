@@ -356,6 +356,14 @@ struct GenStats {
   /// Peak scenarios resident at once — the bounded-memory guarantee:
   /// never exceeds GeneratedSweepSpec::gen_chunk.
   uint64_t peak_resident_scenarios = 0;
+  /// Coupled-bump cache hits (kCoupledLine only): scaled or unit shapes
+  /// served from the CoupledBumpCache instead of re-simulated/re-scaled.
+  /// Diagnostic counters — NOT part of the funnel identity (check()),
+  /// and NOT scaled to point units on a GeneratedSweepResult (cache
+  /// traffic is per materialized waveform, not per point).
+  uint64_t bump_cache_hits = 0;
+  /// Coupled-bump cache misses (see bump_cache_hits).
+  uint64_t bump_cache_misses = 0;
 
   /// Funnel-identity check: true iff generated == window_killed +
   /// correlation_killed + set_killed + prune_killed + reused +
@@ -366,6 +374,54 @@ struct GenStats {
   /// no bucket yet.
   [[nodiscard]] bool check() const noexcept;
 };
+
+/// Persistent coupled-line bump-shape store, shared across generator
+/// instances, sweeps and corners — the kCoupledLine counterpart of the
+/// Γeff memo.  Entries are keyed on *content* (coupled_bump_key(): the
+/// post-scaling CoupledLinePair/CoupledBumpOptions numbers, plus the
+/// amplitude for scaled entries), so two generators whose pairs resolve
+/// to the same physical testbench share one simulated shape even across
+/// different spaces or corners — bitwise-safe, because
+/// interconnect::coupled_bump_shape is a deterministic function of
+/// exactly those numbers.  References returned by find()/insert() stay
+/// valid for the cache's lifetime (node-based storage).  NOT
+/// thread-safe: share it across sequential sweeps, not across threads.
+class CoupledBumpCache {
+ public:
+  /// Hit/miss counters since construction (or reset_stats()).
+  struct Stats {
+    uint64_t hits = 0;    ///< lookups served from the cache
+    uint64_t misses = 0;  ///< lookups that had to build the waveform
+  };
+
+  /// The waveform stored under `key`, or null; counts one hit or miss.
+  [[nodiscard]] const wave::Waveform* find(uint64_t key) noexcept;
+  /// Stores `waveform` under `key` (overwriting any previous entry) and
+  /// returns the stored copy.
+  const wave::Waveform& insert(uint64_t key, wave::Waveform waveform);
+  /// The hit/miss counters.
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// Zeroes the counters; cached waveforms stay.
+  void reset_stats() noexcept { stats_ = {}; }
+  /// Number of cached waveforms.
+  [[nodiscard]] size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, wave::Waveform> entries_;
+  Stats stats_;
+};
+
+/// Content key of one coupled-line unit bump: an FNV-style mix over the
+/// numeric fields of `pair` and `options` exactly as
+/// coupled_bump_shape() consumes them (line names are excluded — they
+/// do not affect the shape).  Callers pass the pair/options AFTER
+/// per-ScenarioPair scaling (cm_total × coupling_scale, transition =
+/// victim slew), so the key identifies the physical testbench, not the
+/// ScenarioPair index — the property that lets the cache persist across
+/// generators and corners.
+[[nodiscard]] uint64_t coupled_bump_key(
+    const interconnect::CoupledLinePair& pair,
+    const interconnect::CoupledBumpOptions& options) noexcept;
 
 /// Pull-based lazy iterator over a ScenarioSpace: next() yields the
 /// next *feasible* candidate in lexicographic (event, alignment,
@@ -383,9 +439,14 @@ struct GenStats {
 class ScenarioGenerator {
  public:
   /// `correlation == nullptr` disables the correlation stages (every
-  /// pair and set passes).
+  /// pair and set passes).  `bump_cache` is the persistent kCoupledLine
+  /// shape store (must outlive the generator); null makes the generator
+  /// own a private one, reproducing the historical per-generator
+  /// caching.  Cache traffic is counted in stats()
+  /// (bump_cache_hits/misses) either way.
   explicit ScenarioGenerator(const ScenarioSpace& space,
-                             const CorrelationRule* correlation = nullptr);
+                             const CorrelationRule* correlation = nullptr,
+                             CoupledBumpCache* bump_cache = nullptr);
 
   /// One feasible candidate: the flat index plus its decoded grid
   /// coordinates.
@@ -450,17 +511,21 @@ class ScenarioGenerator {
   /// Correlation verdict per singleton pair, resolved at construction.
   std::vector<char> pair_feasible_;
   uint64_t cursor_ = 0;  ///< next flat index to consider
-  GenStats stats_;
+  /// Mutable because scaled_bump() (const) counts cache hits/misses.
+  mutable GenStats stats_;
   /// Decoded members + verdict of the event the cursor sits in.
   uint64_t cur_event_ = std::numeric_limits<uint64_t>::max();
   std::vector<uint32_t> cur_members_;
   EventVerdict cur_verdict_ = EventVerdict::kOk;
   /// Member-pair compatibility memo, key (min<<32)|max.
   mutable std::unordered_map<uint64_t, char> compat_memo_;
-  /// kCoupledLine caches: unit shape per pair, scaled bump per
-  /// (pair, strength) key (pair<<32)|strength.
-  mutable std::unordered_map<uint32_t, wave::Waveform> unit_bump_;
-  mutable std::unordered_map<uint64_t, wave::Waveform> scaled_bump_;
+  /// External persistent bump store, or null to use the owned fallback.
+  CoupledBumpCache* bump_cache_;
+  /// Per-generator fallback store (the historical behavior).
+  mutable CoupledBumpCache owned_bump_cache_;
+  /// Content key of each pair's unit bump (kCoupledLine only; 0 when
+  /// the space uses Gaussian shapes), precomputed at construction.
+  std::vector<uint64_t> pair_bump_key_;
 };
 
 /// A generated sweep: the streaming counterpart of SweepSpec, with the
@@ -521,6 +586,11 @@ struct GeneratedSweepSpec {
   /// unchanged.  false (default) filters every corner against the
   /// engine-baseline windows stored in the space.
   bool per_corner_windows = false;
+  /// Persistent coupled-line bump store shared across this sweep's
+  /// per-corner generator passes AND across successive sweeps when the
+  /// caller keeps the cache alive (must outlive the call).  Null makes
+  /// the sweep own one for its duration — corner passes still share it.
+  CoupledBumpCache* bump_cache = nullptr;
 };
 
 /// Recomputes the stage-1 feasibility windows of `space` against the
@@ -531,10 +601,23 @@ struct GeneratedSweepSpec {
 /// corner timing is invalid get an empty aggressor window, so every
 /// alignment of theirs is window-killed — candidate indices stay stable
 /// across corners by construction.  Calls prepare() and evaluates one
-/// baseline, hence the non-const engine.
+/// corner baseline of its own, hence the non-const engine; when the
+/// caller already holds that baseline (sweep(GeneratedSweepSpec) always
+/// does), prefer the overload below, which skips the redundant
+/// full-graph pass.
 [[nodiscard]] ScenarioSpace rewindow_scenario_space(StaEngine& sta,
                                                     const Corner& corner,
                                                     ScenarioSpace space);
+
+/// Re-windowing against a caller-provided corner baseline: identical
+/// result to the overload above when `baseline` is the clean evaluate()
+/// of `sta` under `corner` (same EvalContext the sweep uses), but with
+/// no propagation of its own — the engine stays const.  `baseline` must
+/// have been produced by THIS engine (vertex count must match; throws
+/// util::Error otherwise).
+[[nodiscard]] ScenarioSpace rewindow_scenario_space(
+    const StaEngine& sta, const Corner& corner, ScenarioSpace space,
+    const TimingState& baseline);
 
 /// Result of a generated sweep: the funnel, the aggregated prune/delta
 /// statistics, the exact worst point, and (optionally) one record per

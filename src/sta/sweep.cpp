@@ -492,9 +492,21 @@ SweepResult StaEngine::sweep(const SweepSpec& spec) {
   // proves they cannot beat the worst slack seen so far.
   // -------------------------------------------------------------------------
 
-  const auto base_table = compile_edge_annotations(nullptr);
-  std::vector<TimingState> baselines(n_corners);
-  {
+  std::vector<TimingState> owned_baselines;
+  if (spec.corner_baselines != nullptr) {
+    util::require(spec.corner_baselines->size() == n_corners,
+                  "sweep: corner_baselines has ",
+                  spec.corner_baselines->size(), " states for ", n_corners,
+                  " corners");
+    for (const auto& b : *spec.corner_baselines) {
+      util::require(b.size() == vertex_count(),
+                    "sweep: corner_baselines state has ", b.size(),
+                    " vertices, engine has ", vertex_count(),
+                    " (baseline from another engine?)");
+    }
+  } else {
+    const auto base_table = compile_edge_annotations(nullptr);
+    owned_baselines.resize(n_corners);
     std::vector<EvalContext> base_ctx(n_corners);
     for (size_t c = 0; c < n_corners; ++c) {
       base_ctx[c].edge_noise = base_table.data();
@@ -503,9 +515,12 @@ SweepResult StaEngine::sweep(const SweepSpec& spec) {
       base_ctx[c].method = method;
       base_ctx[c].cache = r.cache_.get();
     }
-    evaluate_points(baselines, base_ctx, pool, wss, spec.shard,
+    evaluate_points(owned_baselines, base_ctx, pool, wss, spec.shard,
                     spec.wide_partition_threshold);
   }
+  const std::vector<TimingState>& baselines =
+      spec.corner_baselines != nullptr ? *spec.corner_baselines
+                                       : owned_baselines;
 
   // Per-scenario dirty-cone plans, shared by every corner of a
   // scenario (the cone depends only on the annotated nets).  Scenarios

@@ -241,6 +241,16 @@ struct SweepSpec {
   /// width.  Ignored when `delta` is false (the full-graph path has no
   /// lane grouping).
   int lanes = 0;
+  /// External per-corner clean baselines for the delta/prune path: one
+  /// TimingState per resolved corner (same order as `corners`), each the
+  /// clean evaluate() of THIS engine under that corner with the same
+  /// method and engine-level annotations this sweep uses.  The sweep
+  /// then skips its own baseline pass — the streaming generated sweep
+  /// computes baselines once per corner group and hands them to every
+  /// chunk.  Null (default) computes baselines internally.  Size or
+  /// vertex-count mismatches throw util::Error.  Ignored on the legacy
+  /// path (delta == false and prune == kOff), which uses no baselines.
+  const std::vector<TimingState>* corner_baselines = nullptr;
 };
 
 class SweepResult;

@@ -422,6 +422,51 @@ TEST(ScenGen, MillionPointFunnelStreamsInBoundedMemory) {
   EXPECT_EQ(gr.worst_point().scenario_name, er.scenario_name(ewp.scenario));
 }
 
+TEST(ScenGen, CoupledBumpCachePersistsAcrossSweepsBitwiseIdentical) {
+  GeneratedVsEager h(37, 40, {-20e-12, 0.0, 30e-12}, {0.2, 0.35});
+  h.space.bump_shape = sta::BumpShape::kCoupledLine;
+
+  GeneratedSweepSpec gspec;
+  gspec.space = h.space;
+  gspec.correlation = h.rule.get();
+  gspec.threads = 2;
+  gspec.gen_chunk = 16;
+
+  // First sweep on a fresh external cache: every synthesized bump shape
+  // is a miss; within-sweep reuse may already produce hits.
+  sta::CoupledBumpCache cache;
+  gspec.bump_cache = &cache;
+  const auto r1 = h.fixture.sta->sweep(gspec);
+  ASSERT_GT(r1.gen_stats().evaluated, 0u);
+  EXPECT_GT(r1.gen_stats().bump_cache_misses, 0u);
+  EXPECT_EQ(cache.stats().misses, r1.gen_stats().bump_cache_misses);
+  const size_t warm = cache.size();
+  EXPECT_GT(warm, 0u);
+
+  // Second sweep over the SAME cache: every shape is already resident —
+  // zero misses, hits only, and the results stay bitwise identical.
+  const auto r2 = h.fixture.sta->sweep(gspec);
+  EXPECT_EQ(r2.gen_stats().bump_cache_misses, 0u);
+  EXPECT_GT(r2.gen_stats().bump_cache_hits, 0u);
+  EXPECT_EQ(cache.size(), warm);
+  EXPECT_EQ(bits(r1.worst_slack()), bits(r2.worst_slack()));
+  EXPECT_EQ(r1.worst_point().candidate, r2.worst_point().candidate);
+  EXPECT_EQ(r1.worst_point().scenario_name, r2.worst_point().scenario_name);
+
+  // And a sweep with NO external cache (generator-owned store) is
+  // bitwise identical too — the cache is a pure memoization.
+  gspec.bump_cache = nullptr;
+  const auto r3 = h.fixture.sta->sweep(gspec);
+  EXPECT_EQ(bits(r1.worst_slack()), bits(r3.worst_slack()));
+  EXPECT_EQ(r1.worst_point().candidate, r3.worst_point().candidate);
+
+  // Funnel identity never counts cache traffic.
+  const auto& g = r2.gen_stats();
+  EXPECT_EQ(g.generated, g.window_killed + g.correlation_killed +
+                             g.set_killed + g.prune_killed + g.reused +
+                             g.evaluated);
+}
+
 TEST(ScenGen, EmptyFunnelThrowsOnWorstPoint) {
   GeneratedSweepSpec gspec;
   gspec.space = tiny_space();

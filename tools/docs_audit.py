@@ -30,6 +30,8 @@ DEFAULT_HEADERS = [
     "src/sta/ids.hpp",
     "src/sta/service.hpp",
     "src/sta/edits.hpp",
+    "src/sta/macromodel.hpp",
+    "src/sta/hiergraph.hpp",
     "src/wave/lanes.hpp",
     "src/wave/kernels.hpp",
 ]
